@@ -1,0 +1,93 @@
+//! Faceted-search state-computation benchmarks (E10, §6.4): the cost of
+//! building the left frame — class markers, property facets with counts,
+//! path expansion — as the KG grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfa_datagen::{ProductsGenerator, EX};
+use rdfa_facets::{class_markers, expand_path, property_facets, PathStep};
+use rdfa_store::Store;
+
+fn store(n: usize) -> Store {
+    let mut s = Store::new();
+    s.load_graph(&ProductsGenerator::new(n, 1).generate());
+    s
+}
+
+fn bench_state_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("facet_state");
+    group.sample_size(20);
+    for n in [500usize, 2_000, 8_000] {
+        let s = store(n);
+        let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
+        let ext = s.instances(laptop);
+        group.bench_with_input(BenchmarkId::new("class_markers", n), &s, |b, s| {
+            b.iter(|| black_box(class_markers(s, &ext).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("property_facets", n), &s, |b, s| {
+            b.iter(|| black_box(property_facets(s, &ext).len()))
+        });
+        let path = [
+            PathStep::fwd(s.lookup_iri(&format!("{EX}manufacturer")).unwrap()),
+            PathStep::fwd(s.lookup_iri(&format!("{EX}origin")).unwrap()),
+        ];
+        group.bench_with_input(BenchmarkId::new("expand_path", n), &s, |b, s| {
+            b.iter(|| black_box(expand_path(s, &ext, &path).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: memoized session facets vs recomputation — the efficiency
+/// iteration of the dissertation's system (3).
+fn bench_session_cache(c: &mut Criterion) {
+    use rdfa_facets::FacetedSession;
+    let s = store(4_000);
+    let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
+    let mut group = c.benchmark_group("session_cache");
+    group.sample_size(20);
+    group.bench_function("cached_facets", |b| {
+        let mut session = FacetedSession::start(&s);
+        session.select_class(laptop).unwrap();
+        let _ = session.facets(); // warm the cache
+        b.iter(|| black_box(session.facets().len()))
+    });
+    group.bench_function("fresh_facets", |b| {
+        let session = FacetedSession::start(&s);
+        let ext = s.instances(laptop);
+        let _ = session;
+        b.iter(|| black_box(property_facets(&s, &ext).len()))
+    });
+    group.finish();
+}
+
+fn bench_keyword_index(c: &mut Criterion) {
+    use rdfa_store::KeywordIndex;
+    let s = store(4_000);
+    c.bench_function("keyword_index_build_4k", |b| {
+        b.iter(|| black_box(KeywordIndex::build(&s).len()))
+    });
+    let idx = KeywordIndex::build(&s);
+    c.bench_function("keyword_search", |b| {
+        b.iter(|| black_box(idx.search("laptop company usa").len()))
+    });
+}
+
+fn bench_buckets(c: &mut Criterion) {
+    use rdfa_facets::{bucket_values, PathStep as PS};
+    let s = store(4_000);
+    let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
+    let ext = s.instances(laptop);
+    let path = [PS::fwd(s.lookup_iri(&format!("{EX}price")).unwrap())];
+    c.bench_function("bucket_values_4k", |b| {
+        b.iter(|| black_box(bucket_values(&s, &ext, &path, 6).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_state_computation,
+    bench_session_cache,
+    bench_keyword_index,
+    bench_buckets
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! HIFUN benchmarks: translation cost (it is pure string assembly and must
+//! be negligible) and the two evaluation strategies of Fig 8.3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rdfa_datagen::{InvoicesGenerator, EX};
+use rdfa_hifun::{direct, translate, AggOp, AttrPath, CondOp, HifunQuery};
+use rdfa_model::Term;
+use rdfa_sparql::Engine;
+use rdfa_store::Store;
+
+fn invoices(n: usize) -> Store {
+    let mut s = Store::new();
+    s.load_graph(&InvoicesGenerator::new(n, 1).generate());
+    s
+}
+
+fn query() -> HifunQuery {
+    HifunQuery::new(AggOp::Sum)
+        .group_by(AttrPath::prop(format!("{EX}takesPlaceAt")))
+        .group_by(AttrPath::props(&[&format!("{EX}delivers"), &format!("{EX}brand")]))
+        .measure(AttrPath::prop(format!("{EX}inQuantity")))
+        .having(0, CondOp::Gt, Term::integer(100))
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let q = query();
+    c.bench_function("hifun_to_sparql_translation", |b| {
+        b.iter(|| black_box(translate::to_sparql(&q)))
+    });
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let s = invoices(5_000);
+    let q = query();
+    let sparql = translate::to_sparql(&q);
+    let mut group = c.benchmark_group("evaluation_strategy");
+    group.sample_size(20);
+    group.bench_function("translated_sparql", |b| {
+        let engine = Engine::new(&s);
+        b.iter(|| black_box(engine.query(&sparql).unwrap()))
+    });
+    group.bench_function("direct_hifun", |b| {
+        b.iter(|| black_box(direct::evaluate(&s, &q).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! SPARQL engine benchmarks over the workload queries, including the BGP
+//! join-order ablation (selectivity reordering on vs off — DESIGN.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rdfa_bench::queries::workload;
+use rdfa_datagen::{ProductsGenerator, EX};
+use rdfa_sparql::eval::EvalOptions;
+use rdfa_sparql::Engine;
+use rdfa_store::Store;
+
+fn store(n: usize) -> Store {
+    let mut s = Store::new();
+    s.load_graph(&ProductsGenerator::new(n, 1).generate());
+    s
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let s = store(2_000);
+    let mut group = c.benchmark_group("sparql_workload");
+    group.sample_size(20);
+    for wq in workload() {
+        group.bench_function(wq.id, |b| {
+            let engine = Engine::new(&s);
+            b.iter(|| black_box(engine.query(&wq.sparql).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The flagship Fig 1.3-style query, where join order matters most: a long
+/// chain with selective constants at the end.
+fn bench_join_order_ablation(c: &mut Criterion) {
+    let s = store(2_000);
+    let q = format!(
+        r#"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+           PREFIX ex: <{EX}>
+           SELECT ?m (AVG(?p) as ?avg)
+           WHERE {{
+             ?s rdf:type ex:Laptop.
+             ?s ex:manufacturer ?m.
+             ?m ex:origin ex:USA.
+             ?s ex:price ?p.
+             ?s ex:USBPorts ?u.
+             ?s ex:hardDrive ?hd.
+             ?hd rdf:type ex:SSD.
+             FILTER (?u >= 2).
+           }} GROUP BY ?m"#
+    );
+    let mut group = c.benchmark_group("join_order_ablation");
+    group.sample_size(20);
+    group.bench_function("reordered", |b| {
+        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: true });
+        b.iter(|| black_box(engine.query(&q).unwrap()))
+    });
+    group.bench_function("naive_order", |b| {
+        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: false });
+        b.iter(|| black_box(engine.query(&q).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_property_paths(c: &mut Criterion) {
+    let s = store(2_000);
+    let q = format!(
+        "PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x ex:manufacturer/ex:origin/ex:locatedAt ex:Asia . }}"
+    );
+    c.bench_function("property_path_3_steps", |b| {
+        let engine = Engine::new(&s);
+        b.iter(|| black_box(engine.query(&q).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_workload, bench_join_order_ablation, bench_property_paths);
+criterion_main!(benches);

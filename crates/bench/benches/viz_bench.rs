@@ -1,0 +1,31 @@
+//! Visualization benchmarks: the spiral layout's near-linear behaviour
+//! (the companion paper's efficiency claim) and the 3D scene builder.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfa_viz::{spiral_layout, urban_layout};
+
+fn bench_spiral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spiral_layout");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        // power-law sizes, the paper's motivating distribution
+        let values: Vec<f64> = (1..=n).map(|i| 1000.0 / i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            b.iter(|| black_box(spiral_layout(values, 1.0).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_urban(c: &mut Criterion) {
+    let entities: Vec<(String, Vec<f64>)> = (0..200)
+        .map(|i| (format!("e{i}"), vec![i as f64, (200 - i) as f64, 50.0]))
+        .collect();
+    let features = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+    c.bench_function("urban_layout_200", |b| {
+        b.iter(|| black_box(urban_layout(&entities, &features, 2.0, 1.0, 10.0).len()))
+    });
+}
+
+criterion_group!(benches, bench_spiral, bench_urban);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment harness CLI — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p rdfa-bench --bin experiments -- all          # everything
+//! cargo run -p rdfa-bench --bin experiments -- table6.1     # peak hours
+//! cargo run -p rdfa-bench --bin experiments -- table6.2     # off-peak
+//! cargo run -p rdfa-bench --bin experiments -- fig8.1       # per-task study
+//! cargo run -p rdfa-bench --bin experiments -- fig8.2       # study totals
+//! cargo run -p rdfa-bench --bin experiments -- fig8.3       # impl. strategies
+//! ```
+//!
+//! Add `--full` for the large (≈1M-triple) scale of the efficiency tables.
+
+use rdfa_bench::experiments;
+use rdfa_datagen::LatencyModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--full").collect();
+    let what = which.first().copied().unwrap_or("all");
+
+    let reps = 3;
+    match what {
+        "table6.1" => print!(
+            "{}",
+            experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps)
+        ),
+        "table6.2" => print!(
+            "{}",
+            experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps)
+        ),
+        "fig8.1" => print!("{}", experiments::fig8_1(20, 42)),
+        "fig8.2" => print!("{}", experiments::fig8_2(20, 42)),
+        "fig8.3" => print!("{}", experiments::fig8_3(2_000, reps)),
+        "all" => {
+            println!(
+                "{}",
+                experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps)
+            );
+            println!(
+                "{}",
+                experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps)
+            );
+            println!("{}", experiments::fig8_1(20, 42));
+            println!("{}", experiments::fig8_2(20, 42));
+            print!("{}", experiments::fig8_3(2_000, reps));
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'. one of: all table6.1 table6.2 fig8.1 fig8.2 fig8.3 [--full]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

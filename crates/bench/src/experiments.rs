@@ -1,0 +1,229 @@
+//! Table/figure printers: each function regenerates one artifact of the
+//! paper's evaluation (see DESIGN.md E1–E5).
+
+use crate::queries::workload;
+use crate::userstudy::{run_study, TaskOutcome};
+use rdfa_core::{AnalyticsSession, EvalStrategy, GroupSpec, MeasureSpec};
+use rdfa_datagen::{LatencyModel, ProductsGenerator, SimulatedEndpoint, EX};
+use rdfa_hifun::AggOp;
+use rdfa_store::Store;
+use std::time::Instant;
+
+/// Dataset scales for the efficiency tables (product counts; ≈9 triples per
+/// product).
+pub fn scales(full: bool) -> Vec<usize> {
+    if full {
+        vec![1_000, 5_000, 20_000, 100_000]
+    } else {
+        vec![1_000, 5_000, 20_000]
+    }
+}
+
+fn build(n_products: usize) -> Store {
+    let mut store = Store::new();
+    store.load_graph(&ProductsGenerator::new(n_products, 42).generate());
+    store
+}
+
+/// Tables 6.1 / 6.2: mean end-to-end latency (ms) of the workload queries
+/// against the simulated endpoint, per dataset scale, at the given latency
+/// profile. Returns the table as text (also printed by the binary).
+pub fn efficiency_table(model: LatencyModel, label: &str, full: bool, reps: usize) -> String {
+    let sizes = scales(full);
+    let stores: Vec<(usize, Store)> = sizes.iter().map(|&n| (n, build(n))).collect();
+    let mut out = String::new();
+    out.push_str(&format!("Efficiency — {label} (mean of {reps} runs, ms: compute + simulated network)\n"));
+    out.push_str(&format!("{:<4} {:<46}", "id", "query"));
+    for (n, store) in &stores {
+        out.push_str(&format!(" {:>16}", format!("{}k trpl", store.len() / 1000)));
+        let _ = n;
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(52 + 17 * stores.len()));
+    out.push('\n');
+    for wq in workload() {
+        out.push_str(&format!("{:<4} {:<46}", wq.id, wq.description));
+        for (i, (_, store)) in stores.iter().enumerate() {
+            let mut endpoint = SimulatedEndpoint::new(store, model, 7 + i as u64);
+            let mut total_ms = 0.0;
+            for _ in 0..reps {
+                let r = endpoint
+                    .query(&wq.sparql)
+                    .unwrap_or_else(|e| panic!("{}: {e}", wq.id));
+                total_ms += r.total().as_secs_f64() * 1000.0;
+            }
+            out.push_str(&format!(" {:>16.1}", total_ms / reps as f64));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 8.1: per-task completion percentage and mean rating.
+pub fn fig8_1(n_users: usize, seed: u64) -> String {
+    let outcomes = run_study(n_users, seed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Task-based evaluation — {n_users} simulated users per task (Fig 8.1)\n"
+    ));
+    out.push_str(&format!(
+        "{:<4} {:<64} {:>12} {:>8}\n",
+        "task", "description", "completion %", "rating"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for o in &outcomes {
+        out.push_str(&format!(
+            "{:<4} {:<64} {:>12.1} {:>8.2}\n",
+            o.id,
+            o.description,
+            o.completion_pct(),
+            o.mean_rating
+        ));
+    }
+    out
+}
+
+/// Figure 8.2: total completion and total rating.
+pub fn fig8_2(n_users: usize, seed: u64) -> String {
+    let outcomes = run_study(n_users, seed);
+    let (c, r) = totals(&outcomes);
+    format!(
+        "Totals (Fig 8.2): task completion {:.1}%  —  mean user rating {:.2}/5\n",
+        c, r
+    )
+}
+
+/// Mean completion % and mean rating across tasks.
+pub fn totals(outcomes: &[TaskOutcome]) -> (f64, f64) {
+    let c = outcomes.iter().map(TaskOutcome::completion_pct).sum::<f64>() / outcomes.len() as f64;
+    let r = outcomes.iter().map(|o| o.mean_rating).sum::<f64>() / outcomes.len() as f64;
+    (c, r)
+}
+
+/// Figure 8.3: the alternative implementation — evaluating the state's
+/// analytic intention by HIFUN→SPARQL translation vs direct functional
+/// evaluation, wall-clock compared on the same click sequences.
+pub fn fig8_3(n_products: usize, reps: usize) -> String {
+    let store = build(n_products);
+    let id = |local: &str| store.lookup_iri(&format!("{EX}{local}")).unwrap();
+    type Scenario<'a> = (&'a str, Box<dyn Fn(&mut AnalyticsSession)>);
+    let scenarios: Vec<Scenario> = vec![
+        (
+            "avg price by manufacturer",
+            Box::new(|a: &mut AnalyticsSession| {
+                a.add_grouping(GroupSpec::property(
+                    a.store().lookup_iri(&format!("{EX}manufacturer")).unwrap(),
+                ));
+                a.set_measure(MeasureSpec::property(
+                    a.store().lookup_iri(&format!("{EX}price")).unwrap(),
+                ));
+                a.set_ops(vec![AggOp::Avg]);
+            }),
+        ),
+        (
+            "count by manufacturer origin (path)",
+            Box::new(|a: &mut AnalyticsSession| {
+                let man = a.store().lookup_iri(&format!("{EX}manufacturer")).unwrap();
+                let origin = a.store().lookup_iri(&format!("{EX}origin")).unwrap();
+                a.add_grouping(GroupSpec::path(vec![man, origin]));
+                a.set_ops(vec![AggOp::Count]);
+            }),
+        ),
+        (
+            "avg+sum+max price by manufacturer",
+            Box::new(|a: &mut AnalyticsSession| {
+                let man = a.store().lookup_iri(&format!("{EX}manufacturer")).unwrap();
+                let price = a.store().lookup_iri(&format!("{EX}price")).unwrap();
+                a.add_grouping(GroupSpec::property(man));
+                a.set_measure(MeasureSpec::property(price));
+                a.set_ops(vec![AggOp::Avg, AggOp::Sum, AggOp::Max]);
+            }),
+        ),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Alternative implementation (Fig 8.3) — {} triples, mean of {reps} runs\n",
+        store.len()
+    ));
+    out.push_str(&format!(
+        "{:<40} {:>22} {:>22}\n",
+        "scenario", "HIFUN→SPARQL (ms)", "direct HIFUN (ms)"
+    ));
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for (name, setup) in &scenarios {
+        let mut times = [0.0f64; 2];
+        for (i, strategy) in [EvalStrategy::TranslatedSparql, EvalStrategy::DirectHifun]
+            .into_iter()
+            .enumerate()
+        {
+            for _ in 0..reps {
+                let mut a = AnalyticsSession::start(&store).with_strategy(strategy);
+                a.select_class(id("Laptop")).unwrap();
+                setup(&mut a);
+                let start = Instant::now();
+                let frame = a.run().unwrap();
+                times[i] += start.elapsed().as_secs_f64() * 1000.0;
+                assert!(!frame.is_empty());
+            }
+            times[i] /= reps as f64;
+        }
+        out.push_str(&format!("{:<40} {:>22.2} {:>22.2}\n", name, times[0], times[1]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_table_renders_all_queries() {
+        // minimal sizes/reps so the test stays fast
+        let text = efficiency_table_for_test();
+        for id in ["Q1", "Q5", "Q10"] {
+            assert!(text.contains(id), "{text}");
+        }
+    }
+
+    fn efficiency_table_for_test() -> String {
+        let store = build(200);
+        let mut endpoint = SimulatedEndpoint::new(&store, LatencyModel::off_peak(), 1);
+        let mut out = String::new();
+        for wq in workload() {
+            let r = endpoint.query(&wq.sparql).unwrap();
+            out.push_str(&format!("{} {:.1}\n", wq.id, r.total().as_secs_f64() * 1000.0));
+        }
+        out
+    }
+
+    #[test]
+    fn fig8_outputs_render() {
+        let f1 = fig8_1(5, 1);
+        assert!(f1.contains("T11"));
+        let f2 = fig8_2(5, 1);
+        assert!(f2.contains("Totals"));
+    }
+
+    #[test]
+    fn fig8_3_both_strategies_nonzero() {
+        let text = fig8_3(200, 1);
+        assert!(text.contains("avg price by manufacturer"));
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn peak_table_exceeds_off_peak_on_average() {
+        // one scale, few reps: peak mean must exceed off-peak mean
+        let store = build(300);
+        let avg = |model: LatencyModel| -> f64 {
+            let mut ep = SimulatedEndpoint::new(&store, model, 3);
+            workload()
+                .iter()
+                .map(|wq| ep.query(&wq.sparql).unwrap().total().as_secs_f64())
+                .sum::<f64>()
+        };
+        assert!(avg(LatencyModel::peak()) > avg(LatencyModel::off_peak()));
+    }
+}

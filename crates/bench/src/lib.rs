@@ -1,0 +1,16 @@
+//! # rdfa-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Chapters 6 and 8); see DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records.
+//!
+//! - [`queries`] — the query workload Q1–Q10 over the products KG;
+//! - [`userstudy`] — the simulated task-based evaluation (Figs 8.1/8.2);
+//! - [`experiments`] — the printers for Tables 6.1/6.2 and Figs 8.1–8.3.
+//!
+//! Run `cargo run -p rdfa-bench --bin experiments -- all` to regenerate
+//! everything.
+
+pub mod experiments;
+pub mod queries;
+pub mod userstudy;

@@ -1,0 +1,102 @@
+//! The efficiency-experiment query workload: the kinds of queries the
+//! RDF-Analytics GUI issues during a session (§6.4) — facet/count queries,
+//! simple analytic queries, path-expansion analytics, and result-restricted
+//! (HAVING) analytics — expressed over the products KG.
+
+use rdfa_datagen::EX;
+
+/// One workload query: a stable id, a human description, and SPARQL text.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub sparql: String,
+}
+
+/// The ten queries of the efficiency workload (Tables 6.1/6.2 rows).
+pub fn workload() -> Vec<WorkloadQuery> {
+    let q = |id, description, body: String| WorkloadQuery {
+        id,
+        description,
+        sparql: format!(
+            "PREFIX ex: <{EX}>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n{body}"
+        ),
+    };
+    vec![
+        q(
+            "Q1",
+            "class facet: laptops count",
+            "SELECT (COUNT(?x) AS ?n) WHERE { ?x rdf:type ex:Laptop . }".into(),
+        ),
+        q(
+            "Q2",
+            "property facet: manufacturers with counts",
+            "SELECT ?m (COUNT(?x) AS ?n) WHERE { ?x rdf:type ex:Laptop . ?x ex:manufacturer ?m . } GROUP BY ?m".into(),
+        ),
+        q(
+            "Q3",
+            "value restriction: laptops of one manufacturer",
+            "SELECT ?x WHERE { ?x rdf:type ex:Laptop . ?x ex:manufacturer ex:Company0 . }".into(),
+        ),
+        q(
+            "Q4",
+            "range filter: laptops with >= 2 USB ports",
+            "SELECT ?x WHERE { ?x ex:USBPorts ?u . FILTER(?u >= 2) }".into(),
+        ),
+        q(
+            "Q5",
+            "path expansion markers: origins of manufacturers",
+            "SELECT ?c (COUNT(?x) AS ?n) WHERE { ?x rdf:type ex:Laptop . ?x ex:manufacturer ?m . ?m ex:origin ?c . } GROUP BY ?c".into(),
+        ),
+        q(
+            "Q6",
+            "simple analytic: avg price by manufacturer",
+            "SELECT ?m (AVG(?p) AS ?avg) WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . } GROUP BY ?m".into(),
+        ),
+        q(
+            "Q7",
+            "path analytic: avg price by manufacturer origin",
+            "SELECT ?c (AVG(?p) AS ?avg) WHERE { ?x rdf:type ex:Laptop . ?x ex:manufacturer ?m . ?m ex:origin ?c . ?x ex:price ?p . } GROUP BY ?c".into(),
+        ),
+        q(
+            "Q8",
+            "derived attribute: count by release year",
+            "SELECT (YEAR(?d) AS ?y) (COUNT(?x) AS ?n) WHERE { ?x ex:releaseDate ?d . } GROUP BY YEAR(?d)".into(),
+        ),
+        q(
+            "Q9",
+            "multi-aggregate with restriction (Fig 6.2 style)",
+            "SELECT ?m (AVG(?p) AS ?a) (SUM(?p) AS ?s) (MAX(?p) AS ?x2) WHERE { ?x rdf:type ex:Laptop . ?x ex:manufacturer ?m . ?x ex:price ?p . ?x ex:USBPorts ?u . FILTER(?u >= 2 && ?u <= 4) } GROUP BY ?m".into(),
+        ),
+        q(
+            "Q10",
+            "result-restricted analytic (HAVING)",
+            "SELECT ?m (AVG(?p) AS ?avg) WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . } GROUP BY ?m HAVING (AVG(?p) > 1200)".into(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_datagen::ProductsGenerator;
+    use rdfa_sparql::Engine;
+    use rdfa_store::Store;
+
+    #[test]
+    fn every_workload_query_parses_and_runs() {
+        let mut store = Store::new();
+        store.load_graph(&ProductsGenerator::new(100, 5).generate());
+        for wq in workload() {
+            let result = Engine::new(&store).query(&wq.sparql);
+            assert!(result.is_ok(), "{} failed: {:?}", wq.id, result.err());
+        }
+    }
+
+    #[test]
+    fn workload_has_distinct_ids() {
+        let w = workload();
+        let ids: std::collections::HashSet<_> = w.iter().map(|q| q.id).collect();
+        assert_eq!(ids.len(), w.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! OLAP operators over the interaction model (Chapter 7, Fig 7.1/7.2).
+//!
+//! The paper shows that the classic OLAP operations correspond to moves of
+//! the extended faceted-search model:
+//!
+//! | OLAP | interaction-model move |
+//! |---|---|
+//! | roll-up | coarsen a grouping attribute (day → month → year → drop) |
+//! | drill-down | refine a grouping attribute (year → month → day) |
+//! | slice | select one value of a dimension and remove it from grouping |
+//! | dice | range-restrict dimensions (the ⧩ filter) keeping them grouped |
+//! | pivot | reorder the grouping attributes |
+
+use crate::session::{AnalyticsSession, GroupSpec};
+use crate::AnalyticsError;
+use rdfa_facets::PathStep;
+use rdfa_hifun::DerivedFn;
+use rdfa_model::Value;
+use rdfa_store::TermId;
+
+/// The OLAP operations the model supports (Fig 7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OlapOp {
+    RollUp,
+    DrillDown,
+    Slice,
+    Dice,
+    Pivot,
+}
+
+impl OlapOp {
+    /// The interaction-model move realizing the operation (Fig 7.1's
+    /// correspondence table).
+    pub fn interaction_move(self) -> &'static str {
+        match self {
+            OlapOp::RollUp => "coarsen a grouping attribute via the transform (ƒ) button, or un-click its G button",
+            OlapOp::DrillDown => "refine a grouping attribute via the transform (ƒ) button, or click an additional G button",
+            OlapOp::Slice => "click a value marker of the dimension's facet and un-click its G button",
+            OlapOp::Dice => "apply range filters (⧩) on the dimensions' facets",
+            OlapOp::Pivot => "reorder the clicked G buttons",
+        }
+    }
+}
+
+impl<'s> AnalyticsSession<'s> {
+    /// **Roll-up** one dimension (Fig 7.2 left-to-right): a `Day` granularity
+    /// coarsens to `Month`, `Month` to `Year`; a `Year` (or underived)
+    /// dimension rolls up to "all" — the dimension is removed.
+    pub fn roll_up(&mut self, dim: usize) -> Result<(), AnalyticsError> {
+        let groupings = self.groupings().to_vec();
+        let Some(spec) = groupings.get(dim) else {
+            return Err(AnalyticsError::new(format!("no grouping dimension {dim}")));
+        };
+        match spec.derived {
+            Some(DerivedFn::Day) => self.replace_grouping(dim, spec.clone_with(DerivedFn::Month)),
+            Some(DerivedFn::Month) => self.replace_grouping(dim, spec.clone_with(DerivedFn::Year)),
+            Some(DerivedFn::Year) | None => self.remove_grouping(dim),
+        }
+        Ok(())
+    }
+
+    /// **Drill-down** one dimension (Fig 7.2 right-to-left): `Year` refines
+    /// to `Month`, `Month` to `Day`. Underived dimensions cannot refine.
+    pub fn drill_down(&mut self, dim: usize) -> Result<(), AnalyticsError> {
+        let groupings = self.groupings().to_vec();
+        let Some(spec) = groupings.get(dim) else {
+            return Err(AnalyticsError::new(format!("no grouping dimension {dim}")));
+        };
+        match spec.derived {
+            Some(DerivedFn::Year) => {
+                self.replace_grouping(dim, spec.clone_with(DerivedFn::Month));
+                Ok(())
+            }
+            Some(DerivedFn::Month) => {
+                self.replace_grouping(dim, spec.clone_with(DerivedFn::Day));
+                Ok(())
+            }
+            Some(DerivedFn::Day) => Err(AnalyticsError::new("already at the finest granularity")),
+            None => Err(AnalyticsError::new(
+                "dimension has no granularity ladder to drill into",
+            )),
+        }
+    }
+
+    /// **Slice**: fix one dimension to a value (a facet click) and drop it
+    /// from the grouping.
+    pub fn slice(&mut self, dim: usize, value: TermId) -> Result<(), AnalyticsError> {
+        let groupings = self.groupings().to_vec();
+        let Some(spec) = groupings.get(dim) else {
+            return Err(AnalyticsError::new(format!("no grouping dimension {dim}")));
+        };
+        let path: Vec<PathStep> = spec.path.iter().map(|&p| PathStep::fwd(p)).collect();
+        self.select_path_value(&path, value)?;
+        self.remove_grouping(dim);
+        Ok(())
+    }
+
+    /// **Dice**: restrict a dimension to a value range, keeping it grouped.
+    pub fn dice(
+        &mut self,
+        dim: usize,
+        min: Option<Value>,
+        max: Option<Value>,
+    ) -> Result<(), AnalyticsError> {
+        let groupings = self.groupings().to_vec();
+        let Some(spec) = groupings.get(dim) else {
+            return Err(AnalyticsError::new(format!("no grouping dimension {dim}")));
+        };
+        let path: Vec<PathStep> = spec.path.iter().map(|&p| PathStep::fwd(p)).collect();
+        self.select_range(&path, min, max)
+    }
+
+    /// **Pivot**: swap two grouping dimensions (table-axis reordering).
+    pub fn pivot(&mut self, a: usize, b: usize) -> Result<(), AnalyticsError> {
+        let n = self.groupings().len();
+        if a >= n || b >= n {
+            return Err(AnalyticsError::new("pivot index out of range"));
+        }
+        self.swap_groupings(a, b);
+        Ok(())
+    }
+}
+
+impl GroupSpec {
+    fn clone_with(&self, f: DerivedFn) -> GroupSpec {
+        GroupSpec { path: self.path.clone(), derived: Some(f) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::MeasureSpec;
+    use rdfa_hifun::AggOp;
+    use rdfa_store::Store;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+               ex:i1 ex:branch ex:b1 ; ex:qty 200 ; ex:date "2021-01-15"^^xsd:date .
+               ex:i2 ex:branch ex:b1 ; ex:qty 100 ; ex:date "2021-02-20"^^xsd:date .
+               ex:i3 ex:branch ex:b2 ; ex:qty 400 ; ex:date "2022-02-02"^^xsd:date .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    fn id(s: &Store, local: &str) -> TermId {
+        s.lookup_iri(&format!("{EX}{local}")).unwrap()
+    }
+
+    fn base_session(s: &Store) -> AnalyticsSession<'_> {
+        let mut a = AnalyticsSession::start(s);
+        a.add_grouping(
+            GroupSpec::property(id(s, "date")).with_derived(DerivedFn::Month),
+        );
+        a.add_grouping(GroupSpec::property(id(s, "branch")));
+        a.set_measure(MeasureSpec::property(id(s, "qty")));
+        a.set_ops(vec![AggOp::Sum]);
+        a
+    }
+
+    #[test]
+    fn roll_up_month_to_year_fig_7_2() {
+        let s = store();
+        let mut a = base_session(&s);
+        // by month: 3 groups (2021-01, 2021-02, 2022-02 across branches)
+        let by_month = a.run().unwrap();
+        assert_eq!(by_month.rows.len(), 3);
+        a.roll_up(0).unwrap();
+        assert_eq!(a.groupings()[0].derived, Some(DerivedFn::Year));
+        let by_year = a.run().unwrap();
+        // (2021,b1) and (2022,b2)
+        assert_eq!(by_year.rows.len(), 2);
+    }
+
+    #[test]
+    fn roll_up_underived_removes_dimension() {
+        let s = store();
+        let mut a = base_session(&s);
+        a.roll_up(1).unwrap(); // branch dimension drops
+        assert_eq!(a.groupings().len(), 1);
+    }
+
+    #[test]
+    fn drill_down_year_to_month() {
+        let s = store();
+        let mut a = base_session(&s);
+        a.roll_up(0).unwrap(); // month→year
+        a.drill_down(0).unwrap(); // year→month
+        assert_eq!(a.groupings()[0].derived, Some(DerivedFn::Month));
+        assert!(a.drill_down(1).is_err()); // branch has no ladder
+    }
+
+    #[test]
+    fn slice_fixes_value_and_drops_dimension() {
+        let s = store();
+        let mut a = base_session(&s);
+        a.slice(1, id(&s, "b1")).unwrap();
+        assert_eq!(a.groupings().len(), 1);
+        let frame = a.run().unwrap();
+        // only b1's invoices remain: months 1 and 2 of 2021
+        assert_eq!(frame.rows.len(), 2);
+    }
+
+    #[test]
+    fn dice_range_keeps_dimension() {
+        let s = store();
+        let mut a = base_session(&s);
+        let from = Value::Date(rdfa_model::Date::parse("2021-01-01").unwrap());
+        let to = Value::Date(rdfa_model::Date::parse("2021-12-31").unwrap());
+        a.dice(0, Some(from), Some(to)).unwrap();
+        assert_eq!(a.groupings().len(), 2);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2); // 2022 invoice filtered out
+    }
+
+    #[test]
+    fn pivot_swaps_axes() {
+        let s = store();
+        let mut a = base_session(&s);
+        let before = a.groupings().to_vec();
+        a.pivot(0, 1).unwrap();
+        assert_eq!(a.groupings()[0], before[1]);
+        assert_eq!(a.groupings()[1], before[0]);
+        assert!(a.pivot(0, 5).is_err());
+    }
+
+    #[test]
+    fn correspondence_table_is_complete() {
+        for op in [OlapOp::RollUp, OlapOp::DrillDown, OlapOp::Slice, OlapOp::Dice, OlapOp::Pivot] {
+            assert!(!op.interaction_move().is_empty());
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! Click scripts: a tiny textual DSL for recording and replaying interaction
+//! sessions.
+//!
+//! Every button of the paper's GUI corresponds to one line; a script is the
+//! exact click sequence a user performs. Scripts make sessions serializable
+//! and reproducible — the simulated user study and the examples replay them,
+//! and they double as a compact notation in documentation:
+//!
+//! ```text
+//! prefix ex: <http://www.ics.forth.gr/example#>
+//! class ex:Laptop
+//! path ex:manufacturer/ex:origin = ex:USA
+//! range ex:USBPorts 2 4
+//! group ex:manufacturer
+//! group ex:releaseDate [year]
+//! measure ex:price
+//! ops avg sum max
+//! having 0 >= 1200
+//! run
+//! ```
+
+use crate::session::{AnalyticsSession, GroupSpec, MeasureSpec};
+use crate::{AnalyticsError, AnswerFrame};
+use rdfa_facets::PathStep;
+use rdfa_hifun::{AggOp, CondOp, DerivedFn};
+use rdfa_model::{Term, Value};
+use rdfa_store::Store;
+use std::collections::HashMap;
+
+/// One scripted action (one GUI interaction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `class <iri>` — click a class marker.
+    SelectClass(String),
+    /// `value <prop> <term>` / `path p1/p2 = <term>` — click a value marker
+    /// (possibly at the end of an expanded path).
+    SelectPathValue { path: Vec<String>, value: ScriptTerm },
+    /// `range p1/p2 <min|*> <max|*>` — the ⧩ filter.
+    SelectRange { path: Vec<String>, min: Option<ScriptTerm>, max: Option<ScriptTerm> },
+    /// `group p1/p2 [year|month|day]` — click a G button.
+    AddGrouping { path: Vec<String>, derived: Option<DerivedFn> },
+    /// `measure p1/p2` — click the ⨊ button's attribute.
+    SetMeasure { path: Vec<String> },
+    /// `ops avg sum …` — pick the aggregate operations.
+    SetOps(Vec<AggOp>),
+    /// `having <op-index> <cmp> <value>` — a result restriction.
+    AddHaving { op_index: usize, cond: CondOp, value: ScriptTerm },
+    /// `run` — evaluate the current intention into an Answer Frame.
+    Run,
+    /// `back` — undo the last faceted transition.
+    Back,
+    /// `clear` — reset the analytics state (G/⨊ selections).
+    ClearAnalytics,
+}
+
+/// A literal or IRI in script syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptTerm {
+    Iri(String),
+    Int(i64),
+    Float(f64),
+    Date(rdfa_model::Date),
+    Str(String),
+}
+
+impl ScriptTerm {
+    fn to_term(&self) -> Term {
+        match self {
+            ScriptTerm::Iri(iri) => Term::iri(iri.clone()),
+            ScriptTerm::Int(v) => Term::integer(*v),
+            ScriptTerm::Float(v) => Term::decimal(*v),
+            ScriptTerm::Date(d) => Term::Literal(rdfa_model::Literal::typed(
+                d.to_string(),
+                rdfa_model::vocab::xsd::DATE,
+            )),
+            ScriptTerm::Str(s) => Term::string(s.clone()),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::from_term(&self.to_term())
+    }
+}
+
+/// A parsed script: prefix table plus the action list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    pub actions: Vec<Action>,
+}
+
+/// Parse errors carry the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "script error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl Script {
+    /// Parse a script text.
+    pub fn parse(text: &str) -> Result<Script, ScriptError> {
+        let mut prefixes: HashMap<String, String> = HashMap::new();
+        let mut actions = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| ScriptError { line: lineno + 1, message };
+            let mut words = line.split_whitespace();
+            let verb = words.next().expect("non-empty line");
+            let rest: Vec<&str> = words.collect();
+            match verb {
+                "prefix" => {
+                    // prefix ex: <http://…>
+                    let name = rest
+                        .first()
+                        .and_then(|w| w.strip_suffix(':'))
+                        .ok_or_else(|| err("prefix needs a name ending in ':'".into()))?;
+                    let iri = rest
+                        .get(1)
+                        .and_then(|w| w.strip_prefix('<'))
+                        .and_then(|w| w.strip_suffix('>'))
+                        .ok_or_else(|| err("prefix needs an <iri>".into()))?;
+                    prefixes.insert(name.to_owned(), iri.to_owned());
+                }
+                "class" => {
+                    let iri = resolve(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("class needs an IRI".into()))?;
+                    actions.push(Action::SelectClass(iri));
+                }
+                "value" => {
+                    let prop = resolve(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("value needs a property".into()))?;
+                    let value = parse_term(rest.get(1).copied(), &prefixes)
+                        .ok_or_else(|| err("value needs a term".into()))?;
+                    actions.push(Action::SelectPathValue { path: vec![prop], value });
+                }
+                "path" => {
+                    // path p1/p2 = term
+                    let path = parse_path(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("path needs p1/p2/…".into()))?;
+                    if rest.get(1) != Some(&"=") {
+                        return Err(err("path needs '= term'".into()));
+                    }
+                    let value = parse_term(rest.get(2).copied(), &prefixes)
+                        .ok_or_else(|| err("path needs a term after '='".into()))?;
+                    actions.push(Action::SelectPathValue { path, value });
+                }
+                "range" => {
+                    let path = parse_path(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("range needs a property path".into()))?;
+                    let bound = |w: Option<&str>| -> Option<Option<ScriptTerm>> {
+                        match w {
+                            Some("*") => Some(None),
+                            w => parse_term(w, &prefixes).map(Some),
+                        }
+                    };
+                    let min = bound(rest.get(1).copied())
+                        .ok_or_else(|| err("range needs <min|*>".into()))?;
+                    let max = bound(rest.get(2).copied())
+                        .ok_or_else(|| err("range needs <max|*>".into()))?;
+                    actions.push(Action::SelectRange { path, min, max });
+                }
+                "group" => {
+                    let path = parse_path(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("group needs a property path".into()))?;
+                    let derived = match rest.get(1).copied() {
+                        None => None,
+                        Some("[year]") => Some(DerivedFn::Year),
+                        Some("[month]") => Some(DerivedFn::Month),
+                        Some("[day]") => Some(DerivedFn::Day),
+                        Some(other) => return Err(err(format!("unknown derived '{other}'"))),
+                    };
+                    actions.push(Action::AddGrouping { path, derived });
+                }
+                "measure" => {
+                    let path = parse_path(rest.first().copied(), &prefixes)
+                        .ok_or_else(|| err("measure needs a property path".into()))?;
+                    actions.push(Action::SetMeasure { path });
+                }
+                "ops" => {
+                    let mut ops = Vec::new();
+                    for w in &rest {
+                        ops.push(match *w {
+                            "count" => AggOp::Count,
+                            "sum" => AggOp::Sum,
+                            "avg" => AggOp::Avg,
+                            "min" => AggOp::Min,
+                            "max" => AggOp::Max,
+                            other => return Err(err(format!("unknown op '{other}'"))),
+                        });
+                    }
+                    if ops.is_empty() {
+                        return Err(err("ops needs at least one operation".into()));
+                    }
+                    actions.push(Action::SetOps(ops));
+                }
+                "having" => {
+                    let op_index: usize = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("having needs an op index".into()))?;
+                    let cond = match rest.get(1).copied() {
+                        Some("=") => CondOp::Eq,
+                        Some("!=") => CondOp::Ne,
+                        Some("<") => CondOp::Lt,
+                        Some("<=") => CondOp::Le,
+                        Some(">") => CondOp::Gt,
+                        Some(">=") => CondOp::Ge,
+                        other => return Err(err(format!("bad comparator {other:?}"))),
+                    };
+                    let value = parse_term(rest.get(2).copied(), &prefixes)
+                        .ok_or_else(|| err("having needs a value".into()))?;
+                    actions.push(Action::AddHaving { op_index, cond, value });
+                }
+                "run" => actions.push(Action::Run),
+                "back" => actions.push(Action::Back),
+                "clear" => actions.push(Action::ClearAnalytics),
+                other => return Err(err(format!("unknown action '{other}'"))),
+            }
+        }
+        Ok(Script { actions })
+    }
+
+    /// Apply the script to a session; returns the Answer Frame of each `run`.
+    pub fn apply(
+        &self,
+        session: &mut AnalyticsSession<'_>,
+    ) -> Result<Vec<AnswerFrame>, AnalyticsError> {
+        let mut frames = Vec::new();
+        for action in &self.actions {
+            match action {
+                Action::SelectClass(iri) => {
+                    let c = lookup(session.store(), iri)?;
+                    session.select_class(c)?;
+                }
+                Action::SelectPathValue { path, value } => {
+                    let steps = lookup_path(session.store(), path)?;
+                    let v = session
+                        .store()
+                        .lookup(&value.to_term())
+                        .ok_or_else(|| AnalyticsError::new("value not in the KG"))?;
+                    session.select_path_value(&steps, v)?;
+                }
+                Action::SelectRange { path, min, max } => {
+                    let steps = lookup_path(session.store(), path)?;
+                    session.select_range(
+                        &steps,
+                        min.as_ref().map(ScriptTerm::to_value),
+                        max.as_ref().map(ScriptTerm::to_value),
+                    )?;
+                }
+                Action::AddGrouping { path, derived } => {
+                    let props = lookup_props(session.store(), path)?;
+                    let mut spec = GroupSpec::path(props);
+                    if let Some(f) = derived {
+                        spec = spec.with_derived(*f);
+                    }
+                    session.add_grouping(spec);
+                }
+                Action::SetMeasure { path } => {
+                    let props = lookup_props(session.store(), path)?;
+                    session.set_measure(MeasureSpec::path(props));
+                }
+                Action::SetOps(ops) => session.set_ops(ops.clone()),
+                Action::AddHaving { op_index, cond, value } => {
+                    session.add_having(*op_index, *cond, value.to_term());
+                }
+                Action::Run => frames.push(session.run()?),
+                Action::Back => {
+                    session.facets_mut().back();
+                }
+                Action::ClearAnalytics => session.clear_analytics(),
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Parse and apply in one step over a fresh session.
+    pub fn run_on(store: &Store, text: &str) -> Result<Vec<AnswerFrame>, AnalyticsError> {
+        let script = Script::parse(text).map_err(|e| AnalyticsError::new(e.to_string()))?;
+        let mut session = AnalyticsSession::start(store);
+        script.apply(&mut session)
+    }
+
+    /// Number of UI actions (excluding `run`) — the difficulty measure the
+    /// user-study model uses.
+    pub fn ui_action_count(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| !matches!(a, Action::Run))
+            .count()
+    }
+}
+
+/// Strip a `#` comment, but not inside `<…>` IRIs (fragments!) and only at
+/// a token boundary.
+fn strip_comment(line: &str) -> &str {
+    let mut depth = 0;
+    let mut prev_ws = true;
+    for (i, c) in line.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            '#' if depth == 0 && prev_ws => return &line[..i],
+            _ => {}
+        }
+        prev_ws = c.is_whitespace();
+    }
+    line
+}
+
+fn resolve(word: Option<&str>, prefixes: &HashMap<String, String>) -> Option<String> {
+    let w = word?;
+    if let Some(iri) = w.strip_prefix('<').and_then(|w| w.strip_suffix('>')) {
+        return Some(iri.to_owned());
+    }
+    let (p, local) = w.split_once(':')?;
+    prefixes.get(p).map(|ns| format!("{ns}{local}"))
+}
+
+fn parse_path(word: Option<&str>, prefixes: &HashMap<String, String>) -> Option<Vec<String>> {
+    let w = word?;
+    // split on '/' between name parts; full IRIs in <> may contain '/', so
+    // split only outside angle brackets
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut current = String::new();
+    for c in w.chars() {
+        match c {
+            '<' => {
+                depth += 1;
+                current.push(c);
+            }
+            '>' => {
+                depth -= 1;
+                current.push(c);
+            }
+            '/' if depth == 0 => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+    parts
+        .into_iter()
+        .map(|p| resolve(Some(&p), prefixes))
+        .collect()
+}
+
+fn parse_term(word: Option<&str>, prefixes: &HashMap<String, String>) -> Option<ScriptTerm> {
+    let w = word?;
+    if let Some(s) = w.strip_prefix('"').and_then(|w| w.strip_suffix('"')) {
+        return Some(ScriptTerm::Str(s.to_owned()));
+    }
+    if let Ok(v) = w.parse::<i64>() {
+        return Some(ScriptTerm::Int(v));
+    }
+    if let Ok(v) = w.parse::<f64>() {
+        return Some(ScriptTerm::Float(v));
+    }
+    if let Some(d) = rdfa_model::Date::parse(w) {
+        return Some(ScriptTerm::Date(d));
+    }
+    resolve(Some(w), prefixes).map(ScriptTerm::Iri)
+}
+
+fn lookup(store: &Store, iri: &str) -> Result<rdfa_store::TermId, AnalyticsError> {
+    store
+        .lookup_iri(iri)
+        .ok_or_else(|| AnalyticsError::new(format!("IRI not in the KG: {iri}")))
+}
+
+fn lookup_path(store: &Store, path: &[String]) -> Result<Vec<PathStep>, AnalyticsError> {
+    path.iter()
+        .map(|iri| lookup(store, iri).map(PathStep::fwd))
+        .collect()
+}
+
+fn lookup_props(store: &Store, path: &[String]) -> Result<Vec<rdfa_store::TermId>, AnalyticsError> {
+    path.iter().map(|iri| lookup(store, iri)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_datagen::products_fixture;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_graph(&products_fixture());
+        s
+    }
+
+    const HEADER: &str = "prefix ex: <http://www.ics.forth.gr/example#>\n";
+
+    #[test]
+    fn parse_all_verbs() {
+        let text = format!(
+            "{HEADER}\
+             class ex:Laptop\n\
+             value ex:manufacturer ex:DELL\n\
+             path ex:manufacturer/ex:origin = ex:USA\n\
+             range ex:USBPorts 2 4\n\
+             range ex:price 500 *\n\
+             group ex:manufacturer\n\
+             group ex:releaseDate [year]\n\
+             measure ex:price\n\
+             ops avg sum max\n\
+             having 0 >= 900\n\
+             run\n\
+             back\n\
+             clear\n"
+        );
+        let script = Script::parse(&text).unwrap();
+        assert_eq!(script.actions.len(), 13);
+        assert_eq!(script.ui_action_count(), 12);
+    }
+
+    #[test]
+    fn fig_6_2_script_runs() {
+        let s = store();
+        let text = format!(
+            "{HEADER}\
+             class ex:Laptop\n\
+             range ex:USBPorts 2 4\n\
+             group ex:manufacturer\n\
+             group ex:manufacturer/ex:origin\n\
+             measure ex:price\n\
+             ops avg sum max\n\
+             run\n"
+        );
+        let frames = Script::run_on(&s, &text).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].headers.len(), 5);
+        assert_eq!(frames[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = format!("{HEADER}# a comment\n\nclass ex:Laptop # inline\n");
+        let script = Script::parse(&text).unwrap();
+        assert_eq!(script.actions.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Script::parse(&format!("{HEADER}class ex:Laptop\nfrobnicate\n")).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+        // undeclared prefix is caught on its own line
+        let e2 = Script::parse("class ex:Laptop").unwrap_err();
+        assert_eq!(e2.line, 1);
+    }
+
+    #[test]
+    fn derived_grouping_and_having() {
+        let s = store();
+        let text = format!(
+            "{HEADER}\
+             class ex:Laptop\n\
+             group ex:releaseDate [year]\n\
+             ops count\n\
+             having 0 >= 3\n\
+             run\n"
+        );
+        let frames = Script::run_on(&s, &text).unwrap();
+        assert_eq!(frames[0].rows.len(), 1); // all 3 laptops are 2021
+    }
+
+    #[test]
+    fn back_undoes_facet_click() {
+        let s = store();
+        let script = Script::parse(&format!(
+            "{HEADER}class ex:Laptop\nvalue ex:manufacturer ex:DELL\nback\n"
+        ))
+        .unwrap();
+        let mut session = AnalyticsSession::start(&s);
+        script.apply(&mut session).unwrap();
+        assert_eq!(session.facets().extension().len(), 3);
+    }
+
+    #[test]
+    fn unknown_iri_reports_error() {
+        let s = store();
+        let err = Script::run_on(&s, &format!("{HEADER}class ex:Spaceship\n")).unwrap_err();
+        assert!(err.message.contains("not in the KG"));
+    }
+
+    #[test]
+    fn recorded_session_replays_identically() {
+        // record a session's clicks, replay the exported script on a fresh
+        // session, and compare the analytic answers
+        let s = store();
+        let id = |l: &str| s.lookup_iri(&format!("http://www.ics.forth.gr/example#{l}")).unwrap();
+        let mut original = AnalyticsSession::start(&s);
+        original.select_class(id("Laptop")).unwrap();
+        original
+            .select_range(
+                &[rdfa_facets::PathStep::fwd(id("USBPorts"))],
+                Some(Value::Int(2)),
+                None,
+            )
+            .unwrap();
+        original.add_grouping(GroupSpec::property(id("manufacturer")));
+        original.set_measure(MeasureSpec::property(id("price")));
+        original.set_ops(vec![AggOp::Avg]);
+        let expected = original.run().unwrap();
+
+        let script = original.recorded_script();
+        assert!(script.ui_action_count() >= 5);
+        let mut replay = AnalyticsSession::start(&s);
+        script.apply(&mut replay).unwrap();
+        let got = replay.run().unwrap();
+        assert_eq!(expected.rows, got.rows);
+    }
+
+    #[test]
+    fn recorded_date_range_replays() {
+        let s = store();
+        let id = |l: &str| s.lookup_iri(&format!("http://www.ics.forth.gr/example#{l}")).unwrap();
+        let date = rdfa_model::Date::parse("2021-07-01").unwrap();
+        let mut original = AnalyticsSession::start(&s);
+        original.select_class(id("Laptop")).unwrap();
+        original
+            .select_range(
+                &[rdfa_facets::PathStep::fwd(id("releaseDate"))],
+                Some(Value::Date(date)),
+                None,
+            )
+            .unwrap();
+        let expected = original.facets().extension().clone();
+        let mut replay = AnalyticsSession::start(&s);
+        original.recorded_script().apply(&mut replay).unwrap();
+        assert_eq!(replay.facets().extension(), &expected);
+    }
+
+    #[test]
+    fn full_iri_paths_with_slashes() {
+        let s = store();
+        let text = "class <http://www.ics.forth.gr/example#Laptop>\n\
+                    group <http://www.ics.forth.gr/example#manufacturer>/<http://www.ics.forth.gr/example#origin>\n\
+                    ops count\nrun\n";
+        let frames = Script::run_on(&s, text).unwrap();
+        assert_eq!(frames[0].rows.len(), 2);
+    }
+}

@@ -1,0 +1,772 @@
+//! The analytics session: faceted search + the G/⨊ buttons + evaluation.
+
+use crate::answer::AnswerFrame;
+use crate::AnalyticsError;
+use rdfa_facets::{Constraint, FacetedSession, PathStep};
+use rdfa_hifun::query::{ResultRestriction, RestrictedPath};
+use rdfa_hifun::{direct, translate, AggOp, AttrPath, CondOp, DerivedFn, HifunQuery, Restriction, Step};
+use rdfa_model::{Term, Value};
+use rdfa_sparql::Engine;
+use rdfa_store::{Store, TermId};
+
+/// How a state's analytic intention is computed (the two implementations
+/// compared in Fig 8.3 / experiment E5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Translate the HIFUN query to SPARQL and run the engine (the system's
+    /// architecture, Fig 6.1).
+    #[default]
+    TranslatedSparql,
+    /// Evaluate HIFUN's grouping → measuring → reduction directly.
+    DirectHifun,
+}
+
+/// A grouping attribute selected with the G button: a (forward) property
+/// path from the focus resources, optionally ending in a derived function
+/// (the transform button `ƒ`, §5.1 "Special cases").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    pub path: Vec<TermId>,
+    pub derived: Option<DerivedFn>,
+}
+
+impl GroupSpec {
+    /// Group by a single property.
+    pub fn property(prop: TermId) -> Self {
+        GroupSpec { path: vec![prop], derived: None }
+    }
+
+    /// Group by a property path (e.g. manufacturer → origin).
+    pub fn path(path: Vec<TermId>) -> Self {
+        GroupSpec { path, derived: None }
+    }
+
+    /// Apply a derived function to the terminal value (e.g. YEAR).
+    pub fn with_derived(mut self, f: DerivedFn) -> Self {
+        self.derived = Some(f);
+        self
+    }
+}
+
+/// The measuring attribute selected with the ⨊ button.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureSpec {
+    pub path: Vec<TermId>,
+    pub derived: Option<DerivedFn>,
+}
+
+impl MeasureSpec {
+    /// Measure a single property.
+    pub fn property(prop: TermId) -> Self {
+        MeasureSpec { path: vec![prop], derived: None }
+    }
+
+    /// Measure through a property path.
+    pub fn path(path: Vec<TermId>) -> Self {
+        MeasureSpec { path, derived: None }
+    }
+}
+
+/// A faceted-search session extended with the analytics state of §5.2.2:
+/// grouping expression, measuring expression, and aggregate operations.
+/// Clicking G/⨊ changes only the intention — the extension and the
+/// transition markers stay, exactly as the paper specifies.
+pub struct AnalyticsSession<'s> {
+    facets: FacetedSession<'s>,
+    groupings: Vec<GroupSpec>,
+    measure: Option<MeasureSpec>,
+    ops: Vec<AggOp>,
+    havings: Vec<(usize, CondOp, Term)>,
+    strategy: EvalStrategy,
+    /// Click log, exportable as a replayable [`crate::Script`].
+    log: Vec<crate::script::Action>,
+}
+
+impl<'s> AnalyticsSession<'s> {
+    /// Start a session over a store.
+    pub fn start(store: &'s Store) -> Self {
+        AnalyticsSession {
+            facets: FacetedSession::start(store),
+            groupings: Vec::new(),
+            measure: None,
+            ops: Vec::new(),
+            havings: Vec::new(),
+            strategy: EvalStrategy::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Start from an externally obtained result set — e.g. a keyword
+    /// search's hits (§5.4.1's second starting point).
+    pub fn start_from(store: &'s Store, results: std::collections::BTreeSet<TermId>) -> Self {
+        AnalyticsSession {
+            facets: FacetedSession::start_from(store, results),
+            groupings: Vec::new(),
+            measure: None,
+            ops: Vec::new(),
+            havings: Vec::new(),
+            strategy: EvalStrategy::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Choose the evaluation strategy (E5 ablation).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The underlying faceted session (immutable).
+    pub fn facets(&self) -> &FacetedSession<'s> {
+        &self.facets
+    }
+
+    /// The underlying faceted session (for exploration actions).
+    pub fn facets_mut(&mut self) -> &mut FacetedSession<'s> {
+        &mut self.facets
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &'s Store {
+        self.facets.store()
+    }
+
+    // ---- faceted actions (delegated) ---------------------------------------
+
+    /// Click a class marker.
+    pub fn select_class(&mut self, c: TermId) -> Result<(), AnalyticsError> {
+        self.facets.select_class(c)?;
+        if let Some(iri) = self.store().term(c).as_iri() {
+            self.log.push(crate::script::Action::SelectClass(iri.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Click a property value marker.
+    pub fn select_value(&mut self, prop: TermId, value: TermId) -> Result<(), AnalyticsError> {
+        self.facets.select_value(prop, value)?;
+        self.record_path_value(&[PathStep::fwd(prop)], value);
+        Ok(())
+    }
+
+    /// Click a value at the end of an expanded property path.
+    pub fn select_path_value(
+        &mut self,
+        path: &[PathStep],
+        value: TermId,
+    ) -> Result<(), AnalyticsError> {
+        self.facets.select_path_value(path, value)?;
+        self.record_path_value(path, value);
+        Ok(())
+    }
+
+    /// Tick several value checkboxes of one facet (disjunctive selection).
+    /// Not representable in HIFUN root conditions, so analytics over such a
+    /// state automatically pin the extension via `VALUES`.
+    pub fn select_values(
+        &mut self,
+        prop: TermId,
+        values: &std::collections::BTreeSet<TermId>,
+    ) -> Result<(), AnalyticsError> {
+        Ok(self.facets.select_values(prop, values)?)
+    }
+
+    /// Apply a range filter (the ⧩ button).
+    pub fn select_range(
+        &mut self,
+        path: &[PathStep],
+        min: Option<Value>,
+        max: Option<Value>,
+    ) -> Result<(), AnalyticsError> {
+        self.facets.select_range(path, min.clone(), max.clone())?;
+        if let Some(iris) = self.path_iris(path) {
+            self.log.push(crate::script::Action::SelectRange {
+                path: iris,
+                min: min.as_ref().map(value_to_script),
+                max: max.as_ref().map(value_to_script),
+            });
+        }
+        Ok(())
+    }
+
+    fn record_path_value(&mut self, path: &[PathStep], value: TermId) {
+        if let Some(iris) = self.path_iris(path) {
+            let v = term_to_script(self.store().term(value));
+            self.log.push(crate::script::Action::SelectPathValue { path: iris, value: v });
+        }
+    }
+
+    /// Forward path → IRI strings; inverse steps are not representable in
+    /// the script DSL, so such actions are skipped in the log.
+    fn path_iris(&self, path: &[PathStep]) -> Option<Vec<String>> {
+        path.iter()
+            .map(|s| {
+                if s.inverse {
+                    None
+                } else {
+                    self.store().term(s.prop).as_iri().map(str::to_owned)
+                }
+            })
+            .collect()
+    }
+
+    /// The click log as a replayable script (reproducibility: applying the
+    /// returned script to a fresh session over the same store reproduces
+    /// this session's state).
+    pub fn recorded_script(&self) -> crate::script::Script {
+        crate::script::Script { actions: self.log.clone() }
+    }
+
+    // ---- analytics actions (the extension of §5.2.2) -----------------------
+
+    /// Click the G button of a facet (or expanded path): add a grouping
+    /// attribute. Clicking G on several facets groups by all of them
+    /// (the ">1 attributes" dialogue of §5.1).
+    pub fn add_grouping(&mut self, spec: GroupSpec) {
+        if !self.groupings.contains(&spec) {
+            if let Some(path) = spec
+                .path
+                .iter()
+                .map(|&p| self.store().term(p).as_iri().map(str::to_owned))
+                .collect::<Option<Vec<_>>>()
+            {
+                self.log
+                    .push(crate::script::Action::AddGrouping { path, derived: spec.derived });
+            }
+            self.groupings.push(spec);
+        }
+    }
+
+    /// Un-click a G button.
+    pub fn remove_grouping(&mut self, index: usize) {
+        if index < self.groupings.len() {
+            self.groupings.remove(index);
+        }
+    }
+
+    /// Replace a grouping attribute in place (granularity changes).
+    pub fn replace_grouping(&mut self, index: usize, spec: GroupSpec) {
+        if index < self.groupings.len() {
+            self.groupings[index] = spec;
+        }
+    }
+
+    /// Swap two grouping attributes (the pivot move).
+    pub fn swap_groupings(&mut self, a: usize, b: usize) {
+        if a < self.groupings.len() && b < self.groupings.len() {
+            self.groupings.swap(a, b);
+        }
+    }
+
+    /// Current grouping attributes.
+    pub fn groupings(&self) -> &[GroupSpec] {
+        &self.groupings
+    }
+
+    /// Click the ⨊ button of a facet: set the measuring attribute.
+    pub fn set_measure(&mut self, spec: MeasureSpec) {
+        if let Some(path) = spec
+            .path
+            .iter()
+            .map(|&p| self.store().term(p).as_iri().map(str::to_owned))
+            .collect::<Option<Vec<_>>>()
+        {
+            self.log.push(crate::script::Action::SetMeasure { path });
+        }
+        self.measure = Some(spec);
+    }
+
+    /// Clear the measuring attribute (COUNT of items remains possible).
+    pub fn clear_measure(&mut self) {
+        self.measure = None;
+    }
+
+    /// Select the aggregate operations from the ⨊ menu (several allowed,
+    /// Fig 6.2).
+    pub fn set_ops(&mut self, ops: Vec<AggOp>) {
+        self.log.push(crate::script::Action::SetOps(ops.clone()));
+        self.ops = ops;
+    }
+
+    /// Add a result restriction (HAVING) on the `idx`-th aggregate. In the
+    /// GUI this is expressed by reloading the answer frame and filtering
+    /// (§5.3.3); the direct form is offered for programmatic use.
+    pub fn add_having(&mut self, idx: usize, op: CondOp, value: Term) {
+        self.log.push(crate::script::Action::AddHaving {
+            op_index: idx,
+            cond: op,
+            value: term_to_script(&value),
+        });
+        self.havings.push((idx, op, value));
+    }
+
+    /// Reset all analytics state, keeping the faceted state.
+    pub fn clear_analytics(&mut self) {
+        self.groupings.clear();
+        self.measure = None;
+        self.ops.clear();
+        self.havings.clear();
+    }
+
+    /// Check HIFUN's applicability (§4.1.1) for an attribute over the
+    /// current extension: functional, missing values, or multi-valued. The
+    /// GUI uses this to decide whether to offer the transform (ƒ) button.
+    pub fn attribute_applicability(&self, prop: TermId) -> rdfa_hifun::Applicability {
+        let store = self.store();
+        let iri = store
+            .term(prop)
+            .as_iri()
+            .map(str::to_owned)
+            .unwrap_or_default();
+        let ctx = rdfa_hifun::AnalysisContext::over_set(
+            self.facets.extension().clone(),
+            vec![AttrPath::prop(iri)],
+        );
+        ctx.check_applicability(store)
+            .pop()
+            .map(|(_, a)| a)
+            .unwrap_or(rdfa_hifun::Applicability::Functional)
+    }
+
+    // ---- intention ----------------------------------------------------------
+
+    /// Build the HIFUN query for the current state (the intention of §5.5).
+    pub fn hifun_query(&self) -> Result<HifunQuery, AnalyticsError> {
+        if self.ops.is_empty() {
+            return Err(AnalyticsError::new(
+                "no aggregate operation selected (click the ⨊ button first)",
+            ));
+        }
+        let store = self.store();
+        let mut q = HifunQuery {
+            root: Default::default(),
+            groupings: Vec::new(),
+            measuring: None,
+            ops: self.ops.clone(),
+            result_restrictions: self
+                .havings
+                .iter()
+                .map(|(idx, op, value)| ResultRestriction {
+                    op_index: *idx,
+                    op: *op,
+                    value: value.clone(),
+                })
+                .collect(),
+        };
+
+        // root: map the faceted intention when possible, else pin the
+        // extension with VALUES
+        let intent = self.facets.intent();
+        let mut mapped = Vec::new();
+        let mut mappable = true;
+        for cond in &intent.conditions {
+            match map_condition(store, &cond.path, &cond.constraint) {
+                Some(rs) => mapped.extend(rs),
+                None => {
+                    mappable = false;
+                    break;
+                }
+            }
+        }
+        if mappable {
+            if let Some(c) = intent.class {
+                if let Some(iri) = store.term(c).as_iri() {
+                    q.root.class = Some(iri.to_owned());
+                }
+            }
+            q.root.conditions = mapped;
+            // a session started from external results carries its seed set
+            if let Some(seed) = &intent.seed {
+                q.root.among =
+                    Some(seed.iter().map(|&id| store.term(id).clone()).collect());
+            }
+        } else {
+            q.root.among = Some(
+                self.facets
+                    .extension()
+                    .iter()
+                    .map(|&id| store.term(id).clone())
+                    .collect(),
+            );
+        }
+
+        for g in &self.groupings {
+            q.groupings
+                .push(RestrictedPath::new(spec_to_path(store, &g.path, g.derived)?));
+        }
+        if let Some(m) = &self.measure {
+            q.measuring = Some(RestrictedPath::new(spec_to_path(store, &m.path, m.derived)?));
+        }
+        Ok(q)
+    }
+
+    /// The SPARQL translation of the current analytic intention.
+    pub fn sparql(&self) -> Result<String, AnalyticsError> {
+        Ok(translate::to_sparql(&self.hifun_query()?))
+    }
+
+    /// Evaluate the analytic intention, producing the Answer Frame.
+    pub fn run(&self) -> Result<AnswerFrame, AnalyticsError> {
+        let q = self.hifun_query()?;
+        let store = self.store();
+        let (solutions, sparql) = match self.strategy {
+            EvalStrategy::TranslatedSparql => {
+                let text = translate::to_sparql(&q);
+                let results = Engine::new(store).query(&text)?;
+                let sols = results
+                    .into_solutions()
+                    .ok_or_else(|| AnalyticsError::new("translated query was not a SELECT"))?;
+                (sols, Some(text))
+            }
+            EvalStrategy::DirectHifun => (direct::evaluate(store, &q)?, None),
+        };
+        let headers = self.headers(&q);
+        Ok(AnswerFrame::from_solutions(headers, solutions, q.to_string(), sparql))
+    }
+
+    fn headers(&self, q: &HifunQuery) -> Vec<String> {
+        let store = self.store();
+        let mut headers: Vec<String> = self
+            .groupings
+            .iter()
+            .map(|g| {
+                let base = g
+                    .path
+                    .iter()
+                    .map(|&p| store.term(p).display_name())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                match g.derived {
+                    Some(f) => format!("{}({base})", f.sparql().to_lowercase()),
+                    None => base,
+                }
+            })
+            .collect();
+        for op in &q.ops {
+            let measure = match &self.measure {
+                Some(m) => m
+                    .path
+                    .iter()
+                    .map(|&p| store.term(p).display_name())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                None => "items".to_owned(),
+            };
+            headers.push(format!("{}({measure})", op.label()));
+        }
+        headers
+    }
+}
+
+/// Convert a term to its script representation.
+fn term_to_script(t: &Term) -> crate::script::ScriptTerm {
+    use crate::script::ScriptTerm;
+    match Value::from_term(t) {
+        Value::Int(v) => ScriptTerm::Int(v),
+        Value::Float(v) => ScriptTerm::Float(v),
+        Value::Date(d) => ScriptTerm::Date(d),
+        Value::Str(s, _) => ScriptTerm::Str(s),
+        _ => match t {
+            Term::Iri(iri) => ScriptTerm::Iri(iri.clone()),
+            other => ScriptTerm::Str(other.display_name()),
+        },
+    }
+}
+
+/// Convert a typed value to its script representation.
+fn value_to_script(v: &Value) -> crate::script::ScriptTerm {
+    term_to_script(&v.to_term())
+}
+
+/// Convert a GroupSpec/MeasureSpec path of interned properties into a HIFUN
+/// attribute path. Fails on non-IRI predicates.
+fn spec_to_path(
+    store: &Store,
+    path: &[TermId],
+    derived: Option<DerivedFn>,
+) -> Result<AttrPath, AnalyticsError> {
+    let mut steps = Vec::with_capacity(path.len() + 1);
+    for &p in path {
+        let iri = store
+            .term(p)
+            .as_iri()
+            .ok_or_else(|| AnalyticsError::new("grouping path step is not an IRI property"))?;
+        steps.push(Step::Prop(iri.to_owned()));
+    }
+    if let Some(f) = derived {
+        steps.push(Step::Derived(f));
+    }
+    Ok(AttrPath { steps })
+}
+
+/// Map one faceted condition to HIFUN root restrictions; `None` when the
+/// condition uses features HIFUN roots cannot express (inverse steps,
+/// OneOf sets).
+fn map_condition(
+    store: &Store,
+    path: &[PathStep],
+    constraint: &Constraint,
+) -> Option<Vec<Restriction>> {
+    let mut steps = Vec::with_capacity(path.len());
+    for s in path {
+        if s.inverse {
+            return None;
+        }
+        steps.push(Step::Prop(store.term(s.prop).as_iri()?.to_owned()));
+    }
+    match constraint {
+        Constraint::Value(v) => Some(vec![Restriction::via(
+            steps,
+            CondOp::Eq,
+            store.term(*v).clone(),
+        )]),
+        Constraint::OneOf(_) => None,
+        Constraint::Range { min, max } => {
+            let mut out = Vec::new();
+            if let Some(m) = min {
+                out.push(Restriction::via(steps.clone(), CondOp::Ge, m.to_term()));
+            }
+            if let Some(m) = max {
+                out.push(Restriction::via(steps, CondOp::Le, m.to_term()));
+            }
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+               @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+               ex:Laptop rdfs:subClassOf ex:Product .
+               ex:l1 a ex:Laptop ; ex:manufacturer ex:DELL ; ex:price 900 ; ex:usb 2 ;
+                     ex:releaseDate "2021-06-10"^^xsd:date .
+               ex:l2 a ex:Laptop ; ex:manufacturer ex:DELL ; ex:price 1000 ; ex:usb 4 ;
+                     ex:releaseDate "2020-03-01"^^xsd:date .
+               ex:l3 a ex:Laptop ; ex:manufacturer ex:ACER ; ex:price 820 ; ex:usb 2 ;
+                     ex:releaseDate "2021-09-03"^^xsd:date .
+               ex:DELL ex:origin ex:USA . ex:ACER ex:origin ex:Taiwan .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    fn id(s: &Store, local: &str) -> TermId {
+        s.lookup_iri(&format!("{EX}{local}")).unwrap()
+    }
+
+    fn row_value(frame: &AnswerFrame, key: &str, col: usize) -> Option<Value> {
+        frame
+            .rows
+            .iter()
+            .find(|r| r[0].as_ref().map(|t| t.display_name()).as_deref() == Some(key))
+            .and_then(|r| r[col].as_ref())
+            .map(Value::from_term)
+    }
+
+    #[test]
+    fn example1_avg_without_group_by() {
+        // §5.1 Example 1: average price of laptops with 2 USB ports
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.select_value(id(&s, "usb"), s.lookup(&Term::integer(2)).unwrap()).unwrap();
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Avg]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 1);
+        let avg = Value::from_term(frame.rows[0][0].as_ref().unwrap());
+        assert!(avg.value_eq(&Value::Float(860.0))); // (900+820)/2
+    }
+
+    #[test]
+    fn example2_count_grouped_by_path() {
+        // §5.1 Example 2: count laptops grouped by manufacturer's country
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.add_grouping(GroupSpec::path(vec![id(&s, "manufacturer"), id(&s, "origin")]));
+        a.set_ops(vec![AggOp::Count]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2);
+        assert!(row_value(&frame, "USA", 1).unwrap().value_eq(&Value::Int(2)));
+        assert!(row_value(&frame, "Taiwan", 1).unwrap().value_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn example3_range_filter_then_count() {
+        // §5.1 Example 3: 2-or-more USB ports, count by origin
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.select_range(&[PathStep::fwd(id(&s, "usb"))], Some(Value::Int(2)), None)
+            .unwrap();
+        a.add_grouping(GroupSpec::path(vec![id(&s, "manufacturer"), id(&s, "origin")]));
+        a.set_ops(vec![AggOp::Count]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2);
+    }
+
+    #[test]
+    fn multiple_aggregates_fig_6_2() {
+        // Fig 6.2: avg, sum and max price of laptops with 2–4 USB ports,
+        // by manufacturer and origin
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.select_range(
+            &[PathStep::fwd(id(&s, "usb"))],
+            Some(Value::Int(2)),
+            Some(Value::Int(4)),
+        )
+        .unwrap();
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.add_grouping(GroupSpec::path(vec![id(&s, "manufacturer"), id(&s, "origin")]));
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Avg, AggOp::Sum, AggOp::Max]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.headers.len(), 5);
+        assert!(row_value(&frame, "DELL", 2).unwrap().value_eq(&Value::Float(950.0)));
+        assert!(row_value(&frame, "DELL", 3).unwrap().value_eq(&Value::Int(1900)));
+        assert!(row_value(&frame, "DELL", 4).unwrap().value_eq(&Value::Int(1000)));
+    }
+
+    #[test]
+    fn derived_year_grouping() {
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.add_grouping(GroupSpec::property(id(&s, "releaseDate")).with_derived(DerivedFn::Year));
+        a.set_ops(vec![AggOp::Count]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2);
+        assert!(row_value(&frame, "2021", 1).unwrap().value_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn both_strategies_agree() {
+        let s = store();
+        for strategy in [EvalStrategy::TranslatedSparql, EvalStrategy::DirectHifun] {
+            let mut a = AnalyticsSession::start(&s).with_strategy(strategy);
+            a.select_class(id(&s, "Laptop")).unwrap();
+            a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+            a.set_measure(MeasureSpec::property(id(&s, "price")));
+            a.set_ops(vec![AggOp::Sum]);
+            let frame = a.run().unwrap();
+            assert!(row_value(&frame, "DELL", 1).unwrap().value_eq(&Value::Int(1900)));
+            assert!(row_value(&frame, "ACER", 1).unwrap().value_eq(&Value::Int(820)));
+        }
+    }
+
+    #[test]
+    fn having_restriction_direct_form() {
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Avg]);
+        a.add_having(0, CondOp::Gt, Term::integer(900));
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 1);
+        assert_eq!(frame.rows[0][0].as_ref().unwrap().display_name(), "DELL");
+    }
+
+    #[test]
+    fn error_without_ops() {
+        let s = store();
+        let a = AnalyticsSession::start(&s);
+        assert!(a.run().is_err());
+    }
+
+    #[test]
+    fn generated_sparql_carries_facet_conditions() {
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.select_value(id(&s, "manufacturer"), id(&s, "DELL")).unwrap();
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Avg]);
+        let text = a.sparql().unwrap();
+        assert!(text.contains("<http://e/manufacturer> <http://e/DELL>"), "{text}");
+        assert!(text.contains("rdf-syntax-ns#type> <http://e/Laptop>"), "{text}");
+    }
+
+    #[test]
+    fn buttons_do_not_change_extension() {
+        // §5.2.2: clicking G/⨊ changes the intention, not the extension
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        let before = a.facets().extension().clone();
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Sum]);
+        assert_eq!(a.facets().extension(), &before);
+    }
+
+    #[test]
+    fn multi_select_falls_back_to_values_pinning() {
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        a.select_class(id(&s, "Laptop")).unwrap();
+        let both: std::collections::BTreeSet<TermId> =
+            [id(&s, "DELL"), id(&s, "ACER")].into_iter().collect();
+        a.select_values(id(&s, "manufacturer"), &both).unwrap();
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.set_ops(vec![AggOp::Count]);
+        // OneOf is not expressible as a HIFUN root condition → VALUES pinning
+        let sparql = a.sparql().unwrap();
+        assert!(sparql.contains("VALUES ?x1"), "{sparql}");
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2);
+        assert!(row_value(&frame, "DELL", 1).unwrap().value_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn seeded_session_restricts_analytics() {
+        // regression: a session started from an explicit result set must
+        // carry that seed into the analytic root (via VALUES), not fall back
+        // to the whole KG
+        let s = store();
+        let seed: std::collections::BTreeSet<TermId> =
+            [id(&s, "l1"), id(&s, "l3")].into_iter().collect();
+        let mut a = AnalyticsSession::start_from(&s, seed);
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.set_ops(vec![AggOp::Count]);
+        let frame = a.run().unwrap();
+        assert_eq!(frame.rows.len(), 2);
+        assert!(row_value(&frame, "DELL", 1).unwrap().value_eq(&Value::Int(1)));
+        assert!(row_value(&frame, "ACER", 1).unwrap().value_eq(&Value::Int(1)));
+        // the generated SPARQL pins the seed
+        assert!(a.sparql().unwrap().contains("VALUES ?x1"));
+        // and both strategies agree
+        let seed2: std::collections::BTreeSet<TermId> =
+            [id(&s, "l1"), id(&s, "l3")].into_iter().collect();
+        let mut d = AnalyticsSession::start_from(&s, seed2).with_strategy(EvalStrategy::DirectHifun);
+        d.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        d.set_ops(vec![AggOp::Count]);
+        assert_eq!(d.run().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn grouping_dedup_and_removal() {
+        let s = store();
+        let mut a = AnalyticsSession::start(&s);
+        let g = GroupSpec::property(id(&s, "manufacturer"));
+        a.add_grouping(g.clone());
+        a.add_grouping(g);
+        assert_eq!(a.groupings().len(), 1);
+        a.remove_grouping(0);
+        assert!(a.groupings().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! A simulated remote SPARQL endpoint (DESIGN.md substitution 1).
+//!
+//! The paper's efficiency experiments (Tables 6.1/6.2) time queries against
+//! a live endpoint at peak and off-peak hours. Offline, we substitute a
+//! latency model layered over our own engine: a base round-trip, a
+//! per-result transfer cost, a load factor (peak > off-peak), and
+//! multiplicative jitter. The *measured* engine time is real; the network
+//! component is simulated and reported separately so the experiment harness
+//! can print both.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfa_sparql::{Engine, QueryResults, SparqlError};
+use rdfa_store::Store;
+use std::time::{Duration, Instant};
+
+/// The latency model of the simulated network path to the endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Base round-trip time in milliseconds.
+    pub base_rtt_ms: f64,
+    /// Transfer cost per result row in milliseconds.
+    pub per_result_ms: f64,
+    /// Server load multiplier on compute time (queueing at the endpoint).
+    pub load_factor: f64,
+    /// Multiplicative jitter amplitude (0.2 = ±20%).
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// Peak-hours profile: higher RTT, heavy server load, strong jitter
+    /// (Table 6.1 conditions).
+    pub fn peak() -> Self {
+        LatencyModel { base_rtt_ms: 180.0, per_result_ms: 0.9, load_factor: 6.0, jitter: 0.35 }
+    }
+
+    /// Off-peak profile: low RTT, light load, mild jitter (Table 6.2).
+    pub fn off_peak() -> Self {
+        LatencyModel { base_rtt_ms: 60.0, per_result_ms: 0.3, load_factor: 1.5, jitter: 0.10 }
+    }
+
+    /// No network at all (local evaluation baseline).
+    pub fn local() -> Self {
+        LatencyModel { base_rtt_ms: 0.0, per_result_ms: 0.0, load_factor: 1.0, jitter: 0.0 }
+    }
+
+    /// Simulated network+load latency for a query that computed in
+    /// `compute` and produced `n_results` rows.
+    pub fn simulate(&self, compute: Duration, n_results: usize, rng: &mut StdRng) -> Duration {
+        let jitter = 1.0 + rng.gen_range(-self.jitter..=self.jitter.max(f64::MIN_POSITIVE));
+        let ms = (self.base_rtt_ms
+            + self.per_result_ms * n_results as f64
+            + compute.as_secs_f64() * 1000.0 * (self.load_factor - 1.0))
+            * jitter.max(0.0);
+        Duration::from_secs_f64((ms / 1000.0).max(0.0))
+    }
+}
+
+/// A query result with its timing breakdown.
+#[derive(Debug)]
+pub struct TimedResult {
+    pub results: QueryResults,
+    /// Real engine evaluation time on this machine.
+    pub compute: Duration,
+    /// Simulated network/load latency.
+    pub network: Duration,
+}
+
+impl TimedResult {
+    /// End-to-end latency as a remote client would observe it.
+    pub fn total(&self) -> Duration {
+        self.compute + self.network
+    }
+
+    /// Number of result rows (0 for CONSTRUCT/ASK).
+    pub fn row_count(&self) -> usize {
+        match &self.results {
+            QueryResults::Solutions(s) => s.rows.len(),
+            QueryResults::Graph(g) => g.len(),
+            QueryResults::Boolean(_) => 1,
+        }
+    }
+}
+
+/// The simulated endpoint: a store, an engine, and a latency model.
+pub struct SimulatedEndpoint<'s> {
+    store: &'s Store,
+    model: LatencyModel,
+    rng: StdRng,
+}
+
+impl<'s> SimulatedEndpoint<'s> {
+    /// Create an endpoint over a store with the given latency profile.
+    pub fn new(store: &'s Store, model: LatencyModel, seed: u64) -> Self {
+        SimulatedEndpoint { store, model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The latency profile in force.
+    pub fn model(&self) -> LatencyModel {
+        self.model
+    }
+
+    /// Execute a query, reporting real compute time plus simulated network
+    /// latency.
+    pub fn query(&mut self, text: &str) -> Result<TimedResult, SparqlError> {
+        let start = Instant::now();
+        let results = Engine::new(self.store).query(text)?;
+        let compute = start.elapsed();
+        let n = match &results {
+            QueryResults::Solutions(s) => s.rows.len(),
+            QueryResults::Graph(g) => g.len(),
+            QueryResults::Boolean(_) => 1,
+        };
+        let network = self.model.simulate(compute, n, &mut self.rng);
+        Ok(TimedResult { results, compute, network })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::products::{ProductsGenerator, EX};
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_graph(&ProductsGenerator::new(100, 1).generate());
+        s
+    }
+
+    #[test]
+    fn peak_slower_than_off_peak() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x a ex:Laptop . }}");
+        let mut peak = SimulatedEndpoint::new(&s, LatencyModel::peak(), 9);
+        let mut off = SimulatedEndpoint::new(&s, LatencyModel::off_peak(), 9);
+        // average over a few runs to smooth jitter
+        let avg = |ep: &mut SimulatedEndpoint| -> f64 {
+            (0..10)
+                .map(|_| ep.query(&q).unwrap().total().as_secs_f64())
+                .sum::<f64>()
+                / 10.0
+        };
+        assert!(avg(&mut peak) > avg(&mut off));
+    }
+
+    #[test]
+    fn local_model_adds_nothing() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x a ex:Laptop . }}");
+        let mut ep = SimulatedEndpoint::new(&s, LatencyModel::local(), 1);
+        let r = ep.query(&q).unwrap();
+        assert_eq!(r.network, Duration::ZERO);
+        assert_eq!(r.row_count(), 100);
+    }
+
+    #[test]
+    fn latency_grows_with_result_size() {
+        let model = LatencyModel::off_peak();
+        let mut rng = StdRng::seed_from_u64(4);
+        let small = model.simulate(Duration::from_millis(1), 10, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        let large = model.simulate(Duration::from_millis(1), 10_000, &mut rng);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn simulation_deterministic_given_seed_and_inputs() {
+        let model = LatencyModel::peak();
+        let compute = Duration::from_millis(3);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(model.simulate(compute, 42, &mut r1), model.simulate(compute, 42, &mut r2));
+    }
+}

@@ -1,0 +1,23 @@
+//! # rdfa-datagen — synthetic knowledge graphs and the simulated endpoint
+//!
+//! Data substrates for the examples, tests and experiments:
+//!
+//! - [`products`] — the paper's running-example KG (Fig 1.2 schema: products,
+//!   laptops, hard drives, companies, persons, locations), both as the small
+//!   deterministic fixture of Fig 5.3 and as a scalable generator;
+//! - [`invoices`] — the HIFUN running example (Fig 2.7: invoices with date,
+//!   branch, product, quantity);
+//! - [`endpoint`] — a **simulated remote SPARQL endpoint**: our own engine
+//!   plus a latency model with peak and off-peak profiles, substituting for
+//!   the live DBpedia endpoint of the paper's efficiency experiments
+//!   (Tables 6.1/6.2; see DESIGN.md, substitution 1).
+
+pub mod covid;
+pub mod endpoint;
+pub mod invoices;
+pub mod products;
+
+pub use covid::CovidGenerator;
+pub use endpoint::{LatencyModel, SimulatedEndpoint, TimedResult};
+pub use invoices::InvoicesGenerator;
+pub use products::{products_fixture, ProductsGenerator, EX};

@@ -1,0 +1,211 @@
+//! SPARQL expressions of the model's notations — Tables 5.1 and 5.2.
+//!
+//! The paper's implementation section shows how each primitive of the formal
+//! model (`inst(c)`, `Joins(E, p)`, `Restrict(E, p:v)`, count information,
+//! maximal classes, …) is expressible as a SPARQL query, assuming the
+//! current state's extension is stored in a temporary class `temp`. This
+//! module generates those queries, enabling a *SPARQL-only* evaluation of
+//! the interaction (the alternative architecture the dissertation contrasts
+//! with the in-memory algorithms of §5.4), and a store helper that
+//! materializes the temp class.
+
+use rdfa_model::Term;
+use rdfa_store::{Store, TermId};
+use std::collections::BTreeSet;
+
+/// The temporary class IRI holding the current extension (Table 5.1).
+pub const TEMP_CLASS: &str = "urn:rdfa:temp";
+
+/// Materialize the extension as `?x rdf:type <temp>` triples in a copy of
+/// the store — the storage convention of Table 5.1.
+pub fn store_with_temp(store: &Store, extension: &BTreeSet<TermId>) -> Store {
+    let mut out = store.clone();
+    let temp = out.intern(&Term::iri(TEMP_CLASS));
+    let wk = out.well_known();
+    for &e in extension {
+        out.insert_ids([e, wk.rdf_type, temp]);
+    }
+    out.materialize_inference();
+    out
+}
+
+/// `inst(c)` — the instances of a class.
+pub fn q_instances(class_iri: &str) -> String {
+    format!(
+        "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{class_iri}> . }}",
+        t = rdfa_model::vocab::rdf::TYPE
+    )
+}
+
+/// `E` — the current extension (the temp class contents).
+pub fn q_extension() -> String {
+    q_instances(TEMP_CLASS)
+}
+
+/// `Joins(E, p)` — the values linked to the extension by `p`.
+pub fn q_joins(property_iri: &str) -> String {
+    format!(
+        "SELECT DISTINCT ?v WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> ?v . }}",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+/// `Joins(E, p)` with count information — the value markers of the facet
+/// (the `count(E, p, v)` column of Table 5.1).
+pub fn q_joins_with_counts(property_iri: &str) -> String {
+    format!(
+        "SELECT ?v (COUNT(DISTINCT ?x) AS ?count) WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> ?v . }} GROUP BY ?v",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+/// `Restrict(E, p : v)` — the extension restricted by a value click.
+pub fn q_restrict_value(property_iri: &str, value: &Term) -> String {
+    format!(
+        "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> {value} . }}",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+/// `Restrict(E, c)` — the extension restricted to instances of a class.
+pub fn q_restrict_class(class_iri: &str) -> String {
+    format!(
+        "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{temp}> . ?x <{t}> <{class_iri}> . }}",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+/// The applicable classes with counts over the extension (the class facet of
+/// Table 5.2).
+pub fn q_classes_with_counts() -> String {
+    format!(
+        "SELECT ?c (COUNT(DISTINCT ?x) AS ?count) WHERE {{ ?x <{t}> <{temp}> . ?x <{t}> ?c . }} GROUP BY ?c",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+/// Path expansion markers `Joins(Joins(E, p1), p2)` with counts (Fig 5.5 via
+/// a SPARQL property path).
+pub fn q_path_markers(path_iris: &[&str]) -> String {
+    let path = path_iris
+        .iter()
+        .map(|p| format!("<{p}>"))
+        .collect::<Vec<_>>()
+        .join("/");
+    format!(
+        "SELECT ?v (COUNT(DISTINCT ?x) AS ?count) WHERE {{ ?x <{t}> <{temp}> . ?x {path} ?v . }} GROUP BY ?v",
+        t = rdfa_model::vocab::rdf::TYPE,
+        temp = TEMP_CLASS
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::state::PathStep;
+    use rdfa_sparql::Engine;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> (Store, BTreeSet<TermId>) {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               ex:l1 a ex:Laptop ; ex:manufacturer ex:DELL .
+               ex:l2 a ex:Laptop ; ex:manufacturer ex:DELL .
+               ex:l3 a ex:Laptop ; ex:manufacturer ex:Lenovo .
+               ex:DELL ex:origin ex:USA . ex:Lenovo ex:origin ex:China .
+            "#
+        ))
+        .unwrap();
+        let laptops = s.instances(s.lookup_iri(&format!("{EX}Laptop")).unwrap());
+        (s, laptops)
+    }
+
+    /// Table 5.2's claim: the SPARQL-only evaluation of each notation agrees
+    /// with the in-memory algorithms of §5.4.
+    #[test]
+    fn sparql_only_joins_agree_with_ops() {
+        let (s, ext) = store();
+        let temp_store = store_with_temp(&s, &ext);
+        let engine = Engine::new(&temp_store);
+        let man = format!("{EX}manufacturer");
+        let sols = engine.query(&q_joins(&man)).unwrap();
+        let via_sparql: BTreeSet<String> = sols
+            .solutions()
+            .unwrap()
+            .column("v")
+            .map(|t| t.display_name())
+            .collect();
+        let step = PathStep::fwd(s.lookup_iri(&man).unwrap());
+        let via_ops: BTreeSet<String> = ops::joins(&s, &ext, step)
+            .into_iter()
+            .map(|id| s.term(id).display_name())
+            .collect();
+        assert_eq!(via_sparql, via_ops);
+    }
+
+    #[test]
+    fn sparql_only_counts_agree() {
+        let (s, ext) = store();
+        let temp_store = store_with_temp(&s, &ext);
+        let engine = Engine::new(&temp_store);
+        let sols = engine
+            .query(&q_joins_with_counts(&format!("{EX}manufacturer")))
+            .unwrap();
+        let rows = sols.into_solutions().unwrap();
+        let get = |name: &str| -> i64 {
+            rows.rows
+                .iter()
+                .find(|r| r[0].as_ref().unwrap().display_name() == name)
+                .and_then(|r| r[1].as_ref())
+                .map(|t| t.display_name().parse().unwrap())
+                .unwrap()
+        };
+        assert_eq!(get("DELL"), 2);
+        assert_eq!(get("Lenovo"), 1);
+    }
+
+    #[test]
+    fn sparql_only_restrict_agrees() {
+        let (s, ext) = store();
+        let temp_store = store_with_temp(&s, &ext);
+        let engine = Engine::new(&temp_store);
+        let q = q_restrict_value(&format!("{EX}manufacturer"), &Term::iri(format!("{EX}DELL")));
+        let n = engine.query(&q).unwrap().solutions().unwrap().rows.len();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn sparql_only_path_markers_agree() {
+        let (s, ext) = store();
+        let temp_store = store_with_temp(&s, &ext);
+        let engine = Engine::new(&temp_store);
+        let man = format!("{EX}manufacturer");
+        let origin = format!("{EX}origin");
+        let sols = engine.query(&q_path_markers(&[&man, &origin])).unwrap();
+        let rows = sols.into_solutions().unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        // agree with the in-memory expansion
+        let path = [
+            PathStep::fwd(s.lookup_iri(&man).unwrap()),
+            PathStep::fwd(s.lookup_iri(&origin).unwrap()),
+        ];
+        let markers = crate::markers::expand_path(&s, &ext, &path);
+        assert_eq!(markers.len(), rows.rows.len());
+    }
+
+    #[test]
+    fn temp_class_does_not_leak_into_source() {
+        let (s, ext) = store();
+        let n_before = s.len();
+        let _ = store_with_temp(&s, &ext);
+        assert_eq!(s.len(), n_before);
+    }
+}

@@ -1,0 +1,265 @@
+//! The `Restrict` and `Joins` operators of §5.3.1 — the algebra underlying
+//! all transitions.
+
+use crate::state::PathStep;
+use rdfa_model::Value;
+use rdfa_store::{Store, TermId};
+use std::collections::BTreeSet;
+
+/// `Restrict(E, p : v)` — elements of `E` with a `p`-edge to `v`
+/// (direction-aware: an inverse step follows `p` backwards).
+pub fn restrict_value(store: &Store, ext: &BTreeSet<TermId>, step: PathStep, v: TermId) -> BTreeSet<TermId> {
+    ext.iter()
+        .copied()
+        .filter(|&e| {
+            if step.inverse {
+                store.contains([v, step.prop, e])
+            } else {
+                store.contains([e, step.prop, v])
+            }
+        })
+        .collect()
+}
+
+/// `Restrict(E, p : vset)` — elements of `E` with a `p`-edge to any of `vset`.
+pub fn restrict_value_set(
+    store: &Store,
+    ext: &BTreeSet<TermId>,
+    step: PathStep,
+    vset: &BTreeSet<TermId>,
+) -> BTreeSet<TermId> {
+    ext.iter()
+        .copied()
+        .filter(|&e| {
+            joins_step(store, e, step).any(|x| vset.contains(&x))
+        })
+        .collect()
+}
+
+/// `Restrict(E, c)` — elements of `E` that are (entailed) instances of `c`.
+pub fn restrict_class(store: &Store, ext: &BTreeSet<TermId>, c: TermId) -> BTreeSet<TermId> {
+    let wk = store.well_known();
+    ext.iter()
+        .copied()
+        .filter(|&e| store.contains([e, wk.rdf_type, c]))
+        .collect()
+}
+
+/// One-step joins from a single node.
+fn joins_step(store: &Store, e: TermId, step: PathStep) -> impl Iterator<Item = TermId> + '_ {
+    let (s, o) = if step.inverse { (None, Some(e)) } else { (Some(e), None) };
+    store
+        .matching(s, Some(step.prop), o)
+        .map(move |[s2, _, o2]| if step.inverse { s2 } else { o2 })
+}
+
+/// `Joins(E, p)` — values linked to elements of `E` by `p` (§5.3.1).
+pub fn joins(store: &Store, ext: &BTreeSet<TermId>, step: PathStep) -> BTreeSet<TermId> {
+    let mut out = BTreeSet::new();
+    for &e in ext {
+        out.extend(joins_step(store, e, step));
+    }
+    out
+}
+
+/// `Joins(E, p)` together with the marker counts `|Restrict(E, p : v)|` for
+/// every value, in **one pass** over the extension's `p`-edges — the
+/// computation behind every facet's value list (Fig 5.4 c). Each extension
+/// element contributes at most once per value (triples are a set), so
+/// incrementing per edge is exact.
+pub fn joins_with_counts(
+    store: &Store,
+    ext: &BTreeSet<TermId>,
+    step: PathStep,
+) -> std::collections::BTreeMap<TermId, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &e in ext {
+        for v in joins_step(store, e, step) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// `Joins` along a path: `Joins(…Joins(E, p1)…, pk)` — the marker set `M_k`
+/// of §5.3.2.
+pub fn joins_path(store: &Store, ext: &BTreeSet<TermId>, path: &[PathStep]) -> BTreeSet<TermId> {
+    let mut frontier = ext.clone();
+    for &step in path {
+        frontier = joins(store, &frontier, step);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Restrict `E` through a path to a chosen terminal value — the
+/// back-propagation of Eq. 5.1: `M'_k = {v}`, `M'_i = Restrict(M_i, p_{i+1} :
+/// M'_{i+1})`, extension `Restrict(E, p_1 : M'_1)`.
+pub fn restrict_path(
+    store: &Store,
+    ext: &BTreeSet<TermId>,
+    path: &[PathStep],
+    terminal: &BTreeSet<TermId>,
+) -> BTreeSet<TermId> {
+    assert!(!path.is_empty(), "restrict_path needs a non-empty path");
+    // compute marker sets M_1 … M_{k-1}
+    let mut markers: Vec<BTreeSet<TermId>> = Vec::with_capacity(path.len());
+    let mut frontier = ext.clone();
+    for &step in path {
+        frontier = joins(store, &frontier, step);
+        markers.push(frontier.clone());
+    }
+    // back-propagate M'_i
+    let mut restricted = terminal.clone();
+    for i in (0..path.len() - 1).rev() {
+        restricted = restrict_value_set(store, &markers[i], path[i + 1], &restricted);
+    }
+    restrict_value_set(store, ext, path[0], &restricted)
+}
+
+/// Restrict `E` by a numeric/date range on a path's terminal value: elements
+/// with at least one terminal value `v` with `min ≤ v ≤ max` (either bound
+/// optional).
+pub fn restrict_range(
+    store: &Store,
+    ext: &BTreeSet<TermId>,
+    path: &[PathStep],
+    min: Option<&Value>,
+    max: Option<&Value>,
+) -> BTreeSet<TermId> {
+    let in_range = |id: TermId| -> bool {
+        let v = Value::from_term(store.term(id));
+        let ge_min = min.is_none_or(|m| {
+            matches!(v.compare(m), Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal))
+        });
+        let le_max = max.is_none_or(|m| {
+            matches!(v.compare(m), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+        });
+        ge_min && le_max
+    };
+    // terminal values that qualify
+    let terminal: BTreeSet<TermId> = joins_path(store, ext, path)
+        .into_iter()
+        .filter(|&t| in_range(t))
+        .collect();
+    if terminal.is_empty() {
+        return BTreeSet::new();
+    }
+    if path.len() == 1 {
+        restrict_value_set(store, ext, path[0], &terminal)
+    } else {
+        restrict_path(store, ext, path, &terminal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_model::Term;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               ex:l1 a ex:Laptop ; ex:manufacturer ex:DELL ; ex:usb 2 .
+               ex:l2 a ex:Laptop ; ex:manufacturer ex:Lenovo ; ex:usb 4 .
+               ex:l3 a ex:Laptop ; ex:manufacturer ex:DELL ; ex:usb 3 .
+               ex:DELL ex:origin ex:USA .
+               ex:Lenovo ex:origin ex:China .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    fn id(s: &Store, local: &str) -> TermId {
+        s.lookup(&Term::iri(format!("{EX}{local}"))).unwrap()
+    }
+
+    fn laptops(s: &Store) -> BTreeSet<TermId> {
+        ["l1", "l2", "l3"].iter().map(|l| id(s, l)).collect()
+    }
+
+    fn step(s: &Store, local: &str) -> PathStep {
+        PathStep { prop: id(s, local), inverse: false }
+    }
+
+    #[test]
+    fn joins_collects_values() {
+        let s = store();
+        let vals = joins(&s, &laptops(&s), step(&s, "manufacturer"));
+        assert_eq!(vals.len(), 2);
+    }
+
+    #[test]
+    fn restrict_by_value() {
+        let s = store();
+        let e = restrict_value(&s, &laptops(&s), step(&s, "manufacturer"), id(&s, "DELL"));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn joins_path_two_steps() {
+        let s = store();
+        let vals = joins_path(&s, &laptops(&s), &[step(&s, "manufacturer"), step(&s, "origin")]);
+        assert_eq!(vals.len(), 2); // USA, China
+    }
+
+    #[test]
+    fn restrict_path_back_propagates() {
+        let s = store();
+        let usa: BTreeSet<TermId> = [id(&s, "USA")].into_iter().collect();
+        let e = restrict_path(
+            &s,
+            &laptops(&s),
+            &[step(&s, "manufacturer"), step(&s, "origin")],
+            &usa,
+        );
+        assert_eq!(e, [id(&s, "l1"), id(&s, "l3")].into_iter().collect());
+    }
+
+    #[test]
+    fn inverse_step_walks_backwards() {
+        let s = store();
+        let dell: BTreeSet<TermId> = [id(&s, "DELL")].into_iter().collect();
+        let inv = PathStep { prop: id(&s, "manufacturer"), inverse: true };
+        let who = joins(&s, &dell, inv);
+        assert_eq!(who, [id(&s, "l1"), id(&s, "l3")].into_iter().collect());
+    }
+
+    #[test]
+    fn range_restriction() {
+        let s = store();
+        let e = restrict_range(
+            &s,
+            &laptops(&s),
+            &[step(&s, "usb")],
+            Some(&Value::Int(2)),
+            Some(&Value::Int(3)),
+        );
+        assert_eq!(e, [id(&s, "l1"), id(&s, "l3")].into_iter().collect());
+        // open-ended range
+        let e2 = restrict_range(&s, &laptops(&s), &[step(&s, "usb")], Some(&Value::Int(4)), None);
+        assert_eq!(e2, [id(&s, "l2")].into_iter().collect());
+    }
+
+    #[test]
+    fn restrict_class_filters() {
+        let s = store();
+        let mut mixed = laptops(&s);
+        mixed.insert(id(&s, "DELL"));
+        let e = restrict_class(&s, &mixed, id(&s, "Laptop"));
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn empty_path_join_is_empty() {
+        let s = store();
+        let vals = joins_path(&s, &BTreeSet::new(), &[step(&s, "manufacturer")]);
+        assert!(vals.is_empty());
+    }
+}

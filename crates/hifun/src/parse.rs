@@ -1,0 +1,332 @@
+//! Parser for HIFUN's textual notation — the form the paper writes queries
+//! in: `(g, m, op)` triples with composition (`∘`), pairing (`⊗`),
+//! restrictions (`attr>=v`), derived attributes (`month∘date`), the identity
+//! measuring function `ID`, the empty grouping `ε`, and result restrictions
+//! (`SUM/>1000`).
+//!
+//! Attribute names are resolved against a namespace; derived-function names
+//! (`year`, `month`, `day`) are recognized positionally (they may only head
+//! a composition, matching the expressibility rule of Chapter 7).
+//!
+//! ```
+//! use rdfa_hifun::parse::parse_hifun;
+//! let q = parse_hifun("(takesPlaceAt, inQuantity, SUM)", "http://e/").unwrap();
+//! assert_eq!(q.to_string(), "(takesPlaceAt, inQuantity, SUM)");
+//! ```
+
+use crate::query::*;
+use crate::HifunError;
+use rdfa_model::Term;
+
+/// Parse a HIFUN query written in the paper's notation. `ns` is prepended to
+/// every bare attribute or value name.
+pub fn parse_hifun(text: &str, ns: &str) -> Result<HifunQuery, HifunError> {
+    let inner = text
+        .trim()
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| HifunError::new("a HIFUN query is parenthesized: (g, m, op)"))?;
+    let parts = split_top(inner, ',');
+    if parts.len() < 3 {
+        return Err(HifunError::new("expected three components: (g, m, op)"));
+    }
+    let g_text = parts[0].trim();
+    let m_text = parts[1].trim();
+    let ops_text: Vec<&str> = parts[2..].iter().map(|s| s.trim()).collect();
+
+    // operations (plus optional result restriction per op: SUM/>1000)
+    let mut ops = Vec::new();
+    let mut result_restrictions = Vec::new();
+    for (i, op_text) in ops_text.iter().enumerate() {
+        let (op_name, restr) = match op_text.split_once('/') {
+            Some((o, r)) => (o.trim(), Some(r.trim())),
+            None => (*op_text, None),
+        };
+        let op = match op_name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggOp::Count,
+            "SUM" => AggOp::Sum,
+            "AVG" => AggOp::Avg,
+            "MIN" => AggOp::Min,
+            "MAX" => AggOp::Max,
+            other => return Err(HifunError::new(format!("unknown operation '{other}'"))),
+        };
+        ops.push(op);
+        if let Some(r) = restr {
+            let (cond, value) = parse_condition(r, ns)?;
+            result_restrictions.push(ResultRestriction { op_index: i, op: cond, value });
+        }
+    }
+
+    // grouping: ε | component (⊗ component)*
+    let mut groupings = Vec::new();
+    if !(g_text.is_empty() || g_text == "ε" || g_text.eq_ignore_ascii_case("eps")) {
+        for comp in split_top(g_text, '⊗') {
+            groupings.push(parse_component(comp.trim(), ns)?);
+        }
+    }
+
+    // measuring: ID | component
+    let measuring = if m_text.eq_ignore_ascii_case("ID") {
+        None
+    } else {
+        Some(parse_component(m_text, ns)?)
+    };
+
+    let mut q = HifunQuery::new(ops[0]);
+    q.ops = ops;
+    q.groupings = groupings;
+    q.measuring = measuring;
+    q.result_restrictions = result_restrictions;
+    Ok(q)
+}
+
+/// Split at a separator, respecting parenthesis nesting.
+fn split_top(text: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// One grouping/measuring component: a composition chain with an optional
+/// trailing condition (`origin∘manufacturer=USA`, `inQuantity>=2`).
+fn parse_component(text: &str, ns: &str) -> Result<RestrictedPath, HifunError> {
+    // find a top-level comparator
+    let (path_text, cond) = split_condition(text);
+    let path = parse_path(path_text.trim(), ns)?;
+    let mut rp = RestrictedPath::new(path);
+    if let Some((op_text, value_text)) = cond {
+        let op = cond_op(op_text)?;
+        let value = parse_value(value_text.trim(), ns);
+        rp = rp.restricted(Restriction::cmp(op, value));
+    }
+    Ok(rp)
+}
+
+fn split_condition(text: &str) -> (&str, Option<(&str, &str)>) {
+    // scan outside <…> IRI brackets for the first comparator
+    let bytes = text.as_bytes();
+    let mut in_iri = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' if !in_iri => {
+                // '<' opens an IRI when followed by a scheme-ish char,
+                // otherwise it is the comparator
+                let next = bytes.get(i + 1).copied();
+                if matches!(next, Some(c) if c.is_ascii_alphabetic()) {
+                    in_iri = true;
+                } else if next == Some(b'=') {
+                    return (&text[..i], Some(("<=", &text[i + 2..])));
+                } else {
+                    return (&text[..i], Some(("<", &text[i + 1..])));
+                }
+            }
+            b'>' if in_iri => in_iri = false,
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    return (&text[..i], Some((">=", &text[i + 2..])));
+                }
+                return (&text[..i], Some((">", &text[i + 1..])));
+            }
+            b'=' if !in_iri => return (&text[..i], Some(("=", &text[i + 1..]))),
+            b'!' if !in_iri && bytes.get(i + 1) == Some(&b'=') => {
+                return (&text[..i], Some(("!=", &text[i + 2..])));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (text, None)
+}
+
+fn cond_op(op: &str) -> Result<CondOp, HifunError> {
+    Ok(match op {
+        "=" => CondOp::Eq,
+        "!=" => CondOp::Ne,
+        "<" => CondOp::Lt,
+        "<=" => CondOp::Le,
+        ">" => CondOp::Gt,
+        ">=" => CondOp::Ge,
+        other => return Err(HifunError::new(format!("unknown comparator '{other}'"))),
+    })
+}
+
+fn parse_condition(text: &str, ns: &str) -> Result<(CondOp, Term), HifunError> {
+    let (lhs, cond) = split_condition(text);
+    if !lhs.trim().is_empty() {
+        return Err(HifunError::new(format!("unexpected '{lhs}' before comparator")));
+    }
+    let (op_text, value_text) =
+        cond.ok_or_else(|| HifunError::new(format!("expected comparator in '{text}'")))?;
+    Ok((cond_op(op_text)?, parse_value(value_text.trim(), ns)))
+}
+
+fn parse_value(text: &str, ns: &str) -> Term {
+    if let Ok(v) = text.parse::<i64>() {
+        return Term::integer(v);
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        return Term::decimal(v);
+    }
+    if text == "true" || text == "false" {
+        return Term::boolean(text == "true");
+    }
+    if let Some(iri) = text.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        return Term::iri(iri);
+    }
+    Term::iri(format!("{ns}{text}"))
+}
+
+/// Parse `f_k∘…∘f_1` — HIFUN composition is right-to-left, so the chain is
+/// reversed into application order. `year|month|day` at the head become
+/// derived steps.
+fn parse_path(text: &str, ns: &str) -> Result<AttrPath, HifunError> {
+    let names: Vec<&str> = text.split('∘').map(str::trim).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(HifunError::new(format!("malformed composition '{text}'")));
+    }
+    let mut steps = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().rev().enumerate() {
+        let derived = match name.to_ascii_lowercase().as_str() {
+            "year" => Some(DerivedFn::Year),
+            "month" => Some(DerivedFn::Month),
+            "day" => Some(DerivedFn::Day),
+            _ => None,
+        };
+        match derived {
+            Some(f) => {
+                if i + 1 != names.len() {
+                    return Err(HifunError::new(format!(
+                        "derived function '{name}' must head the composition"
+                    )));
+                }
+                steps.push(Step::Derived(f));
+            }
+            None => {
+                let iri = if let Some(full) = name.strip_prefix('<').and_then(|t| t.strip_suffix('>'))
+                {
+                    full.to_owned()
+                } else {
+                    format!("{ns}{name}")
+                };
+                steps.push(Step::Prop(iri));
+            }
+        }
+    }
+    Ok(AttrPath { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NS: &str = "http://e/";
+
+    #[test]
+    fn simple_triple() {
+        let q = parse_hifun("(takesPlaceAt, inQuantity, SUM)", NS).unwrap();
+        assert_eq!(q.groupings.len(), 1);
+        assert_eq!(q.groupings[0].path, AttrPath::prop(format!("{NS}takesPlaceAt")));
+        assert_eq!(q.ops, vec![AggOp::Sum]);
+    }
+
+    #[test]
+    fn composition_is_right_to_left() {
+        let q = parse_hifun("(brand∘delivers, inQuantity, SUM)", NS).unwrap();
+        assert_eq!(
+            q.groupings[0].path,
+            AttrPath::props(&[&format!("{NS}delivers"), &format!("{NS}brand")])
+        );
+    }
+
+    #[test]
+    fn derived_head() {
+        let q = parse_hifun("(month∘hasDate, inQuantity, SUM)", NS).unwrap();
+        assert_eq!(
+            q.groupings[0].path,
+            AttrPath::prop(format!("{NS}hasDate")).derived(DerivedFn::Month)
+        );
+        // derived not at the head is rejected
+        assert!(parse_hifun("(hasDate∘month, inQuantity, SUM)", NS).is_err());
+    }
+
+    #[test]
+    fn pairing_and_multiple_ops() {
+        let q = parse_hifun("(takesPlaceAt ⊗ delivers, inQuantity, SUM, AVG)", NS).unwrap();
+        assert_eq!(q.groupings.len(), 2);
+        assert_eq!(q.ops, vec![AggOp::Sum, AggOp::Avg]);
+    }
+
+    #[test]
+    fn restrictions_and_having() {
+        let q = parse_hifun("(takesPlaceAt=branch1, inQuantity>=2, SUM/>1000)", NS).unwrap();
+        assert_eq!(q.groupings[0].restrictions.len(), 1);
+        assert_eq!(q.groupings[0].restrictions[0].value, Term::iri(format!("{NS}branch1")));
+        let m = q.measuring.as_ref().unwrap();
+        assert_eq!(m.restrictions[0].op, CondOp::Ge);
+        assert_eq!(q.result_restrictions.len(), 1);
+        assert_eq!(q.result_restrictions[0].value, Term::integer(1000));
+    }
+
+    #[test]
+    fn identity_and_empty_grouping() {
+        let q = parse_hifun("(ε, ID, COUNT)", NS).unwrap();
+        assert!(q.groupings.is_empty());
+        assert!(q.measuring.is_none());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for text in [
+            "(takesPlaceAt, inQuantity, SUM)",
+            "(brand∘delivers, inQuantity, SUM)",
+            "(ε, ID, COUNT)",
+            "(takesPlaceAt ⊗ delivers, inQuantity, MIN)",
+        ] {
+            let q = parse_hifun(text, NS).unwrap();
+            assert_eq!(q.to_string(), text, "roundtrip of {text}");
+        }
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        let mut store = rdfa_store::Store::new();
+        store
+            .load_turtle(&format!(
+                r#"@prefix ex: <{NS}> .
+                   ex:i1 ex:takesPlaceAt ex:b1 ; ex:inQuantity 200 .
+                   ex:i2 ex:takesPlaceAt ex:b2 ; ex:inQuantity 400 .
+                "#
+            ))
+            .unwrap();
+        let q = parse_hifun("(takesPlaceAt, inQuantity, SUM)", NS).unwrap();
+        let answer = crate::direct::evaluate(&store, &q).unwrap();
+        assert_eq!(answer.rows.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_hifun("no parens", NS).is_err());
+        assert!(parse_hifun("(a, b)", NS).is_err());
+        assert!(parse_hifun("(a, b, MEDIAN)", NS).is_err());
+    }
+
+    #[test]
+    fn full_iri_names() {
+        let q = parse_hifun("(<http://x/p>, <http://x/q>, AVG)", NS).unwrap();
+        assert_eq!(q.groupings[0].path, AttrPath::prop("http://x/p"));
+    }
+}

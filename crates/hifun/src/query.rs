@@ -1,0 +1,424 @@
+//! The HIFUN query AST: attribute paths, the functional algebra, and the
+//! general query form `q = (gE/rg, mE/rm, opE/ro)` (§4.2.5).
+
+use rdfa_model::Term;
+use std::fmt;
+
+/// Aggregate (reduction) operations on measure values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggOp {
+    /// The SPARQL aggregate keyword.
+    pub fn sparql(self) -> &'static str {
+        match self {
+            AggOp::Count => "COUNT",
+            AggOp::Sum => "SUM",
+            AggOp::Avg => "AVG",
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+        }
+    }
+
+    /// Human label used by the answer frame.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Sum => "sum",
+            AggOp::Avg => "avg",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+        }
+    }
+
+    /// All supported operations (menu of the ⨊ button, §5.1).
+    pub fn all() -> [AggOp; 5] {
+        [AggOp::Count, AggOp::Sum, AggOp::Avg, AggOp::Min, AggOp::Max]
+    }
+}
+
+/// Derived attributes: SPARQL built-ins applicable as unary functions
+/// (`month ∘ date`, §4.2.4 "Derived attribute").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DerivedFn {
+    Year,
+    Month,
+    Day,
+}
+
+impl DerivedFn {
+    /// The SPARQL function name.
+    pub fn sparql(self) -> &'static str {
+        match self {
+            DerivedFn::Year => "YEAR",
+            DerivedFn::Month => "MONTH",
+            DerivedFn::Day => "DAY",
+        }
+    }
+}
+
+/// One step of a composition chain, applied left-to-right from the root:
+/// `brand ∘ delivers` is `[Prop(delivers), Prop(brand)]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// A direct attribute: follow the property from the current node.
+    Prop(String),
+    /// A derived attribute: apply the function to the current value.
+    Derived(DerivedFn),
+}
+
+/// A composition chain of steps — the `fk ∘ … ∘ f2 ∘ f1` of Algorithm 2,
+/// stored in application order (`f1` first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrPath {
+    pub steps: Vec<Step>,
+}
+
+impl AttrPath {
+    /// A single direct attribute.
+    pub fn prop(iri: impl Into<String>) -> Self {
+        AttrPath { steps: vec![Step::Prop(iri.into())] }
+    }
+
+    /// A multi-step property composition `p1 then p2 then …`
+    /// (`pk ∘ … ∘ p1` in HIFUN notation).
+    pub fn props(iris: &[&str]) -> Self {
+        AttrPath { steps: iris.iter().map(|p| Step::Prop((*p).to_string())).collect() }
+    }
+
+    /// Append a property step.
+    pub fn then(mut self, iri: impl Into<String>) -> Self {
+        self.steps.push(Step::Prop(iri.into()));
+        self
+    }
+
+    /// Append a derived-attribute step (`month ∘ self`).
+    pub fn derived(mut self, f: DerivedFn) -> Self {
+        self.steps.push(Step::Derived(f));
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the path has no steps (the identity function).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Short display name: local names of the steps joined by `∘` in HIFUN
+    /// (right-to-left) order.
+    pub fn display_name(&self) -> String {
+        let names: Vec<String> = self
+            .steps
+            .iter()
+            .rev()
+            .map(|s| match s {
+                Step::Prop(iri) => rdfa_model::term::local_name(iri).to_owned(),
+                Step::Derived(d) => d.sparql().to_lowercase(),
+            })
+            .collect();
+        names.join("∘")
+    }
+}
+
+/// Comparison operators in restrictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CondOp {
+    /// The SPARQL operator.
+    pub fn sparql(self) -> &'static str {
+        match self {
+            CondOp::Eq => "=",
+            CondOp::Ne => "!=",
+            CondOp::Lt => "<",
+            CondOp::Le => "<=",
+            CondOp::Gt => ">",
+            CondOp::Ge => ">=",
+        }
+    }
+
+    /// Apply the comparison to an `Ordering`.
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CondOp::Eq => ord == Equal,
+            CondOp::Ne => ord != Equal,
+            CondOp::Lt => ord == Less,
+            CondOp::Le => ord != Greater,
+            CondOp::Gt => ord == Greater,
+            CondOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A restriction `…/r` on a grouping or measuring expression (§4.2.2 and the
+/// general case of Algorithm 4): an optional continuation path followed by a
+/// condition on its final value. A URI value with `Eq` becomes a triple
+/// pattern; a literal becomes a FILTER.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restriction {
+    /// Extra composition steps beyond the restricted expression's value
+    /// (empty for a plain `g/v` restriction).
+    pub path: Vec<Step>,
+    pub op: CondOp,
+    pub value: Term,
+}
+
+impl Restriction {
+    /// Plain equality restriction to a value.
+    pub fn eq(value: Term) -> Self {
+        Restriction { path: Vec::new(), op: CondOp::Eq, value }
+    }
+
+    /// Comparison restriction on the value itself.
+    pub fn cmp(op: CondOp, value: Term) -> Self {
+        Restriction { path: Vec::new(), op, value }
+    }
+
+    /// Restriction through a continuation path (general case, Algorithm 4).
+    pub fn via(path: Vec<Step>, op: CondOp, value: Term) -> Self {
+        Restriction { path, op, value }
+    }
+}
+
+/// A grouping/measuring operand: an attribute path plus optional restrictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestrictedPath {
+    pub path: AttrPath,
+    pub restrictions: Vec<Restriction>,
+}
+
+impl RestrictedPath {
+    /// An unrestricted path.
+    pub fn new(path: AttrPath) -> Self {
+        RestrictedPath { path, restrictions: Vec::new() }
+    }
+
+    /// Attach a restriction.
+    pub fn restricted(mut self, r: Restriction) -> Self {
+        self.restrictions.push(r);
+        self
+    }
+}
+
+/// Restriction on the query result (`op/ro` → SPARQL `HAVING`, §4.2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRestriction {
+    /// Index into [`HifunQuery::ops`] the condition applies to.
+    pub op_index: usize,
+    pub op: CondOp,
+    pub value: Term,
+}
+
+/// How the root set of the analysis context is constrained. The parts
+/// combine conjunctively; all empty = every item with the queried attributes
+/// (implicit join).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Root {
+    /// Instances of a class (adds `?x1 rdf:type <C>`).
+    pub class: Option<String>,
+    /// Path conditions from the root (the faceted-search extension `E`).
+    pub conditions: Vec<Restriction>,
+    /// An explicit item set (translated to a `VALUES ?x1 { … }` clause) —
+    /// how the interaction model pins the current state's extension
+    /// (Table 5.1 stores it in a temporary class; a VALUES clause is the
+    /// equivalent that needs no store mutation).
+    pub among: Option<Vec<Term>>,
+}
+
+impl Root {
+    /// True when the root is completely unconstrained.
+    pub fn is_unconstrained(&self) -> bool {
+        self.class.is_none() && self.conditions.is_empty() && self.among.is_none()
+    }
+}
+
+/// The general HIFUN query `q = (gE/rg, mE/rm, opE/ro)` with optional root
+/// constraint. Multiple aggregate operations model the GUI's multi-function
+/// ⨊ selection (Fig 6.2: avg, sum and max at once).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HifunQuery {
+    pub root: Root,
+    /// Grouping components: empty = no grouping (Example 1, §5.1);
+    /// one = plain grouping; several = pairing `g1 ⊗ g2 ⊗ …`.
+    pub groupings: Vec<RestrictedPath>,
+    /// The measuring expression; `None` measures the items themselves
+    /// (identity function `ID`, used by COUNT in Example 2).
+    pub measuring: Option<RestrictedPath>,
+    /// Aggregate operations applied to the measure (at least one).
+    pub ops: Vec<AggOp>,
+    /// HAVING-style restrictions on the aggregated results.
+    pub result_restrictions: Vec<ResultRestriction>,
+}
+
+impl HifunQuery {
+    /// A query with a single aggregate operation and nothing else yet.
+    pub fn new(op: AggOp) -> Self {
+        HifunQuery {
+            root: Root::default(),
+            groupings: Vec::new(),
+            measuring: None,
+            ops: vec![op],
+            result_restrictions: Vec::new(),
+        }
+    }
+
+    /// Set the root to a class.
+    pub fn over_class(mut self, class_iri: impl Into<String>) -> Self {
+        self.root.class = Some(class_iri.into());
+        self
+    }
+
+    /// Add root conditions (the faceted extension `E`).
+    pub fn with_conditions(mut self, conds: Vec<Restriction>) -> Self {
+        self.root.conditions = conds;
+        self
+    }
+
+    /// Pin the root to an explicit item set (the current faceted extension).
+    pub fn among(mut self, items: Vec<Term>) -> Self {
+        self.root.among = Some(items);
+        self
+    }
+
+    /// Add a grouping component (pairing when called more than once).
+    pub fn group_by(mut self, path: AttrPath) -> Self {
+        self.groupings.push(RestrictedPath::new(path));
+        self
+    }
+
+    /// Add a restricted grouping component.
+    pub fn group_by_restricted(mut self, rp: RestrictedPath) -> Self {
+        self.groupings.push(rp);
+        self
+    }
+
+    /// Set the measuring expression.
+    pub fn measure(mut self, path: AttrPath) -> Self {
+        self.measuring = Some(RestrictedPath::new(path));
+        self
+    }
+
+    /// Set a restricted measuring expression.
+    pub fn measure_restricted(mut self, rp: RestrictedPath) -> Self {
+        self.measuring = Some(rp);
+        self
+    }
+
+    /// Add a further aggregate operation.
+    pub fn also(mut self, op: AggOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Add a HAVING restriction on the `idx`-th aggregate.
+    pub fn having(mut self, idx: usize, op: CondOp, value: Term) -> Self {
+        self.result_restrictions.push(ResultRestriction { op_index: idx, op, value });
+        self
+    }
+}
+
+impl fmt::Display for HifunQuery {
+    /// HIFUN notation, e.g. `(takesPlaceAt ⊗ (brand∘delivers), inQuantity, SUM)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = if self.groupings.is_empty() {
+            "ε".to_owned()
+        } else {
+            self.groupings
+                .iter()
+                .map(|rp| {
+                    let mut s = rp.path.display_name();
+                    if !rp.restrictions.is_empty() {
+                        s.push_str("/E");
+                    }
+                    s
+                })
+                .collect::<Vec<_>>()
+                .join(" ⊗ ")
+        };
+        let m = match &self.measuring {
+            None => "ID".to_owned(),
+            Some(rp) => {
+                let mut s = rp.path.display_name();
+                if !rp.restrictions.is_empty() {
+                    s.push_str("/E");
+                }
+                s
+            }
+        };
+        let ops = self
+            .ops
+            .iter()
+            .map(|o| o.sparql().to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        let suffix = if self.result_restrictions.is_empty() { "" } else { "/F" };
+        write!(f, "({g}, {m}, {ops}{suffix})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::props(&["http://e/delivers", "http://e/brand"]))
+            .group_by(AttrPath::prop("http://e/takesPlaceAt"))
+            .measure(AttrPath::prop("http://e/inQuantity"))
+            .also(AggOp::Avg)
+            .having(0, CondOp::Gt, Term::integer(1000));
+        assert_eq!(q.groupings.len(), 2);
+        assert_eq!(q.ops, vec![AggOp::Sum, AggOp::Avg]);
+        assert_eq!(q.result_restrictions.len(), 1);
+    }
+
+    #[test]
+    fn display_uses_hifun_notation() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::props(&["http://e/delivers", "http://e/brand"]))
+            .measure(AttrPath::prop("http://e/inQuantity"));
+        assert_eq!(q.to_string(), "(brand∘delivers, inQuantity, SUM)");
+    }
+
+    #[test]
+    fn display_empty_grouping_and_identity() {
+        let q = HifunQuery::new(AggOp::Count);
+        assert_eq!(q.to_string(), "(ε, ID, COUNT)");
+    }
+
+    #[test]
+    fn derived_step_in_path() {
+        let p = AttrPath::prop("http://e/hasDate").derived(DerivedFn::Month);
+        assert_eq!(p.display_name(), "month∘hasDate");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn cond_op_test_matches_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CondOp::Ge.test(Equal));
+        assert!(CondOp::Ge.test(Greater));
+        assert!(!CondOp::Ge.test(Less));
+        assert!(CondOp::Ne.test(Less));
+        assert!(!CondOp::Eq.test(Greater));
+    }
+}

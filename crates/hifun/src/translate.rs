@@ -1,0 +1,473 @@
+//! Translation of HIFUN queries to SPARQL — Algorithms 1–4 of Chapter 4.
+//!
+//! The translation follows the paper's scheme exactly:
+//!
+//! - the grouping expression yields variable(s) in the `GROUP BY` clause and
+//!   chained triple patterns in `WHERE` (one per composition step);
+//! - the measuring expression yields a variable in `WHERE` whose aggregate
+//!   appears in `SELECT`;
+//! - URI restrictions become triple patterns, literal restrictions become
+//!   `FILTER`s (§4.2.2);
+//! - result restrictions become a `HAVING` clause (§4.2.3);
+//! - derived attributes (`month ∘ date`) become SPARQL built-in calls in
+//!   `SELECT`/`GROUP BY` (§4.2.4);
+//! - pairing joins components on the shared root variable `?x1` (§4.2.4);
+//! - restriction paths of the general case (Algorithm 4) extend the pattern
+//!   chain before constraining its final term.
+
+use crate::query::*;
+use rdfa_model::{vocab, Term};
+
+/// Accumulates the strings of the query under construction, mirroring the
+/// `triplePatterns`, `retVars`, `op(m)` and `restr(Q_ans)` registers of
+/// Algorithm 1.
+struct Translator {
+    values_clause: Option<String>,
+    triple_patterns: Vec<String>,
+    filters: Vec<String>,
+    select_items: Vec<String>,
+    group_by: Vec<String>,
+    having: Vec<String>,
+    var_counter: usize,
+}
+
+impl Translator {
+    fn new() -> Self {
+        Translator {
+            values_clause: None,
+            triple_patterns: Vec::new(),
+            filters: Vec::new(),
+            select_items: Vec::new(),
+            group_by: Vec::new(),
+            having: Vec::new(),
+            // ?x1 is the root; fresh variables start at ?x2
+            var_counter: 1,
+        }
+    }
+
+    fn new_var(&mut self) -> String {
+        self.var_counter += 1;
+        format!("?x{}", self.var_counter)
+    }
+
+    /// Emit the triple-pattern chain for a composition (Algorithm 2 /
+    /// Algorithm 3 with derived attributes). Returns the *return expression*:
+    /// either a plain variable or a built-in call over one.
+    fn emit_path(&mut self, start: &str, steps: &[Step]) -> String {
+        let mut current = start.to_owned();
+        let mut expr = current.clone();
+        for step in steps {
+            match step {
+                Step::Prop(iri) => {
+                    let next = self.new_var();
+                    self.triple_patterns.push(format!("{current} <{iri}> {next} ."));
+                    current = next.clone();
+                    expr = next;
+                }
+                Step::Derived(f) => {
+                    // derived attribute: no triple pattern, wrap the return var
+                    expr = format!("{}({})", f.sparql(), expr);
+                }
+            }
+        }
+        expr
+    }
+
+    /// Emit a restriction on a value expression whose underlying variable is
+    /// `var` (the `right(g)` of the algorithms). URI + equality restrictions
+    /// become triple patterns continuing the chain; literal restrictions
+    /// become FILTERs.
+    fn emit_restriction(&mut self, var: &str, r: &Restriction) {
+        // continuation path first (general case, Algorithm 4)
+        let end = if r.path.is_empty() {
+            var.to_owned()
+        } else {
+            self.emit_path(var, &r.path)
+        };
+        match (&r.value, r.op) {
+            (Term::Iri(iri), CondOp::Eq) => {
+                // rewrite: replace the chain's last object with the URI —
+                // equivalently, assert the final pattern with the URI object
+                if let Some(last) = self.triple_patterns.iter().rposition(|tp| {
+                    tp.split_whitespace().nth(2) == Some(end.as_str())
+                }) {
+                    let parts: Vec<&str> = self.triple_patterns[last].split_whitespace().collect();
+                    self.triple_patterns
+                        .push(format!("{} {} <{}> .", parts[0], parts[1], iri));
+                } else {
+                    self.filters.push(format!("{end} = <{iri}>"));
+                }
+            }
+            (Term::Iri(iri), op) => {
+                self.filters.push(format!("{end} {} <{}>", op.sparql(), iri));
+            }
+            (value, op) => {
+                self.filters
+                    .push(format!("{end} {} {}", op.sparql(), render_literal(value)));
+            }
+        }
+    }
+
+    fn render(&self, distinct_count_root: bool) -> String {
+        let mut out = String::new();
+        out.push_str("SELECT ");
+        out.push_str(&self.select_items.join(" "));
+        out.push_str("\nWHERE {\n");
+        if let Some(v) = &self.values_clause {
+            out.push_str("  ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        for tp in &self.triple_patterns {
+            out.push_str("  ");
+            out.push_str(tp);
+            out.push('\n');
+        }
+        if !self.filters.is_empty() {
+            out.push_str(&format!("  FILTER({})\n", self.filters.join(" && ")));
+        }
+        out.push_str("}\n");
+        if !self.group_by.is_empty() {
+            out.push_str("GROUP BY ");
+            out.push_str(&self.group_by.join(" "));
+            out.push('\n');
+        }
+        if !self.having.is_empty() {
+            out.push_str(&format!("HAVING ({})\n", self.having.join(" && ")));
+        }
+        let _ = distinct_count_root;
+        out
+    }
+}
+
+fn render_literal(t: &Term) -> String {
+    match t {
+        Term::Literal(l) => l.to_string(),
+        Term::Iri(iri) => format!("<{iri}>"),
+        Term::Blank(b) => format!("_:{b}"),
+    }
+}
+
+/// Translate a HIFUN query to a SPARQL SELECT query (the full algorithm of
+/// §4.2.5).
+pub fn to_sparql(q: &HifunQuery) -> String {
+    let mut tr = Translator::new();
+    let root = "?x1";
+
+    // root constraint
+    if let Some(items) = &q.root.among {
+        let list = items
+            .iter()
+            .map(render_literal)
+            .collect::<Vec<_>>()
+            .join(" ");
+        tr.values_clause = Some(format!("VALUES {root} {{ {list} }}"));
+    }
+    if let Some(c) = &q.root.class {
+        tr.triple_patterns
+            .push(format!("{root} <{}> <{c}> .", vocab::rdf::TYPE));
+    }
+    {
+        let conds = &q.root.conditions;
+        {
+            for cond in conds {
+                // each condition is a path from the root ending in a value
+                if let (Term::Iri(iri), CondOp::Eq, false) = (&cond.value, cond.op, cond.path.is_empty())
+                {
+                    // emit chain with final object fixed to the URI
+                    let (last, prefix) = cond.path.split_last().expect("non-empty path");
+                    let mut current = root.to_owned();
+                    for step in prefix {
+                        if let Step::Prop(p) = step {
+                            let next = tr.new_var();
+                            tr.triple_patterns.push(format!("{current} <{p}> {next} ."));
+                            current = next;
+                        }
+                    }
+                    if let Step::Prop(p) = last {
+                        tr.triple_patterns.push(format!("{current} <{p}> <{iri}> ."));
+                    }
+                } else {
+                    let end = tr.emit_path(root, &cond.path);
+                    tr.filters.push(format!(
+                        "{end} {} {}",
+                        cond.op.sparql(),
+                        render_literal(&cond.value)
+                    ));
+                }
+            }
+        }
+    }
+
+    // grouping components (pairing over compositions, Algorithm 2)
+    for rp in &q.groupings {
+        let expr = tr.emit_path(root, &rp.path.steps);
+        // locate the variable underlying the expression for restrictions
+        let var = underlying_var(&expr);
+        for r in &rp.restrictions {
+            tr.emit_restriction(&var, r);
+        }
+        if expr.starts_with('?') {
+            tr.select_items.push(expr.clone());
+        } else {
+            let alias = format!("?g{}", tr.group_by.len() + 1);
+            tr.select_items.push(format!("({expr} AS {alias})"));
+        }
+        tr.group_by.push(expr);
+    }
+
+    // measuring expression
+    let measure_expr = match &q.measuring {
+        None => root.to_owned(), // identity function: measure the items
+        Some(rp) => {
+            let expr = tr.emit_path(root, &rp.path.steps);
+            let var = underlying_var(&expr);
+            for r in &rp.restrictions {
+                tr.emit_restriction(&var, r);
+            }
+            expr
+        }
+    };
+
+    // if nothing binds ?x1 yet (no root patterns, no groupings, identity
+    // measuring), bind it with a wildcard pattern
+    if tr.triple_patterns.is_empty() && tr.values_clause.is_none() {
+        tr.triple_patterns.push(format!("{root} ?p0 ?o0 ."));
+    }
+
+    // aggregate operations (SELECT clause)
+    for (i, op) in q.ops.iter().enumerate() {
+        let inner = if q.measuring.is_none() {
+            // ID measuring: count items, not join duplicates
+            format!("DISTINCT {measure_expr}")
+        } else {
+            measure_expr.clone()
+        };
+        tr.select_items
+            .push(format!("({}({inner}) AS ?agg{})", op.sparql(), i + 1));
+    }
+
+    // result restrictions → HAVING
+    for rr in &q.result_restrictions {
+        let op = q.ops[rr.op_index];
+        let inner = if q.measuring.is_none() {
+            format!("DISTINCT {measure_expr}")
+        } else {
+            measure_expr.clone()
+        };
+        tr.having.push(format!(
+            "{}({inner}) {} {}",
+            op.sparql(),
+            rr.op.sparql(),
+            render_literal(&rr.value)
+        ));
+    }
+
+    tr.render(q.measuring.is_none())
+}
+
+/// The variable a return expression is built over (`MONTH(?x2)` → `?x2`).
+fn underlying_var(expr: &str) -> String {
+    match expr.find('?') {
+        Some(i) => {
+            let rest = &expr[i..];
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '?'))
+                .map(|(j, _)| j)
+                .unwrap_or(rest.len());
+            rest[..end].to_owned()
+        }
+        None => expr.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX: &str = "http://example.org/";
+
+    fn p(local: &str) -> String {
+        format!("{EX}{local}")
+    }
+
+    /// §4.2.1: (takesPlaceAt, inQuantity, SUM)
+    #[test]
+    fn simple_query() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .measure(AttrPath::prop(p("inQuantity")));
+        let s = to_sparql(&q);
+        assert!(s.contains("SELECT ?x2 (SUM(?x3) AS ?agg1)"), "{s}");
+        assert!(s.contains("?x1 <http://example.org/takesPlaceAt> ?x2 ."), "{s}");
+        assert!(s.contains("?x1 <http://example.org/inQuantity> ?x3 ."), "{s}");
+        assert!(s.contains("GROUP BY ?x2"), "{s}");
+    }
+
+    /// §4.2.2: (takesPlaceAt/E, inQuantity, SUM), E = {i | takesPlaceAt(i) = branch1}
+    #[test]
+    fn attribute_restricted_uri() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by_restricted(
+                RestrictedPath::new(AttrPath::prop(p("takesPlaceAt")))
+                    .restricted(Restriction::eq(Term::iri(p("branch1")))),
+            )
+            .measure(AttrPath::prop(p("inQuantity")));
+        let s = to_sparql(&q);
+        assert!(
+            s.contains("?x1 <http://example.org/takesPlaceAt> <http://example.org/branch1> ."),
+            "{s}"
+        );
+    }
+
+    /// §4.2.2: literal restriction on the measuring function → FILTER
+    #[test]
+    fn attribute_restricted_literal() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .measure_restricted(
+                RestrictedPath::new(AttrPath::prop(p("inQuantity")))
+                    .restricted(Restriction::cmp(CondOp::Ge, Term::integer(1))),
+            );
+        let s = to_sparql(&q);
+        assert!(s.contains("FILTER(?x3 >= \"1\""), "{s}");
+    }
+
+    /// §4.2.3: result restriction → HAVING
+    #[test]
+    fn results_restricted() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .measure(AttrPath::prop(p("inQuantity")))
+            .having(0, CondOp::Gt, Term::integer(1000));
+        let s = to_sparql(&q);
+        assert!(s.contains("HAVING (SUM(?x3) > \"1000\""), "{s}");
+    }
+
+    /// §4.2.4 Composition: (brand ∘ delivers, inQuantity, SUM)
+    #[test]
+    fn composition() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::props(&[&p("delivers"), &p("brand")]))
+            .measure(AttrPath::prop(p("inQuantity")));
+        let s = to_sparql(&q);
+        assert!(s.contains("?x1 <http://example.org/delivers> ?x2 ."), "{s}");
+        assert!(s.contains("?x2 <http://example.org/brand> ?x3 ."), "{s}");
+        assert!(s.contains("GROUP BY ?x3"), "{s}");
+    }
+
+    /// §4.2.4 Derived attribute: (month ∘ date, inQuantity, SUM)
+    #[test]
+    fn derived_attribute() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("hasDate")).derived(DerivedFn::Month))
+            .measure(AttrPath::prop(p("inQuantity")));
+        let s = to_sparql(&q);
+        assert!(s.contains("(MONTH(?x2) AS ?g1)"), "{s}");
+        assert!(s.contains("GROUP BY MONTH(?x2)"), "{s}");
+    }
+
+    /// §4.2.4 Pairing: (takesPlaceAt ⊗ delivers, inQuantity, SUM)
+    #[test]
+    fn pairing() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .group_by(AttrPath::prop(p("delivers")))
+            .measure(AttrPath::prop(p("inQuantity")));
+        let s = to_sparql(&q);
+        assert!(s.contains("SELECT ?x2 ?x3 (SUM(?x4) AS ?agg1)"), "{s}");
+        assert!(s.contains("GROUP BY ?x2 ?x3"), "{s}");
+    }
+
+    /// §4.2.5 worked example: pairing of compositions with month filter,
+    /// measure restriction, and HAVING.
+    #[test]
+    fn full_example() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .group_by(AttrPath::props(&[&p("delivers"), &p("brand")]))
+            .with_conditions(vec![Restriction::via(
+                vec![Step::Prop(p("hasDate")), Step::Derived(DerivedFn::Month)],
+                CondOp::Eq,
+                Term::integer(1),
+            )])
+            .measure_restricted(
+                RestrictedPath::new(AttrPath::prop(p("inQuantity")))
+                    .restricted(Restriction::cmp(CondOp::Ge, Term::integer(2))),
+            )
+            .having(0, CondOp::Gt, Term::integer(1000));
+        let s = to_sparql(&q);
+        assert!(s.contains("MONTH(?x2) = \"1\""), "{s}");
+        assert!(s.contains("GROUP BY ?x3 ?x5"), "{s}");
+        assert!(s.contains("HAVING (SUM(?x6) > \"1000\""), "{s}");
+        assert!(s.contains(">= \"2\""), "{s}");
+    }
+
+    /// §5.1 Example 1: (ε, price/E, AVG) — no grouping at all.
+    #[test]
+    fn no_grouping_avg() {
+        let q = HifunQuery::new(AggOp::Avg)
+            .over_class(p("Laptop"))
+            .measure(AttrPath::prop(p("price")));
+        let s = to_sparql(&q);
+        assert!(!s.contains("GROUP BY"), "{s}");
+        assert!(s.contains("SELECT (AVG(?x2) AS ?agg1)"), "{s}");
+        assert!(s.contains("rdf-syntax-ns#type> <http://example.org/Laptop>"), "{s}");
+    }
+
+    /// §5.1 Example 2: (g/E, ID, COUNT) — identity measuring counts items.
+    #[test]
+    fn identity_count_distinct() {
+        let q = HifunQuery::new(AggOp::Count)
+            .over_class(p("Laptop"))
+            .group_by(AttrPath::props(&[&p("manufacturer"), &p("origin")]));
+        let s = to_sparql(&q);
+        assert!(s.contains("COUNT(DISTINCT ?x1)"), "{s}");
+    }
+
+    /// Fig 6.2: three simultaneous aggregates.
+    #[test]
+    fn multiple_aggregates() {
+        let q = HifunQuery::new(AggOp::Avg)
+            .also(AggOp::Sum)
+            .also(AggOp::Max)
+            .group_by(AttrPath::prop(p("manufacturer")))
+            .measure(AttrPath::prop(p("price")));
+        let s = to_sparql(&q);
+        assert!(s.contains("(AVG(?x3) AS ?agg1)"), "{s}");
+        assert!(s.contains("(SUM(?x3) AS ?agg2)"), "{s}");
+        assert!(s.contains("(MAX(?x3) AS ?agg3)"), "{s}");
+    }
+
+    /// Translation completeness (Proposition 1): every query form renders.
+    #[test]
+    fn all_forms_render_without_panic() {
+        let forms = vec![
+            HifunQuery::new(AggOp::Count),
+            HifunQuery::new(AggOp::Sum).measure(AttrPath::prop(p("q"))),
+            HifunQuery::new(AggOp::Min)
+                .group_by(AttrPath::prop(p("a")))
+                .group_by(AttrPath::props(&[&p("b"), &p("c"), &p("d")]))
+                .measure(AttrPath::prop(p("q")))
+                .having(0, CondOp::Le, Term::integer(5)),
+        ];
+        for q in forms {
+            let s = to_sparql(&q);
+            assert!(s.starts_with("SELECT"), "{s}");
+            assert!(rdfa_sparql::parse_query(&s).is_ok(), "generated SPARQL must parse:\n{s}");
+        }
+    }
+
+    /// Every generated query must be parseable by our SPARQL engine.
+    #[test]
+    fn generated_sparql_parses() {
+        let q = HifunQuery::new(AggOp::Sum)
+            .group_by(AttrPath::prop(p("takesPlaceAt")))
+            .group_by(AttrPath::props(&[&p("delivers"), &p("brand")]))
+            .measure(AttrPath::prop(p("inQuantity")))
+            .having(0, CondOp::Gt, Term::integer(1000));
+        let s = to_sparql(&q);
+        rdfa_sparql::parse_query(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal proleptic-Gregorian calendar types for `xsd:date` and
+//! `xsd:dateTime` literals.
+//!
+//! The paper's running example filters laptops by `releaseDate` ranges and
+//! groups invoices by `month(date)` (§4.2.4, derived attributes), so the
+//! engine needs ordered date values and YEAR/MONTH/DAY extraction — but not
+//! time zones or leap seconds. We implement exactly that, from scratch.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A calendar date (proleptic Gregorian, no time zone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month/day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Parse `YYYY-MM-DD` (a leading `-` on the year is accepted).
+    pub fn parse(s: &str) -> Option<Self> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let mut parts = body.splitn(3, '-');
+        let y: i32 = parts.next()?.parse().ok()?;
+        let m: u8 = parts.next()?.parse().ok()?;
+        let d: u8 = parts.next()?.parse().ok()?;
+        Date::new(if neg { -y } else { y }, m, d)
+    }
+
+    /// Days since 0000-03-01 (arbitrary epoch); monotone in calendar order.
+    /// Standard civil-from-days inverse, used only for ordering & arithmetic.
+    pub fn day_number(&self) -> i64 {
+        let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe
+    }
+}
+
+impl PartialOrd for Date {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Date {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.year, self.month, self.day).cmp(&(other.year, other.month, other.day))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A date with a time-of-day (`xsd:dateTime`, time zone ignored if present).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DateTime {
+    pub date: Date,
+    pub hour: u8,
+    pub minute: u8,
+    /// Seconds scaled by 1000 to carry milliseconds without floats.
+    pub millisecond: u32,
+}
+
+impl DateTime {
+    /// Construct a date-time, validating field ranges.
+    pub fn new(date: Date, hour: u8, minute: u8, second: f64) -> Option<Self> {
+        if hour > 23 || minute > 59 || !(0.0..60.0).contains(&second) {
+            return None;
+        }
+        Some(DateTime { date, hour, minute, millisecond: (second * 1000.0) as u32 })
+    }
+
+    /// Parse `YYYY-MM-DDTHH:MM:SS[.sss][Z|±HH:MM]`; the zone suffix is
+    /// accepted and ignored (all generated data is zone-less).
+    pub fn parse(s: &str) -> Option<Self> {
+        let (date_part, time_part) = s.split_once('T')?;
+        let date = Date::parse(date_part)?;
+        let time_part = time_part
+            .trim_end_matches('Z')
+            .split(['+'])
+            .next()
+            .unwrap_or(time_part);
+        let mut it = time_part.splitn(3, ':');
+        let h: u8 = it.next()?.parse().ok()?;
+        let m: u8 = it.next()?.parse().ok()?;
+        let sec: f64 = it.next().unwrap_or("0").parse().ok()?;
+        DateTime::new(date, h, m, sec)
+    }
+
+    /// Total milliseconds since the `Date::day_number` epoch; monotone.
+    pub fn timeline_ms(&self) -> i64 {
+        self.date.day_number() * 86_400_000
+            + self.hour as i64 * 3_600_000
+            + self.minute as i64 * 60_000
+            + self.millisecond as i64
+    }
+}
+
+impl PartialOrd for DateTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DateTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.timeline_ms().cmp(&other.timeline_ms())
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}",
+            self.date,
+            self.hour,
+            self.minute,
+            self.millisecond / 1000
+        )?;
+        if !self.millisecond.is_multiple_of(1000) {
+            write!(f, ".{:03}", self.millisecond % 1000)?;
+        }
+        Ok(())
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(y: i32, m: u8) -> u8 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let d = Date::parse("2021-06-10").unwrap();
+        assert_eq!(d.to_string(), "2021-06-10");
+        let dt = DateTime::parse("2021-06-10T12:30:05").unwrap();
+        assert_eq!(dt.to_string(), "2021-06-10T12:30:05");
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::parse("2021-13-01").is_none());
+        assert!(Date::parse("2021-02-30").is_none());
+        assert!(Date::parse("2021-00-10").is_none());
+        assert!(Date::parse("garbage").is_none());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert!(Date::parse("2024-02-29").is_some());
+        assert!(Date::parse("2023-02-29").is_none());
+    }
+
+    #[test]
+    fn ordering_is_calendar_order() {
+        let a = Date::parse("2020-12-31").unwrap();
+        let b = Date::parse("2021-01-01").unwrap();
+        assert!(a < b);
+        let x = DateTime::parse("2021-01-01T00:00:00").unwrap();
+        let y = DateTime::parse("2021-01-01T00:00:01").unwrap();
+        assert!(x < y);
+    }
+
+    #[test]
+    fn day_number_is_monotone_across_years() {
+        let mut prev = Date::parse("1999-12-28").unwrap().day_number();
+        for ymd in ["1999-12-29", "1999-12-30", "1999-12-31", "2000-01-01", "2000-01-02"] {
+            let n = Date::parse(ymd).unwrap().day_number();
+            assert_eq!(n, prev + 1, "at {ymd}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn datetime_accepts_zone_suffixes() {
+        assert!(DateTime::parse("2021-01-01T00:00:00Z").is_some());
+        assert!(DateTime::parse("2021-12-31T00:00:00+02:00").is_some());
+    }
+}

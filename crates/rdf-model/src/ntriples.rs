@@ -1,0 +1,130 @@
+//! N-Triples line-based serialization: one triple per line, absolute IRIs.
+//!
+//! Used for bulk export/import in the benchmark harness where Turtle's
+//! grouping buys nothing.
+
+use crate::term::{unescape_literal, Literal, Term};
+use crate::triple::{Graph, Triple};
+use crate::vocab::xsd;
+
+/// Serialize a graph as N-Triples.
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an N-Triples document. Malformed lines are reported with their
+/// 1-based line number.
+pub fn parse(input: &str) -> Result<Graph, String> {
+    let mut graph = Graph::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple =
+            parse_line(line).map_err(|e| format!("N-Triples line {}: {}", i + 1, e))?;
+        graph.push(triple);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str) -> Result<Triple, String> {
+    let mut rest = line;
+    let subject = take_term(&mut rest)?;
+    let predicate = take_term(&mut rest)?;
+    let object = take_term(&mut rest)?;
+    let rest = rest.trim();
+    if rest != "." {
+        return Err(format!("expected terminating '.', found {rest:?}"));
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+fn take_term(rest: &mut &str) -> Result<Term, String> {
+    *rest = rest.trim_start();
+    let s = *rest;
+    if let Some(body) = s.strip_prefix('<') {
+        let end = body.find('>').ok_or("unterminated IRI")?;
+        *rest = &body[end + 1..];
+        Ok(Term::iri(&body[..end]))
+    } else if let Some(body) = s.strip_prefix("_:") {
+        let end = body
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(body.len());
+        *rest = &body[end..];
+        Ok(Term::blank(&body[..end]))
+    } else if let Some(body) = s.strip_prefix('"') {
+        // scan for closing quote honouring backslash escapes
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in body.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or("unterminated literal")?;
+        let lexical = unescape_literal(&body[..end]);
+        let mut tail = &body[end + 1..];
+        let term = if let Some(t) = tail.strip_prefix("^^<") {
+            let close = t.find('>').ok_or("unterminated datatype IRI")?;
+            let dt = &t[..close];
+            tail = &t[close + 1..];
+            Term::Literal(Literal::typed(lexical, dt))
+        } else if let Some(t) = tail.strip_prefix('@') {
+            let end = t
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                .unwrap_or(t.len());
+            let lang = &t[..end];
+            tail = &t[end..];
+            Term::Literal(Literal::lang_string(lexical, lang))
+        } else {
+            Term::Literal(Literal::typed(lexical, xsd::STRING))
+        };
+        *rest = tail;
+        Ok(term)
+    } else {
+        Err(format!("cannot parse term starting at {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Graph::new();
+        g.add(Term::iri("http://s"), Term::iri("http://p"), Term::integer(42));
+        g.add(Term::blank("b0"), Term::iri("http://p"), Term::string("x \"y\" z"));
+        g.add(
+            Term::iri("http://s"),
+            Term::iri("http://p"),
+            Term::Literal(Literal::lang_string("bonjour", "fr")),
+        );
+        let text = serialize(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g.into_triples(), g2.into_triples());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("<http://s> <http://p> <http://o> .\nbogus line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let g = parse("# header\n\n<http://s> <http://p> \"v\" .\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+//!
+//! A term is any element that may appear in a triple. Following the RDF 1.1
+//! abstract syntax, subjects are IRIs or blank nodes, predicates are IRIs,
+//! and objects may be any term (§2.1 of the paper).
+
+use crate::vocab::xsd;
+use std::fmt;
+
+/// A literal: a lexical form plus a datatype IRI and an optional language tag.
+///
+/// Plain literals are represented with datatype `xsd:string`; language-tagged
+/// literals with datatype `rdf:langString` and `lang = Some(..)`, mirroring
+/// RDF 1.1 semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form exactly as written, e.g. `"42"` or `"2021-06-10"`.
+    pub lexical: String,
+    /// Datatype IRI, e.g. `xsd:integer`.
+    pub datatype: String,
+    /// BCP-47 language tag for `rdf:langString` literals.
+    pub lang: Option<String>,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(s: impl Into<String>) -> Self {
+        Literal { lexical: s.into(), datatype: xsd::STRING.to_owned(), lang: None }
+    }
+
+    /// A typed literal with the given datatype IRI.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), datatype: datatype.into(), lang: None }
+    }
+
+    /// A language-tagged string literal.
+    pub fn lang_string(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: crate::vocab::rdf::LANG_STRING.to_owned(),
+            lang: Some(lang.into()),
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(v: i64) -> Self {
+        Literal::typed(v.to_string(), xsd::INTEGER)
+    }
+
+    /// An `xsd:decimal` literal.
+    pub fn decimal(v: f64) -> Self {
+        Literal::typed(format_decimal(v), xsd::DECIMAL)
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(v: f64) -> Self {
+        Literal::typed(format!("{v:?}"), xsd::DOUBLE)
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(v: bool) -> Self {
+        Literal::typed(v.to_string(), xsd::BOOLEAN)
+    }
+
+    /// An `xsd:date` literal from year/month/day.
+    pub fn date(y: i32, m: u8, d: u8) -> Self {
+        Literal::typed(format!("{y:04}-{m:02}-{d:02}"), xsd::DATE)
+    }
+
+    /// True when the datatype is one of the XSD numeric types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.datatype.as_str(),
+            xsd::INTEGER | xsd::DECIMAL | xsd::DOUBLE | xsd::FLOAT | xsd::INT | xsd::LONG
+        )
+    }
+}
+
+/// Format an `f64` as an `xsd:decimal` lexical form (no exponent).
+fn format_decimal(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored in full (no namespace compression here).
+    Iri(String),
+    /// A blank node with its local label (without the `_:` prefix).
+    Blank(String),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Construct an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Construct a blank node term.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Construct a plain string literal term.
+    pub fn string(s: impl Into<String>) -> Self {
+        Term::Literal(Literal::string(s))
+    }
+
+    /// Construct an `xsd:integer` literal term.
+    pub fn integer(v: i64) -> Self {
+        Term::Literal(Literal::integer(v))
+    }
+
+    /// Construct an `xsd:decimal` literal term.
+    pub fn decimal(v: f64) -> Self {
+        Term::Literal(Literal::decimal(v))
+    }
+
+    /// Construct an `xsd:boolean` literal term.
+    pub fn boolean(v: bool) -> Self {
+        Term::Literal(Literal::boolean(v))
+    }
+
+    /// Construct an `xsd:date` literal term.
+    pub fn date(y: i32, m: u8, d: u8) -> Self {
+        Term::Literal(Literal::date(y, m, d))
+    }
+
+    /// True for [`Term::Iri`].
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True for [`Term::Literal`].
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True for [`Term::Blank`].
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// The IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable rendering: local name for IRIs, lexical form
+    /// for literals. Used by facet and answer-frame displays.
+    pub fn display_name(&self) -> String {
+        match self {
+            Term::Iri(s) => local_name(s).to_owned(),
+            Term::Blank(b) => format!("_:{b}"),
+            Term::Literal(l) => l.lexical.clone(),
+        }
+    }
+}
+
+/// The local part of an IRI: everything after the last `#`, `/`, or `:`
+/// (the latter for `urn:`-style IRIs).
+pub fn local_name(iri: &str) -> &str {
+    let cut = iri.rfind(['#', '/', ':']).map(|i| i + 1).unwrap_or(0);
+    &iri[cut..]
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Blank(b) => write!(f, "_:{b}"),
+            Term::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(lang) = &self.lang {
+            write!(f, "@{lang}")
+        } else if self.datatype != xsd::STRING {
+            write!(f, "^^<{}>", self.datatype)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Escape a literal's lexical form for N-Triples/Turtle output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape a literal lexical form read from N-Triples/Turtle input.
+pub fn unescape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors_set_datatypes() {
+        assert_eq!(Literal::integer(42).datatype, xsd::INTEGER);
+        assert_eq!(Literal::boolean(true).lexical, "true");
+        assert_eq!(Literal::date(2021, 6, 10).lexical, "2021-06-10");
+        assert_eq!(Literal::string("hi").datatype, xsd::STRING);
+        let l = Literal::lang_string("bonjour", "fr");
+        assert_eq!(l.lang.as_deref(), Some("fr"));
+    }
+
+    #[test]
+    fn display_renders_nt_syntax() {
+        assert_eq!(Term::iri("http://a/b").to_string(), "<http://a/b>");
+        assert_eq!(Term::blank("x").to_string(), "_:x");
+        assert_eq!(Term::string("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::integer(5).to_string(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(
+            Term::Literal(Literal::lang_string("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
+    }
+
+    #[test]
+    fn local_name_cuts_hash_and_slash() {
+        assert_eq!(local_name("http://ex.org/ns#Laptop"), "Laptop");
+        assert_eq!(local_name("http://ex.org/ns/Laptop"), "Laptop");
+        assert_eq!(local_name("Laptop"), "Laptop");
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let s = "line1\nline2\t\"quoted\" back\\slash";
+        assert_eq!(unescape_literal(&escape_literal(s)), s);
+    }
+
+    #[test]
+    fn display_name_prefers_short_forms() {
+        assert_eq!(Term::iri("http://ex.org#DELL").display_name(), "DELL");
+        assert_eq!(Term::integer(2).display_name(), "2");
+    }
+
+    #[test]
+    fn decimal_formatting_keeps_point() {
+        assert_eq!(Literal::decimal(900.0).lexical, "900.0");
+        assert_eq!(Literal::decimal(900.5).lexical, "900.5");
+    }
+}

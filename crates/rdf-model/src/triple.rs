@@ -1,0 +1,116 @@
+//! Triples and in-memory graphs (unindexed; the indexed store is `rdfa-store`).
+
+use crate::term::Term;
+use std::fmt;
+
+/// An RDF triple `(subject, predicate, object)`.
+///
+/// Formally any element of `(U ∪ B) × U × (U ∪ B ∪ L)` (§2.1); the type does
+/// not enforce the positional restrictions so that parsers can report them as
+/// errors with context instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A simple growable set of triples, the unit of parsing and generation.
+///
+/// Any finite subset of the triple universe is an RDF graph (§2.1). `Graph`
+/// preserves insertion order and allows duplicates; deduplication happens on
+/// load into the indexed store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    triples: Vec<Triple>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Append one triple.
+    pub fn push(&mut self, t: Triple) {
+        self.triples.push(t);
+    }
+
+    /// Append a `(s, p, o)` built from the given terms.
+    pub fn add(&mut self, s: Term, p: Term, o: Term) {
+        self.triples.push(Triple::new(s, p, o));
+    }
+
+    /// Number of (possibly duplicate) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Iterate over the triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// Consume the graph, yielding its triples.
+    pub fn into_triples(self) -> Vec<Triple> {
+        self.triples
+    }
+
+    /// Merge another graph into this one.
+    pub fn extend(&mut self, other: Graph) {
+        self.triples.extend(other.triples);
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Graph { triples: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Graph {
+    type Item = Triple;
+    type IntoIter = std::vec::IntoIter<Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_collects_and_iterates_in_order() {
+        let mut g = Graph::new();
+        g.add(Term::iri("s"), Term::iri("p"), Term::integer(1));
+        g.add(Term::iri("s"), Term::iri("p"), Term::integer(2));
+        assert_eq!(g.len(), 2);
+        let objs: Vec<_> = g.iter().map(|t| t.object.clone()).collect();
+        assert_eq!(objs, vec![Term::integer(1), Term::integer(2)]);
+    }
+
+    #[test]
+    fn triple_display_is_ntriples_like() {
+        let t = Triple::new(Term::iri("http://a"), Term::iri("http://b"), Term::string("c"));
+        assert_eq!(t.to_string(), "<http://a> <http://b> \"c\" .");
+    }
+}

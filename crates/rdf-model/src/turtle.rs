@@ -1,0 +1,521 @@
+//! A Turtle-subset parser and serializer.
+//!
+//! Supported syntax: `@prefix`/`PREFIX` declarations, IRIs (`<...>`),
+//! prefixed names (`ex:Laptop`), the `a` keyword, blank node labels (`_:b`),
+//! string literals with `^^datatype` or `@lang`, numeric and boolean
+//! shorthand, predicate lists (`;`), object lists (`,`), and `#` comments.
+//! Not supported (not needed by the system): collections `( )`, anonymous
+//! blank nodes `[ ]`, multi-line strings.
+
+use crate::term::{unescape_literal, Literal, Term};
+use crate::triple::{Graph, Triple};
+use crate::vocab::{rdf, xsd};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Parse a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, TurtleError> {
+    Parser::new(input).parse_document()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),
+    Prefixed(String, String),
+    Blank(String),
+    Literal { lexical: String, datatype: Option<Box<Tok>>, lang: Option<String> },
+    Number(String),
+    Keyword(String), // a, true, false, @prefix, PREFIX
+    Punct(char),     // . ; ,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    prefixes: HashMap<String, String>,
+    lookahead: Option<Tok>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().peekable(),
+            line: 1,
+            prefixes: HashMap::new(),
+            lookahead: None,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, TurtleError> {
+        Err(TurtleError { line: self.line, message: msg.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some('\n') => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                Some('#') => {
+                    for c in self.chars.by_ref() {
+                        if c == '\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, TurtleError> {
+        if let Some(t) = self.lookahead.take() {
+            return Ok(Some(t));
+        }
+        self.skip_ws();
+        let Some(&c) = self.chars.peek() else { return Ok(None) };
+        match c {
+            '<' => {
+                self.chars.next();
+                let mut s = String::new();
+                for c in self.chars.by_ref() {
+                    if c == '>' {
+                        return Ok(Some(Tok::Iri(s)));
+                    }
+                    s.push(c);
+                }
+                self.err("unterminated IRI")
+            }
+            '"' => {
+                self.chars.next();
+                let mut s = String::new();
+                let mut escaped = false;
+                loop {
+                    match self.chars.next() {
+                        None => return self.err("unterminated string literal"),
+                        Some('\\') if !escaped => {
+                            escaped = true;
+                            s.push('\\');
+                        }
+                        Some('"') if !escaped => break,
+                        Some('\n') => return self.err("newline inside string literal"),
+                        Some(c) => {
+                            escaped = false;
+                            s.push(c);
+                        }
+                    }
+                }
+                let lexical = unescape_literal(&s);
+                // optional @lang or ^^datatype suffix
+                match self.chars.peek() {
+                    Some('@') => {
+                        self.chars.next();
+                        let mut lang = String::new();
+                        while let Some(&c) = self.chars.peek() {
+                            if c.is_ascii_alphanumeric() || c == '-' {
+                                lang.push(c);
+                                self.chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Ok(Some(Tok::Literal { lexical, datatype: None, lang: Some(lang) }))
+                    }
+                    Some('^') => {
+                        self.chars.next();
+                        if self.chars.next() != Some('^') {
+                            return self.err("expected ^^ before datatype");
+                        }
+                        let dt = self
+                            .next_tok()?
+                            .ok_or(TurtleError { line: self.line, message: "eof after ^^".into() })?;
+                        Ok(Some(Tok::Literal { lexical, datatype: Some(Box::new(dt)), lang: None }))
+                    }
+                    _ => Ok(Some(Tok::Literal { lexical, datatype: None, lang: None })),
+                }
+            }
+            '_' => {
+                self.chars.next();
+                if self.chars.next() != Some(':') {
+                    return self.err("expected ':' after '_' in blank node");
+                }
+                let mut s = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Some(Tok::Blank(s)))
+            }
+            '.' | ';' | ',' => {
+                self.chars.next();
+                Ok(Some(Tok::Punct(c)))
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut s = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+                        s.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // a trailing '.' is the statement terminator, not part of the number
+                if s.ends_with('.') && !s[..s.len() - 1].contains('.') {
+                    s.pop();
+                    self.lookahead = Some(Tok::Punct('.'));
+                }
+                Ok(Some(Tok::Number(s)))
+            }
+            '@' => {
+                self.chars.next();
+                let word = self.read_word();
+                Ok(Some(Tok::Keyword(format!("@{word}"))))
+            }
+            _ => {
+                // prefixed name, keyword, or bare prefix declaration
+                let word = self.read_pname();
+                if let Some(idx) = word.find(':') {
+                    let (p, local) = word.split_at(idx);
+                    Ok(Some(Tok::Prefixed(p.to_owned(), local[1..].to_owned())))
+                } else {
+                    Ok(Some(Tok::Keyword(word)))
+                }
+            }
+        }
+    }
+
+    fn read_word(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn read_pname(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_whitespace() || matches!(c, '.' | ';' | ',' | '<' | '"' | '#') {
+                // '.' inside a local name is allowed in full Turtle; our subset
+                // treats it as a terminator, which all generated data respects.
+                break;
+            }
+            s.push(c);
+            self.chars.next();
+        }
+        s
+    }
+
+    fn resolve(&self, tok: Tok) -> Result<Term, TurtleError> {
+        match tok {
+            Tok::Iri(s) => Ok(Term::Iri(s)),
+            Tok::Prefixed(p, local) => match self.prefixes.get(&p) {
+                Some(ns) => Ok(Term::Iri(format!("{ns}{local}"))),
+                None => Err(TurtleError {
+                    line: self.line,
+                    message: format!("undeclared prefix '{p}:'"),
+                }),
+            },
+            Tok::Blank(b) => Ok(Term::Blank(b)),
+            Tok::Literal { lexical, datatype, lang } => {
+                if let Some(lang) = lang {
+                    Ok(Term::Literal(Literal::lang_string(lexical, lang)))
+                } else if let Some(dt) = datatype {
+                    let dt_term = self.resolve(*dt)?;
+                    match dt_term {
+                        Term::Iri(iri) => Ok(Term::Literal(Literal::typed(lexical, iri))),
+                        _ => Err(TurtleError {
+                            line: self.line,
+                            message: "datatype must be an IRI".into(),
+                        }),
+                    }
+                } else {
+                    Ok(Term::Literal(Literal::string(lexical)))
+                }
+            }
+            Tok::Number(s) => {
+                if s.contains(['.', 'e', 'E']) {
+                    Ok(Term::Literal(Literal::typed(s, xsd::DECIMAL)))
+                } else {
+                    Ok(Term::Literal(Literal::typed(s, xsd::INTEGER)))
+                }
+            }
+            Tok::Keyword(k) if k == "true" || k == "false" => {
+                Ok(Term::Literal(Literal::typed(k, xsd::BOOLEAN)))
+            }
+            Tok::Keyword(k) if k == "a" => Ok(Term::iri(rdf::TYPE)),
+            Tok::Keyword(k) => Err(TurtleError {
+                line: self.line,
+                message: format!("unexpected keyword '{k}'"),
+            }),
+            Tok::Punct(c) => Err(TurtleError {
+                line: self.line,
+                message: format!("unexpected '{c}'"),
+            }),
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Graph, TurtleError> {
+        let mut graph = Graph::new();
+        while let Some(tok) = self.next_tok()? {
+            match &tok {
+                Tok::Keyword(k) if k == "@prefix" || k.eq_ignore_ascii_case("prefix") => {
+                    self.parse_prefix_decl(k.starts_with('@'))?;
+                }
+                Tok::Keyword(k) if k == "@base" || k.eq_ignore_ascii_case("base") => {
+                    // consume and ignore the base IRI (all data uses absolute IRIs)
+                    let _ = self.next_tok()?;
+                    if k.starts_with('@') {
+                        self.expect_punct('.')?;
+                    }
+                }
+                _ => {
+                    self.parse_statement(tok, &mut graph)?;
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    fn parse_prefix_decl(&mut self, at_form: bool) -> Result<(), TurtleError> {
+        let name = match self.next_tok()? {
+            Some(Tok::Prefixed(p, local)) if local.is_empty() => p,
+            Some(Tok::Keyword(k)) => k, // e.g. `prefix ex <...>` is tolerated
+            other => return self.err(format!("expected prefix name, got {other:?}")),
+        };
+        let iri = match self.next_tok()? {
+            Some(Tok::Iri(s)) => s,
+            other => return self.err(format!("expected namespace IRI, got {other:?}")),
+        };
+        self.prefixes.insert(name, iri);
+        if at_form {
+            self.expect_punct('.')?;
+        } else {
+            // SPARQL-style PREFIX: optional trailing dot
+            if let Some(tok) = self.next_tok()? {
+                if tok != Tok::Punct('.') {
+                    self.lookahead = Some(tok);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), TurtleError> {
+        match self.next_tok()? {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => self.err(format!("expected '{c}', got {other:?}")),
+        }
+    }
+
+    fn parse_statement(&mut self, subj_tok: Tok, graph: &mut Graph) -> Result<(), TurtleError> {
+        let subject = self.resolve(subj_tok)?;
+        loop {
+            let pred_tok = match self.next_tok()? {
+                Some(t) => t,
+                None => return self.err("unexpected end of input in statement"),
+            };
+            let predicate = self.resolve(pred_tok)?;
+            loop {
+                let obj_tok = match self.next_tok()? {
+                    Some(t) => t,
+                    None => return self.err("unexpected end of input before object"),
+                };
+                let object = self.resolve(obj_tok)?;
+                graph.push(Triple::new(subject.clone(), predicate.clone(), object));
+                match self.next_tok()? {
+                    Some(Tok::Punct(',')) => continue,
+                    Some(Tok::Punct(';')) => break,
+                    Some(Tok::Punct('.')) => return Ok(()),
+                    None => return Ok(()), // tolerate missing final dot
+                    other => return self.err(format!("expected , ; or . got {other:?}")),
+                }
+            }
+            // after ';' — allow a dangling ';' before '.'
+            if let Some(tok) = self.next_tok()? {
+                if tok == Tok::Punct('.') {
+                    return Ok(());
+                }
+                self.lookahead = Some(tok);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Serialize a graph to Turtle, grouping triples by subject and compressing
+/// IRIs with the provided `prefixes` (pairs of `(prefix, namespace)`).
+pub fn serialize(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (p, ns) in prefixes {
+        out.push_str(&format!("@prefix {p}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    let shorten = |t: &Term| -> String {
+        match t {
+            Term::Iri(s) => {
+                if s == rdf::TYPE {
+                    return "a".to_owned();
+                }
+                for (p, ns) in prefixes {
+                    if let Some(local) = s.strip_prefix(ns) {
+                        if !local.is_empty()
+                            && local.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                        {
+                            return format!("{p}:{local}");
+                        }
+                    }
+                }
+                format!("<{s}>")
+            }
+            other => other.to_string(),
+        }
+    };
+    let mut sorted: Vec<&Triple> = graph.iter().collect();
+    sorted.sort();
+    let mut prev_subject: Option<&Term> = None;
+    for t in sorted {
+        if prev_subject == Some(&t.subject) {
+            out.push_str(" ;\n    ");
+        } else {
+            if prev_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            out.push_str(&shorten(&t.subject));
+            out.push_str("\n    ");
+            prev_subject = Some(&t.subject);
+        }
+        out.push_str(&shorten(&t.predicate));
+        out.push(' ');
+        out.push_str(&shorten(&t.object));
+    }
+    if prev_subject.is_some() {
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX: &str = "http://example.org/";
+
+    #[test]
+    fn parses_basic_triples() {
+        let g = parse(
+            r#"@prefix ex: <http://example.org/> .
+               ex:laptop1 a ex:Laptop ;
+                   ex:price 900 ;
+                   ex:manufacturer ex:DELL , ex:Lenovo .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        let t: Vec<_> = g.iter().collect();
+        assert_eq!(t[0].predicate, Term::iri(rdf::TYPE));
+        assert_eq!(t[1].object, Term::Literal(Literal::typed("900", xsd::INTEGER)));
+        assert_eq!(t[3].object, Term::iri(format!("{EX}Lenovo")));
+    }
+
+    #[test]
+    fn parses_typed_and_lang_literals() {
+        let g = parse(
+            r#"@prefix ex: <http://example.org/> .
+               @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+               ex:l ex:date "2021-06-10"^^xsd:date ; ex:name "laptop"@en ; ex:w 1.5 ; ex:ok true .
+            "#,
+        )
+        .unwrap();
+        let objs: Vec<_> = g.iter().map(|t| t.object.clone()).collect();
+        assert_eq!(objs[0], Term::Literal(Literal::typed("2021-06-10", xsd::DATE)));
+        assert_eq!(objs[1], Term::Literal(Literal::lang_string("laptop", "en")));
+        assert_eq!(objs[2], Term::Literal(Literal::typed("1.5", xsd::DECIMAL)));
+        assert_eq!(objs[3], Term::Literal(Literal::typed("true", xsd::BOOLEAN)));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let e = parse("ex:a ex:b ex:c .").unwrap_err();
+        assert!(e.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn comments_and_blank_nodes() {
+        let g = parse(
+            "# a comment\n_:b1 <http://p> _:b2 . # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iter().next().unwrap().subject, Term::blank("b1"));
+    }
+
+    #[test]
+    fn serialize_then_parse_roundtrip() {
+        let mut g = Graph::new();
+        g.add(Term::iri(format!("{EX}a")), Term::iri(rdf::TYPE), Term::iri(format!("{EX}C")));
+        g.add(Term::iri(format!("{EX}a")), Term::iri(format!("{EX}p")), Term::integer(5));
+        g.add(
+            Term::iri(format!("{EX}a")),
+            Term::iri(format!("{EX}q")),
+            Term::string("hello \"world\""),
+        );
+        let text = serialize(&g, &[("ex", EX)]);
+        let g2 = parse(&text).unwrap();
+        let mut a: Vec<_> = g.into_triples();
+        let mut b: Vec<_> = g2.into_triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_numbers_and_decimals() {
+        let g = parse("<http://s> <http://p> -42 . <http://s> <http://q> -1.5 .").unwrap();
+        let objs: Vec<_> = g.iter().map(|t| t.object.clone()).collect();
+        assert_eq!(objs[0], Term::Literal(Literal::typed("-42", xsd::INTEGER)));
+        assert_eq!(objs[1], Term::Literal(Literal::typed("-1.5", xsd::DECIMAL)));
+    }
+
+    #[test]
+    fn integer_followed_by_statement_dot() {
+        let g = parse("<http://s> <http://p> 7 .").unwrap();
+        assert_eq!(
+            g.iter().next().unwrap().object,
+            Term::Literal(Literal::typed("7", xsd::INTEGER))
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Typed values: the bridge between lexical RDF literals and the comparisons,
+//! arithmetic, and aggregates the SPARQL engine and HIFUN evaluator perform.
+//!
+//! SPARQL's operator semantics work on *values*, not lexical forms: `"2"` and
+//! `"02"` as `xsd:integer` are the same value, `"10" > "9"` numerically but
+//! not lexically. [`Value`] implements the numeric promotion ladder
+//! (integer → decimal → double), date/dateTime ordering, and effective
+//! boolean value used by `FILTER`.
+
+use crate::date::{Date, DateTime};
+use crate::term::{Literal, Term};
+use crate::vocab::xsd;
+use std::cmp::Ordering;
+
+/// A typed runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An IRI (compared by string identity only).
+    Iri(String),
+    /// A blank node (identity comparison only).
+    Blank(String),
+    /// A string (plain or `xsd:string`), with optional language tag.
+    Str(String, Option<String>),
+    /// An integer-valued numeric.
+    Int(i64),
+    /// A decimal/float/double-valued numeric.
+    Float(f64),
+    Bool(bool),
+    Date(Date),
+    DateTime(DateTime),
+    /// A literal whose datatype the engine does not interpret; kept for
+    /// equality comparison on (lexical, datatype).
+    Other(String, String),
+}
+
+impl Value {
+    /// Interpret a term as a typed value.
+    pub fn from_term(term: &Term) -> Value {
+        match term {
+            Term::Iri(s) => Value::Iri(s.clone()),
+            Term::Blank(b) => Value::Blank(b.clone()),
+            Term::Literal(l) => Value::from_literal(l),
+        }
+    }
+
+    /// Interpret a literal according to its datatype; falls back to
+    /// [`Value::Other`] when the lexical form does not parse.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l.datatype.as_str() {
+            xsd::STRING => Value::Str(l.lexical.clone(), None),
+            crate::vocab::rdf::LANG_STRING => Value::Str(l.lexical.clone(), l.lang.clone()),
+            xsd::INTEGER | xsd::INT | xsd::LONG => match l.lexical.trim().parse::<i64>() {
+                Ok(v) => Value::Int(v),
+                Err(_) => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            xsd::DECIMAL | xsd::DOUBLE | xsd::FLOAT => match l.lexical.trim().parse::<f64>() {
+                Ok(v) => Value::Float(v),
+                Err(_) => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            xsd::BOOLEAN => match l.lexical.trim() {
+                "true" | "1" => Value::Bool(true),
+                "false" | "0" => Value::Bool(false),
+                _ => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            xsd::DATE => match Date::parse(l.lexical.trim()) {
+                Some(d) => Value::Date(d),
+                None => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            xsd::DATE_TIME => match DateTime::parse(l.lexical.trim()) {
+                Some(d) => Value::DateTime(d),
+                None => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            xsd::GYEAR => match l.lexical.trim().parse::<i32>() {
+                Ok(y) => Value::Int(y as i64),
+                Err(_) => Value::Other(l.lexical.clone(), l.datatype.clone()),
+            },
+            _ => Value::Other(l.lexical.clone(), l.datatype.clone()),
+        }
+    }
+
+    /// Convert the value back to a term (used when answers are materialized
+    /// as new RDF datasets, §5.3.3 of the paper).
+    pub fn to_term(&self) -> Term {
+        match self {
+            Value::Iri(s) => Term::Iri(s.clone()),
+            Value::Blank(b) => Term::Blank(b.clone()),
+            Value::Str(s, None) => Term::string(s.clone()),
+            Value::Str(s, Some(lang)) => Term::Literal(Literal::lang_string(s.clone(), lang.clone())),
+            Value::Int(v) => Term::integer(*v),
+            Value::Float(v) => Term::decimal(*v),
+            Value::Bool(v) => Term::boolean(*v),
+            Value::Date(d) => Term::Literal(Literal::typed(d.to_string(), xsd::DATE)),
+            Value::DateTime(d) => Term::Literal(Literal::typed(d.to_string(), xsd::DATE_TIME)),
+            Value::Other(lex, dt) => Term::Literal(Literal::typed(lex.clone(), dt.clone())),
+        }
+    }
+
+    /// Numeric view (with integer → double promotion).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if the value is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// SPARQL effective boolean value (EBV): booleans as-is, numerics false
+    /// iff zero/NaN, strings false iff empty; everything else is an error
+    /// (`None`).
+    pub fn effective_boolean(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(v) => Some(*v != 0),
+            Value::Float(v) => Some(*v != 0.0 && !v.is_nan()),
+            Value::Str(s, _) => Some(!s.is_empty()),
+            _ => None,
+        }
+    }
+
+    /// SPARQL value comparison: `None` when the operands are incomparable
+    /// (type error in FILTER semantics).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Str(a, _), Str(b, _)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (DateTime(a), DateTime(b)) => Some(a.cmp(b)),
+            // xsd:date vs xsd:dateTime: compare on the timeline, treating the
+            // date as midnight (needed for the Fig 1.3 releaseDate filter).
+            (Date(a), DateTime(b)) => {
+                Some((a.day_number() * 86_400_000).cmp(&b.timeline_ms()))
+            }
+            (DateTime(a), Date(b)) => {
+                Some(a.timeline_ms().cmp(&(b.day_number() * 86_400_000)))
+            }
+            (Iri(a), Iri(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// RDF term equality adapted to values: numerics compare by value, other
+    /// types by structural equality.
+    pub fn value_eq(&self, other: &Value) -> bool {
+        match self.compare(other) {
+            Some(ord) => ord == Ordering::Equal,
+            None => self == other,
+        }
+    }
+
+    /// Addition with numeric promotion.
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        numeric_binop(self, other, |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Subtraction with numeric promotion.
+    pub fn sub(&self, other: &Value) -> Option<Value> {
+        numeric_binop(self, other, |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Multiplication with numeric promotion.
+    pub fn mul(&self, other: &Value) -> Option<Value> {
+        numeric_binop(self, other, |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division; integer division produces a decimal per SPARQL semantics.
+    pub fn div(&self, other: &Value) -> Option<Value> {
+        let b = other.as_f64()?;
+        if b == 0.0 {
+            return None;
+        }
+        Some(Value::Float(self.as_f64()? / b))
+    }
+
+    /// String rendering used for sorting keys and display.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Iri(s) => s.clone(),
+            Value::Blank(b) => format!("_:{b}"),
+            Value::Str(s, _) => s.clone(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v}"),
+            Value::Bool(v) => v.to_string(),
+            Value::Date(d) => d.to_string(),
+            Value::DateTime(d) => d.to_string(),
+            Value::Other(lex, _) => lex.clone(),
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    f_op: impl Fn(f64, f64) -> f64,
+) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match int_op(*x, *y) {
+            Some(v) => Some(Value::Int(v)),
+            None => Some(Value::Float(f_op(*x as f64, *y as f64))),
+        },
+        _ => Some(Value::Float(f_op(a.as_f64()?, b.as_f64()?))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn literal_interpretation() {
+        assert_eq!(Value::from_literal(&Literal::integer(42)), Value::Int(42));
+        assert_eq!(
+            Value::from_literal(&Literal::typed("02", xsd::INTEGER)),
+            Value::Int(2)
+        );
+        assert_eq!(Value::from_literal(&Literal::boolean(true)), Value::Bool(true));
+        assert!(matches!(
+            Value::from_literal(&Literal::typed("not-a-number", xsd::INTEGER)),
+            Value::Other(..)
+        ));
+        assert!(matches!(
+            Value::from_literal(&Literal::date(2021, 6, 10)),
+            Value::Date(_)
+        ));
+    }
+
+    #[test]
+    fn numeric_promotion_in_comparison() {
+        assert_eq!(int(10).compare(&Value::Float(9.5)), Some(Ordering::Greater));
+        assert_eq!(int(2).compare(&int(2)), Some(Ordering::Equal));
+        assert!(Value::Str("10".into(), None).compare(&int(9)).is_none());
+    }
+
+    #[test]
+    fn date_vs_datetime_comparison() {
+        let d = Value::Date(Date::parse("2021-06-10").unwrap());
+        let dt = Value::DateTime(DateTime::parse("2021-06-10T08:00:00").unwrap());
+        assert_eq!(d.compare(&dt), Some(Ordering::Less));
+        assert_eq!(dt.compare(&d), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn arithmetic_promotes_and_checks_overflow() {
+        assert_eq!(int(2).add(&int(3)), Some(int(5)));
+        assert_eq!(int(7).div(&int(2)), Some(Value::Float(3.5)));
+        assert_eq!(int(1).div(&int(0)), None);
+        // overflow promotes to float instead of panicking
+        assert!(matches!(int(i64::MAX).add(&int(1)), Some(Value::Float(_))));
+    }
+
+    #[test]
+    fn effective_boolean_value() {
+        assert_eq!(Value::Bool(true).effective_boolean(), Some(true));
+        assert_eq!(int(0).effective_boolean(), Some(false));
+        assert_eq!(Value::Str("".into(), None).effective_boolean(), Some(false));
+        assert_eq!(Value::Str("x".into(), None).effective_boolean(), Some(true));
+        assert_eq!(Value::Iri("http://x".into()).effective_boolean(), None);
+    }
+
+    #[test]
+    fn roundtrip_value_term() {
+        for t in [
+            Term::integer(5),
+            Term::decimal(2.5),
+            Term::boolean(false),
+            Term::string("hello"),
+            Term::iri("http://ex.org/a"),
+            Term::date(2021, 1, 2),
+        ] {
+            let v = Value::from_term(&t);
+            let t2 = v.to_term();
+            assert!(Value::from_term(&t2).value_eq(&v), "{t} -> {t2}");
+        }
+    }
+
+    #[test]
+    fn value_eq_ignores_lexical_variants() {
+        let a = Value::from_literal(&Literal::typed("2", xsd::INTEGER));
+        let b = Value::from_literal(&Literal::typed("2.0", xsd::DECIMAL));
+        assert!(a.value_eq(&b));
+    }
+}

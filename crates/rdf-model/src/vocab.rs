@@ -1,0 +1,64 @@
+//! Well-known RDF vocabularies used throughout the system.
+//!
+//! Only the constants the engine actually interprets are listed; user data may
+//! of course use any IRIs.
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// RDF Schema: classes, properties, and the subsumption relations the
+/// faceted-search model leverages (§5.2.1: `rdfs:subClassOf`,
+/// `rdfs:subPropertyOf`, plus `rdfs:domain`/`rdfs:range` inference).
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+    pub const LITERAL: &str = "http://www.w3.org/2000/01/rdf-schema#Literal";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const GYEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+}
+
+/// The few OWL terms the model recognises (functional properties are the
+/// HIFUN applicability criterion of §4.1.1; named individuals seed the
+/// initial faceted-search state, §5.3.2).
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const FUNCTIONAL_PROPERTY: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
+    pub const NAMED_INDIVIDUAL: &str = "http://www.w3.org/2002/07/owl#NamedIndividual";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn namespaces_prefix_their_terms() {
+        assert!(super::rdf::TYPE.starts_with(super::rdf::NS));
+        assert!(super::rdfs::SUB_CLASS_OF.starts_with(super::rdfs::NS));
+        assert!(super::xsd::INTEGER.starts_with(super::xsd::NS));
+        assert!(super::owl::FUNCTIONAL_PROPERTY.starts_with(super::owl::NS));
+    }
+}

@@ -1,0 +1,214 @@
+//! Sorted triple permutations answering every triple-pattern binding shape
+//! with one contiguous range scan.
+
+use crate::interner::TermId;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// A triple of interned term ids in subject/predicate/object order.
+pub type IdTriple = [TermId; 3];
+
+/// Three sorted permutations of the same triple set: SPO, POS, OSP.
+///
+/// | pattern (bound…) | index | scan |
+/// |---|---|---|
+/// | s p o | SPO | point lookup |
+/// | s p ? | SPO | range `[s,p,·]` |
+/// | s ? ? | SPO | range `[s,·,·]` |
+/// | s ? o | OSP | range `[o,s,·]` |
+/// | ? p o | POS | range `[p,o,·]` |
+/// | ? p ? | POS | range `[p,·,·]` |
+/// | ? ? o | OSP | range `[o,·,·]` |
+/// | ? ? ? | SPO | full scan |
+#[derive(Debug, Default, Clone)]
+pub struct TripleIndex {
+    spo: BTreeSet<IdTriple>,
+    pos: BTreeSet<IdTriple>,
+    osp: BTreeSet<IdTriple>,
+}
+
+const MIN: TermId = TermId(0);
+const MAX: TermId = TermId(u32::MAX);
+
+impl TripleIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TripleIndex::default()
+    }
+
+    /// Insert a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: IdTriple) -> bool {
+        let [s, p, o] = t;
+        if !self.spo.insert([s, p, o]) {
+            return false;
+        }
+        self.pos.insert([p, o, s]);
+        self.osp.insert([o, s, p]);
+        true
+    }
+
+    /// Remove a triple; returns `false` if it was absent.
+    pub fn remove(&mut self, t: IdTriple) -> bool {
+        let [s, p, o] = t;
+        if !self.spo.remove(&[s, p, o]) {
+            return false;
+        }
+        self.pos.remove(&[p, o, s]);
+        self.osp.remove(&[o, s, p]);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: IdTriple) -> bool {
+        self.spo.contains(&t)
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterate all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// All triples matching the pattern, where `None` is a wildcard.
+    /// Results are yielded in `[s, p, o]` order regardless of the index used.
+    pub fn matching<'a>(
+        &'a self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let hit = self.spo.contains(&[s, p, o]);
+                Box::new(hit.then_some([s, p, o]).into_iter())
+            }
+            (Some(s), Some(p), None) => Box::new(range3(&self.spo, s, Some(p))),
+            (Some(s), None, None) => Box::new(range3(&self.spo, s, None)),
+            (Some(s), None, Some(o)) => Box::new(
+                range3(&self.osp, o, Some(s)).map(|[o, s, p]| [s, p, o]),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                range3(&self.pos, p, Some(o)).map(|[p, o, s]| [s, p, o]),
+            ),
+            (None, Some(p), None) => Box::new(
+                range3(&self.pos, p, None).map(|[p, o, s]| [s, p, o]),
+            ),
+            (None, None, Some(o)) => Box::new(
+                range3(&self.osp, o, None).map(|[o, s, p]| [s, p, o]),
+            ),
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
+    /// Count matches without materializing them.
+    pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.matching(s, p, o).count()
+    }
+}
+
+/// Range-scan a permutation on its first one or two components.
+fn range3<'a>(
+    set: &'a BTreeSet<IdTriple>,
+    first: TermId,
+    second: Option<TermId>,
+) -> impl Iterator<Item = IdTriple> + 'a {
+    let (lo, hi) = match second {
+        Some(snd) => ([first, snd, MIN], [first, snd, MAX]),
+        None => ([first, MIN, MIN], [first, MAX, MAX]),
+    };
+    set.range((Bound::Included(lo), Bound::Included(hi))).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut idx = TripleIndex::new();
+        assert!(idx.insert(t(1, 2, 3)));
+        assert!(!idx.insert(t(1, 2, 3)));
+        assert!(idx.contains(t(1, 2, 3)));
+        assert!(idx.remove(t(1, 2, 3)));
+        assert!(!idx.remove(t(1, 2, 3)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn all_eight_patterns() {
+        let mut idx = TripleIndex::new();
+        for trip in [t(1, 10, 100), t(1, 10, 101), t(1, 11, 100), t(2, 10, 100)] {
+            idx.insert(trip);
+        }
+        let m = |s: Option<u32>, p: Option<u32>, o: Option<u32>| -> Vec<IdTriple> {
+            idx.matching(s.map(TermId), p.map(TermId), o.map(TermId)).collect()
+        };
+        assert_eq!(m(Some(1), Some(10), Some(100)), vec![t(1, 10, 100)]);
+        assert_eq!(m(Some(1), Some(10), None).len(), 2);
+        assert_eq!(m(Some(1), None, None).len(), 3);
+        assert_eq!(m(Some(1), None, Some(100)).len(), 2);
+        assert_eq!(m(None, Some(10), Some(100)).len(), 2);
+        assert_eq!(m(None, Some(10), None).len(), 3);
+        assert_eq!(m(None, None, Some(100)).len(), 3);
+        assert_eq!(m(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn matching_yields_spo_ordered_fields() {
+        let mut idx = TripleIndex::new();
+        idx.insert(t(7, 8, 9));
+        for pattern in [
+            (None, Some(TermId(8)), Some(TermId(9))),
+            (Some(TermId(7)), None, Some(TermId(9))),
+            (None, None, Some(TermId(9))),
+        ] {
+            let got: Vec<_> = idx.matching(pattern.0, pattern.1, pattern.2).collect();
+            assert_eq!(got, vec![t(7, 8, 9)]);
+        }
+    }
+
+    proptest! {
+        /// Every pattern's matches equal a brute-force filter over all triples.
+        #[test]
+        fn matches_agree_with_filter(
+            triples in proptest::collection::vec((0u32..8, 0u32..8, 0u32..8), 0..60),
+            s in proptest::option::of(0u32..8),
+            p in proptest::option::of(0u32..8),
+            o in proptest::option::of(0u32..8),
+        ) {
+            let mut idx = TripleIndex::new();
+            let mut set = std::collections::BTreeSet::new();
+            for (a, b, c) in triples {
+                idx.insert(t(a, b, c));
+                set.insert(t(a, b, c));
+            }
+            let expected: Vec<IdTriple> = set
+                .iter()
+                .copied()
+                .filter(|[ts, tp, to]| {
+                    s.is_none_or(|v| ts.0 == v)
+                        && p.is_none_or(|v| tp.0 == v)
+                        && o.is_none_or(|v| to.0 == v)
+                })
+                .collect();
+            let mut got: Vec<IdTriple> =
+                idx.matching(s.map(TermId), p.map(TermId), o.map(TermId)).collect();
+            got.sort();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! RDFS closure materialization.
+//!
+//! Implements the entailment rules the paper's model leverages (§2.1, §5.2.1):
+//!
+//! - **rdfs5/rdfs11** — transitivity of `rdfs:subPropertyOf` / `rdfs:subClassOf`
+//! - **rdfs7** — property inheritance: `(s p o), (p ⊑ q) ⟹ (s q o)`
+//! - **rdfs9** — type propagation: `(x type c), (c ⊑ d) ⟹ (x type d)`
+//! - **rdfs2/rdfs3** — domain/range typing: `(p domain c), (s p o) ⟹ (s type c)`
+//!   (range analogously for resource objects), both lifted through
+//!   superproperties.
+//!
+//! The closure is computed in one pass over the data after the subsumption
+//! DAGs are transitively closed — no global fixpoint is needed because the
+//! rule dependencies are acyclic once the two closures are available.
+
+use crate::index::{IdTriple, TripleIndex};
+use crate::interner::TermId;
+use crate::store::WellKnown;
+use std::collections::{HashMap, HashSet};
+
+/// Compute the inferred-triples layer (triples entailed but not asserted).
+pub fn compute_closure(explicit: &TripleIndex, wk: WellKnown) -> TripleIndex {
+    let sub_class = transitive_closure(explicit, wk.rdfs_subclassof);
+    let sub_prop = transitive_closure(explicit, wk.rdfs_subpropertyof);
+
+    // effective domains/ranges per property, inherited from superproperties
+    let mut domains: HashMap<TermId, HashSet<TermId>> = HashMap::new();
+    let mut ranges: HashMap<TermId, HashSet<TermId>> = HashMap::new();
+    for [p, _, c] in explicit.matching(None, Some(wk.rdfs_domain), None) {
+        domains.entry(p).or_default().insert(c);
+    }
+    for [p, _, c] in explicit.matching(None, Some(wk.rdfs_range), None) {
+        ranges.entry(p).or_default().insert(c);
+    }
+
+    let supers_of = |clo: &HashMap<TermId, HashSet<TermId>>, x: TermId| -> Vec<TermId> {
+        clo.get(&x).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    };
+
+    let mut inferred = TripleIndex::new();
+    let mut add = |t: IdTriple, explicit: &TripleIndex| {
+        if !explicit.contains(t) {
+            inferred.insert(t);
+        }
+    };
+
+    // materialize the transitive subsumption triples themselves
+    for (&c, sups) in &sub_class {
+        for &d in sups {
+            add([c, wk.rdfs_subclassof, d], explicit);
+        }
+    }
+    for (&p, sups) in &sub_prop {
+        for &q in sups {
+            add([p, wk.rdfs_subpropertyof, q], explicit);
+        }
+    }
+
+    // single pass over the data triples
+    for [s, p, o] in explicit.iter() {
+        if p == wk.rdf_type {
+            // rdfs9: propagate to superclasses
+            for d in supers_of(&sub_class, o) {
+                add([s, wk.rdf_type, d], explicit);
+            }
+            continue;
+        }
+        if p == wk.rdfs_subclassof || p == wk.rdfs_subpropertyof {
+            continue; // handled above
+        }
+        // all properties entailed for this triple: p plus its superproperties
+        let mut effective = vec![p];
+        effective.extend(supers_of(&sub_prop, p));
+        for &q in &effective {
+            if q != p {
+                // rdfs7
+                add([s, q, o], explicit);
+            }
+            // rdfs2 + rdfs9
+            if let Some(cs) = domains.get(&q) {
+                for &c in cs {
+                    add([s, wk.rdf_type, c], explicit);
+                    for d in supers_of(&sub_class, c) {
+                        add([s, wk.rdf_type, d], explicit);
+                    }
+                }
+            }
+            // rdfs3 + rdfs9 (only for resource objects; literals have no type
+            // triples in our model)
+            if let Some(cs) = ranges.get(&q) {
+                for &c in cs {
+                    add([o, wk.rdf_type, c], explicit);
+                    for d in supers_of(&sub_class, c) {
+                        add([o, wk.rdf_type, d], explicit);
+                    }
+                }
+            }
+        }
+    }
+    inferred
+}
+
+/// Proper transitive closure of a binary relation stored as triples with
+/// predicate `pred`: maps each node to the set of its *proper* ancestors
+/// (excluding itself unless a cycle makes it its own ancestor).
+fn transitive_closure(
+    index: &TripleIndex,
+    pred: TermId,
+) -> HashMap<TermId, HashSet<TermId>> {
+    let mut direct: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    for [s, _, o] in index.matching(None, Some(pred), None) {
+        if s != o {
+            direct.entry(s).or_default().push(o);
+        }
+    }
+    let mut closure: HashMap<TermId, HashSet<TermId>> = HashMap::new();
+    for &start in direct.keys() {
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut stack: Vec<TermId> = direct.get(&start).cloned().unwrap_or_default();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                if let Some(next) = direct.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        seen.remove(&start);
+        closure.insert(start, seen);
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use rdfa_model::Term;
+
+    const EX: &str = "http://example.org/";
+
+    fn id(store: &mut Store, local: &str) -> TermId {
+        store.intern(&Term::iri(format!("{EX}{local}")))
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"
+                @prefix ex: <{EX}> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:manufacturer rdfs:domain ex:Product ; rdfs:range ex:Company .
+                ex:laptop1 ex:manufacturer ex:DELL .
+                "#
+            ))
+            .unwrap();
+        let laptop1 = id(&mut store, "laptop1");
+        let dell = id(&mut store, "DELL");
+        let product = id(&mut store, "Product");
+        let company = id(&mut store, "Company");
+        let wk = store.well_known();
+        assert!(store.contains([laptop1, wk.rdf_type, product]));
+        assert!(store.contains([dell, wk.rdf_type, company]));
+    }
+
+    #[test]
+    fn deep_subclass_chain() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"
+                @prefix ex: <{EX}> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C .
+                ex:C rdfs:subClassOf ex:D .
+                ex:x a ex:A .
+                "#
+            ))
+            .unwrap();
+        let x = id(&mut store, "x");
+        let wk = store.well_known();
+        for cls in ["B", "C", "D"] {
+            let c = id(&mut store, cls);
+            assert!(store.contains([x, wk.rdf_type, c]), "x should be a {cls}");
+        }
+        // transitive subclass triple materialized
+        let a = id(&mut store, "A");
+        let d = id(&mut store, "D");
+        assert!(store.contains([a, wk.rdfs_subclassof, d]));
+    }
+
+    #[test]
+    fn subproperty_with_inherited_domain() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"
+                @prefix ex: <{EX}> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:producer rdfs:domain ex:Artifact .
+                ex:manufacturer rdfs:subPropertyOf ex:producer .
+                ex:l ex:manufacturer ex:DELL .
+                "#
+            ))
+            .unwrap();
+        let l = id(&mut store, "l");
+        let artifact = id(&mut store, "Artifact");
+        let producer = id(&mut store, "producer");
+        let dell = id(&mut store, "DELL");
+        let wk = store.well_known();
+        assert!(store.contains([l, producer, dell]));
+        assert!(store.contains([l, wk.rdf_type, artifact]));
+    }
+
+    #[test]
+    fn cyclic_subclass_terminates() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"
+                @prefix ex: <{EX}> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:A .
+                ex:x a ex:A .
+                "#
+            ))
+            .unwrap();
+        let x = id(&mut store, "x");
+        let b = id(&mut store, "B");
+        let wk = store.well_known();
+        assert!(store.contains([x, wk.rdf_type, b]));
+    }
+
+    #[test]
+    fn no_spurious_inference_without_schema() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!("@prefix ex: <{EX}> . ex:a ex:p ex:b ."))
+            .unwrap();
+        assert_eq!(store.len_entailed(), store.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Term interning: bijective mapping between [`Term`]s and dense u32 ids.
+
+use rdfa_model::Term;
+use std::collections::HashMap;
+
+/// A dense identifier for an interned term. Ids are assigned sequentially
+/// from 0 and never reused, so they index directly into the interner's
+/// term table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bijective term ↔ id table.
+///
+/// `get_or_intern` is the only way ids are created, so
+/// `term(get_or_intern(t)) == t` and interning is idempotent — both
+/// properties are property-tested.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a term, returning its id (existing or fresh).
+    pub fn get_or_intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Look up the id of a term without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this interner.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.idx()]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.get_or_intern(&Term::iri("http://a"));
+        let b = i.get_or_intern(&Term::iri("http://a"));
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.get_or_intern(&Term::iri("http://a"));
+        let b = i.get_or_intern(&Term::string("http://a")); // literal, not IRI
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.lookup(&Term::iri("http://a")).is_none());
+        assert!(i.is_empty());
+    }
+
+    fn arb_term() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://ex.org/{s}"))),
+            "[a-z]{0,8}".prop_map(Term::string),
+            any::<i64>().prop_map(Term::integer),
+            any::<bool>().prop_map(Term::boolean),
+            "[a-z]{1,4}".prop_map(Term::blank),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(terms in proptest::collection::vec(arb_term(), 0..40)) {
+            let mut i = Interner::new();
+            let ids: Vec<_> = terms.iter().map(|t| i.get_or_intern(t)).collect();
+            for (t, id) in terms.iter().zip(&ids) {
+                prop_assert_eq!(i.term(*id), t);
+                prop_assert_eq!(i.lookup(t), Some(*id));
+            }
+            // bijectivity: number of distinct ids == number of distinct terms
+            let distinct_terms: std::collections::HashSet<_> = terms.iter().collect();
+            let distinct_ids: std::collections::HashSet<_> = ids.iter().collect();
+            prop_assert_eq!(distinct_terms.len(), distinct_ids.len());
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The [`Store`]: interner + explicit and inferred triple layers + schema
+//! helper queries used by the faceted-search model.
+
+use crate::index::{IdTriple, TripleIndex};
+use crate::inference;
+use crate::interner::{Interner, TermId};
+use rdfa_model::{ntriples, turtle, vocab, Graph, Term, Triple};
+use std::collections::{BTreeSet, HashMap};
+
+/// A triple pattern over interned ids; `None` is a wildcard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pattern {
+    pub s: Option<TermId>,
+    pub p: Option<TermId>,
+    pub o: Option<TermId>,
+}
+
+impl Pattern {
+    /// A fully wild pattern.
+    pub fn any() -> Self {
+        Pattern::default()
+    }
+}
+
+/// Ids of the vocabulary terms the store interprets, interned eagerly so hot
+/// paths never hash strings.
+#[derive(Debug, Clone, Copy)]
+pub struct WellKnown {
+    pub rdf_type: TermId,
+    pub rdfs_subclassof: TermId,
+    pub rdfs_subpropertyof: TermId,
+    pub rdfs_domain: TermId,
+    pub rdfs_range: TermId,
+    pub rdfs_class: TermId,
+    pub rdf_property: TermId,
+    pub owl_functional: TermId,
+}
+
+/// In-memory RDF store: explicit triples plus a materialized RDFS closure.
+#[derive(Debug, Clone)]
+pub struct Store {
+    interner: Interner,
+    explicit: TripleIndex,
+    /// Inferred triples **not** present in the explicit layer.
+    inferred: TripleIndex,
+    /// True when the inferred layer is stale w.r.t. the explicit layer.
+    dirty: bool,
+    wk: WellKnown,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        let mut interner = Interner::new();
+        let wk = WellKnown {
+            rdf_type: interner.get_or_intern(&Term::iri(vocab::rdf::TYPE)),
+            rdfs_subclassof: interner.get_or_intern(&Term::iri(vocab::rdfs::SUB_CLASS_OF)),
+            rdfs_subpropertyof: interner.get_or_intern(&Term::iri(vocab::rdfs::SUB_PROPERTY_OF)),
+            rdfs_domain: interner.get_or_intern(&Term::iri(vocab::rdfs::DOMAIN)),
+            rdfs_range: interner.get_or_intern(&Term::iri(vocab::rdfs::RANGE)),
+            rdfs_class: interner.get_or_intern(&Term::iri(vocab::rdfs::CLASS)),
+            rdf_property: interner.get_or_intern(&Term::iri(vocab::rdf::PROPERTY)),
+            owl_functional: interner.get_or_intern(&Term::iri(vocab::owl::FUNCTIONAL_PROPERTY)),
+        };
+        Store {
+            interner,
+            explicit: TripleIndex::new(),
+            inferred: TripleIndex::new(),
+            dirty: false,
+            wk,
+        }
+    }
+
+    /// The interned ids of the interpreted vocabulary.
+    pub fn well_known(&self) -> WellKnown {
+        self.wk
+    }
+
+    // ---- term table ------------------------------------------------------
+
+    /// Intern a term (creating an id if needed).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.interner.get_or_intern(term)
+    }
+
+    /// Intern an IRI string.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.interner.get_or_intern(&Term::iri(iri))
+    }
+
+    /// Look up a term's id without interning.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.interner.lookup(term)
+    }
+
+    /// Look up an IRI's id without interning.
+    pub fn lookup_iri(&self, iri: &str) -> Option<TermId> {
+        self.interner.lookup(&Term::iri(iri))
+    }
+
+    /// Resolve an id back to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.term(id)
+    }
+
+    /// Number of interned terms.
+    pub fn term_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Iterate every interned `(id, term)` pair.
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.interner.iter()
+    }
+
+    // ---- mutation --------------------------------------------------------
+
+    /// Insert a triple of terms. Marks the inference layer stale.
+    pub fn insert(&mut self, t: &Triple) -> bool {
+        let s = self.interner.get_or_intern(&t.subject);
+        let p = self.interner.get_or_intern(&t.predicate);
+        let o = self.interner.get_or_intern(&t.object);
+        self.insert_ids([s, p, o])
+    }
+
+    /// Insert a triple of already-interned ids.
+    pub fn insert_ids(&mut self, t: IdTriple) -> bool {
+        let added = self.explicit.insert(t);
+        if added {
+            self.dirty = true;
+        }
+        added
+    }
+
+    /// Remove an explicit triple (the closure is recomputed lazily).
+    pub fn remove_ids(&mut self, t: IdTriple) -> bool {
+        let removed = self.explicit.remove(t);
+        if removed {
+            self.dirty = true;
+        }
+        removed
+    }
+
+    /// Load a parsed graph and materialize the RDFS closure.
+    pub fn load_graph(&mut self, graph: &Graph) {
+        for t in graph.iter() {
+            self.insert(t);
+        }
+        self.materialize_inference();
+    }
+
+    /// Parse and load a Turtle document.
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, turtle::TurtleError> {
+        let g = turtle::parse(text)?;
+        let n = g.len();
+        self.load_graph(&g);
+        Ok(n)
+    }
+
+    /// Parse and load an N-Triples document.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, String> {
+        let g = ntriples::parse(text)?;
+        let n = g.len();
+        self.load_graph(&g);
+        Ok(n)
+    }
+
+    /// Recompute the inferred layer from the explicit layer (RDFS rules
+    /// 2, 3, 5, 7, 9, 11: domain, range, subPropertyOf transitivity and
+    /// inheritance, subClassOf transitivity and type propagation).
+    pub fn materialize_inference(&mut self) {
+        self.inferred = inference::compute_closure(&self.explicit, self.wk);
+        self.dirty = false;
+    }
+
+    /// True when the inferred layer is stale (insertions since the last
+    /// [`Store::materialize_inference`]). Queries still run but see the old
+    /// closure for inferred triples.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Triples matching a pattern in the **entailed** graph (explicit ∪
+    /// inferred). This is what the interaction model queries (§5.2.1).
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> impl Iterator<Item = IdTriple> + '_ {
+        self.explicit.matching(s, p, o).chain(self.inferred.matching(s, p, o))
+    }
+
+    /// Triples matching a pattern among asserted triples only.
+    pub fn matching_explicit(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> impl Iterator<Item = IdTriple> + '_ {
+        self.explicit.matching(s, p, o)
+    }
+
+    /// Entailed membership test.
+    pub fn contains(&self, t: IdTriple) -> bool {
+        self.explicit.contains(t) || self.inferred.contains(t)
+    }
+
+    /// Number of explicit triples.
+    pub fn len(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// True when no explicit triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.explicit.is_empty()
+    }
+
+    /// Number of entailed triples (explicit + inferred).
+    pub fn len_entailed(&self) -> usize {
+        self.explicit.len() + self.inferred.len()
+    }
+
+    /// Iterate every explicit triple.
+    pub fn iter_explicit(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.explicit.iter()
+    }
+
+    // ---- schema helpers (used by the faceted-search model, §5.3) ----------
+
+    /// Instances of a class under RDFS entailment: `inst(c)` of §5.3.1.
+    pub fn instances(&self, class: TermId) -> BTreeSet<TermId> {
+        self.matching(None, Some(self.wk.rdf_type), Some(class))
+            .map(|[s, _, _]| s)
+            .collect()
+    }
+
+    /// Classes the resource is an entailed instance of.
+    pub fn classes_of(&self, resource: TermId) -> BTreeSet<TermId> {
+        self.matching(Some(resource), Some(self.wk.rdf_type), None)
+            .map(|[_, _, o]| o)
+            .collect()
+    }
+
+    /// All class ids: declared via `rdf:type rdfs:Class`, used as a type, or
+    /// appearing in `rdfs:subClassOf`.
+    pub fn classes(&self) -> BTreeSet<TermId> {
+        let mut out = BTreeSet::new();
+        for [_, _, c] in self.matching(None, Some(self.wk.rdf_type), None) {
+            if c != self.wk.rdfs_class && c != self.wk.rdf_property {
+                out.insert(c);
+            }
+        }
+        for [s, _, _] in self.matching(None, Some(self.wk.rdf_type), Some(self.wk.rdfs_class)) {
+            out.insert(s);
+        }
+        for [s, _, o] in self.matching(None, Some(self.wk.rdfs_subclassof), None) {
+            out.insert(s);
+            out.insert(o);
+        }
+        // instances themselves are not classes; drop anything that is typed
+        // *and* never used as a class
+        let used_as_class: BTreeSet<TermId> = self
+            .matching(None, Some(self.wk.rdf_type), None)
+            .map(|[_, _, c]| c)
+            .chain(
+                self.matching(None, Some(self.wk.rdfs_subclassof), None)
+                    .flat_map(|[s, _, o]| [s, o]),
+            )
+            .chain(
+                self.matching(None, Some(self.wk.rdf_type), Some(self.wk.rdfs_class))
+                    .map(|[s, _, _]| s),
+            )
+            .collect();
+        out.retain(|c| used_as_class.contains(c));
+        out.remove(&self.wk.rdfs_class);
+        out.remove(&self.wk.rdf_property);
+        out
+    }
+
+    /// All property ids: declared `rdf:Property`, used as a predicate of a
+    /// data triple, or appearing in `rdfs:subPropertyOf`.
+    pub fn properties(&self) -> BTreeSet<TermId> {
+        let schema = [
+            self.wk.rdf_type,
+            self.wk.rdfs_subclassof,
+            self.wk.rdfs_subpropertyof,
+            self.wk.rdfs_domain,
+            self.wk.rdfs_range,
+        ];
+        let mut out = BTreeSet::new();
+        for [_, p, _] in self.explicit.iter() {
+            if !schema.contains(&p) {
+                out.insert(p);
+            }
+        }
+        for [s, _, _] in self.matching(None, Some(self.wk.rdf_type), Some(self.wk.rdf_property)) {
+            out.insert(s);
+        }
+        for [s, _, o] in self.matching(None, Some(self.wk.rdfs_subpropertyof), None) {
+            out.insert(s);
+            out.insert(o);
+        }
+        out
+    }
+
+    /// Direct (asserted) subclasses of `c`, excluding `c` itself.
+    pub fn direct_subclasses(&self, c: TermId) -> BTreeSet<TermId> {
+        self.matching_explicit(None, Some(self.wk.rdfs_subclassof), Some(c))
+            .map(|[s, _, _]| s)
+            .filter(|&s| s != c)
+            .collect()
+    }
+
+    /// All entailed subclasses of `c` (reflexive: includes `c`).
+    pub fn subclass_closure(&self, c: TermId) -> BTreeSet<TermId> {
+        let mut out: BTreeSet<TermId> = self
+            .matching(None, Some(self.wk.rdfs_subclassof), Some(c))
+            .map(|[s, _, _]| s)
+            .collect();
+        out.insert(c);
+        out
+    }
+
+    /// All entailed superclasses of `c` (reflexive).
+    pub fn superclass_closure(&self, c: TermId) -> BTreeSet<TermId> {
+        let mut out: BTreeSet<TermId> = self
+            .matching(Some(c), Some(self.wk.rdfs_subclassof), None)
+            .map(|[_, _, o]| o)
+            .collect();
+        out.insert(c);
+        out
+    }
+
+    /// Maximal (top-level) classes: classes with no proper superclass
+    /// (`maximal≤cl(C)` of §5.3.2).
+    pub fn maximal_classes(&self) -> Vec<TermId> {
+        self.classes()
+            .into_iter()
+            .filter(|&c| {
+                self.matching(Some(c), Some(self.wk.rdfs_subclassof), None)
+                    .all(|[_, _, sup]| sup == c)
+            })
+            .collect()
+    }
+
+    /// Maximal properties w.r.t. `rdfs:subPropertyOf`.
+    pub fn maximal_properties(&self) -> Vec<TermId> {
+        self.properties()
+            .into_iter()
+            .filter(|&p| {
+                self.matching(Some(p), Some(self.wk.rdfs_subpropertyof), None)
+                    .all(|[_, _, sup]| sup == p)
+            })
+            .collect()
+    }
+
+    /// Direct (asserted) subproperties of `p`, excluding `p`.
+    pub fn direct_subproperties(&self, p: TermId) -> BTreeSet<TermId> {
+        self.matching_explicit(None, Some(self.wk.rdfs_subpropertyof), Some(p))
+            .map(|[s, _, _]| s)
+            .filter(|&s| s != p)
+            .collect()
+    }
+
+    /// True if `p` is declared an `owl:FunctionalProperty` **or** is
+    /// effectively functional in the data (every subject has ≤ 1 value) —
+    /// the HIFUN applicability criterion of §4.1.1.
+    pub fn is_effectively_functional(&self, p: TermId) -> bool {
+        if self.contains([p, self.wk.rdf_type, self.wk.owl_functional]) {
+            return true;
+        }
+        let mut last_subject: Option<TermId> = None;
+        for [s, _, _] in self.matching_explicit(None, Some(p), None) {
+            if last_subject == Some(s) {
+                return false;
+            }
+            last_subject = Some(s);
+        }
+        true
+    }
+
+    /// Per-subject value counts for a property (used by feature operators).
+    pub fn value_counts(&self, p: TermId) -> HashMap<TermId, usize> {
+        let mut counts = HashMap::new();
+        for [s, _, _] in self.matching_explicit(None, Some(p), None) {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Export the explicit triples as a [`Graph`] of owned terms.
+    pub fn to_graph(&self) -> Graph {
+        self.explicit
+            .iter()
+            .map(|[s, p, o]| {
+                Triple::new(self.term(s).clone(), self.term(p).clone(), self.term(o).clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX: &str = "http://example.org/";
+
+    fn products_store() -> Store {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"
+                @prefix ex: <{EX}> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:Laptop rdfs:subClassOf ex:Product .
+                ex:HDType rdfs:subClassOf ex:Product .
+                ex:SSD rdfs:subClassOf ex:HDType .
+                ex:manufacturer rdfs:subPropertyOf ex:producer .
+                ex:laptop1 a ex:Laptop ; ex:manufacturer ex:DELL ; ex:price 900 .
+                ex:ssd1 a ex:SSD .
+                "#
+            ))
+            .unwrap();
+        store
+    }
+
+    fn iri(store: &Store, local: &str) -> TermId {
+        store.lookup_iri(&format!("{EX}{local}")).unwrap()
+    }
+
+    #[test]
+    fn load_and_match() {
+        let store = products_store();
+        let laptop1 = iri(&store, "laptop1");
+        assert!(store.matching(Some(laptop1), None, None).count() >= 3);
+    }
+
+    #[test]
+    fn subclass_inference_extends_instances() {
+        let store = products_store();
+        let product = iri(&store, "Product");
+        let insts = store.instances(product);
+        assert_eq!(insts.len(), 2); // laptop1 via Laptop, ssd1 via SSD→HDType→Product
+    }
+
+    #[test]
+    fn subproperty_inference_adds_triples() {
+        let store = products_store();
+        let producer = iri(&store, "producer");
+        let laptop1 = iri(&store, "laptop1");
+        let dell = iri(&store, "DELL");
+        assert!(store.contains([laptop1, producer, dell]));
+        // but not asserted
+        assert_eq!(store.matching_explicit(Some(laptop1), Some(producer), None).count(), 0);
+    }
+
+    #[test]
+    fn maximal_classes_and_properties() {
+        let store = products_store();
+        let maxc = store.maximal_classes();
+        let product = iri(&store, "Product");
+        assert!(maxc.contains(&product));
+        assert!(!maxc.contains(&iri(&store, "Laptop")));
+        let maxp = store.maximal_properties();
+        assert!(maxp.contains(&iri(&store, "producer")));
+        assert!(!maxp.contains(&iri(&store, "manufacturer")));
+    }
+
+    #[test]
+    fn effectively_functional_detection() {
+        let mut store = products_store();
+        let price = iri(&store, "price");
+        assert!(store.is_effectively_functional(price));
+        // add a second price to laptop1 → no longer functional
+        store
+            .load_turtle(&format!("@prefix ex: <{EX}> . ex:laptop1 ex:price 950 ."))
+            .unwrap();
+        let price = iri(&store, "price");
+        assert!(!store.is_effectively_functional(price));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut store = Store::new();
+        assert!(!store.is_dirty());
+        store.insert(&Triple::new(Term::iri("http://s"), Term::iri("http://p"), Term::integer(1)));
+        assert!(store.is_dirty());
+        store.materialize_inference();
+        assert!(!store.is_dirty());
+    }
+
+    #[test]
+    fn classes_excludes_instances() {
+        let store = products_store();
+        let classes = store.classes();
+        assert!(classes.contains(&iri(&store, "Laptop")));
+        assert!(classes.contains(&iri(&store, "Product")));
+        assert!(!classes.contains(&iri(&store, "laptop1")));
+        assert!(!classes.contains(&iri(&store, "DELL")));
+    }
+
+    #[test]
+    fn subclass_closure_is_reflexive_transitive() {
+        let store = products_store();
+        let product = iri(&store, "Product");
+        let clo = store.subclass_closure(product);
+        for name in ["Product", "Laptop", "HDType", "SSD"] {
+            assert!(clo.contains(&iri(&store, name)), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn to_graph_roundtrip() {
+        let store = products_store();
+        let g = store.to_graph();
+        let mut store2 = Store::new();
+        store2.load_graph(&g);
+        assert_eq!(store.len(), store2.len());
+    }
+
+    #[test]
+    fn remove_marks_dirty_and_removes() {
+        let mut store = products_store();
+        let laptop1 = iri(&store, "laptop1");
+        let price = iri(&store, "price");
+        let t = store
+            .matching_explicit(Some(laptop1), Some(price), None)
+            .next()
+            .unwrap();
+        assert!(store.remove_ids(t));
+        assert!(store.is_dirty());
+        store.materialize_inference();
+        assert_eq!(store.matching(Some(laptop1), Some(price), None).count(), 0);
+    }
+}

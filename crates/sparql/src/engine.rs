@@ -1,0 +1,585 @@
+//! The public query interface: parse + evaluate in one call.
+
+use crate::ast::QueryForm;
+use crate::eval::{EvalOptions, Evaluator};
+use crate::parser::parse_query;
+use crate::results::QueryResults;
+use crate::SparqlError;
+use rdfa_store::Store;
+
+/// A query engine bound to a store.
+pub struct Engine<'s> {
+    store: &'s Store,
+    options: EvalOptions,
+}
+
+impl<'s> Engine<'s> {
+    /// Engine with default options (BGP reordering on).
+    pub fn new(store: &'s Store) -> Self {
+        Engine { store, options: EvalOptions::default() }
+    }
+
+    /// Engine with explicit evaluation options.
+    pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
+        Engine { store, options }
+    }
+
+    /// Parse and evaluate a query.
+    pub fn query(&self, text: &str) -> Result<QueryResults, SparqlError> {
+        let query = parse_query(text)?;
+        let ev = Evaluator::with_options(self.store, self.options);
+        match query.form {
+            QueryForm::Select(q) => Ok(QueryResults::Solutions(ev.eval_select(&q)?)),
+            QueryForm::Construct { template, where_ } => {
+                Ok(QueryResults::Graph(ev.eval_construct(&template, &where_)?))
+            }
+            QueryForm::Ask(where_) => Ok(QueryResults::Boolean(ev.eval_ask(&where_)?)),
+            QueryForm::Describe(resources) => {
+                Ok(QueryResults::Graph(self.describe(&resources)))
+            }
+        }
+    }
+
+    /// Concise bounded description: outgoing triples of each resource,
+    /// expanded recursively through blank-node objects.
+    fn describe(&self, resources: &[rdfa_model::Term]) -> rdfa_model::Graph {
+        use rdfa_model::{Graph, Term, Triple};
+        let mut graph = Graph::new();
+        let mut queue: Vec<rdfa_store::TermId> =
+            resources.iter().filter_map(|t| self.store.lookup(t)).collect();
+        let mut seen: std::collections::HashSet<rdfa_store::TermId> =
+            queue.iter().copied().collect();
+        while let Some(s) = queue.pop() {
+            for [s2, p, o] in self.store.matching_explicit(Some(s), None, None) {
+                graph.push(Triple::new(
+                    self.store.term(s2).clone(),
+                    self.store.term(p).clone(),
+                    self.store.term(o).clone(),
+                ));
+                if matches!(self.store.term(o), Term::Blank(_)) && seen.insert(o) {
+                    queue.push(o);
+                }
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_model::{Term, Value};
+
+    const DATA: &str = r#"
+        @prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Laptop rdfs:subClassOf ex:Product .
+        ex:l1 a ex:Laptop ; ex:price 900 ; ex:manufacturer ex:DELL ;
+              ex:releaseDate "2021-06-10"^^xsd:date ; ex:usb 2 .
+        ex:l2 a ex:Laptop ; ex:price 1000 ; ex:manufacturer ex:DELL ;
+              ex:releaseDate "2020-03-01"^^xsd:date ; ex:usb 4 .
+        ex:l3 a ex:Laptop ; ex:price 820 ; ex:manufacturer ex:ACER ;
+              ex:releaseDate "2021-09-03"^^xsd:date ; ex:usb 2 .
+        ex:DELL ex:origin ex:USA .
+        ex:ACER ex:origin ex:Taiwan .
+        ex:inv1 ex:takesPlaceAt ex:branch1 ; ex:inQuantity 200 ; ex:delivers ex:p1 .
+        ex:inv2 ex:takesPlaceAt ex:branch1 ; ex:inQuantity 100 ; ex:delivers ex:p2 .
+        ex:inv3 ex:takesPlaceAt ex:branch2 ; ex:inQuantity 400 ; ex:delivers ex:p1 .
+    "#;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(DATA).unwrap();
+        s
+    }
+
+    fn rows(store: &Store, q: &str) -> crate::results::Solutions {
+        Engine::new(store)
+            .query(q)
+            .unwrap_or_else(|e| panic!("{e}: {q}"))
+            .into_solutions()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_select() {
+        let s = store();
+        let r = rows(&s, "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . }");
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn inference_visible_to_queries() {
+        let s = store();
+        let r = rows(&s, "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Product . }");
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_and_filter() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE { ?x a ex:Laptop ; ex:price ?p . FILTER(?p < 950) }"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn group_by_with_avg() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?m (AVG(?p) AS ?avg)
+               WHERE { ?x ex:manufacturer ?m ; ex:price ?p . }
+               GROUP BY ?m ORDER BY ?m"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+        // ACER first alphabetically
+        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/ACER")));
+        let avg = Value::from_term(r.rows[0][1].as_ref().unwrap());
+        assert!(avg.value_eq(&Value::Float(820.0)));
+        let avg_dell = Value::from_term(r.rows[1][1].as_ref().unwrap());
+        assert!(avg_dell.value_eq(&Value::Float(950.0)));
+    }
+
+    #[test]
+    fn sum_count_min_max() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT (SUM(?q) AS ?s) (COUNT(?q) AS ?c) (MIN(?q) AS ?lo) (MAX(?q) AS ?hi)
+               WHERE { ?i ex:inQuantity ?q . }"#,
+        );
+        assert_eq!(r.rows.len(), 1);
+        let get = |i: usize| Value::from_term(r.rows[0][i].as_ref().unwrap());
+        assert!(get(0).value_eq(&Value::Int(700)));
+        assert!(get(1).value_eq(&Value::Int(3)));
+        assert!(get(2).value_eq(&Value::Int(100)));
+        assert!(get(3).value_eq(&Value::Int(400)));
+    }
+
+    #[test]
+    fn having_clause() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?b (SUM(?q) AS ?t)
+               WHERE { ?i ex:takesPlaceAt ?b ; ex:inQuantity ?q . }
+               GROUP BY ?b
+               HAVING (SUM(?q) > 300)"#,
+        );
+        // branch1 totals 300 (excluded by > 300); branch2 totals 400 (kept)
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+    }
+
+    #[test]
+    fn having_excludes_at_threshold() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?b (SUM(?q) AS ?t)
+               WHERE { ?i ex:takesPlaceAt ?b ; ex:inQuantity ?q . }
+               GROUP BY ?b HAVING (SUM(?q) >= 400)"#,
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+    }
+
+    #[test]
+    fn property_path_in_query() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE { ?x ex:manufacturer/ex:origin ex:USA . }"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?o WHERE {
+                 ?x a ex:Laptop .
+                 OPTIONAL { ?x ex:nonexistent ?o . }
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows.iter().all(|row| row[1].is_none()));
+    }
+
+    #[test]
+    fn union_merges() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 { ?x ex:manufacturer ex:DELL . } UNION { ?x ex:manufacturer ex:ACER . }
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn date_filter_matches_paper_fig_1_3_style() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               SELECT ?x WHERE {
+                 ?x ex:releaseDate ?rd .
+                 FILTER(?rd >= "2021-01-01"^^xsd:date && ?rd <= "2021-12-31"^^xsd:date)
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn year_derived_attribute_group() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT (YEAR(?rd) AS ?y) (COUNT(*) AS ?n)
+               WHERE { ?x ex:releaseDate ?rd . }
+               GROUP BY YEAR(?rd) ORDER BY ?y"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Some(Term::integer(2020)));
+        assert_eq!(r.rows[1][1], Some(Term::integer(2)));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let s = store();
+        let r = rows(
+            &s,
+            "PREFIX ex: <http://example.org/> SELECT DISTINCT ?m WHERE { ?x ex:manufacturer ?m . }",
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?p WHERE { ?x ex:price ?p . } ORDER BY DESC(?p) LIMIT 2"#,
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Some(Term::integer(1000)));
+        let r2 = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?p WHERE { ?x ex:price ?p . } ORDER BY ?p OFFSET 1 LIMIT 1"#,
+        );
+        assert_eq!(r2.rows[0][1], Some(Term::integer(900)));
+    }
+
+    #[test]
+    fn subselect_join() {
+        let s = store();
+        // total per branch via subselect, then restrict to branches over 300
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?b ?t WHERE {
+                 { SELECT ?b (SUM(?q) AS ?t)
+                   WHERE { ?i ex:takesPlaceAt ?b ; ex:inQuantity ?q . } GROUP BY ?b }
+                 FILTER(?t >= 400)
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+    }
+
+    #[test]
+    fn bind_extends_rows() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?p2 WHERE { ?x ex:price ?p . BIND(?p * 2 AS ?p2) } ORDER BY ?p2"#,
+        );
+        assert_eq!(r.rows[0][1], Some(Term::integer(1640)));
+    }
+
+    #[test]
+    fn values_restricts() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE { ?x ex:manufacturer ?m . VALUES ?m { ex:ACER } }"#,
+        );
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn construct_derives_graph() {
+        let s = store();
+        let g = Engine::new(&s)
+            .query(
+                r#"PREFIX ex: <http://example.org/>
+                   CONSTRUCT { ?x ex:cheap true }
+                   WHERE { ?x ex:price ?p . FILTER(?p < 900) }"#,
+            )
+            .unwrap();
+        let graph = g.graph().unwrap();
+        assert_eq!(graph.len(), 1);
+    }
+
+    #[test]
+    fn ask_query() {
+        let s = store();
+        let yes = Engine::new(&s)
+            .query("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 900 . }")
+            .unwrap();
+        assert_eq!(yes.boolean(), Some(true));
+        let no = Engine::new(&s)
+            .query("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 1 . }")
+            .unwrap();
+        assert_eq!(no.boolean(), Some(false));
+    }
+
+    #[test]
+    fn count_star_on_empty_is_zero() {
+        let s = store();
+        let r = rows(
+            &s,
+            "PREFIX ex: <http://example.org/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:missing ?y . }",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Some(Term::integer(0)));
+    }
+
+    #[test]
+    fn variable_predicate() {
+        let s = store();
+        let r = rows(
+            &s,
+            "PREFIX ex: <http://example.org/> SELECT DISTINCT ?p WHERE { ex:l1 ?p ?o . }",
+        );
+        assert!(r.rows.len() >= 5);
+    }
+
+    #[test]
+    fn reorder_matches_naive_results() {
+        let s = store();
+        let q = r#"PREFIX ex: <http://example.org/>
+            SELECT ?x ?m WHERE {
+              ?x a ex:Laptop . ?x ex:manufacturer ?m . ?m ex:origin ex:USA .
+            } ORDER BY ?x"#;
+        let fast = rows(&s, q);
+        let naive = Engine::with_options(&s, EvalOptions { reorder_bgp: false })
+            .query(q)
+            .unwrap()
+            .into_solutions()
+            .unwrap();
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn group_concat_and_sample() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT (GROUP_CONCAT(?m) AS ?ms) (SAMPLE(?m) AS ?one)
+               WHERE { ?x ex:manufacturer ?m . }"#,
+        );
+        let joined = r.rows[0][0].as_ref().unwrap().display_name();
+        assert!(joined.contains("DELL"));
+        assert!(r.rows[0][1].is_some());
+    }
+
+    #[test]
+    fn filter_scoped_to_whole_group_regardless_of_position() {
+        // the FILTER references ?p although it appears before the pattern
+        // binding ?p — SPARQL scopes filters to the group, not the prefix
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 FILTER(?p > 900)
+                 ?x ex:price ?p .
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn nested_optional() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?c ?o WHERE {
+                 ?x a ex:Laptop .
+                 OPTIONAL {
+                   ?x ex:manufacturer ?c .
+                   OPTIONAL { ?c ex:origin ?o . }
+                 }
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 3);
+        // every laptop has a manufacturer with an origin in this fixture
+        assert!(r.rows.iter().all(|row| row[1].is_some() && row[2].is_some()));
+    }
+
+    #[test]
+    fn optional_with_inner_filter() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?p WHERE {
+                 ?x a ex:Laptop .
+                 OPTIONAL { ?x ex:price ?p . FILTER(?p > 900) }
+               } ORDER BY ?x"#,
+        );
+        assert_eq!(r.rows.len(), 3);
+        // only l2 (price 1000) keeps a binding
+        let bound: Vec<bool> = r.rows.iter().map(|row| row[1].is_some()).collect();
+        assert_eq!(bound, vec![false, true, false]);
+    }
+
+    #[test]
+    fn union_inside_optional() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?v WHERE {
+                 ?x a ex:Laptop .
+                 OPTIONAL {
+                   { ?x ex:usb ?v . } UNION { ?x ex:price ?v . }
+                 }
+               }"#,
+        );
+        // each laptop contributes 2 rows (usb + price)
+        assert_eq!(r.rows.len(), 6);
+    }
+
+    #[test]
+    fn describe_returns_outgoing_triples() {
+        let s = store();
+        let g = Engine::new(&s)
+            .query("PREFIX ex: <http://example.org/> DESCRIBE ex:l1")
+            .unwrap();
+        let graph = g.graph().unwrap();
+        assert_eq!(graph.len(), 5); // type, price, manufacturer, releaseDate, usb
+        assert!(graph
+            .iter()
+            .all(|t| t.subject == Term::iri("http://example.org/l1")));
+    }
+
+    #[test]
+    fn describe_expands_blank_nodes() {
+        let mut s = Store::new();
+        s.load_turtle(
+            "@prefix ex: <http://example.org/> . ex:a ex:p _:b1 . _:b1 ex:q 5 .",
+        )
+        .unwrap();
+        let g = Engine::new(&s)
+            .query("PREFIX ex: <http://example.org/> DESCRIBE ex:a")
+            .unwrap();
+        assert_eq!(g.graph().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn minus_removes_compatible_rows() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 ?x a ex:Laptop .
+                 MINUS { ?x ex:manufacturer ex:DELL . }
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 1); // only the ACER laptop survives
+        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/l3")));
+    }
+
+    #[test]
+    fn minus_without_shared_vars_removes_nothing() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 ?x a ex:Laptop .
+                 MINUS { ?y ex:manufacturer ex:DELL . }
+               }"#,
+        );
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn filter_exists_and_not_exists() {
+        let s = store();
+        let with = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 ?x a ex:Laptop .
+                 FILTER EXISTS { ?x ex:manufacturer ?m . ?m ex:origin ex:USA . }
+               }"#,
+        );
+        assert_eq!(with.rows.len(), 2);
+        let without = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 ?x a ex:Laptop .
+                 FILTER NOT EXISTS { ?x ex:manufacturer ?m . ?m ex:origin ex:USA . }
+               }"#,
+        );
+        assert_eq!(without.rows.len(), 1);
+    }
+
+    #[test]
+    fn string_builtins_strbefore_after_replace() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"SELECT ?a ?b ?c ?d WHERE {
+                 BIND(STRBEFORE("laptop-15", "-") AS ?a)
+                 BIND(STRAFTER("laptop-15", "-") AS ?b)
+                 BIND(REPLACE("a.b.c", ".", "/") AS ?c)
+                 BIND(ENCODE_FOR_URI("a b/c") AS ?d)
+               }"#,
+        );
+        assert_eq!(r.rows[0][0].as_ref().unwrap().display_name(), "laptop");
+        assert_eq!(r.rows[0][1].as_ref().unwrap().display_name(), "15");
+        assert_eq!(r.rows[0][2].as_ref().unwrap().display_name(), "a/b/c");
+        assert_eq!(r.rows[0][3].as_ref().unwrap().display_name(), "a%20b%2Fc");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = store();
+        let r = rows(
+            &s,
+            r#"PREFIX ex: <http://example.org/>
+               SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?x ex:manufacturer ?m . }"#,
+        );
+        assert_eq!(r.rows[0][0], Some(Term::integer(2)));
+    }
+}

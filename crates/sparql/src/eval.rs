@@ -1,0 +1,998 @@
+//! Bottom-up evaluation of the SPARQL algebra over the store.
+//!
+//! Bindings are rows of [`Bound`] slots indexed by a per-query [`Frame`].
+//! Basic graph patterns are evaluated by index nested-loop joins; a greedy
+//! selectivity heuristic reorders patterns unless disabled (the join-order
+//! ablation of DESIGN.md).
+
+use crate::ast::*;
+use crate::expr::{bound_term, eval_expr};
+use crate::path::eval_path;
+use crate::results::Solutions;
+use crate::SparqlError;
+use rdfa_model::{Graph, Term, Value};
+use rdfa_store::{Store, TermId};
+use std::collections::HashMap;
+
+/// A bound value: an interned term or a computed (owned) term.
+#[derive(Debug, Clone)]
+pub enum Bound {
+    Id(TermId),
+    Term(Term),
+}
+
+/// One solution row: a slot per frame variable.
+pub type Row = Vec<Option<Bound>>;
+
+/// The variable frame of one (sub)query scope.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    names: Vec<String>,
+}
+
+impl Frame {
+    /// Build a frame over the given variable names.
+    pub fn new(names: Vec<String>) -> Self {
+        Frame { names }
+    }
+
+    /// Slot index of a variable.
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the frame has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The variable names in slot order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn add(&mut self, name: &str) {
+        if !self.names.iter().any(|n| n == name) {
+            self.names.push(name.to_owned());
+        }
+    }
+}
+
+/// Evaluation options (the ablation switches).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Reorder BGP patterns by estimated selectivity (default true).
+    pub reorder_bgp: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { reorder_bgp: true }
+    }
+}
+
+/// The evaluator: borrows the store for the duration of a query.
+pub struct Evaluator<'s> {
+    store: &'s Store,
+    options: EvalOptions,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Create an evaluator with default options.
+    pub fn new(store: &'s Store) -> Self {
+        Evaluator { store, options: EvalOptions::default() }
+    }
+
+    /// Create an evaluator with explicit options.
+    pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
+        Evaluator { store, options }
+    }
+
+    // ---- frames ------------------------------------------------------------
+
+    /// Collect every variable occurring in a group pattern (and nested ones).
+    pub(crate) fn collect_vars(group: &GroupPattern, frame: &mut Frame) {
+        for el in &group.elements {
+            match el {
+                PatternElement::Triple(t) => {
+                    if let TermPattern::Var(v) = &t.subject {
+                        frame.add(v);
+                    }
+                    if let PathOrVar::Var(v) = &t.predicate {
+                        frame.add(v);
+                    }
+                    if let TermPattern::Var(v) = &t.object {
+                        frame.add(v);
+                    }
+                }
+                PatternElement::Filter(e) => {
+                    let mut vars = Vec::new();
+                    e.variables(&mut vars);
+                    for v in vars {
+                        frame.add(&v);
+                    }
+                }
+                PatternElement::Optional(g) | PatternElement::Group(g) => {
+                    Self::collect_vars(g, frame);
+                }
+                PatternElement::Union(arms) => {
+                    for arm in arms {
+                        Self::collect_vars(arm, frame);
+                    }
+                }
+                PatternElement::Bind(e, v) => {
+                    let mut vars = Vec::new();
+                    e.variables(&mut vars);
+                    for v in vars {
+                        frame.add(&v);
+                    }
+                    frame.add(v);
+                }
+                PatternElement::Values(vars, _) => {
+                    for v in vars {
+                        frame.add(v);
+                    }
+                }
+                PatternElement::SubSelect(sub) => {
+                    // only the sub-select's projected vars join the outer scope
+                    for name in sub_projection_names(sub) {
+                        frame.add(&name);
+                    }
+                }
+                PatternElement::Minus(g) => {
+                    // MINUS vars participate only for compatibility checks;
+                    // registering them is harmless (slots stay unbound)
+                    Self::collect_vars(g, frame);
+                }
+            }
+        }
+    }
+
+    // ---- entry points ------------------------------------------------------
+
+    /// Evaluate a SELECT query to a solution table.
+    pub fn eval_select(&self, q: &SelectQuery) -> Result<Solutions, SparqlError> {
+        let mut frame = Frame::default();
+        Self::collect_vars(&q.where_, &mut frame);
+        let rows = self.eval_group(&q.where_, &frame, vec![vec![None; frame.len()]])?;
+        self.finish_select(q, &frame, rows)
+    }
+
+    /// Evaluate a CONSTRUCT query to a graph.
+    pub fn eval_construct(
+        &self,
+        template: &[TriplePattern],
+        where_: &GroupPattern,
+    ) -> Result<Graph, SparqlError> {
+        let mut frame = Frame::default();
+        Self::collect_vars(where_, &mut frame);
+        let rows = self.eval_group(where_, &frame, vec![vec![None; frame.len()]])?;
+        let mut graph = Graph::new();
+        let mut blank_counter = 0usize;
+        for row in &rows {
+            let mut blank_map: HashMap<String, String> = HashMap::new();
+            for tp in template {
+                let s = self.instantiate(&tp.subject, row, &frame, &mut blank_map, &mut blank_counter);
+                let p = match &tp.predicate {
+                    PathOrVar::Var(v) => frame
+                        .index(v)
+                        .and_then(|i| row[i].as_ref())
+                        .map(|b| bound_term(b, self.store).clone()),
+                    PathOrVar::Path(PropertyPath::Iri(iri)) => Some(Term::iri(iri.clone())),
+                    PathOrVar::Path(_) => None,
+                };
+                let o = self.instantiate(&tp.object, row, &frame, &mut blank_map, &mut blank_counter);
+                if let (Some(s), Some(p), Some(o)) = (s, p, o) {
+                    graph.add(s, p, o);
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    fn instantiate(
+        &self,
+        tp: &TermPattern,
+        row: &Row,
+        frame: &Frame,
+        blank_map: &mut HashMap<String, String>,
+        counter: &mut usize,
+    ) -> Option<Term> {
+        match tp {
+            TermPattern::Var(v) => frame
+                .index(v)
+                .and_then(|i| row[i].as_ref())
+                .map(|b| bound_term(b, self.store).clone()),
+            TermPattern::Term(Term::Blank(label)) => {
+                // fresh blank node per solution row, but stable within a row
+                let name = blank_map.entry(label.clone()).or_insert_with(|| {
+                    *counter += 1;
+                    format!("c{counter}")
+                });
+                Some(Term::blank(name.clone()))
+            }
+            TermPattern::Term(t) => Some(t.clone()),
+        }
+    }
+
+    /// Evaluate an ASK query.
+    pub fn eval_ask(&self, where_: &GroupPattern) -> Result<bool, SparqlError> {
+        let mut frame = Frame::default();
+        Self::collect_vars(where_, &mut frame);
+        let rows = self.eval_group(where_, &frame, vec![vec![None; frame.len()]])?;
+        Ok(!rows.is_empty())
+    }
+
+    // ---- group evaluation ---------------------------------------------------
+
+    /// Evaluate a group pattern, extending `input` rows. Filters are scoped
+    /// to the whole group and applied at its end, per SPARQL semantics.
+    pub(crate) fn eval_group(
+        &self,
+        group: &GroupPattern,
+        frame: &Frame,
+        input: Vec<Row>,
+    ) -> Result<Vec<Row>, SparqlError> {
+        let mut rows = input;
+        let mut filters: Vec<&Expr> = Vec::new();
+        let mut i = 0;
+        let els = &group.elements;
+        while i < els.len() {
+            match &els[i] {
+                PatternElement::Triple(_) => {
+                    // gather the maximal run of adjacent triples as one BGP
+                    let mut bgp: Vec<&TriplePattern> = Vec::new();
+                    while i < els.len() {
+                        if let PatternElement::Triple(t) = &els[i] {
+                            bgp.push(t);
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    rows = self.eval_bgp(&bgp, frame, rows)?;
+                    continue;
+                }
+                PatternElement::Filter(e) => filters.push(e),
+                PatternElement::Optional(g) => {
+                    let mut next = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let extended = self.eval_group(g, frame, vec![row.clone()])?;
+                        if extended.is_empty() {
+                            next.push(row);
+                        } else {
+                            next.extend(extended);
+                        }
+                    }
+                    rows = next;
+                }
+                PatternElement::Union(arms) => {
+                    let mut next = Vec::new();
+                    for arm in arms {
+                        next.extend(self.eval_group(arm, frame, rows.clone())?);
+                    }
+                    rows = next;
+                }
+                PatternElement::Group(g) => {
+                    rows = self.eval_group(g, frame, rows)?;
+                }
+                PatternElement::Bind(e, v) => {
+                    let slot = frame
+                        .index(v)
+                        .ok_or_else(|| SparqlError::new(format!("unknown BIND var ?{v}")))?;
+                    for row in &mut rows {
+                        let val = eval_expr(e, row, frame, self.store);
+                        row[slot] = val.map(|v| Bound::Term(v.to_term()));
+                    }
+                }
+                PatternElement::Values(vars, data) => {
+                    let slots: Vec<usize> = vars
+                        .iter()
+                        .map(|v| {
+                            frame
+                                .index(v)
+                                .ok_or_else(|| SparqlError::new(format!("unknown VALUES var ?{v}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut next = Vec::new();
+                    for row in &rows {
+                        'data: for tuple in data {
+                            let mut candidate = row.clone();
+                            for (slot, term) in slots.iter().zip(tuple) {
+                                if let Some(term) = term {
+                                    let new = Bound::Term(term.clone());
+                                    match &candidate[*slot] {
+                                        Some(existing) => {
+                                            if !self.bound_eq(existing, &new) {
+                                                continue 'data;
+                                            }
+                                        }
+                                        None => candidate[*slot] = Some(new),
+                                    }
+                                }
+                            }
+                            next.push(candidate);
+                        }
+                    }
+                    rows = next;
+                }
+                PatternElement::SubSelect(sub) => {
+                    let solutions = self.eval_select(sub)?;
+                    rows = self.join_solutions(rows, &solutions, frame);
+                }
+                PatternElement::Minus(g) => {
+                    // evaluate the inner pattern bottom-up, then anti-join:
+                    // drop rows compatible with an inner solution on at
+                    // least one shared bound variable
+                    let inner = self.eval_group(g, frame, vec![vec![None; frame.len()]])?;
+                    rows.retain(|row| {
+                        !inner.iter().any(|ir| {
+                            let mut shared = false;
+                            for (a, b) in row.iter().zip(ir.iter()) {
+                                if let (Some(x), Some(y)) = (a, b) {
+                                    if !self.bound_eq(x, y) {
+                                        return false;
+                                    }
+                                    shared = true;
+                                }
+                            }
+                            shared
+                        })
+                    });
+                }
+            }
+            i += 1;
+        }
+        // apply the group's filters
+        for f in filters {
+            rows.retain(|row| {
+                eval_expr(f, row, frame, self.store)
+                    .and_then(|v| v.effective_boolean())
+                    .unwrap_or(false)
+            });
+        }
+        Ok(rows)
+    }
+
+    fn bound_eq(&self, a: &Bound, b: &Bound) -> bool {
+        match (a, b) {
+            (Bound::Id(x), Bound::Id(y)) => x == y,
+            _ => bound_term(a, self.store) == bound_term(b, self.store),
+        }
+    }
+
+    fn join_solutions(&self, rows: Vec<Row>, sol: &Solutions, frame: &Frame) -> Vec<Row> {
+        let shared: Vec<(usize, usize)> = sol
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| frame.index(v).map(|i| (i, j)))
+            .collect();
+        let mut out = Vec::new();
+        for row in &rows {
+            for sol_row in &sol.rows {
+                let mut candidate = row.clone();
+                let mut ok = true;
+                for &(slot, j) in &shared {
+                    if let Some(term) = &sol_row[j] {
+                        let new = Bound::Term(term.clone());
+                        match &candidate[slot] {
+                            Some(existing) => {
+                                if !self.bound_eq(existing, &new) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            None => candidate[slot] = Some(new),
+                        }
+                    }
+                }
+                if ok {
+                    out.push(candidate);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- BGP ---------------------------------------------------------------
+
+    fn eval_bgp(
+        &self,
+        patterns: &[&TriplePattern],
+        frame: &Frame,
+        mut rows: Vec<Row>,
+    ) -> Result<Vec<Row>, SparqlError> {
+        let order = if self.options.reorder_bgp {
+            self.plan_bgp(patterns, frame, &rows)
+        } else {
+            (0..patterns.len()).collect()
+        };
+        for idx in order {
+            let tp = patterns[idx];
+            let mut next = Vec::with_capacity(rows.len());
+            for row in &rows {
+                self.match_triple(tp, frame, row, &mut next)?;
+            }
+            rows = next;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Public wrapper over the planner for EXPLAIN.
+    pub fn plan_bgp_public(&self, patterns: &[&TriplePattern], frame: &Frame) -> Vec<usize> {
+        self.plan_bgp(patterns, frame, &[])
+    }
+
+    /// Public wrapper over the estimator for EXPLAIN.
+    pub fn estimate_public(&self, tp: &TriplePattern) -> f64 {
+        self.estimate(tp)
+    }
+
+    /// Greedy join ordering: start from the most selective pattern, then
+    /// repeatedly pick the cheapest pattern connected to the bound variables
+    /// (a 100× bonus for connectedness avoids cartesian products).
+    fn plan_bgp(&self, patterns: &[&TriplePattern], frame: &Frame, rows: &[Row]) -> Vec<usize> {
+        // variables already bound in the incoming rows
+        let mut bound_vars: Vec<bool> = vec![false; frame.len()];
+        if let Some(first) = rows.first() {
+            for (i, slot) in first.iter().enumerate() {
+                if slot.is_some() {
+                    bound_vars[i] = true;
+                }
+            }
+        }
+        let estimates: Vec<f64> = patterns.iter().map(|tp| self.estimate(tp)).collect();
+        let pattern_vars: Vec<Vec<usize>> = patterns
+            .iter()
+            .map(|tp| {
+                let mut v = Vec::new();
+                if let Some(name) = tp.subject.as_var() {
+                    if let Some(i) = frame.index(name) {
+                        v.push(i);
+                    }
+                }
+                if let PathOrVar::Var(name) = &tp.predicate {
+                    if let Some(i) = frame.index(name) {
+                        v.push(i);
+                    }
+                }
+                if let Some(name) = tp.object.as_var() {
+                    if let Some(i) = frame.index(name) {
+                        v.push(i);
+                    }
+                }
+                v
+            })
+            .collect();
+        let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+        let mut order = Vec::with_capacity(patterns.len());
+        while !remaining.is_empty() {
+            let best = remaining
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let score = |i: usize| {
+                        let connected = pattern_vars[i].iter().any(|&v| bound_vars[v]);
+                        let bonus = if connected || order.is_empty() { 0.01 } else { 1.0 };
+                        estimates[i] * bonus
+                    };
+                    score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty remaining");
+            remaining.retain(|&i| i != best);
+            for &v in &pattern_vars[best] {
+                bound_vars[v] = true;
+            }
+            order.push(best);
+        }
+        order
+    }
+
+    /// Static cardinality estimate for one pattern (constants only).
+    fn estimate(&self, tp: &TriplePattern) -> f64 {
+        let s = match &tp.subject {
+            TermPattern::Term(t) => match self.store.lookup(t) {
+                Some(id) => Some(id),
+                None => return 0.0,
+            },
+            TermPattern::Var(_) => None,
+        };
+        let o = match &tp.object {
+            TermPattern::Term(t) => match self.store.lookup(t) {
+                Some(id) => Some(id),
+                None => return 0.0,
+            },
+            TermPattern::Var(_) => None,
+        };
+        let p = match &tp.predicate {
+            PathOrVar::Path(PropertyPath::Iri(iri)) => match self.store.lookup_iri(iri) {
+                Some(id) => Some(id),
+                None => return 0.0,
+            },
+            PathOrVar::Path(_) => {
+                // complex path: assume moderately expensive
+                return 1000.0;
+            }
+            PathOrVar::Var(_) => None,
+        };
+        // cap the scan so estimation stays cheap on huge stores
+        let mut n = 0usize;
+        for _ in self.store.matching(s, p, o).take(10_000) {
+            n += 1;
+        }
+        n as f64
+    }
+
+    fn match_triple(
+        &self,
+        tp: &TriplePattern,
+        frame: &Frame,
+        row: &Row,
+        out: &mut Vec<Row>,
+    ) -> Result<(), SparqlError> {
+        // resolve anchors from the row
+        let resolve = |t: &TermPattern| -> Result<Anchor, SparqlError> {
+            match t {
+                TermPattern::Term(term) => Ok(match self.store.lookup(term) {
+                    Some(id) => Anchor::Fixed(id),
+                    None => Anchor::Impossible,
+                }),
+                TermPattern::Var(v) => {
+                    let slot = frame
+                        .index(v)
+                        .ok_or_else(|| SparqlError::new(format!("unknown var ?{v}")))?;
+                    match &row[slot] {
+                        Some(Bound::Id(id)) => Ok(Anchor::BoundVar(*id)),
+                        Some(Bound::Term(t)) => Ok(match self.store.lookup(t) {
+                            Some(id) => Anchor::BoundVar(id),
+                            None => Anchor::Impossible,
+                        }),
+                        None => Ok(Anchor::FreeVar(slot)),
+                    }
+                }
+            }
+        };
+        let s_anchor = resolve(&tp.subject)?;
+        let o_anchor = resolve(&tp.object)?;
+        if matches!(s_anchor, Anchor::Impossible) || matches!(o_anchor, Anchor::Impossible) {
+            return Ok(());
+        }
+
+        match &tp.predicate {
+            PathOrVar::Var(v) => {
+                let slot = frame
+                    .index(v)
+                    .ok_or_else(|| SparqlError::new(format!("unknown var ?{v}")))?;
+                let p_fixed = match &row[slot] {
+                    Some(b) => match self.store.lookup(bound_term(b, self.store)) {
+                        Some(id) => Some(id),
+                        None => return Ok(()),
+                    },
+                    None => None,
+                };
+                for [s, p, o] in self.store.matching(s_anchor.id(), p_fixed, o_anchor.id()) {
+                    let mut new = row.clone();
+                    if !bind(&mut new, &s_anchor, s) || !bind(&mut new, &o_anchor, o) {
+                        continue;
+                    }
+                    if p_fixed.is_none() {
+                        new[slot] = Some(Bound::Id(p));
+                    }
+                    // repeated-variable consistency (?x p ?x)
+                    if same_var(&s_anchor, &o_anchor) && s != o {
+                        continue;
+                    }
+                    out.push(new);
+                }
+            }
+            PathOrVar::Path(PropertyPath::Iri(iri)) => {
+                let Some(p) = self.store.lookup_iri(iri) else { return Ok(()) };
+                for [s, _, o] in self.store.matching(s_anchor.id(), Some(p), o_anchor.id()) {
+                    if same_var(&s_anchor, &o_anchor) && s != o {
+                        continue;
+                    }
+                    let mut new = row.clone();
+                    if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
+                        out.push(new);
+                    }
+                }
+            }
+            PathOrVar::Path(path) => {
+                for (s, o) in eval_path(self.store, path, s_anchor.id(), o_anchor.id()) {
+                    if same_var(&s_anchor, &o_anchor) && s != o {
+                        continue;
+                    }
+                    let mut new = row.clone();
+                    if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
+                        out.push(new);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- projection / grouping ----------------------------------------------
+
+    fn finish_select(
+        &self,
+        q: &SelectQuery,
+        frame: &Frame,
+        rows: Vec<Row>,
+    ) -> Result<Solutions, SparqlError> {
+        let items: Vec<SelectItem> = match &q.projection {
+            Projection::Star => frame
+                .names()
+                .iter()
+                .map(|v| SelectItem { expr: Expr::Var(v.clone()), alias: v.clone() })
+                .collect(),
+            Projection::Items(items) => items.clone(),
+        };
+        let has_agg = items.iter().any(|it| it.expr.has_aggregate())
+            || q.having.as_ref().is_some_and(|h| h.has_aggregate());
+        let grouped = !q.group_by.is_empty() || has_agg;
+
+        let mut out_rows: Vec<Vec<Option<Term>>> = Vec::new();
+        if grouped {
+            // hash-group rows by the group key
+            let mut groups: Vec<(Vec<Option<Term>>, Vec<Row>)> = Vec::new();
+            let mut index: HashMap<Vec<Option<Term>>, usize> = HashMap::new();
+            for row in rows {
+                let key: Vec<Option<Term>> = q
+                    .group_by
+                    .iter()
+                    .map(|e| eval_expr(e, &row, frame, self.store).map(|v| v.to_term()))
+                    .collect();
+                match index.get(&key) {
+                    Some(&i) => groups[i].1.push(row),
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![row]));
+                    }
+                }
+            }
+            // an aggregate query with no GROUP BY over zero rows still yields
+            // one group (e.g. COUNT(*) = 0)
+            if groups.is_empty() && q.group_by.is_empty() {
+                groups.push((Vec::new(), Vec::new()));
+            }
+            for (_, group_rows) in &groups {
+                if let Some(having) = &q.having {
+                    let keep = self
+                        .eval_agg_expr(having, group_rows, frame)
+                        .and_then(|v| v.effective_boolean())
+                        .unwrap_or(false);
+                    if !keep {
+                        continue;
+                    }
+                }
+                let out: Vec<Option<Term>> = items
+                    .iter()
+                    .map(|it| self.eval_agg_expr(&it.expr, group_rows, frame).map(|v| v.to_term()))
+                    .collect();
+                out_rows.push(out);
+            }
+        } else {
+            for row in &rows {
+                let out: Vec<Option<Term>> = items
+                    .iter()
+                    .map(|it| {
+                        eval_expr(&it.expr, row, frame, self.store).map(|v| v.to_term())
+                    })
+                    .collect();
+                out_rows.push(out);
+            }
+        }
+
+        let vars: Vec<String> = items.iter().map(|it| it.alias.clone()).collect();
+
+        if q.distinct {
+            let mut seen = std::collections::HashSet::new();
+            out_rows.retain(|r| seen.insert(r.clone()));
+        }
+
+        if !q.order_by.is_empty() {
+            let out_frame = Frame::new(vars.clone());
+            out_rows.sort_by(|a, b| {
+                for spec in &q.order_by {
+                    let row_a: Row = a.iter().map(|t| t.clone().map(Bound::Term)).collect();
+                    let row_b: Row = b.iter().map(|t| t.clone().map(Bound::Term)).collect();
+                    let va = eval_expr(&spec.expr, &row_a, &out_frame, self.store);
+                    let vb = eval_expr(&spec.expr, &row_b, &out_frame, self.store);
+                    let ord = order_values(&va, &vb);
+                    let ord = if spec.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let offset = q.offset.unwrap_or(0);
+        if offset > 0 {
+            out_rows.drain(..offset.min(out_rows.len()));
+        }
+        if let Some(limit) = q.limit {
+            out_rows.truncate(limit);
+        }
+
+        Ok(Solutions { vars, rows: out_rows })
+    }
+
+    /// Evaluate an expression that may contain aggregates, against one group.
+    fn eval_agg_expr(&self, expr: &Expr, group: &[Row], frame: &Frame) -> Option<Value> {
+        match expr {
+            Expr::Aggregate(op, distinct, inner) => {
+                self.compute_aggregate(*op, *distinct, inner.as_deref(), group, frame)
+            }
+            Expr::Var(_) | Expr::Const(_) => {
+                // non-aggregate leaf: evaluate on a representative row
+                let empty: Row = Vec::new();
+                let row = group.first().unwrap_or(&empty);
+                eval_expr(expr, row, frame, self.store)
+            }
+            Expr::Or(a, b) => {
+                let va = self.eval_agg_expr(a, group, frame).and_then(|v| v.effective_boolean());
+                let vb = self.eval_agg_expr(b, group, frame).and_then(|v| v.effective_boolean());
+                match (va, vb) {
+                    (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                    (Some(false), Some(false)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Expr::And(a, b) => {
+                let va = self.eval_agg_expr(a, group, frame).and_then(|v| v.effective_boolean());
+                let vb = self.eval_agg_expr(b, group, frame).and_then(|v| v.effective_boolean());
+                match (va, vb) {
+                    (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                    (Some(true), Some(true)) => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            Expr::Not(e) => {
+                let v = self.eval_agg_expr(e, group, frame)?.effective_boolean()?;
+                Some(Value::Bool(!v))
+            }
+            Expr::Compare(a, op, b) => {
+                let va = self.eval_agg_expr(a, group, frame)?;
+                let vb = self.eval_agg_expr(b, group, frame)?;
+                match op {
+                    CompareOp::Eq => Some(Value::Bool(va.value_eq(&vb))),
+                    CompareOp::Ne => Some(Value::Bool(!va.value_eq(&vb))),
+                    _ => {
+                        let ord = va.compare(&vb)?;
+                        Some(Value::Bool(match op {
+                            CompareOp::Lt => ord == std::cmp::Ordering::Less,
+                            CompareOp::Le => ord != std::cmp::Ordering::Greater,
+                            CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+                            CompareOp::Ge => ord != std::cmp::Ordering::Less,
+                            _ => unreachable!(),
+                        }))
+                    }
+                }
+            }
+            Expr::Arith(a, op, b) => {
+                let va = self.eval_agg_expr(a, group, frame)?;
+                let vb = self.eval_agg_expr(b, group, frame)?;
+                match op {
+                    ArithOp::Add => va.add(&vb),
+                    ArithOp::Sub => va.sub(&vb),
+                    ArithOp::Mul => va.mul(&vb),
+                    ArithOp::Div => va.div(&vb),
+                }
+            }
+            Expr::Neg(e) => {
+                let v = self.eval_agg_expr(e, group, frame)?;
+                Value::Int(0).sub(&v)
+            }
+            Expr::In(e, list, negated) => {
+                let v = self.eval_agg_expr(e, group, frame)?;
+                let mut found = false;
+                for item in list {
+                    if let Some(vi) = self.eval_agg_expr(item, group, frame) {
+                        if v.value_eq(&vi) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                Some(Value::Bool(found != *negated))
+            }
+            Expr::Call(..) | Expr::Exists(..) => {
+                let empty: Row = Vec::new();
+                let row = group.first().unwrap_or(&empty);
+                eval_expr(expr, row, frame, self.store)
+            }
+        }
+    }
+
+    fn compute_aggregate(
+        &self,
+        op: AggregateOp,
+        distinct: bool,
+        inner: Option<&Expr>,
+        group: &[Row],
+        frame: &Frame,
+    ) -> Option<Value> {
+        let mut values: Vec<Value> = Vec::with_capacity(group.len());
+        for row in group {
+            match inner {
+                None => values.push(Value::Int(1)), // COUNT(*) counts rows
+                Some(e) => {
+                    if let Some(v) = eval_expr(e, row, frame, self.store) {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            values.retain(|v| seen.insert(v.to_term()));
+        }
+        match op {
+            AggregateOp::Count => Some(Value::Int(values.len() as i64)),
+            AggregateOp::Sum => {
+                let mut acc = Value::Int(0);
+                for v in &values {
+                    acc = acc.add(v)?;
+                }
+                Some(acc)
+            }
+            AggregateOp::Avg => {
+                if values.is_empty() {
+                    return None;
+                }
+                let mut acc = Value::Int(0);
+                for v in &values {
+                    acc = acc.add(v)?;
+                }
+                acc.div(&Value::Int(values.len() as i64))
+            }
+            AggregateOp::Min => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if v.compare(&b) == Some(std::cmp::Ordering::Less) {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best
+            }
+            AggregateOp::Max => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if v.compare(&b) == Some(std::cmp::Ordering::Greater) {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best
+            }
+            AggregateOp::Sample => values.into_iter().next(),
+            AggregateOp::GroupConcat => {
+                let joined = values
+                    .iter()
+                    .map(Value::render)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Some(Value::Str(joined, None))
+            }
+        }
+    }
+}
+
+/// How a pattern position relates to the current row.
+enum Anchor {
+    /// A constant term (interned).
+    Fixed(TermId),
+    /// A variable already bound to this id.
+    BoundVar(TermId),
+    /// A variable with no binding yet (slot index).
+    FreeVar(usize),
+    /// A constant term not present in the store: no match possible.
+    Impossible,
+}
+
+impl Anchor {
+    fn id(&self) -> Option<TermId> {
+        match self {
+            Anchor::Fixed(id) | Anchor::BoundVar(id) => Some(*id),
+            Anchor::FreeVar(_) => None,
+            Anchor::Impossible => None,
+        }
+    }
+}
+
+fn same_var(a: &Anchor, b: &Anchor) -> bool {
+    match (a, b) {
+        (Anchor::FreeVar(x), Anchor::FreeVar(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn bind(row: &mut Row, anchor: &Anchor, value: TermId) -> bool {
+    match anchor {
+        Anchor::Fixed(_) => true,
+        Anchor::BoundVar(id) => *id == value,
+        Anchor::FreeVar(slot) => {
+            row[*slot] = Some(Bound::Id(value));
+            true
+        }
+        Anchor::Impossible => false,
+    }
+}
+
+/// Total order for ORDER BY: unbound < blank < IRI < literal-by-value.
+fn order_values(a: &Option<Value>, b: &Option<Value>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Option<Value>) -> u8 {
+        match v {
+            None => 0,
+            Some(Value::Blank(_)) => 1,
+            Some(Value::Iri(_)) => 2,
+            Some(_) => 3,
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Some(x), Some(y)) => x
+            .compare(y)
+            .unwrap_or_else(|| x.render().cmp(&y.render())),
+        _ => Ordering::Equal,
+    }
+}
+
+/// True when the `EXISTS` pattern has at least one solution compatible with
+/// the given row (SPARQL's substitute-then-evaluate semantics).
+pub(crate) fn exists_matches(
+    store: &Store,
+    group: &GroupPattern,
+    outer_frame: &Frame,
+    row: &Row,
+) -> bool {
+    let mut frame = outer_frame.clone();
+    Evaluator::collect_vars(group, &mut frame);
+    let mut seeded = row.clone();
+    seeded.resize(frame.len(), None);
+    let ev = Evaluator::new(store);
+    match ev.eval_group(group, &frame, vec![seeded]) {
+        Ok(rows) => !rows.is_empty(),
+        Err(_) => false,
+    }
+}
+
+fn sub_projection_names(sub: &SelectQuery) -> Vec<String> {
+    match &sub.projection {
+        Projection::Items(items) => items.iter().map(|it| it.alias.clone()).collect(),
+        Projection::Star => {
+            let mut frame = Frame::default();
+            Evaluator::collect_vars(&sub.where_, &mut frame);
+            frame.names().to_vec()
+        }
+    }
+}

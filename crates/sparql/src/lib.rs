@@ -1,0 +1,66 @@
+//! # rdfa-sparql — a SPARQL 1.1 subset engine
+//!
+//! Parser, algebra, and evaluator for the SPARQL fragment the RDF-Analytics
+//! system needs (§2.4 and Chapter 4 of the paper): `SELECT` (with `DISTINCT`,
+//! expression projections, and sub-selects), basic graph patterns, `FILTER`
+//! with the full comparison/arithmetic/boolean operator set and the built-ins
+//! used by derived attributes (`YEAR`, `MONTH`, `DAY`, …), `OPTIONAL`,
+//! `UNION`, `VALUES`, `BIND`, property paths (`/`, `^`, `|`, `+`, `*`, `?`),
+//! `GROUP BY` (variables and expressions), all standard aggregates, `HAVING`,
+//! `ORDER BY`, `LIMIT`/`OFFSET`, and `CONSTRUCT`.
+//!
+//! ```
+//! use rdfa_store::Store;
+//! use rdfa_sparql::Engine;
+//!
+//! let mut store = Store::new();
+//! store.load_turtle(r#"
+//!   @prefix ex: <http://example.org/> .
+//!   ex:l1 ex:price 900 ; ex:manufacturer ex:DELL .
+//!   ex:l2 ex:price 1000 ; ex:manufacturer ex:DELL .
+//! "#).unwrap();
+//! let results = Engine::new(&store).query(r#"
+//!   PREFIX ex: <http://example.org/>
+//!   SELECT ?m (AVG(?p) AS ?avg) WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . }
+//!   GROUP BY ?m
+//! "#).unwrap();
+//! assert_eq!(results.solutions().unwrap().rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod explain;
+pub mod expr;
+pub mod parser;
+pub mod path;
+pub mod results;
+pub mod token;
+pub mod update;
+
+pub use ast::{Query, QueryForm, SelectQuery};
+pub use engine::Engine;
+pub use explain::{explain, Plan};
+pub use parser::parse_query;
+pub use results::{QueryResults, Solutions};
+pub use update::{execute_update, UpdateOp, UpdateStats};
+
+/// Errors from parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlError {
+    pub message: String,
+}
+
+impl SparqlError {
+    pub fn new(message: impl Into<String>) -> Self {
+        SparqlError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sparql error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SparqlError {}

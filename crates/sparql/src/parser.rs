@@ -1,0 +1,1149 @@
+//! Recursive-descent parser for the supported SPARQL fragment.
+//!
+//! Accepts standard SPARQL 1.1 syntax, plus two convenience relaxations that
+//! the paper's query listings use (Figures 1.3, 2.6, §4.2): bare aggregate
+//! projections without `AS` (`SELECT ?m SUM(?x3)`), and bare built-in calls
+//! in `GROUP BY` (`GROUP BY month(?x2)`). Synthesized aliases are assigned
+//! for unnamed projections.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+use crate::SparqlError;
+use rdfa_model::{vocab::xsd, Literal, Term};
+use std::collections::HashMap;
+
+/// Parse a complete query.
+pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { toks: tokens, pos: 0, prefixes: HashMap::new(), synth: 0 };
+    p.parse_prologue()?;
+    let form = if p.peek_kw("SELECT") {
+        QueryForm::Select(p.parse_select()?)
+    } else if p.peek_kw("CONSTRUCT") {
+        p.parse_construct()?
+    } else if p.peek_kw("ASK") {
+        p.bump();
+        let _ = p.eat_kw("WHERE");
+        QueryForm::Ask(p.parse_group()?)
+    } else if p.peek_kw("DESCRIBE") {
+        p.bump();
+        let mut resources = Vec::new();
+        loop {
+            match p.peek().cloned() {
+                Some(Token::IriRef(iri)) => {
+                    p.bump();
+                    resources.push(Term::iri(iri));
+                }
+                Some(Token::PName(pre, local)) => {
+                    p.bump();
+                    resources.push(Term::iri(p.resolve_pname(&pre, &local)?));
+                }
+                _ => break,
+            }
+        }
+        if resources.is_empty() {
+            return Err(SparqlError::new("DESCRIBE needs at least one IRI"));
+        }
+        QueryForm::Describe(resources)
+    } else {
+        return Err(SparqlError::new("expected SELECT, CONSTRUCT, ASK or DESCRIBE"));
+    };
+    if p.pos != p.toks.len() {
+        return Err(SparqlError::new(format!(
+            "trailing tokens after query: {:?}",
+            &p.toks[p.pos..p.toks.len().min(p.pos + 5)]
+        )));
+    }
+    Ok(Query { form })
+}
+
+/// Parse a SPARQL Update request (possibly several operations joined by
+/// `;`). See [`crate::update`] for the supported forms.
+pub fn parse_update_ops(input: &str) -> Result<Vec<crate::update::UpdateOp>, SparqlError> {
+    use crate::update::UpdateOp;
+    let tokens = tokenize(input)?;
+    let mut p = Parser { toks: tokens, pos: 0, prefixes: HashMap::new(), synth: 0 };
+    p.parse_prologue()?;
+    let mut ops = Vec::new();
+    loop {
+        if p.eat_kw("INSERT") {
+            if p.eat_kw("DATA") {
+                ops.push(UpdateOp::InsertData(p.parse_ground_triples()?));
+            } else {
+                // INSERT { t } WHERE { … }
+                let insert = p.parse_template()?;
+                let _ = p.eat_kw("WHERE");
+                let where_ = p.parse_group()?;
+                ops.push(UpdateOp::Modify { delete: Vec::new(), insert, where_ });
+            }
+        } else if p.eat_kw("DELETE") {
+            if p.eat_kw("DATA") {
+                ops.push(UpdateOp::DeleteData(p.parse_ground_triples()?));
+            } else if p.eat_kw("WHERE") {
+                ops.push(UpdateOp::DeleteWhere(p.parse_template()?));
+            } else {
+                // DELETE { t } [INSERT { t }] WHERE { … }
+                let delete = p.parse_template()?;
+                let insert = if p.eat_kw("INSERT") { p.parse_template()? } else { Vec::new() };
+                p.expect_kw("WHERE")?;
+                let where_ = p.parse_group()?;
+                ops.push(UpdateOp::Modify { delete, insert, where_ });
+            }
+        } else {
+            return Err(SparqlError::new(format!(
+                "expected INSERT or DELETE, got {:?}",
+                p.peek()
+            )));
+        }
+        // operations chain with ';'
+        if !p.eat_punct(";") {
+            break;
+        }
+        if p.peek().is_none() {
+            break;
+        }
+        p.parse_prologue()?; // each op may re-declare prefixes
+    }
+    if p.pos != p.toks.len() {
+        return Err(SparqlError::new("trailing tokens after update request"));
+    }
+    Ok(ops)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    synth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SparqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SparqlError::new(format!("expected {kw}, got {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), SparqlError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(SparqlError::new(format!("expected '{p}', got {:?}", self.peek())))
+        }
+    }
+
+    fn fresh_alias(&mut self, hint: &str) -> String {
+        self.synth += 1;
+        format!("{}_{}", hint, self.synth)
+    }
+
+    // ---- prologue ---------------------------------------------------------
+
+    fn parse_prologue(&mut self) -> Result<(), SparqlError> {
+        loop {
+            if self.eat_kw("PREFIX") {
+                let (pfx, local) = match self.bump() {
+                    Some(Token::PName(p, l)) => (p, l),
+                    other => {
+                        return Err(SparqlError::new(format!("expected prefix name, got {other:?}")))
+                    }
+                };
+                if !local.is_empty() {
+                    return Err(SparqlError::new("prefix declaration must end with ':'"));
+                }
+                match self.bump() {
+                    Some(Token::IriRef(iri)) => {
+                        self.prefixes.insert(pfx, iri);
+                    }
+                    other => {
+                        return Err(SparqlError::new(format!("expected IRI, got {other:?}")))
+                    }
+                }
+            } else if self.eat_kw("BASE") {
+                let _ = self.bump();
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<String, SparqlError> {
+        match self.prefixes.get(prefix) {
+            Some(ns) => Ok(format!("{ns}{local}")),
+            None => Err(SparqlError::new(format!("undeclared prefix '{prefix}:'"))),
+        }
+    }
+
+    // ---- SELECT -----------------------------------------------------------
+
+    fn parse_select(&mut self) -> Result<SelectQuery, SparqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let _ = self.eat_kw("REDUCED");
+        let projection = self.parse_projection()?;
+        let _ = self.eat_kw("WHERE");
+        let where_ = self.parse_group()?;
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                match self.peek() {
+                    Some(Token::Var(_)) => {
+                        if let Some(Token::Var(v)) = self.bump() {
+                            group_by.push(Expr::Var(v));
+                        }
+                    }
+                    Some(Token::Punct("(")) => {
+                        self.bump();
+                        let e = self.parse_expr()?;
+                        // optional AS alias is tolerated and ignored here
+                        if self.eat_kw("AS") {
+                            let _ = self.bump();
+                        }
+                        self.expect_punct(")")?;
+                        group_by.push(e);
+                    }
+                    Some(Token::Word(w)) if self.is_call_start(w) => {
+                        let e = self.parse_primary()?;
+                        group_by.push(e);
+                    }
+                    _ => break,
+                }
+                if !matches!(
+                    self.peek(),
+                    Some(Token::Var(_)) | Some(Token::Punct("(")) | Some(Token::Word(_))
+                ) {
+                    break;
+                }
+                // a Word could also start HAVING/ORDER/LIMIT — stop on those
+                if self.peek_kw("HAVING")
+                    || self.peek_kw("ORDER")
+                    || self.peek_kw("LIMIT")
+                    || self.peek_kw("OFFSET")
+                {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("HAVING") {
+            // HAVING (expr) — parens required by the grammar but we accept bare
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                if self.eat_kw("DESC") {
+                    self.expect_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    order_by.push(OrderSpec { expr: e, descending: true });
+                } else if self.eat_kw("ASC") {
+                    self.expect_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    order_by.push(OrderSpec { expr: e, descending: false });
+                } else {
+                    match self.peek() {
+                        Some(Token::Var(_)) => {
+                            if let Some(Token::Var(v)) = self.bump() {
+                                order_by.push(OrderSpec { expr: Expr::Var(v), descending: false });
+                            }
+                        }
+                        Some(Token::Punct("(")) => {
+                            self.bump();
+                            let e = self.parse_expr()?;
+                            self.expect_punct(")")?;
+                            order_by.push(OrderSpec { expr: e, descending: false });
+                        }
+                        _ => break,
+                    }
+                }
+                // stop unless another order condition follows
+                let more = matches!(self.peek(), Some(Token::Var(_)) | Some(Token::Punct("(")))
+                    || self.peek_kw("DESC")
+                    || self.peek_kw("ASC");
+                if !more {
+                    break;
+                }
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_kw("LIMIT") {
+                limit = Some(self.parse_usize()?);
+            } else if self.eat_kw("OFFSET") {
+                offset = Some(self.parse_usize()?);
+            } else {
+                break;
+            }
+        }
+
+        Ok(SelectQuery { distinct, projection, where_, group_by, having, order_by, limit, offset })
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, SparqlError> {
+        match self.bump() {
+            Some(Token::Number(n)) => n
+                .parse::<usize>()
+                .map_err(|_| SparqlError::new(format!("invalid count {n}"))),
+            other => Err(SparqlError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn is_call_start(&self, word: &str) -> bool {
+        // a word starts a call if followed by '('
+        let _ = word;
+        matches!(self.peek2(), Some(Token::Punct("(")))
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection, SparqlError> {
+        if self.eat_punct("*") {
+            return Ok(Projection::Star);
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(_)) => {
+                    if let Some(Token::Var(v)) = self.bump() {
+                        items.push(SelectItem { expr: Expr::Var(v.clone()), alias: v });
+                    }
+                }
+                Some(Token::Punct("(")) => {
+                    self.bump();
+                    let expr = self.parse_expr()?;
+                    let alias = if self.eat_kw("AS") {
+                        match self.bump() {
+                            Some(Token::Var(v)) => v,
+                            other => {
+                                return Err(SparqlError::new(format!(
+                                    "expected variable after AS, got {other:?}"
+                                )))
+                            }
+                        }
+                    } else {
+                        self.fresh_alias("expr")
+                    };
+                    self.expect_punct(")")?;
+                    items.push(SelectItem { expr, alias });
+                }
+                // relaxed: bare aggregate/builtin call `SUM(?x)` without parens
+                Some(Token::Word(w)) if !w.eq_ignore_ascii_case("WHERE") && self.is_call_start(w) => {
+                    let expr = self.parse_primary()?;
+                    let alias = self.fresh_alias("agg");
+                    items.push(SelectItem { expr, alias });
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(SparqlError::new("empty projection"));
+        }
+        Ok(Projection::Items(items))
+    }
+
+    // ---- CONSTRUCT --------------------------------------------------------
+
+    fn parse_construct(&mut self) -> Result<QueryForm, SparqlError> {
+        self.expect_kw("CONSTRUCT")?;
+        self.expect_punct("{")?;
+        let mut template = Vec::new();
+        while !matches!(self.peek(), Some(Token::Punct("}"))) {
+            template.extend(self.parse_triples_same_subject()?);
+            let _ = self.eat_punct(".");
+        }
+        self.expect_punct("}")?;
+        let _ = self.eat_kw("WHERE");
+        let where_ = self.parse_group()?;
+        Ok(QueryForm::Construct { template, where_ })
+    }
+
+    // ---- update helpers -----------------------------------------------------
+
+    /// `{ triple patterns }` used as an insert/delete template.
+    fn parse_template(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Some(Token::Punct("}"))) {
+            out.extend(self.parse_triples_same_subject()?);
+            let _ = self.eat_punct(".");
+        }
+        self.expect_punct("}")?;
+        Ok(out)
+    }
+
+    /// `{ ground triples }` for INSERT/DELETE DATA — variables are an error.
+    fn parse_ground_triples(&mut self) -> Result<Vec<rdfa_model::Triple>, SparqlError> {
+        let template = self.parse_template()?;
+        template
+            .into_iter()
+            .map(|tp| {
+                let s = match tp.subject {
+                    TermPattern::Term(t) => t,
+                    TermPattern::Var(v) => {
+                        return Err(SparqlError::new(format!("variable ?{v} in ground data")))
+                    }
+                };
+                let p = match tp.predicate {
+                    PathOrVar::Path(PropertyPath::Iri(iri)) => Term::iri(iri),
+                    other => {
+                        return Err(SparqlError::new(format!(
+                            "predicate must be an IRI in ground data, got {other:?}"
+                        )))
+                    }
+                };
+                let o = match tp.object {
+                    TermPattern::Term(t) => t,
+                    TermPattern::Var(v) => {
+                        return Err(SparqlError::new(format!("variable ?{v} in ground data")))
+                    }
+                };
+                Ok(rdfa_model::Triple::new(s, p, o))
+            })
+            .collect()
+    }
+
+    // ---- group graph pattern ---------------------------------------------
+
+    fn parse_group(&mut self) -> Result<GroupPattern, SparqlError> {
+        self.expect_punct("{")?;
+        let mut elements = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(SparqlError::new("unterminated group pattern")),
+                Some(Token::Punct("}")) => {
+                    self.bump();
+                    break;
+                }
+                Some(Token::Punct("{")) => {
+                    // nested group, possibly a UNION chain
+                    let first = self.parse_group()?;
+                    if self.peek_kw("UNION") {
+                        let mut arms = vec![first];
+                        while self.eat_kw("UNION") {
+                            arms.push(self.parse_group()?);
+                        }
+                        elements.push(PatternElement::Union(arms));
+                    } else if first.elements.len() == 1
+                        && matches!(first.elements[0], PatternElement::SubSelect(_))
+                    {
+                        // unwrap `{ SELECT … }` so sub-selects appear directly
+                        elements.push(first.elements.into_iter().next().unwrap());
+                    } else {
+                        elements.push(PatternElement::Group(first));
+                    }
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("FILTER") => {
+                    self.bump();
+                    // FILTER(expr) or FILTER builtin(...)
+                    let e = if self.eat_punct("(") {
+                        let e = self.parse_expr()?;
+                        self.expect_punct(")")?;
+                        e
+                    } else {
+                        self.parse_primary()?
+                    };
+                    elements.push(PatternElement::Filter(e));
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("OPTIONAL") => {
+                    self.bump();
+                    let g = self.parse_group()?;
+                    elements.push(PatternElement::Optional(g));
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("BIND") => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.expect_kw("AS")?;
+                    let v = match self.bump() {
+                        Some(Token::Var(v)) => v,
+                        other => {
+                            return Err(SparqlError::new(format!(
+                                "expected variable after AS, got {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect_punct(")")?;
+                    elements.push(PatternElement::Bind(e, v));
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("MINUS") => {
+                    self.bump();
+                    let g = self.parse_group()?;
+                    elements.push(PatternElement::Minus(g));
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("VALUES") => {
+                    self.bump();
+                    elements.push(self.parse_values()?);
+                    let _ = self.eat_punct(".");
+                }
+                Some(t) if t.is_kw("SELECT") => {
+                    let sub = self.parse_select()?;
+                    elements.push(PatternElement::SubSelect(Box::new(sub)));
+                    let _ = self.eat_punct(".");
+                }
+                _ => {
+                    let triples = self.parse_triples_same_subject()?;
+                    elements.extend(triples.into_iter().map(PatternElement::Triple));
+                    let _ = self.eat_punct(".");
+                }
+            }
+        }
+        Ok(GroupPattern { elements })
+    }
+
+    fn parse_values(&mut self) -> Result<PatternElement, SparqlError> {
+        let mut vars = Vec::new();
+        let multi = self.eat_punct("(");
+        loop {
+            match self.peek() {
+                Some(Token::Var(_)) => {
+                    if let Some(Token::Var(v)) = self.bump() {
+                        vars.push(v);
+                    }
+                    if !multi {
+                        break;
+                    }
+                }
+                Some(Token::Punct(")")) if multi => {
+                    self.bump();
+                    break;
+                }
+                other => return Err(SparqlError::new(format!("bad VALUES vars: {other:?}"))),
+            }
+        }
+        self.expect_punct("{")?;
+        let mut rows = Vec::new();
+        while !self.eat_punct("}") {
+            if multi {
+                self.expect_punct("(")?;
+                let mut row = Vec::new();
+                while !self.eat_punct(")") {
+                    row.push(self.parse_values_term()?);
+                }
+                if row.len() != vars.len() {
+                    return Err(SparqlError::new("VALUES row arity mismatch"));
+                }
+                rows.push(row);
+            } else {
+                rows.push(vec![self.parse_values_term()?]);
+            }
+        }
+        Ok(PatternElement::Values(vars, rows))
+    }
+
+    fn parse_values_term(&mut self) -> Result<Option<Term>, SparqlError> {
+        if self.peek_kw("UNDEF") {
+            self.bump();
+            return Ok(None);
+        }
+        let tp = self.parse_term_pattern()?;
+        match tp {
+            TermPattern::Term(t) => Ok(Some(t)),
+            TermPattern::Var(_) => Err(SparqlError::new("variable not allowed in VALUES data")),
+        }
+    }
+
+    // ---- triples ----------------------------------------------------------
+
+    fn parse_triples_same_subject(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        let subject = self.parse_term_pattern()?;
+        let mut out = Vec::new();
+        loop {
+            let predicate = self.parse_path_or_var()?;
+            loop {
+                let object = self.parse_term_pattern()?;
+                out.push(TriplePattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if !self.eat_punct(";") {
+                break;
+            }
+            // allow dangling ';' before '.'
+            if matches!(self.peek(), Some(Token::Punct(".")) | Some(Token::Punct("}"))) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, SparqlError> {
+        match self.bump() {
+            Some(Token::Var(v)) => Ok(TermPattern::Var(v)),
+            Some(Token::IriRef(iri)) => Ok(TermPattern::Term(Term::iri(iri))),
+            Some(Token::PName(p, l)) => {
+                Ok(TermPattern::Term(Term::iri(self.resolve_pname(&p, &l)?)))
+            }
+            Some(Token::BlankNode(b)) => Ok(TermPattern::Term(Term::blank(b))),
+            Some(Token::Str(s)) => Ok(TermPattern::Term(self.finish_string_literal(s)?)),
+            Some(Token::Number(n)) => Ok(TermPattern::Term(number_literal(&n))),
+            Some(Token::Word(w)) if w == "true" || w == "false" => {
+                Ok(TermPattern::Term(Term::Literal(Literal::typed(w, xsd::BOOLEAN))))
+            }
+            Some(Token::Word(w)) if w == "a" => {
+                Ok(TermPattern::Term(Term::iri(rdfa_model::vocab::rdf::TYPE)))
+            }
+            other => Err(SparqlError::new(format!("expected term, got {other:?}"))),
+        }
+    }
+
+    fn finish_string_literal(&mut self, body: String) -> Result<Term, SparqlError> {
+        match self.peek() {
+            Some(Token::LangTag(_)) => {
+                if let Some(Token::LangTag(lang)) = self.bump() {
+                    Ok(Term::Literal(Literal::lang_string(body, lang)))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::DtSep) => {
+                self.bump();
+                let dt = match self.bump() {
+                    Some(Token::IriRef(iri)) => iri,
+                    Some(Token::PName(p, l)) => self.resolve_pname(&p, &l)?,
+                    other => {
+                        return Err(SparqlError::new(format!("expected datatype, got {other:?}")))
+                    }
+                };
+                Ok(Term::Literal(Literal::typed(body, dt)))
+            }
+            _ => Ok(Term::string(body)),
+        }
+    }
+
+    // ---- property paths ---------------------------------------------------
+
+    fn parse_path_or_var(&mut self) -> Result<PathOrVar, SparqlError> {
+        if let Some(Token::Var(_)) = self.peek() {
+            if let Some(Token::Var(v)) = self.bump() {
+                return Ok(PathOrVar::Var(v));
+            }
+            unreachable!()
+        }
+        Ok(PathOrVar::Path(self.parse_path_alt()?))
+    }
+
+    fn parse_path_alt(&mut self) -> Result<PropertyPath, SparqlError> {
+        let mut left = self.parse_path_seq()?;
+        while self.eat_punct("|") {
+            let right = self.parse_path_seq()?;
+            left = PropertyPath::Alternative(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_seq(&mut self) -> Result<PropertyPath, SparqlError> {
+        let mut left = self.parse_path_elt()?;
+        while self.eat_punct("/") {
+            let right = self.parse_path_elt()?;
+            left = PropertyPath::Sequence(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_elt(&mut self) -> Result<PropertyPath, SparqlError> {
+        let inverse = self.eat_punct("^");
+        let mut p = self.parse_path_primary()?;
+        if inverse {
+            p = PropertyPath::Inverse(Box::new(p));
+        }
+        if self.eat_punct("*") {
+            p = PropertyPath::ZeroOrMore(Box::new(p));
+        } else if self.eat_punct("+") {
+            p = PropertyPath::OneOrMore(Box::new(p));
+        } else if self.eat_punct("?") {
+            p = PropertyPath::ZeroOrOne(Box::new(p));
+        }
+        Ok(p)
+    }
+
+    fn parse_path_primary(&mut self) -> Result<PropertyPath, SparqlError> {
+        match self.bump() {
+            Some(Token::IriRef(iri)) => Ok(PropertyPath::Iri(iri)),
+            Some(Token::PName(p, l)) => Ok(PropertyPath::Iri(self.resolve_pname(&p, &l)?)),
+            Some(Token::Word(w)) if w == "a" => {
+                Ok(PropertyPath::Iri(rdfa_model::vocab::rdf::TYPE.to_owned()))
+            }
+            Some(Token::Punct("(")) => {
+                let p = self.parse_path_alt()?;
+                self.expect_punct(")")?;
+                Ok(p)
+            }
+            other => Err(SparqlError::new(format!("expected path, got {other:?}"))),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, SparqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_punct("||") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_relational()?;
+        while self.eat_punct("&&") {
+            let right = self.parse_relational()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, SparqlError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Punct("=")) => Some(CompareOp::Eq),
+            Some(Token::Punct("!=")) => Some(CompareOp::Ne),
+            Some(Token::Punct("<")) => Some(CompareOp::Lt),
+            Some(Token::Punct("<=")) => Some(CompareOp::Le),
+            Some(Token::Punct(">")) => Some(CompareOp::Gt),
+            Some(Token::Punct(">=")) => Some(CompareOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::Compare(Box::new(left), op, Box::new(right)));
+        }
+        if self.peek_kw("IN") {
+            self.bump();
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::In(Box::new(left), list, false));
+        }
+        if self.peek_kw("NOT") {
+            self.bump();
+            self.expect_kw("IN")?;
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::In(Box::new(left), list, true));
+        }
+        Ok(left)
+    }
+
+    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, SparqlError> {
+        self.expect_punct("(")?;
+        let mut list = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                list.push(self.parse_expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(list)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat_punct("+") {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Arith(Box::new(left), ArithOp::Add, Box::new(right));
+            } else if self.eat_punct("-") {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Arith(Box::new(left), ArithOp::Sub, Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let right = self.parse_unary()?;
+                left = Expr::Arith(Box::new(left), ArithOp::Mul, Box::new(right));
+            } else if self.eat_punct("/") {
+                let right = self.parse_unary()?;
+                left = Expr::Arith(Box::new(left), ArithOp::Div, Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SparqlError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_punct("+") {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SparqlError> {
+        match self.peek().cloned() {
+            Some(Token::Punct("(")) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Var(_)) => {
+                if let Some(Token::Var(v)) = self.bump() {
+                    Ok(Expr::Var(v))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Number(_)) => {
+                if let Some(Token::Number(n)) = self.bump() {
+                    Ok(Expr::Const(number_literal(&n)))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Str(_)) => {
+                if let Some(Token::Str(s)) = self.bump() {
+                    Ok(Expr::Const(self.finish_string_literal(s)?))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::IriRef(iri)) => {
+                self.bump();
+                // IRI function call syntax (e.g. casting) is not supported;
+                // a bare IRI is a constant.
+                Ok(Expr::Const(Term::iri(iri)))
+            }
+            Some(Token::PName(p, l)) => {
+                self.bump();
+                Ok(Expr::Const(Term::iri(self.resolve_pname(&p, &l)?)))
+            }
+            Some(Token::Word(w)) => {
+                if w == "true" || w == "false" {
+                    self.bump();
+                    return Ok(Expr::Const(Term::Literal(Literal::typed(w, xsd::BOOLEAN))));
+                }
+                // EXISTS { ... } / NOT EXISTS { ... }
+                if w.eq_ignore_ascii_case("EXISTS") {
+                    self.bump();
+                    let g = self.parse_group()?;
+                    return Ok(Expr::Exists(g, false));
+                }
+                if w.eq_ignore_ascii_case("NOT") && matches!(self.peek2(), Some(t) if t.is_kw("EXISTS"))
+                {
+                    self.bump();
+                    self.bump();
+                    let g = self.parse_group()?;
+                    return Ok(Expr::Exists(g, true));
+                }
+                // aggregate?
+                if let Some(op) = AggregateOp::from_keyword(&w) {
+                    if matches!(self.peek2(), Some(Token::Punct("("))) {
+                        self.bump();
+                        self.expect_punct("(")?;
+                        let distinct = self.eat_kw("DISTINCT");
+                        if self.eat_punct("*") {
+                            self.expect_punct(")")?;
+                            return Ok(Expr::Aggregate(op, distinct, None));
+                        }
+                        let inner = self.parse_expr()?;
+                        // GROUP_CONCAT separator clause: `; SEPARATOR = ","`
+                        if self.eat_punct(";") {
+                            let _ = self.eat_kw("SEPARATOR");
+                            let _ = self.eat_punct("=");
+                            let _ = self.bump();
+                        }
+                        self.expect_punct(")")?;
+                        return Ok(Expr::Aggregate(op, distinct, Some(Box::new(inner))));
+                    }
+                }
+                // generic builtin call
+                if matches!(self.peek2(), Some(Token::Punct("("))) {
+                    self.bump();
+                    let args = self.parse_expr_list()?;
+                    return Ok(Expr::Call(w.to_ascii_uppercase(), args));
+                }
+                Err(SparqlError::new(format!("unexpected word '{w}' in expression")))
+            }
+            other => Err(SparqlError::new(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+fn number_literal(lexical: &str) -> Term {
+    if lexical.contains(['.', 'e', 'E']) {
+        Term::Literal(Literal::typed(lexical, xsd::DECIMAL))
+    } else {
+        Term::Literal(Literal::typed(lexical, xsd::INTEGER))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(q: &str) -> SelectQuery {
+        match parse_query(q).unwrap().form {
+            QueryForm::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_group_by_query() {
+        let q = select(
+            r#"PREFIX ex: <http://ex.org/>
+               SELECT ?m (AVG(?p) AS ?avg)
+               WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . }
+               GROUP BY ?m"#,
+        );
+        assert!(!q.distinct);
+        assert_eq!(q.group_by, vec![Expr::Var("m".into())]);
+        match &q.projection {
+            Projection::Items(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].alias, "avg");
+                assert!(items[1].expr.has_aggregate());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_paper_fig_1_3() {
+        // the dissertation's flagship query, verbatim structure
+        let q = select(
+            r#"
+            PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            PREFIX ex: <http://www.ics.forth.gr/example#>
+            SELECT ?m (AVG(?p) as ?avgprice)
+            WHERE {
+              ?s rdf:type ex:Laptop.
+              ?s ex:manufacturer ?m.
+              ?m ex:origin ex:USA.
+              ?s ex:price ?p.
+              ?s ex:USBPorts ?u.
+              ?s ex:hardDrive ?hd.
+              ?hd rdf:type ex:SSD.
+              ?hd ex:manufacturer ?hdm.
+              ?hdm ex:origin ?hdmc.
+              ?hdmc ex:locatedAt ex:Asia.
+              FILTER (?u >= 2).
+              ?s ex:releaseDate ?rd .
+              FILTER ( ?rd >= "2021-01-01T00:00:00"^^xsd:dateTime &&
+                       ?rd <= "2021-12-31T00:00:00"^^xsd:dateTime)
+            } GROUP BY ?m"#,
+        );
+        assert_eq!(q.group_by.len(), 1);
+        let triples = q
+            .where_
+            .elements
+            .iter()
+            .filter(|e| matches!(e, PatternElement::Triple(_)))
+            .count();
+        assert_eq!(triples, 11);
+        let filters = q
+            .where_
+            .elements
+            .iter()
+            .filter(|e| matches!(e, PatternElement::Filter(_)))
+            .count();
+        assert_eq!(filters, 2);
+    }
+
+    #[test]
+    fn relaxed_bare_aggregate_projection() {
+        let q = select("SELECT ?x2 SUM(?x3) WHERE { ?x1 <http://p> ?x2 . ?x1 <http://q> ?x3 . } GROUP BY ?x2");
+        match &q.projection {
+            Projection::Items(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items[1].expr.has_aggregate());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn group_by_builtin_call() {
+        let q = select(
+            "SELECT (MONTH(?d) AS ?m) (SUM(?q) AS ?t) WHERE { ?x <http://d> ?d ; <http://q> ?q . } GROUP BY MONTH(?d)",
+        );
+        assert_eq!(q.group_by.len(), 1);
+        assert!(matches!(&q.group_by[0], Expr::Call(name, _) if name == "MONTH"));
+    }
+
+    #[test]
+    fn having_and_order_and_limit() {
+        let q = select(
+            "SELECT ?b (SUM(?q) AS ?t) WHERE { ?x <http://b> ?b ; <http://q> ?q . } \
+             GROUP BY ?b HAVING (SUM(?q) > 1000) ORDER BY DESC(?t) LIMIT 5 OFFSET 2",
+        );
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.offset, Some(2));
+    }
+
+    #[test]
+    fn property_path_parsing() {
+        let q = select(
+            "PREFIX ex: <http://e/> SELECT ?o WHERE { ?s ex:a/ex:b ?m . ?m ^ex:c|ex:d* ?o . }",
+        );
+        let paths: Vec<_> = q
+            .where_
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                PatternElement::Triple(t) => Some(&t.predicate),
+                _ => None,
+            })
+            .collect();
+        assert!(matches!(paths[0], PathOrVar::Path(PropertyPath::Sequence(..))));
+        assert!(matches!(paths[1], PathOrVar::Path(PropertyPath::Alternative(..))));
+    }
+
+    #[test]
+    fn optional_union_bind_values() {
+        let q = select(
+            r#"SELECT ?s WHERE {
+                 ?s <http://p> ?o .
+                 OPTIONAL { ?s <http://q> ?r . }
+                 { ?s <http://t> ?u . } UNION { ?s <http://v> ?w . }
+                 BIND(?o + 1 AS ?o2)
+                 VALUES ?z { 1 2 UNDEF }
+               }"#,
+        );
+        let kinds: Vec<_> = q.where_.elements.iter().map(std::mem::discriminant).collect();
+        assert_eq!(kinds.len(), 5);
+        assert!(q
+            .where_
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::Values(v, rows) if v.len() == 1 && rows.len() == 3)));
+    }
+
+    #[test]
+    fn subselect() {
+        let q = select(
+            "SELECT ?s WHERE { ?s <http://p> ?o . { SELECT ?o (COUNT(*) AS ?c) WHERE { ?x <http://q> ?o . } GROUP BY ?o } }",
+        );
+        assert!(q
+            .where_
+            .elements
+            .iter()
+            .any(|e| matches!(e, PatternElement::SubSelect(_))));
+    }
+
+    #[test]
+    fn construct_form() {
+        let q = parse_query(
+            "PREFIX ex: <http://e/> CONSTRUCT { ?s ex:p2 ?o } WHERE { ?s ex:p ?o . }",
+        )
+        .unwrap();
+        assert!(matches!(q.form, QueryForm::Construct { .. }));
+    }
+
+    #[test]
+    fn ask_form() {
+        let q = parse_query("ASK WHERE { ?s ?p ?o . }").unwrap();
+        assert!(matches!(q.form, QueryForm::Ask(_)));
+    }
+
+    #[test]
+    fn error_on_undeclared_prefix() {
+        let e = parse_query("SELECT ?s WHERE { ?s ex:p ?o . }").unwrap_err();
+        assert!(e.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn distinct_and_count_star() {
+        let q = select("SELECT DISTINCT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }");
+        assert!(q.distinct);
+        match &q.projection {
+            Projection::Items(items) => {
+                assert!(matches!(items[0].expr, Expr::Aggregate(AggregateOp::Count, false, None)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn not_in_expression() {
+        let q = select("SELECT ?s WHERE { ?s <http://p> ?o . FILTER(?o NOT IN (1, 2)) }");
+        let f = q
+            .where_
+            .elements
+            .iter()
+            .find_map(|e| match e {
+                PatternElement::Filter(f) => Some(f),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(f, Expr::In(_, list, true) if list.len() == 2));
+    }
+}

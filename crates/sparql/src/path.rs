@@ -1,0 +1,282 @@
+//! Property-path evaluation over the store.
+//!
+//! Paths power two features of the paper's model: the translation of
+//! composition expressions (`origin ∘ manufacturer`, §4.2.4) and the
+//! path-expansion transitions of the faceted UI (Fig 5.5).
+
+use crate::ast::PropertyPath;
+use rdfa_store::{Store, TermId};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// All `(start, end)` node pairs connected by `path`, optionally anchored on
+/// either side. Results are deduplicated.
+pub fn eval_path(
+    store: &Store,
+    path: &PropertyPath,
+    start: Option<TermId>,
+    end: Option<TermId>,
+) -> BTreeSet<(TermId, TermId)> {
+    match path {
+        PropertyPath::Iri(iri) => {
+            let Some(p) = store.lookup_iri(iri) else {
+                return BTreeSet::new();
+            };
+            store
+                .matching(start, Some(p), end)
+                .map(|[s, _, o]| (s, o))
+                .collect()
+        }
+        PropertyPath::Inverse(inner) => eval_path(store, inner, end, start)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect(),
+        PropertyPath::Sequence(a, b) => {
+            if start.is_some() || end.is_none() {
+                // drive left-to-right, anchored at start when available
+                let left = eval_path(store, a, start, None);
+                let mut out = BTreeSet::new();
+                let mut mid_cache: HashMap<TermId, BTreeSet<(TermId, TermId)>> = HashMap::new();
+                for (s, mid) in left {
+                    let rights = mid_cache
+                        .entry(mid)
+                        .or_insert_with(|| eval_path(store, b, Some(mid), end));
+                    for &(_, o) in rights.iter() {
+                        out.insert((s, o));
+                    }
+                }
+                out
+            } else {
+                // only end anchored: drive right-to-left
+                let right = eval_path(store, b, None, end);
+                let mut out = BTreeSet::new();
+                let mut mid_cache: HashMap<TermId, BTreeSet<(TermId, TermId)>> = HashMap::new();
+                for (mid, o) in right {
+                    let lefts = mid_cache
+                        .entry(mid)
+                        .or_insert_with(|| eval_path(store, a, None, Some(mid)));
+                    for &(s, _) in lefts.iter() {
+                        out.insert((s, o));
+                    }
+                }
+                out
+            }
+        }
+        PropertyPath::Alternative(a, b) => {
+            let mut out = eval_path(store, a, start, end);
+            out.extend(eval_path(store, b, start, end));
+            out
+        }
+        PropertyPath::ZeroOrOne(inner) => {
+            let mut out = eval_path(store, inner, start, end);
+            out.extend(identity_pairs(store, start, end));
+            out
+        }
+        PropertyPath::OneOrMore(inner) => closure(store, inner, start, end, false),
+        PropertyPath::ZeroOrMore(inner) => {
+            let mut out = closure(store, inner, start, end, false);
+            out.extend(identity_pairs(store, start, end));
+            out
+        }
+    }
+}
+
+/// Zero-length path pairs `(x, x)`, restricted by the anchors. With both ends
+/// free, the domain is every node occurring in the graph.
+fn identity_pairs(
+    store: &Store,
+    start: Option<TermId>,
+    end: Option<TermId>,
+) -> BTreeSet<(TermId, TermId)> {
+    match (start, end) {
+        (Some(s), Some(e)) => {
+            if s == e {
+                [(s, s)].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        }
+        (Some(s), None) => [(s, s)].into_iter().collect(),
+        (None, Some(e)) => [(e, e)].into_iter().collect(),
+        (None, None) => graph_nodes(store).into_iter().map(|n| (n, n)).collect(),
+    }
+}
+
+fn graph_nodes(store: &Store) -> BTreeSet<TermId> {
+    store
+        .iter_explicit()
+        .flat_map(|[s, _, o]| [s, o])
+        .collect()
+}
+
+/// Transitive closure of a path via BFS from each start node.
+fn closure(
+    store: &Store,
+    inner: &PropertyPath,
+    start: Option<TermId>,
+    end: Option<TermId>,
+    _reflexive: bool,
+) -> BTreeSet<(TermId, TermId)> {
+    // when only the end is anchored, walk the inverse path instead
+    if start.is_none() && end.is_some() {
+        let inv = PropertyPath::Inverse(Box::new(inner.clone()));
+        return closure(store, &inv, end, None, _reflexive)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect();
+    }
+    let starts: Vec<TermId> = match start {
+        Some(s) => vec![s],
+        None => eval_path(store, inner, None, None)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect(),
+    };
+    let mut out = BTreeSet::new();
+    for s in starts {
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut queue: VecDeque<TermId> = VecDeque::new();
+        queue.push_back(s);
+        let mut first = true;
+        while let Some(node) = queue.pop_front() {
+            // expand one step of the inner path from `node`
+            for (_, next) in eval_path(store, inner, Some(node), None) {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+            if first {
+                first = false;
+            }
+        }
+        for reached in seen {
+            if end.is_none_or(|e| e == reached) {
+                out.insert((s, reached));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_model::Term;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               ex:l1 ex:manufacturer ex:DELL .
+               ex:l2 ex:manufacturer ex:Lenovo .
+               ex:DELL ex:origin ex:USA .
+               ex:Lenovo ex:origin ex:China .
+               ex:USA ex:locatedAt ex:NorthAmerica .
+               ex:China ex:locatedAt ex:Asia .
+               ex:a ex:next ex:b . ex:b ex:next ex:c . ex:c ex:next ex:d .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    fn id(s: &Store, local: &str) -> TermId {
+        s.lookup(&Term::iri(format!("{EX}{local}"))).unwrap()
+    }
+
+    fn p(local: &str) -> PropertyPath {
+        PropertyPath::Iri(format!("{EX}{local}"))
+    }
+
+    #[test]
+    fn simple_iri_path() {
+        let s = store();
+        let pairs = eval_path(&s, &p("manufacturer"), None, None);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn sequence_anchored_both_ways() {
+        let s = store();
+        let seq = PropertyPath::Sequence(Box::new(p("manufacturer")), Box::new(p("origin")));
+        // forward from l1
+        let fwd = eval_path(&s, &seq, Some(id(&s, "l1")), None);
+        assert_eq!(fwd, [(id(&s, "l1"), id(&s, "USA"))].into_iter().collect());
+        // backward from China
+        let bwd = eval_path(&s, &seq, None, Some(id(&s, "China")));
+        assert_eq!(bwd, [(id(&s, "l2"), id(&s, "China"))].into_iter().collect());
+    }
+
+    #[test]
+    fn three_step_sequence() {
+        let s = store();
+        let seq = PropertyPath::Sequence(
+            Box::new(PropertyPath::Sequence(Box::new(p("manufacturer")), Box::new(p("origin")))),
+            Box::new(p("locatedAt")),
+        );
+        let pairs = eval_path(&s, &seq, None, None);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(id(&s, "l2"), id(&s, "Asia"))));
+    }
+
+    #[test]
+    fn inverse_path() {
+        let s = store();
+        let inv = PropertyPath::Inverse(Box::new(p("manufacturer")));
+        let pairs = eval_path(&s, &inv, Some(id(&s, "DELL")), None);
+        assert_eq!(pairs, [(id(&s, "DELL"), id(&s, "l1"))].into_iter().collect());
+    }
+
+    #[test]
+    fn alternative_union() {
+        let s = store();
+        let alt = PropertyPath::Alternative(Box::new(p("origin")), Box::new(p("locatedAt")));
+        let pairs = eval_path(&s, &alt, None, None);
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn one_or_more_chain() {
+        let s = store();
+        let plus = PropertyPath::OneOrMore(Box::new(p("next")));
+        let from_a = eval_path(&s, &plus, Some(id(&s, "a")), None);
+        assert_eq!(from_a.len(), 3); // b, c, d
+        let anchored = eval_path(&s, &plus, Some(id(&s, "a")), Some(id(&s, "d")));
+        assert_eq!(anchored.len(), 1);
+    }
+
+    #[test]
+    fn zero_or_more_includes_identity() {
+        let s = store();
+        let star = PropertyPath::ZeroOrMore(Box::new(p("next")));
+        let from_a = eval_path(&s, &star, Some(id(&s, "a")), None);
+        assert_eq!(from_a.len(), 4); // a itself + b, c, d
+        assert!(from_a.contains(&(id(&s, "a"), id(&s, "a"))));
+    }
+
+    #[test]
+    fn zero_or_one() {
+        let s = store();
+        let opt = PropertyPath::ZeroOrOne(Box::new(p("next")));
+        let from_a = eval_path(&s, &opt, Some(id(&s, "a")), None);
+        assert_eq!(from_a.len(), 2); // a and b
+    }
+
+    #[test]
+    fn unknown_property_matches_nothing() {
+        let s = store();
+        let pairs = eval_path(&s, &p("nonexistent"), None, None);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn one_or_more_end_anchored_only() {
+        let s = store();
+        let plus = PropertyPath::OneOrMore(Box::new(p("next")));
+        let to_d = eval_path(&s, &plus, None, Some(id(&s, "d")));
+        assert_eq!(to_d.len(), 3); // a→d, b→d, c→d
+    }
+}

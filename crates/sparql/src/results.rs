@@ -1,0 +1,271 @@
+//! Query result types returned at the public API boundary, with text,
+//! CSV, and W3C SPARQL-JSON serializations.
+
+use rdfa_model::{vocab::xsd, Graph, Literal, Term, Value};
+
+/// A solution sequence: named columns plus rows of optional terms
+/// (`None` = unbound, e.g. under `OPTIONAL`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    pub vars: Vec<String>,
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Index of a variable by name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Iterate one column as terms (unbound cells skipped).
+    pub fn column<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Term> + 'a {
+        let idx = self.var_index(name);
+        self.rows
+            .iter()
+            .filter_map(move |row| idx.and_then(|i| row[i].as_ref()))
+    }
+
+    /// Interpret one column as typed values.
+    pub fn column_values(&self, name: &str) -> Vec<Value> {
+        self.column(name).map(Value::from_term).collect()
+    }
+
+    /// Render as a plain-text table (used by examples and tests).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.as_ref().map(|t| t.display_name()).unwrap_or_default();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", format!("?{v}"), w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.vars.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Solutions {
+    /// Serialize per the SPARQL 1.1 CSV results format: a header of bare
+    /// variable names, then value rows (IRIs bare, literal lexical forms,
+    /// RFC-4180 quoting).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = self.vars.iter().map(|v| field(v)).collect::<Vec<_>>().join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line = row
+                .iter()
+                .map(|c| match c {
+                    None => String::new(),
+                    Some(Term::Iri(iri)) => field(iri),
+                    Some(Term::Blank(b)) => field(&format!("_:{b}")),
+                    Some(Term::Literal(l)) => field(&l.lexical),
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize per the W3C "SPARQL 1.1 Query Results JSON Format":
+    /// `{"head":{"vars":[…]},"results":{"bindings":[…]}}`.
+    pub fn to_json(&self) -> String {
+        fn js(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn term_json(t: &Term) -> String {
+            match t {
+                Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":{}}}", js(iri)),
+                Term::Blank(b) => format!("{{\"type\":\"bnode\",\"value\":{}}}", js(b)),
+                Term::Literal(Literal { lexical, datatype, lang: Some(lang) }) => {
+                    let _ = datatype;
+                    format!(
+                        "{{\"type\":\"literal\",\"xml:lang\":{},\"value\":{}}}",
+                        js(lang),
+                        js(lexical)
+                    )
+                }
+                Term::Literal(Literal { lexical, datatype, lang: None }) => {
+                    if datatype == xsd::STRING {
+                        format!("{{\"type\":\"literal\",\"value\":{}}}", js(lexical))
+                    } else {
+                        format!(
+                            "{{\"type\":\"literal\",\"datatype\":{},\"value\":{}}}",
+                            js(datatype),
+                            js(lexical)
+                        )
+                    }
+                }
+            }
+        }
+        let head = self.vars.iter().map(|v| js(v)).collect::<Vec<_>>().join(",");
+        let bindings = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells = self
+                    .vars
+                    .iter()
+                    .zip(row)
+                    .filter_map(|(v, c)| c.as_ref().map(|t| format!("{}:{}", js(v), term_json(t))))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{{cells}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"head\":{{\"vars\":[{head}]}},\"results\":{{\"bindings\":[{bindings}]}}}}")
+    }
+}
+
+/// The result of a query: a solution table, a constructed graph, or a boolean.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResults {
+    Solutions(Solutions),
+    Graph(Graph),
+    Boolean(bool),
+}
+
+impl QueryResults {
+    /// The solutions, if this was a SELECT.
+    pub fn solutions(&self) -> Option<&Solutions> {
+        match self {
+            QueryResults::Solutions(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consume into solutions.
+    pub fn into_solutions(self) -> Option<Solutions> {
+        match self {
+            QueryResults::Solutions(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The constructed graph, if this was a CONSTRUCT.
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            QueryResults::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this was an ASK.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResults::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_format() {
+        let s = Solutions {
+            vars: vec!["m".into(), "n".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e/DELL")), Some(Term::integer(2))],
+                vec![Some(Term::string("a,b")), None],
+            ],
+        };
+        let csv = s.to_csv();
+        assert_eq!(csv, "m,n\nhttp://e/DELL,2\n\"a,b\",\n");
+    }
+
+    #[test]
+    fn json_format_matches_w3c_shape() {
+        let s = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e/a"))],
+                vec![Some(Term::integer(5))],
+                vec![Some(Term::Literal(crate::results::Literal::lang_string("hi", "en")))],
+                vec![None],
+            ],
+        };
+        let json = s.to_json();
+        assert!(json.starts_with("{\"head\":{\"vars\":[\"x\"]}"));
+        assert!(json.contains("\"type\":\"uri\",\"value\":\"http://e/a\""));
+        assert!(json.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""));
+        assert!(json.contains("\"xml:lang\":\"en\""));
+        // unbound row serializes as an empty binding object
+        assert!(json.contains("{}"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let s = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![vec![Some(Term::string("a\"b\\c\nd"))]],
+        };
+        let json = s.to_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn table_rendering_and_columns() {
+        let s = Solutions {
+            vars: vec!["m".into(), "avg".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e/DELL")), Some(Term::decimal(950.0))],
+                vec![Some(Term::iri("http://e/ACER")), None],
+            ],
+        };
+        let t = s.to_table();
+        assert!(t.contains("?m"));
+        assert!(t.contains("DELL"));
+        assert_eq!(s.column("m").count(), 2);
+        assert_eq!(s.column("avg").count(), 1);
+        assert_eq!(s.column_values("avg"), vec![Value::Float(950.0)]);
+    }
+}

@@ -1,0 +1,368 @@
+//! SPARQL tokenizer.
+
+use crate::SparqlError;
+use rdfa_model::term::unescape_literal;
+
+/// A lexical token. Keywords are produced as [`Token::Word`] and matched
+/// case-insensitively by the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<http://…>`
+    IriRef(String),
+    /// `prefix:local` (either part may be empty)
+    PName(String, String),
+    /// `?name` / `$name`
+    Var(String),
+    /// `_:label`
+    BlankNode(String),
+    /// Quoted string body (unescaped); suffixes are separate tokens.
+    Str(String),
+    /// `@lang` following a string
+    LangTag(String),
+    /// Numeric literal (lexical form preserved)
+    Number(String),
+    /// Bare word: keywords, `a`, `true`, `false`, function names
+    Word(String),
+    /// `^^`
+    DtSep,
+    /// Any punctuation/operator: `{ } ( ) . ; , * / + - ! | ^ ? = != < > <= >= && ||`
+    Punct(&'static str),
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '<' => {
+                // IRI ref if a '>' appears before whitespace; else operator
+                let mut j = i + 1;
+                let mut is_iri = false;
+                while j < n && !bytes[j].is_whitespace() {
+                    if bytes[j] == '>' {
+                        is_iri = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                if is_iri {
+                    let iri: String = bytes[i + 1..j].iter().collect();
+                    toks.push(Token::IriRef(iri));
+                    i = j + 1;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::Punct("<="));
+                    i += 2;
+                } else {
+                    toks.push(Token::Punct("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::Punct(">="));
+                    i += 2;
+                } else {
+                    toks.push(Token::Punct(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::Punct("!="));
+                    i += 2;
+                } else {
+                    toks.push(Token::Punct("!"));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < n && bytes[i + 1] == '&' {
+                    toks.push(Token::Punct("&&"));
+                    i += 2;
+                } else {
+                    return Err(SparqlError::new("stray '&'"));
+                }
+            }
+            '|' => {
+                if i + 1 < n && bytes[i + 1] == '|' {
+                    toks.push(Token::Punct("||"));
+                    i += 2;
+                } else {
+                    toks.push(Token::Punct("|"));
+                    i += 1;
+                }
+            }
+            '^' => {
+                if i + 1 < n && bytes[i + 1] == '^' {
+                    toks.push(Token::DtSep);
+                    i += 2;
+                } else {
+                    toks.push(Token::Punct("^"));
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push(Token::Punct("="));
+                i += 1;
+            }
+            '{' | '}' | '(' | ')' | '.' | ';' | ',' | '*' | '/' | '+' | '-' => {
+                // negative number literal?
+                if c == '-' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    let (num, next) = lex_number(&bytes, i);
+                    toks.push(Token::Number(num));
+                    i = next;
+                } else {
+                    toks.push(Token::Punct(punct_str(c)));
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                // variable, or the '?' path modifier when not followed by a name char
+                if i + 1 < n && (bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Token::Var(bytes[i + 1..j].iter().collect()));
+                    i = j;
+                } else {
+                    toks.push(Token::Punct("?"));
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut body = String::new();
+                let mut escaped = false;
+                loop {
+                    if j >= n {
+                        return Err(SparqlError::new("unterminated string literal"));
+                    }
+                    let cj = bytes[j];
+                    if escaped {
+                        body.push('\\');
+                        body.push(cj);
+                        escaped = false;
+                    } else if cj == '\\' {
+                        escaped = true;
+                    } else if cj == quote {
+                        break;
+                    } else {
+                        body.push(cj);
+                    }
+                    j += 1;
+                }
+                toks.push(Token::Str(unescape_literal(&body)));
+                i = j + 1;
+            }
+            '@' => {
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '-') {
+                    j += 1;
+                }
+                toks.push(Token::LangTag(bytes[i + 1..j].iter().collect()));
+                i = j;
+            }
+            '_' if i + 1 < n && bytes[i + 1] == ':' => {
+                let mut j = i + 2;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_' || bytes[j] == '-')
+                {
+                    j += 1;
+                }
+                toks.push(Token::BlankNode(bytes[i + 2..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (num, next) = lex_number(&bytes, i);
+                toks.push(Token::Number(num));
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_' || bytes[j] == '-')
+                {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                if j < n && bytes[j] == ':' {
+                    // prefixed name
+                    let mut k = j + 1;
+                    while k < n
+                        && (bytes[k].is_ascii_alphanumeric()
+                            || bytes[k] == '_'
+                            || bytes[k] == '-'
+                            || bytes[k] == '.')
+                    {
+                        k += 1;
+                    }
+                    // trailing '.' belongs to the statement, not the name
+                    let mut end = k;
+                    while end > j + 1 && bytes[end - 1] == '.' {
+                        end -= 1;
+                    }
+                    let local: String = bytes[j + 1..end].iter().collect();
+                    toks.push(Token::PName(word, local));
+                    i = end;
+                } else {
+                    toks.push(Token::Word(word));
+                    i = j;
+                }
+            }
+            ':' => {
+                // prefixed name with empty prefix
+                let mut k = i + 1;
+                while k < n
+                    && (bytes[k].is_ascii_alphanumeric() || bytes[k] == '_' || bytes[k] == '-')
+                {
+                    k += 1;
+                }
+                toks.push(Token::PName(String::new(), bytes[i + 1..k].iter().collect()));
+                i = k;
+            }
+            other => return Err(SparqlError::new(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+fn punct_str(c: char) -> &'static str {
+    match c {
+        '{' => "{",
+        '}' => "}",
+        '(' => "(",
+        ')' => ")",
+        '.' => ".",
+        ';' => ";",
+        ',' => ",",
+        '*' => "*",
+        '/' => "/",
+        '+' => "+",
+        '-' => "-",
+        _ => unreachable!("not a single-char punct: {c}"),
+    }
+}
+
+fn lex_number(bytes: &[char], start: usize) -> (String, usize) {
+    let n = bytes.len();
+    let mut j = start;
+    if bytes[j] == '-' || bytes[j] == '+' {
+        j += 1;
+    }
+    let mut seen_dot = false;
+    while j < n {
+        let c = bytes[j];
+        if c.is_ascii_digit() {
+            j += 1;
+        } else if c == '.' && !seen_dot && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+            seen_dot = true;
+            j += 1;
+        } else if (c == 'e' || c == 'E')
+            && j + 1 < n
+            && (bytes[j + 1].is_ascii_digit() || bytes[j + 1] == '-' || bytes[j + 1] == '+')
+        {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    (bytes[start..j].iter().collect(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = tokenize("SELECT ?m (AVG(?p) AS ?avg) WHERE { ?x ex:price ?p . }").unwrap();
+        assert!(toks.contains(&Token::Var("m".into())));
+        assert!(toks.contains(&Token::PName("ex".into(), "price".into())));
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.iter().any(|t| t.is_kw("AS")));
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        let toks = tokenize("FILTER(?x < 3) ?s <http://p> ?o").unwrap();
+        assert!(toks.contains(&Token::Punct("<")));
+        assert!(toks.contains(&Token::IriRef("http://p".into())));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("<= >= != = && || !").unwrap();
+        let expected = ["<=", ">=", "!=", "=", "&&", "||", "!"];
+        for (t, e) in toks.iter().zip(expected) {
+            assert_eq!(t, &Token::Punct(e));
+        }
+    }
+
+    #[test]
+    fn typed_literal_tokens() {
+        let toks = tokenize(r#""2021-01-01T00:00:00"^^xsd:dateTime"#).unwrap();
+        assert_eq!(toks[0], Token::Str("2021-01-01T00:00:00".into()));
+        assert_eq!(toks[1], Token::DtSep);
+        assert_eq!(toks[2], Token::PName("xsd".into(), "dateTime".into()));
+    }
+
+    #[test]
+    fn numbers_including_negative_and_decimal() {
+        let toks = tokenize("42 -7 3.5 1e6").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("42".into()),
+                Token::Number("-7".into()),
+                Token::Number("3.5".into()),
+                Token::Number("1e6".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn path_operators() {
+        let toks = tokenize("?s ex:a/ex:b|^ex:c* ?o").unwrap();
+        assert!(toks.contains(&Token::Punct("/")));
+        assert!(toks.contains(&Token::Punct("|")));
+        assert!(toks.contains(&Token::Punct("^")));
+        assert!(toks.contains(&Token::Punct("*")));
+    }
+
+    #[test]
+    fn pname_trailing_dot_is_statement_end() {
+        let toks = tokenize("?s a ex:Laptop.").unwrap();
+        assert_eq!(toks[2], Token::PName("ex".into(), "Laptop".into()));
+        assert_eq!(toks[3], Token::Punct("."));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT # all\n ?x").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn question_mark_path_modifier() {
+        let toks = tokenize("ex:a? ").unwrap();
+        assert_eq!(toks[1], Token::Punct("?"));
+    }
+}

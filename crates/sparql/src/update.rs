@@ -1,0 +1,267 @@
+//! SPARQL 1.1 Update subset: `INSERT DATA`, `DELETE DATA`, `DELETE WHERE`,
+//! and `DELETE … INSERT … WHERE …` (the `Modify` form). Operations may be
+//! chained with `;`.
+//!
+//! Updates are how derived features (Table 4.1) and reloaded answers can be
+//! written back into a store through the standard protocol surface instead
+//! of the Rust API.
+
+use crate::ast::{GroupPattern, PathOrVar, PropertyPath, TermPattern, TriplePattern};
+use crate::eval::{Evaluator, Frame};
+use crate::expr::bound_term;
+use crate::parser::parse_update_ops;
+use crate::SparqlError;
+use rdfa_model::{Term, Triple};
+use rdfa_store::Store;
+
+/// One update operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { ground triples }`
+    InsertData(Vec<Triple>),
+    /// `DELETE DATA { ground triples }`
+    DeleteData(Vec<Triple>),
+    /// `DELETE WHERE { pattern }` — the pattern is both template and WHERE.
+    DeleteWhere(Vec<TriplePattern>),
+    /// `DELETE { t } INSERT { t } WHERE { pattern }` (either part optional).
+    Modify {
+        delete: Vec<TriplePattern>,
+        insert: Vec<TriplePattern>,
+        where_: GroupPattern,
+    },
+}
+
+/// Result summary of an update request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    pub inserted: usize,
+    pub deleted: usize,
+}
+
+/// Parse and execute an update request against a store. The RDFS closure is
+/// re-materialized once at the end.
+pub fn execute_update(store: &mut Store, text: &str) -> Result<UpdateStats, SparqlError> {
+    let ops = parse_update_ops(text)?;
+    let mut stats = UpdateStats::default();
+    for op in &ops {
+        apply(store, op, &mut stats)?;
+    }
+    store.materialize_inference();
+    Ok(stats)
+}
+
+fn apply(store: &mut Store, op: &UpdateOp, stats: &mut UpdateStats) -> Result<(), SparqlError> {
+    match op {
+        UpdateOp::InsertData(triples) => {
+            for t in triples {
+                if store.insert(t) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+        UpdateOp::DeleteData(triples) => {
+            for t in triples {
+                if let (Some(s), Some(p), Some(o)) = (
+                    store.lookup(&t.subject),
+                    store.lookup(&t.predicate),
+                    store.lookup(&t.object),
+                ) {
+                    if store.remove_ids([s, p, o]) {
+                        stats.deleted += 1;
+                    }
+                }
+            }
+        }
+        UpdateOp::DeleteWhere(patterns) => {
+            let where_ = GroupPattern {
+                elements: patterns
+                    .iter()
+                    .cloned()
+                    .map(crate::ast::PatternElement::Triple)
+                    .collect(),
+            };
+            let deletions = instantiate_all(store, patterns, &where_)?;
+            for t in deletions {
+                if remove_triple(store, &t) {
+                    stats.deleted += 1;
+                }
+            }
+        }
+        UpdateOp::Modify { delete, insert, where_ } => {
+            let deletions = instantiate_all(store, delete, where_)?;
+            let insertions = instantiate_all(store, insert, where_)?;
+            for t in deletions {
+                if remove_triple(store, &t) {
+                    stats.deleted += 1;
+                }
+            }
+            for t in insertions {
+                if store.insert(&t) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn remove_triple(store: &mut Store, t: &Triple) -> bool {
+    match (store.lookup(&t.subject), store.lookup(&t.predicate), store.lookup(&t.object)) {
+        (Some(s), Some(p), Some(o)) => store.remove_ids([s, p, o]),
+        _ => false,
+    }
+}
+
+/// Evaluate the WHERE pattern and instantiate the template for each row.
+fn instantiate_all(
+    store: &Store,
+    template: &[TriplePattern],
+    where_: &GroupPattern,
+) -> Result<Vec<Triple>, SparqlError> {
+    if template.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut frame = Frame::default();
+    Evaluator::collect_vars(where_, &mut frame);
+    let ev = Evaluator::new(store);
+    let rows = ev.eval_group(where_, &frame, vec![vec![None; frame.len()]])?;
+    let mut out = Vec::new();
+    for row in &rows {
+        for tp in template {
+            let resolve = |pat: &TermPattern| -> Option<Term> {
+                match pat {
+                    TermPattern::Term(t) => Some(t.clone()),
+                    TermPattern::Var(v) => frame
+                        .index(v)
+                        .and_then(|i| row.get(i))
+                        .and_then(|b| b.as_ref())
+                        .map(|b| bound_term(b, store).clone()),
+                }
+            };
+            let p = match &tp.predicate {
+                PathOrVar::Path(PropertyPath::Iri(iri)) => Some(Term::iri(iri.clone())),
+                PathOrVar::Var(v) => frame
+                    .index(v)
+                    .and_then(|i| row.get(i))
+                    .and_then(|b| b.as_ref())
+                    .map(|b| bound_term(b, store).clone()),
+                PathOrVar::Path(_) => None,
+            };
+            if let (Some(s), Some(p), Some(o)) = (resolve(&tp.subject), p, resolve(&tp.object)) {
+                out.push(Triple::new(s, p, o));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               ex:l1 a ex:Laptop ; ex:price 900 .
+               ex:l2 a ex:Laptop ; ex:price 1000 .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_data() {
+        let mut s = store();
+        let stats = execute_update(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> INSERT DATA {{ ex:l3 a ex:Laptop ; ex:price 820 . }}"),
+        )
+        .unwrap();
+        assert_eq!(stats.inserted, 2);
+        let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
+        assert_eq!(s.instances(laptop).len(), 3);
+    }
+
+    #[test]
+    fn delete_data() {
+        let mut s = store();
+        let stats = execute_update(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> DELETE DATA {{ ex:l1 ex:price 900 . }}"),
+        )
+        .unwrap();
+        assert_eq!(stats.deleted, 1);
+        // deleting an absent triple is a no-op
+        let stats2 = execute_update(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> DELETE DATA {{ ex:l1 ex:price 900 . }}"),
+        )
+        .unwrap();
+        assert_eq!(stats2.deleted, 0);
+    }
+
+    #[test]
+    fn delete_where() {
+        let mut s = store();
+        let stats = execute_update(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> DELETE WHERE {{ ?x ex:price ?p . }}"),
+        )
+        .unwrap();
+        assert_eq!(stats.deleted, 2);
+        let price = s.lookup_iri(&format!("{EX}price")).unwrap();
+        assert_eq!(s.matching(None, Some(price), None).count(), 0);
+    }
+
+    #[test]
+    fn modify_rewrites_values() {
+        let mut s = store();
+        // apply a 10% discount to everything over 950
+        let stats = execute_update(
+            &mut s,
+            &format!(
+                "PREFIX ex: <{EX}> DELETE {{ ?x ex:price ?p . }} INSERT {{ ?x ex:discounted true . }} WHERE {{ ?x ex:price ?p . FILTER(?p > 950) }}"
+            ),
+        )
+        .unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.inserted, 1);
+        let disc = s.lookup_iri(&format!("{EX}discounted")).unwrap();
+        assert_eq!(s.matching(None, Some(disc), None).count(), 1);
+    }
+
+    #[test]
+    fn chained_operations() {
+        let mut s = store();
+        let stats = execute_update(
+            &mut s,
+            &format!(
+                "PREFIX ex: <{EX}>\nINSERT DATA {{ ex:l3 ex:price 500 . }} ;\nDELETE DATA {{ ex:l1 ex:price 900 . }}"
+            ),
+        )
+        .unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.deleted, 1);
+    }
+
+    #[test]
+    fn closure_refreshed_after_update() {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            "@prefix ex: <{EX}> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> . ex:Laptop rdfs:subClassOf ex:Product ."
+        ))
+        .unwrap();
+        execute_update(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> INSERT DATA {{ ex:l9 a ex:Laptop . }}"),
+        )
+        .unwrap();
+        let product = s.lookup_iri(&format!("{EX}Product")).unwrap();
+        assert_eq!(s.instances(product).len(), 1);
+        assert!(!s.is_dirty());
+    }
+}

@@ -1,0 +1,199 @@
+//! 2D charts: grouped bar/column charts rendered as SVG or terminal text.
+
+/// One bar: a category label and one value per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarDatum {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+/// A grouped bar chart (one series per aggregate, as in Fig 6.4 where avg,
+/// sum and max are charted together).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    pub title: String,
+    pub series_names: Vec<String>,
+    pub data: Vec<BarDatum>,
+}
+
+impl BarChart {
+    /// Build a chart, validating that every datum has one value per series.
+    pub fn new(
+        title: impl Into<String>,
+        series_names: Vec<String>,
+        data: Vec<BarDatum>,
+    ) -> Result<Self, String> {
+        let n = series_names.len();
+        for d in &data {
+            if d.values.len() != n {
+                return Err(format!(
+                    "datum '{}' has {} values, expected {}",
+                    d.label,
+                    d.values.len(),
+                    n
+                ));
+            }
+        }
+        Ok(BarChart { title: title.into(), series_names, data })
+    }
+
+    fn max_value(&self) -> f64 {
+        self.data
+            .iter()
+            .flat_map(|d| d.values.iter().copied())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Render as an SVG document.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let margin = 40.0;
+        let w = width as f64;
+        let h = height as f64;
+        let plot_w = w - 2.0 * margin;
+        let plot_h = h - 2.0 * margin;
+        let max = self.max_value().max(1e-9);
+        let groups = self.data.len().max(1) as f64;
+        let series = self.series_names.len().max(1) as f64;
+        let group_w = plot_w / groups;
+        let bar_w = (group_w * 0.8) / series;
+        let palette = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2"];
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\">\n"
+        ));
+        svg.push_str(&format!(
+            "  <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            w / 2.0,
+            xml_escape(&self.title)
+        ));
+        // axes
+        svg.push_str(&format!(
+            "  <line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n",
+            m = margin,
+            b = h - margin,
+            r = w - margin
+        ));
+        svg.push_str(&format!(
+            "  <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>\n",
+            m = margin,
+            t = margin,
+            b = h - margin
+        ));
+        for (gi, d) in self.data.iter().enumerate() {
+            let gx = margin + gi as f64 * group_w + group_w * 0.1;
+            for (si, v) in d.values.iter().enumerate() {
+                let bh = (v / max) * plot_h;
+                let x = gx + si as f64 * bar_w;
+                let y = h - margin - bh;
+                let color = palette[si % palette.len()];
+                svg.push_str(&format!(
+                    "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{bh:.1}\" fill=\"{color}\"><title>{t}: {v}</title></rect>\n",
+                    bw = bar_w.max(1.0),
+                    t = xml_escape(&d.label),
+                ));
+            }
+            svg.push_str(&format!(
+                "  <text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"middle\" font-size=\"10\">{l}</text>\n",
+                x = gx + group_w * 0.4,
+                y = h - margin + 14.0,
+                l = xml_escape(&d.label)
+            ));
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Render as terminal text, one bar row per (category, series).
+    pub fn to_text(&self, bar_width: usize) -> String {
+        let max = self.max_value().max(1e-9);
+        let label_w = self
+            .data
+            .iter()
+            .map(|d| d.label.len())
+            .chain(self.series_names.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(4);
+        let mut out = format!("{}\n", self.title);
+        for d in &self.data {
+            for (si, v) in d.values.iter().enumerate() {
+                let n = ((v / max) * bar_width as f64).round() as usize;
+                let tag = if self.series_names.len() > 1 {
+                    format!("{:<label_w$} {:<label_w$}", d.label, self.series_names[si])
+                } else {
+                    format!("{:<label_w$}", d.label)
+                };
+                out.push_str(&format!("{tag} |{} {v}\n", "#".repeat(n)));
+            }
+        }
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart::new(
+            "avg price by manufacturer",
+            vec!["avg".into(), "max".into()],
+            vec![
+                BarDatum { label: "DELL".into(), values: vec![950.0, 1000.0] },
+                BarDatum { label: "ACER".into(), values: vec![820.0, 820.0] },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn svg_contains_bars_and_labels() {
+        let svg = chart().to_svg(400, 300);
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("DELL"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn text_bars_scale_to_max() {
+        let text = chart().to_text(20);
+        // max value (1000) gets the full bar
+        assert!(text.contains(&"#".repeat(20)), "{text}");
+        assert!(text.contains("ACER"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = BarChart::new(
+            "t",
+            vec!["a".into()],
+            vec![BarDatum { label: "x".into(), values: vec![1.0, 2.0] }],
+        )
+        .unwrap_err();
+        assert!(err.contains("expected 1"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        let c = BarChart::new(
+            "a < b & c",
+            vec!["s".into()],
+            vec![BarDatum { label: "<tag>".into(), values: vec![1.0] }],
+        )
+        .unwrap();
+        let svg = c.to_svg(100, 100);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("<tag>"));
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = BarChart::new("empty", vec![], vec![]).unwrap();
+        assert!(c.to_svg(100, 100).contains("</svg>"));
+        assert_eq!(c.to_text(10), "empty\n");
+    }
+}

@@ -1,0 +1,23 @@
+//! # rdfa-viz — answer-frame visualization substrate
+//!
+//! The presentation layer of §5.1's Answer Frame and Chapter 6's 2D/3D
+//! visualizations, GUI-free: every renderer produces plain data structures
+//! plus text/SVG output that the examples print.
+//!
+//! - [`chart2d`] — bar/column charts as SVG and as terminal text (Fig 6.4);
+//! - [`spiral`] — the spiral-like placement algorithm of the companion
+//!   paper \[116\]: biggest values at the center, no overlaps, bounded space;
+//! - [`urban3d`] — the 3D "urban area" metaphor (§6.3): one multi-storey
+//!   cube per entity, segment volume proportional to the feature value.
+
+pub mod chart2d;
+pub mod linechart;
+pub mod piechart;
+pub mod spiral;
+pub mod urban3d;
+
+pub use chart2d::{BarChart, BarDatum};
+pub use linechart::LineChart;
+pub use piechart::PieChart;
+pub use spiral::{spiral_layout, PlacedCircle};
+pub use urban3d::{urban_layout, Building, Segment};

@@ -1,0 +1,180 @@
+//! Line charts — the time-series rendering of Fig 6.4 (e.g. quantities by
+//! month).
+
+/// A line chart: one or more named series over shared x positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    pub title: String,
+    pub x_labels: Vec<String>,
+    /// `(series name, y values)`; each series has one y per x label.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl LineChart {
+    /// Build a chart, validating arity.
+    pub fn new(
+        title: impl Into<String>,
+        x_labels: Vec<String>,
+        series: Vec<(String, Vec<f64>)>,
+    ) -> Result<Self, String> {
+        for (name, ys) in &series {
+            if ys.len() != x_labels.len() {
+                return Err(format!(
+                    "series '{name}' has {} points, expected {}",
+                    ys.len(),
+                    x_labels.len()
+                ));
+            }
+        }
+        Ok(LineChart { title: title.into(), x_labels, series })
+    }
+
+    fn y_range(&self) -> (f64, f64) {
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (_, ys) in &self.series {
+            for &y in ys {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        if lo > hi {
+            (0.0, 1.0)
+        } else if (hi - lo).abs() < 1e-12 {
+            (lo - 1.0, hi + 1.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Render as SVG polylines.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let palette = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2"];
+        let margin = 40.0;
+        let (w, h) = (width as f64, height as f64);
+        let (lo, hi) = self.y_range();
+        let span = hi - lo;
+        let n = self.x_labels.len().max(2) as f64;
+        let sx = (w - 2.0 * margin) / (n - 1.0);
+        let sy = (h - 2.0 * margin) / span;
+        let mut svg = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\">\n"
+        );
+        svg.push_str(&format!(
+            "  <text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            w / 2.0,
+            xml_escape(&self.title)
+        ));
+        svg.push_str(&format!(
+            "  <line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n  <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>\n",
+            m = margin,
+            b = h - margin,
+            r = w - margin,
+            t = margin
+        ));
+        for (i, (name, ys)) in self.series.iter().enumerate() {
+            let points: Vec<String> = ys
+                .iter()
+                .enumerate()
+                .map(|(j, &y)| {
+                    format!("{:.1},{:.1}", margin + j as f64 * sx, h - margin - (y - lo) * sy)
+                })
+                .collect();
+            let color = palette[i % palette.len()];
+            svg.push_str(&format!(
+                "  <polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"><title>{}</title></polyline>\n",
+                points.join(" "),
+                xml_escape(name)
+            ));
+        }
+        for (j, label) in self.x_labels.iter().enumerate() {
+            svg.push_str(&format!(
+                "  <text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"middle\" font-size=\"10\">{l}</text>\n",
+                x = margin + j as f64 * sx,
+                y = h - margin + 14.0,
+                l = xml_escape(label)
+            ));
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Render as terminal text: a simple grid with one character per series.
+    pub fn to_text(&self, height: usize) -> String {
+        let (lo, hi) = self.y_range();
+        let span = hi - lo;
+        let markers = ['*', 'o', '+', 'x', '~'];
+        let n = self.x_labels.len();
+        let mut grid = vec![vec![' '; n * 3]; height];
+        for (si, (_, ys)) in self.series.iter().enumerate() {
+            for (j, &y) in ys.iter().enumerate() {
+                let row = ((hi - y) / span * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][j * 3] = markers[si % markers.len()];
+            }
+        }
+        let mut out = format!("{}  (y: {:.1}..{:.1})\n", self.title, lo, hi);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(n * 3));
+        out.push('\n');
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new(
+            "quantities by month",
+            vec!["Jan".into(), "Feb".into(), "Mar".into()],
+            vec![
+                ("2021".into(), vec![300.0, 400.0, 200.0]),
+                ("2022".into(), vec![350.0, 380.0, 240.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn svg_has_one_polyline_per_series() {
+        let svg = chart().to_svg(400, 200);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Jan"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(LineChart::new(
+            "bad",
+            vec!["a".into()],
+            vec![("s".into(), vec![1.0, 2.0])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn text_grid_has_requested_height() {
+        let t = chart().to_text(6);
+        // title + 6 rows + axis
+        assert_eq!(t.lines().count(), 8);
+        assert!(t.contains('*'));
+        assert!(t.contains('o'));
+    }
+
+    #[test]
+    fn flat_series_renders() {
+        let c = LineChart::new("flat", vec!["a".into(), "b".into()], vec![("s".into(), vec![5.0, 5.0])])
+            .unwrap();
+        assert!(c.to_svg(100, 100).contains("polyline"));
+    }
+}

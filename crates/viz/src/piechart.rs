@@ -1,0 +1,141 @@
+//! Pie charts — one of the 2D answer renderings of Fig 6.4.
+
+/// A pie chart: labeled non-negative slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PieChart {
+    pub title: String,
+    pub slices: Vec<(String, f64)>,
+}
+
+impl PieChart {
+    /// Build a chart; negative values are rejected.
+    pub fn new(title: impl Into<String>, slices: Vec<(String, f64)>) -> Result<Self, String> {
+        for (label, v) in &slices {
+            if *v < 0.0 {
+                return Err(format!("negative slice '{label}': {v}"));
+            }
+        }
+        Ok(PieChart { title: title.into(), slices })
+    }
+
+    fn total(&self) -> f64 {
+        self.slices.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Slice shares in [0, 1], in input order (empty when the total is 0).
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total();
+        if total <= 0.0 {
+            return vec![0.0; self.slices.len()];
+        }
+        self.slices.iter().map(|(_, v)| v / total).collect()
+    }
+
+    /// Render as SVG (circle sectors via path arcs).
+    pub fn to_svg(&self, size: u32) -> String {
+        let palette = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#ff9da6"];
+        let cx = size as f64 / 2.0;
+        let cy = size as f64 / 2.0 + 10.0;
+        let r = size as f64 / 2.0 - 30.0;
+        let mut svg = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size}\" height=\"{h}\">\n",
+            h = size + 20
+        );
+        svg.push_str(&format!(
+            "  <text x=\"{cx}\" y=\"16\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            xml_escape(&self.title)
+        ));
+        let mut angle = -std::f64::consts::FRAC_PI_2; // start at 12 o'clock
+        for (i, ((label, value), share)) in
+            self.slices.iter().zip(self.shares()).enumerate()
+        {
+            if share <= 0.0 {
+                continue;
+            }
+            let sweep = share * std::f64::consts::TAU;
+            let (x0, y0) = (cx + r * angle.cos(), cy + r * angle.sin());
+            let end = angle + sweep;
+            let (x1, y1) = (cx + r * end.cos(), cy + r * end.sin());
+            let large = if sweep > std::f64::consts::PI { 1 } else { 0 };
+            let color = palette[i % palette.len()];
+            if share >= 1.0 {
+                svg.push_str(&format!(
+                    "  <circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r:.1}\" fill=\"{color}\"><title>{t}: {value}</title></circle>\n",
+                    t = xml_escape(label)
+                ));
+            } else {
+                svg.push_str(&format!(
+                    "  <path d=\"M{cx:.1},{cy:.1} L{x0:.1},{y0:.1} A{r:.1},{r:.1} 0 {large} 1 {x1:.1},{y1:.1} Z\" fill=\"{color}\"><title>{t}: {value}</title></path>\n",
+                    t = xml_escape(label)
+                ));
+            }
+            angle = end;
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Render as terminal text: percentage bars.
+    pub fn to_text(&self, width: usize) -> String {
+        let label_w = self.slices.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+        let mut out = format!("{}\n", self.title);
+        for ((label, value), share) in self.slices.iter().zip(self.shares()) {
+            let n = (share * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:<label_w$} |{} {:.1}% ({value})\n",
+                label,
+                "#".repeat(n),
+                share * 100.0
+            ));
+        }
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> PieChart {
+        PieChart::new(
+            "laptops by country",
+            vec![("USA".into(), 2.0), ("China".into(), 1.0), ("Taiwan".into(), 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = chart().shares();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svg_has_one_sector_per_nonzero_slice() {
+        let svg = chart().to_svg(200);
+        assert_eq!(svg.matches("<path").count(), 3);
+    }
+
+    #[test]
+    fn single_full_slice_is_a_circle() {
+        let c = PieChart::new("one", vec![("all".into(), 5.0)]).unwrap();
+        assert!(c.to_svg(100).contains("<circle"));
+    }
+
+    #[test]
+    fn rejects_negative() {
+        assert!(PieChart::new("bad", vec![("x".into(), -1.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_total_renders_gracefully() {
+        let c = PieChart::new("zero", vec![("x".into(), 0.0)]).unwrap();
+        assert!(c.to_svg(100).contains("</svg>"));
+        assert!(c.to_text(10).contains("0.0%"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The spiral-like placement algorithm of the companion paper
+//! (Tzitzikas, Papadaki, Chatzakis, *JIIS* 2022, publication \[116\] of the
+//! dissertation): place a set of weighted values in the plane so that the
+//! biggest values sit at the center of a spiral and the smallest in the
+//! periphery, with no overlaps, no holes in the periphery, and bounded
+//! total extent.
+//!
+//! Each value becomes a circle of radius `√value · scale` (area ∝ value).
+//! Values are sorted descending and placed along an Archimedean spiral,
+//! advancing until the candidate position collides with nothing already
+//! placed. The walk is monotone, so the algorithm is `O(n²)` in collision
+//! checks but linear in spiral progress — fast enough for the interactive
+//! sizes the paper targets (thousands of values).
+
+/// A placed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedCircle {
+    /// Index into the input slice.
+    pub index: usize,
+    pub value: f64,
+    pub x: f64,
+    pub y: f64,
+    pub radius: f64,
+}
+
+impl PlacedCircle {
+    /// Distance from the layout origin.
+    pub fn distance_from_center(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    fn overlaps(&self, other: &PlacedCircle) -> bool {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let d2 = dx * dx + dy * dy;
+        let rr = self.radius + other.radius;
+        d2 < rr * rr * 0.999 // small tolerance for tangency
+    }
+}
+
+/// Lay out `values` (non-negative weights) on a spiral. `scale` converts
+/// `√value` to a radius; zero values get a minimal radius so they remain
+/// visible. Returns the circles in placement (descending-value) order.
+pub fn spiral_layout(values: &[f64], scale: f64) -> Vec<PlacedCircle> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut placed: Vec<PlacedCircle> = Vec::with_capacity(values.len());
+    let mut theta = 0.0_f64;
+    for &idx in &order {
+        let value = values[idx].max(0.0);
+        let radius = (value.sqrt() * scale).max(scale * 0.2);
+        if placed.is_empty() {
+            placed.push(PlacedCircle { index: idx, value, x: 0.0, y: 0.0, radius });
+            continue;
+        }
+        // advance along the spiral until the circle fits
+        let pitch = placed[0].radius.max(radius) * 0.35;
+        loop {
+            let r = pitch * theta / std::f64::consts::TAU + placed[0].radius + radius;
+            let candidate = PlacedCircle {
+                index: idx,
+                value,
+                x: r * theta.cos(),
+                y: r * theta.sin(),
+                radius,
+            };
+            if placed.iter().all(|p| !candidate.overlaps(p)) {
+                placed.push(candidate);
+                break;
+            }
+            // step size shrinks with distance so the walk stays dense
+            theta += (radius * 0.5 / (r + 1e-9)).max(0.01);
+        }
+    }
+    placed
+}
+
+/// The bounding box `(min_x, min_y, max_x, max_y)` of a layout.
+pub fn bounding_box(layout: &[PlacedCircle]) -> (f64, f64, f64, f64) {
+    let mut bb = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for p in layout {
+        bb.0 = bb.0.min(p.x - p.radius);
+        bb.1 = bb.1.min(p.y - p.radius);
+        bb.2 = bb.2.max(p.x + p.radius);
+        bb.3 = bb.3.max(p.y + p.radius);
+    }
+    if layout.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        bb
+    }
+}
+
+/// Render a layout as SVG (labels = input indices).
+pub fn to_svg(layout: &[PlacedCircle], width: u32) -> String {
+    let (x0, y0, x1, y1) = bounding_box(layout);
+    let span = (x1 - x0).max(y1 - y0).max(1e-9);
+    let s = width as f64 / span;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{width}\">\n"
+    );
+    for p in layout {
+        svg.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"#4c78a8\" fill-opacity=\"0.7\"><title>{}: {}</title></circle>\n",
+            (p.x - x0) * s,
+            (p.y - y0) * s,
+            p.radius * s,
+            p.index,
+            p.value
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn biggest_value_at_center() {
+        let values = [5.0, 100.0, 20.0, 1.0, 50.0];
+        let layout = spiral_layout(&values, 1.0);
+        assert_eq!(layout[0].index, 1); // value 100 placed first
+        assert_eq!(layout[0].distance_from_center(), 0.0);
+    }
+
+    #[test]
+    fn no_overlaps_small() {
+        let values = [10.0, 8.0, 6.0, 4.0, 2.0, 1.0, 1.0, 1.0];
+        let layout = spiral_layout(&values, 1.0);
+        for i in 0..layout.len() {
+            for j in i + 1..layout.len() {
+                assert!(
+                    !layout[i].overlaps(&layout[j]),
+                    "{i} and {j} overlap: {:?} {:?}",
+                    layout[i],
+                    layout[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_distribution_stays_bounded() {
+        // the paper's motivating case: power-law sizes
+        let values: Vec<f64> = (1..=200).map(|i| 1000.0 / i as f64).collect();
+        let layout = spiral_layout(&values, 1.0);
+        let (x0, y0, x1, y1) = bounding_box(&layout);
+        let area_used: f64 = layout
+            .iter()
+            .map(|p| std::f64::consts::PI * p.radius * p.radius)
+            .sum();
+        let bbox_area = (x1 - x0) * (y1 - y0);
+        // packing efficiency: circles should fill a reasonable share of the box
+        assert!(area_used / bbox_area > 0.2, "too sparse: {}", area_used / bbox_area);
+    }
+
+    #[test]
+    fn distance_roughly_monotone_in_rank() {
+        let values: Vec<f64> = (1..=40).map(|i| (41 - i) as f64 * 10.0).collect();
+        let layout = spiral_layout(&values, 1.0);
+        // average distance of the first half must be below the second half
+        let mid = layout.len() / 2;
+        let d1: f64 = layout[..mid].iter().map(|p| p.distance_from_center()).sum::<f64>() / mid as f64;
+        let d2: f64 =
+            layout[mid..].iter().map(|p| p.distance_from_center()).sum::<f64>() / (layout.len() - mid) as f64;
+        assert!(d1 < d2, "bigger values should be nearer the center: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn svg_renders() {
+        let layout = spiral_layout(&[3.0, 2.0, 1.0], 1.0);
+        let svg = to_svg(&layout, 200);
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(spiral_layout(&[], 1.0).is_empty());
+        let one = spiral_layout(&[7.0], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(bounding_box(&[]), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn layout_never_overlaps(values in proptest::collection::vec(0.1f64..100.0, 1..40)) {
+            let layout = spiral_layout(&values, 1.0);
+            prop_assert_eq!(layout.len(), values.len());
+            for i in 0..layout.len() {
+                for j in i + 1..layout.len() {
+                    prop_assert!(!layout[i].overlaps(&layout[j]));
+                }
+            }
+        }
+    }
+}

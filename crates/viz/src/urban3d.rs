@@ -1,0 +1,186 @@
+//! The 3D "urban area" visualization of §6.3: each entity (e.g. a country,
+//! a group of the analytic answer) is a multi-storey cube; each storey
+//! (segment) corresponds to one feature, its volume proportional to the
+//! feature's value. Buildings are arranged on a square grid like city
+//! blocks.
+
+/// One storey of a building.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub feature: String,
+    pub value: f64,
+    /// Height of this storey (footprint is shared by the whole building, so
+    /// volume ∝ height).
+    pub height: f64,
+}
+
+/// One entity's building.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Building {
+    pub label: String,
+    /// Grid position (column, row).
+    pub grid: (usize, usize),
+    /// World-space origin of the building's base.
+    pub origin: (f64, f64),
+    /// Footprint side length.
+    pub side: f64,
+    pub segments: Vec<Segment>,
+}
+
+impl Building {
+    /// Total height of the building.
+    pub fn total_height(&self) -> f64 {
+        self.segments.iter().map(|s| s.height).sum()
+    }
+}
+
+/// Lay out one building per entity on a square grid. `features` names the
+/// per-entity values; `max_height` is the height given to the largest
+/// feature value across the scene (everything scales linearly to it).
+pub fn urban_layout(
+    entities: &[(String, Vec<f64>)],
+    features: &[String],
+    side: f64,
+    gap: f64,
+    max_height: f64,
+) -> Vec<Building> {
+    let max_value = entities
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let cols = (entities.len() as f64).sqrt().ceil() as usize;
+    entities
+        .iter()
+        .enumerate()
+        .map(|(i, (label, values))| {
+            let col = i % cols.max(1);
+            let row = i / cols.max(1);
+            let segments = features
+                .iter()
+                .zip(values)
+                .map(|(f, &v)| Segment {
+                    feature: f.clone(),
+                    value: v,
+                    height: (v / max_value) * max_height,
+                })
+                .collect();
+            Building {
+                label: label.clone(),
+                grid: (col, row),
+                origin: (col as f64 * (side + gap), row as f64 * (side + gap)),
+                side,
+                segments,
+            }
+        })
+        .collect()
+}
+
+/// Export a scene as Wavefront-OBJ-style text (one axis-aligned box per
+/// segment), consumable by any 3D viewer.
+pub fn to_obj(buildings: &[Building]) -> String {
+    let mut out = String::new();
+    let mut vertex_base = 1usize;
+    for b in buildings {
+        out.push_str(&format!("o {}\n", b.label.replace(' ', "_")));
+        let (x, z) = b.origin;
+        let mut y0 = 0.0;
+        for seg in &b.segments {
+            let y1 = y0 + seg.height;
+            let s = b.side;
+            // 8 vertices of the box
+            for &(vx, vy, vz) in &[
+                (x, y0, z),
+                (x + s, y0, z),
+                (x + s, y0, z + s),
+                (x, y0, z + s),
+                (x, y1, z),
+                (x + s, y1, z),
+                (x + s, y1, z + s),
+                (x, y1, z + s),
+            ] {
+                out.push_str(&format!("v {vx:.2} {vy:.2} {vz:.2}\n"));
+            }
+            let f = |a: usize, b_: usize, c: usize, d: usize| {
+                format!(
+                    "f {} {} {} {}\n",
+                    vertex_base + a,
+                    vertex_base + b_,
+                    vertex_base + c,
+                    vertex_base + d
+                )
+            };
+            out.push_str(&f(0, 1, 2, 3)); // bottom
+            out.push_str(&f(4, 5, 6, 7)); // top
+            out.push_str(&f(0, 1, 5, 4));
+            out.push_str(&f(1, 2, 6, 5));
+            out.push_str(&f(2, 3, 7, 6));
+            out.push_str(&f(3, 0, 4, 7));
+            vertex_base += 8;
+            y0 = y1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> Vec<Building> {
+        urban_layout(
+            &[
+                ("Greece".into(), vec![10.0, 20.0]),
+                ("Italy".into(), vec![40.0, 5.0]),
+                ("Spain".into(), vec![30.0, 30.0]),
+            ],
+            &["cases".into(), "recoveries".into()],
+            2.0,
+            1.0,
+            10.0,
+        )
+    }
+
+    #[test]
+    fn heights_proportional_to_values() {
+        let b = scene();
+        // Italy's "cases" (40) is the max → height 10
+        let italy = &b[1];
+        assert!((italy.segments[0].height - 10.0).abs() < 1e-9);
+        // Greece's "cases" (10) → height 2.5
+        assert!((b[0].segments[0].height - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_positions_unique() {
+        let b = scene();
+        let mut seen = std::collections::HashSet::new();
+        for building in &b {
+            assert!(seen.insert(building.grid));
+        }
+    }
+
+    #[test]
+    fn total_height_sums_segments() {
+        let b = scene();
+        let spain = &b[2];
+        let expect: f64 = spain.segments.iter().map(|s| s.height).sum();
+        assert!((spain.total_height() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obj_export_shape() {
+        let obj = to_obj(&scene());
+        // 3 buildings × 2 segments × 8 vertices
+        assert_eq!(obj.matches("\nv ").count() + obj.starts_with("v ") as usize, 48);
+        assert_eq!(obj.matches("f ").count(), 3 * 2 * 6);
+        assert!(obj.contains("o Greece"));
+    }
+
+    #[test]
+    fn empty_scene() {
+        let b = urban_layout(&[], &[], 1.0, 0.5, 5.0);
+        assert!(b.is_empty());
+        assert_eq!(to_obj(&b), "");
+    }
+}

@@ -1,0 +1,107 @@
+//! The COVID-19 analytics scenario (dissertation system (1a) + the §3.2.3
+//! health-domain example query): monthly case curves per country via the
+//! interaction model, a line chart, an OLAP roll-up to the year level, and
+//! the 3D urban scene of country totals.
+//!
+//! Run with `cargo run --example covid_timeline`.
+
+use rdf_analytics::analytics::{AnalyticsSession, GroupSpec, MeasureSpec};
+use rdf_analytics::datagen::{covid::COUNTRIES, CovidGenerator, EX};
+use rdf_analytics::hifun::{AggOp, DerivedFn};
+use rdf_analytics::model::Value;
+use rdf_analytics::store::Store;
+use rdf_analytics::viz::{urban_layout, LineChart};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut store = Store::new();
+    store.load_graph(&CovidGenerator::new(180, 21).generate());
+    let id = |local: &str| store.lookup_iri(&format!("{EX}{local}")).unwrap();
+    println!("COVID KG: {} triples over {} countries\n", store.len(), COUNTRIES.len());
+
+    // monthly new cases per country: (ofCountry ⊗ month∘onDate, newCases, SUM)
+    let mut session = AnalyticsSession::start(&store);
+    session.select_class(id("Observation")).unwrap();
+    session.add_grouping(GroupSpec::property(id("ofCountry")));
+    session.add_grouping(GroupSpec::property(id("onDate")).with_derived(DerivedFn::Month));
+    session.set_measure(MeasureSpec::property(id("newCases")));
+    session.set_ops(vec![AggOp::Sum]);
+    let frame = session.run().unwrap();
+    println!("HIFUN: {}", frame.hifun);
+    println!("{} (country, month) groups", frame.len());
+
+    // pivot the answer into per-country monthly series for the line chart
+    let mut series: BTreeMap<String, BTreeMap<i64, f64>> = BTreeMap::new();
+    for row in &frame.rows {
+        let country = row[0].as_ref().unwrap().display_name();
+        let month = Value::from_term(row[1].as_ref().unwrap()).as_f64().unwrap() as i64;
+        let cases = Value::from_term(row[2].as_ref().unwrap()).as_f64().unwrap();
+        series.entry(country).or_default().insert(month, cases);
+    }
+    let months: Vec<i64> = (1..=6).collect();
+    let chart = LineChart::new(
+        "monthly new cases",
+        months.iter().map(|m| format!("M{m}")).collect(),
+        series
+            .iter()
+            .take(3)
+            .map(|(c, by_month)| {
+                (
+                    c.clone(),
+                    months.iter().map(|m| by_month.get(m).copied().unwrap_or(0.0)).collect(),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    println!("{}", chart.to_text(10));
+
+    // OLAP roll-up: month → year (one total per country)
+    session.roll_up(1).unwrap();
+    let by_year = session.run().unwrap();
+    println!("after roll-up (month → year): {} groups", by_year.len());
+    println!("{}", by_year.to_table());
+
+    // 3D urban scene of totals: cases/recoveries/deaths per country
+    session.clear_analytics();
+    session.add_grouping(GroupSpec::property(id("ofCountry")));
+    session.set_measure(MeasureSpec::property(id("newCases")));
+    session.set_ops(vec![AggOp::Sum]);
+    let cases = session.run().unwrap();
+    session.clear_analytics();
+    session.add_grouping(GroupSpec::property(id("ofCountry")));
+    session.set_measure(MeasureSpec::property(id("deaths")));
+    session.set_ops(vec![AggOp::Sum]);
+    let deaths = session.run().unwrap();
+    let deaths_by: BTreeMap<String, f64> = deaths
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_ref().unwrap().display_name(),
+                Value::from_term(r[1].as_ref().unwrap()).as_f64().unwrap(),
+            )
+        })
+        .collect();
+    let entities: Vec<(String, Vec<f64>)> = cases
+        .rows
+        .iter()
+        .map(|r| {
+            let c = r[0].as_ref().unwrap().display_name();
+            let total = Value::from_term(r[1].as_ref().unwrap()).as_f64().unwrap();
+            let d = deaths_by.get(&c).copied().unwrap_or(0.0);
+            (c, vec![total, d * 50.0]) // scale deaths for visibility
+        })
+        .collect();
+    let scene = urban_layout(
+        &entities,
+        &["cases".into(), "deaths×50".into()],
+        2.0,
+        1.0,
+        10.0,
+    );
+    println!("3D city: one building per country");
+    for b in &scene {
+        println!("  {:<12} total height {:.1}", b.label, b.total_height());
+    }
+}

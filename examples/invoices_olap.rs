@@ -1,0 +1,59 @@
+//! Experiment E8 — the HIFUN invoices dataset (Fig 2.7) with the OLAP
+//! operators of Chapter 7: roll-up (month → year), drill-down back, slice,
+//! dice and pivot (Fig 7.2).
+//!
+//! Run with `cargo run --example invoices_olap`.
+
+use rdf_analytics::analytics::{AnalyticsSession, GroupSpec, MeasureSpec, OlapOp};
+use rdf_analytics::datagen::{InvoicesGenerator, EX};
+use rdf_analytics::hifun::{AggOp, DerivedFn};
+use rdf_analytics::store::Store;
+
+fn main() {
+    let mut store = Store::new();
+    store.load_graph(&InvoicesGenerator::new(400, 7).generate());
+    println!("generated invoices dataset: {} triples\n", store.len());
+
+    let id = |local: &str| store.lookup_iri(&format!("{EX}{local}")).unwrap();
+
+    // total quantities by branch and month — (takesPlaceAt ⊗ month∘hasDate, inQuantity, SUM)
+    let mut session = AnalyticsSession::start(&store);
+    session.add_grouping(GroupSpec::property(id("hasDate")).with_derived(DerivedFn::Month));
+    session.add_grouping(GroupSpec::property(id("takesPlaceAt")));
+    session.set_measure(MeasureSpec::property(id("inQuantity")));
+    session.set_ops(vec![AggOp::Sum]);
+
+    let by_month = session.run().unwrap();
+    println!("by month × branch: {} groups", by_month.len());
+    println!("{}", preview(&by_month.to_table(), 8));
+
+    // roll-up: month → year (Fig 7.2)
+    session.roll_up(0).unwrap();
+    let by_year = session.run().unwrap();
+    println!("after roll-up (month→year): {} groups", by_year.len());
+    println!("{}", by_year.to_table());
+
+    // drill-down back to months
+    session.drill_down(0).unwrap();
+    println!("after drill-down (year→month): {} groups", session.run().unwrap().len());
+
+    // slice: fix branch0 and drop the branch dimension
+    session.slice(1, id("branch0")).unwrap();
+    let sliced = session.run().unwrap();
+    println!("\nafter slice (branch = branch0): {} groups", sliced.len());
+    println!("{}", preview(&sliced.to_table(), 6));
+
+    // pivot correspondence table (Fig 7.1)
+    println!("OLAP ↔ interaction-model correspondence (Fig 7.1):");
+    for op in [OlapOp::RollUp, OlapOp::DrillDown, OlapOp::Slice, OlapOp::Dice, OlapOp::Pivot] {
+        println!("  {:?}: {}", op, op.interaction_move());
+    }
+}
+
+fn preview(table: &str, rows: usize) -> String {
+    let mut out: Vec<&str> = table.lines().take(rows + 2).collect();
+    if table.lines().count() > rows + 2 {
+        out.push("…");
+    }
+    out.join("\n")
+}

@@ -1,0 +1,48 @@
+//! Starting the interaction from keyword-search results (§5.4.1's second
+//! starting point): a keyword query seeds the faceted session, which then
+//! flows into analytics as usual.
+//!
+//! Run with `cargo run --example keyword_start`.
+
+use rdf_analytics::analytics::{AnalyticsSession, GroupSpec};
+use rdf_analytics::datagen::{products_fixture, EX};
+use rdf_analytics::facets::FacetedSession;
+use rdf_analytics::hifun::AggOp;
+use rdf_analytics::store::{KeywordIndex, Store};
+
+fn main() {
+    let mut store = Store::new();
+    store.load_graph(&products_fixture());
+
+    // build the keyword index once per dataset
+    let index = KeywordIndex::build(&store);
+    println!("indexed {} resources", index.len());
+
+    // keyword query → ranked hits
+    let query = "dell laptop";
+    println!("\nkeyword query: {query:?}");
+    for hit in index.search(query).iter().take(5) {
+        println!("  {:<12} score {:.2}", store.term(hit.resource).display_name(), hit.score);
+    }
+
+    // seed a faceted session with the top hits
+    let results = index.search_set(query, 10);
+    let session = FacetedSession::start_from(&store, results);
+    println!("\nfaceted session over {} keyword results; facets:", session.extension().len());
+    for f in session.facets() {
+        println!(
+            "  by {} ({} values)",
+            store.term(f.property).display_name(),
+            f.value_count()
+        );
+    }
+
+    // analytics over the keyword result set: count hits per manufacturer
+    let id = |local: &str| store.lookup_iri(&format!("{EX}{local}")).unwrap();
+    let mut analytics = AnalyticsSession::start_from(&store, index.search_set(query, 10));
+    analytics.add_grouping(GroupSpec::property(id("manufacturer")));
+    analytics.set_ops(vec![AggOp::Count]);
+    let frame = analytics.run().unwrap();
+    println!("\nhits per manufacturer:");
+    println!("{}", frame.to_table());
+}

@@ -1,0 +1,59 @@
+//! `rdfa-server` — serve a knowledge graph over the SPARQL protocol (the
+//! backend of the paper's client–server architecture, Fig 6.1).
+//!
+//! ```text
+//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port]
+//! curl 'http://127.0.0.1:3030/sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D+LIMIT+3'
+//! curl -X POST --data 'PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p 1 . }' http://127.0.0.1:3030/update
+//! curl http://127.0.0.1:3030/void
+//! ```
+//!
+//! Without a file argument the demo products KG is served.
+
+use rdf_analytics::server::Server;
+use rdf_analytics::store::Store;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store = Store::new();
+    let mut port = 3030u16;
+    let mut loaded = false;
+    for arg in &args {
+        if let Ok(p) = arg.parse::<u16>() {
+            port = p;
+        } else {
+            let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+                eprintln!("cannot read {arg}: {e}");
+                std::process::exit(2);
+            });
+            let result = if arg.ends_with(".nt") {
+                store.load_ntriples(&text).map_err(|e| e.to_string())
+            } else {
+                store.load_turtle(&text).map_err(|e| e.to_string())
+            };
+            match result {
+                Ok(n) => eprintln!("loaded {n} triples from {arg}"),
+                Err(e) => {
+                    eprintln!("cannot parse {arg}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            loaded = true;
+        }
+    }
+    if !loaded {
+        store.load_graph(&rdf_analytics::datagen::ProductsGenerator::new(300, 7).generate());
+        eprintln!("no input file given — serving the demo products KG ({} triples)", store.len());
+    }
+    let server = Server::start(store, port).unwrap_or_else(|e| {
+        eprintln!("cannot bind port {port}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "SPARQL endpoint at http://{}/sparql (POST /update, GET /void, GET /health) — Ctrl-C to stop",
+        server.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,27 @@
+//! # rdf-analytics — facade crate
+//!
+//! Re-exports the whole RDF-Analytics stack under one roof, mirroring the
+//! architecture of the paper *"RDF-Analytics: Interactive Analytics over RDF
+//! Knowledge Graphs"* (EDBT 2023):
+//!
+//! - [`model`] — RDF terms, triples, XSD values, Turtle/N-Triples I/O
+//! - [`store`] — interned triple store with SPO/POS/OSP indexes and RDFS inference
+//! - [`sparql`] — SPARQL 1.1 subset engine (aggregates, paths, subqueries)
+//! - [`hifun`] — the HIFUN analytics language and its SPARQL translation
+//! - [`facets`] — the core faceted-search-over-RDF interaction model
+//! - [`analytics`] — the paper's contribution: faceted search extended with analytics
+//! - [`viz`] — answer-frame rendering: tables, 2D charts, spiral & 3D layouts
+//! - [`datagen`] — synthetic KGs and the simulated-endpoint latency model
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour.
+
+pub mod server;
+
+pub use rdfa_core as analytics;
+pub use rdfa_datagen as datagen;
+pub use rdfa_facets as facets;
+pub use rdfa_hifun as hifun;
+pub use rdfa_model as model;
+pub use rdfa_sparql as sparql;
+pub use rdfa_store as store;
+pub use rdfa_viz as viz;

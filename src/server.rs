@@ -1,0 +1,392 @@
+//! A minimal HTTP SPARQL endpoint — the server side of the paper's
+//! architecture (Fig 6.1: the GUI talks to a backend that evaluates SPARQL
+//! over the KG). Implemented on `std::net` only (HTTP/1.1 subset), enough
+//! for the SPARQL protocol's common cases:
+//!
+//! | route | method | body/query | response |
+//! |---|---|---|---|
+//! | `/sparql?query=…` | GET | URL-encoded query | JSON (default), CSV or text via `Accept` |
+//! | `/sparql` | POST | the query verbatim | same |
+//! | `/update` | POST | an update request | `{"inserted":n,"deleted":m}` |
+//! | `/void` | GET | — | the dataset's VoID description (N-Triples) |
+//! | `/health` | GET | — | `ok` |
+//!
+//! The store lives behind an `RwLock`: queries share it, updates take the
+//! write lock. `Server::start` binds an ephemeral port and serves on a
+//! background thread until the handle is dropped — exactly what the tests
+//! and the quickstart need; production deployments would front this with a
+//! real HTTP stack.
+
+use rdfa_sparql::{execute_update, Engine, QueryResults};
+use rdfa_store::{Store, StoreStats};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A running endpoint: drop it (or call [`Server::stop`]) to shut down.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and serve the store.
+    pub fn start(store: Store, port: u16) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let shared = Arc::new(RwLock::new(store));
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = handle_connection(stream, &shared);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and join the serving thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, store: &Arc<RwLock<Store>>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts.next().unwrap_or("/").to_owned();
+
+    // headers
+    let mut content_length = 0usize;
+    let mut accept = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => content_length = value.trim().parse().unwrap_or(0),
+                "accept" => accept = value.trim().to_owned(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+
+    let mut stream = reader.into_inner();
+    let respond = |stream: &mut TcpStream, status: &str, ctype: &str, payload: &str| {
+        let head = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            payload.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(payload.as_bytes())
+    };
+
+    match (method.as_str(), path) {
+        ("GET", "/health") => respond(&mut stream, "200 OK", "text/plain", "ok"),
+        ("GET", "/void") => {
+            let guard = store.read().expect("store lock");
+            let stats = StoreStats::gather(&guard);
+            let void = stats.to_void_graph(&guard, "urn:rdfa:dataset");
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/n-triples",
+                &rdfa_model::ntriples::serialize(&void),
+            )
+        }
+        ("GET", "/sparql") | ("POST", "/sparql") => {
+            let query = if method == "POST" {
+                body
+            } else {
+                match form_value(query_string, "query") {
+                    Some(q) => q,
+                    None => {
+                        return respond(
+                            &mut stream,
+                            "400 Bad Request",
+                            "text/plain",
+                            "missing ?query=",
+                        )
+                    }
+                }
+            };
+            let guard = store.read().expect("store lock");
+            match Engine::new(&guard).query(&query) {
+                Ok(QueryResults::Solutions(sols)) => {
+                    if accept.contains("text/csv") {
+                        respond(&mut stream, "200 OK", "text/csv", &sols.to_csv())
+                    } else if accept.contains("text/plain") {
+                        respond(&mut stream, "200 OK", "text/plain", &sols.to_table())
+                    } else {
+                        respond(
+                            &mut stream,
+                            "200 OK",
+                            "application/sparql-results+json",
+                            &sols.to_json(),
+                        )
+                    }
+                }
+                Ok(QueryResults::Graph(g)) => respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/n-triples",
+                    &rdfa_model::ntriples::serialize(&g),
+                ),
+                Ok(QueryResults::Boolean(b)) => respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/sparql-results+json",
+                    &format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+                ),
+                Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &e.message),
+            }
+        }
+        ("POST", "/update") => {
+            let mut guard = store.write().expect("store lock");
+            match execute_update(&mut guard, &body) {
+                Ok(stats) => respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json",
+                    &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
+                ),
+                Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &e.message),
+            }
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "no such route"),
+    }
+}
+
+/// Extract and percent-decode one value from a `k=v&k2=v2` query string.
+fn form_value(query_string: &str, key: &str) -> Option<String> {
+    for pair in query_string.split('&') {
+        if let Some((k, v)) = pair.split_once('=') {
+            if k == key {
+                return Some(percent_decode(v));
+            }
+        }
+    }
+    None
+}
+
+/// Percent-decoding (plus `+` → space) for URL query components.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encoding for building request URLs in tests and clients.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(
+            r#"@prefix ex: <http://example.org/> .
+               ex:l1 a ex:Laptop ; ex:price 900 .
+               ex:l2 a ex:Laptop ; ex:price 1000 .
+            "#,
+        )
+        .unwrap();
+        s
+    }
+
+    fn http(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str, accept: &str) -> String {
+        http(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: x\r\nAccept: {accept}\r\n\r\n"),
+        )
+    }
+
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> String {
+        http(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn health_and_404() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        assert!(get(server.addr(), "/health", "*/*").contains("ok"));
+        assert!(get(server.addr(), "/nope", "*/*").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn get_query_returns_json() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Laptop . }",
+        );
+        let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("sparql-results+json"));
+        assert!(resp.contains("\"value\":\"2\""), "{resp}");
+    }
+
+    #[test]
+    fn post_query_with_csv_accept() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let body = "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . } ORDER BY ?x";
+        stream
+            .write_all(
+                format!(
+                    "POST /sparql HTTP/1.1\r\nHost: x\r\nAccept: text/csv\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("text/csv"));
+        assert!(resp.contains("http://example.org/l1"));
+    }
+
+    #[test]
+    fn update_mutates_store() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = post(
+            server.addr(),
+            "/update",
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:l3 a ex:Laptop . }",
+        );
+        assert!(resp.contains("\"inserted\":1"), "{resp}");
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Laptop . }",
+        );
+        let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.contains("\"value\":\"3\""), "{resp}");
+    }
+
+    #[test]
+    fn bad_query_is_400() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = get(server.addr(), "/sparql?query=NOT+SPARQL", "*/*");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[test]
+    fn void_route_describes_dataset() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = get(server.addr(), "/void", "*/*");
+        assert!(resp.contains("void#triples"), "{resp}");
+    }
+
+    #[test]
+    fn ask_returns_boolean_json() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let q = percent_encode("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 900 . }");
+        let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.contains("\"boolean\":true"), "{resp}");
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let s = "SELECT * WHERE { ?s ?p \"a b+c%\" . }";
+        assert_eq!(percent_decode(&percent_encode(s)), s);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property test: the store's single-pass RDFS closure equals a naive
+//! rule-based fixpoint on random schema + data graphs.
+//!
+//! The naive evaluator applies the RDFS rules (5, 7, 9, 11, 2, 3) repeatedly
+//! until nothing changes — obviously correct, hopelessly slow; the store's
+//! closure must produce exactly the same triple set.
+
+use proptest::prelude::*;
+use rdf_analytics::model::{vocab, Term, Triple};
+use rdf_analytics::store::Store;
+use std::collections::BTreeSet;
+
+const EX: &str = "http://fx/";
+
+#[derive(Debug, Clone)]
+struct RandKg {
+    /// subClassOf edges between classes c0..c4
+    subclass: Vec<(u8, u8)>,
+    /// subPropertyOf edges between properties p0..p3
+    subprop: Vec<(u8, u8)>,
+    /// domain/range declarations: (property, class, is_domain)
+    domran: Vec<(u8, u8, bool)>,
+    /// type assertions: (individual, class)
+    types: Vec<(u8, u8)>,
+    /// data triples: (subject ind, property, object ind)
+    data: Vec<(u8, u8, u8)>,
+}
+
+fn kg_strategy() -> impl Strategy<Value = RandKg> {
+    (
+        proptest::collection::vec((0u8..5, 0u8..5), 0..6),
+        proptest::collection::vec((0u8..4, 0u8..4), 0..4),
+        proptest::collection::vec((0u8..4, 0u8..5, any::<bool>()), 0..4),
+        proptest::collection::vec((0u8..6, 0u8..5), 0..8),
+        proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 0..10),
+    )
+        .prop_map(|(subclass, subprop, domran, types, data)| RandKg {
+            subclass,
+            subprop,
+            domran,
+            types,
+            data,
+        })
+}
+
+fn cls(i: u8) -> Term {
+    Term::iri(format!("{EX}C{i}"))
+}
+fn prop(i: u8) -> Term {
+    Term::iri(format!("{EX}p{i}"))
+}
+fn ind(i: u8) -> Term {
+    Term::iri(format!("{EX}x{i}"))
+}
+
+fn explicit_triples(kg: &RandKg) -> BTreeSet<Triple> {
+    let mut out = BTreeSet::new();
+    for &(a, b) in &kg.subclass {
+        out.insert(Triple::new(cls(a), Term::iri(vocab::rdfs::SUB_CLASS_OF), cls(b)));
+    }
+    for &(a, b) in &kg.subprop {
+        out.insert(Triple::new(prop(a), Term::iri(vocab::rdfs::SUB_PROPERTY_OF), prop(b)));
+    }
+    for &(p, c, is_dom) in &kg.domran {
+        let pred = if is_dom { vocab::rdfs::DOMAIN } else { vocab::rdfs::RANGE };
+        out.insert(Triple::new(prop(p), Term::iri(pred), cls(c)));
+    }
+    for &(x, c) in &kg.types {
+        out.insert(Triple::new(ind(x), Term::iri(vocab::rdf::TYPE), cls(c)));
+    }
+    for &(s, p, o) in &kg.data {
+        out.insert(Triple::new(ind(s), prop(p), ind(o)));
+    }
+    out
+}
+
+/// Naive fixpoint over the RDFS rules the store implements.
+fn naive_closure(explicit: &BTreeSet<Triple>) -> BTreeSet<Triple> {
+    let t_type = Term::iri(vocab::rdf::TYPE);
+    let t_sub = Term::iri(vocab::rdfs::SUB_CLASS_OF);
+    let t_subp = Term::iri(vocab::rdfs::SUB_PROPERTY_OF);
+    let t_dom = Term::iri(vocab::rdfs::DOMAIN);
+    let t_ran = Term::iri(vocab::rdfs::RANGE);
+    let mut all = explicit.clone();
+    loop {
+        let mut new: Vec<Triple> = Vec::new();
+        let snapshot: Vec<Triple> = all.iter().cloned().collect();
+        for a in &snapshot {
+            for b in &snapshot {
+                // rdfs11: subClassOf transitivity (irreflexive conclusions kept)
+                if a.predicate == t_sub && b.predicate == t_sub && a.object == b.subject {
+                    new.push(Triple::new(a.subject.clone(), t_sub.clone(), b.object.clone()));
+                }
+                // rdfs5: subPropertyOf transitivity
+                if a.predicate == t_subp && b.predicate == t_subp && a.object == b.subject {
+                    new.push(Triple::new(a.subject.clone(), t_subp.clone(), b.object.clone()));
+                }
+                // rdfs9: type propagation
+                if a.predicate == t_type && b.predicate == t_sub && a.object == b.subject {
+                    new.push(Triple::new(a.subject.clone(), t_type.clone(), b.object.clone()));
+                }
+                // rdfs7: property inheritance (only for data predicates)
+                if b.predicate == t_subp
+                    && a.predicate == b.subject
+                    && a.predicate != t_type
+                    && a.predicate != t_sub
+                    && a.predicate != t_subp
+                    && a.predicate != t_dom
+                    && a.predicate != t_ran
+                {
+                    new.push(Triple::new(a.subject.clone(), b.object.clone(), a.object.clone()));
+                }
+                // rdfs2: domain typing
+                if b.predicate == t_dom && a.predicate == b.subject {
+                    new.push(Triple::new(a.subject.clone(), t_type.clone(), b.object.clone()));
+                }
+                // rdfs3: range typing
+                if b.predicate == t_ran && a.predicate == b.subject {
+                    new.push(Triple::new(a.object.clone(), t_type.clone(), b.object.clone()));
+                }
+            }
+        }
+        // the store's closure keeps subsumption conclusions irreflexive
+        // (x ⊑ x adds nothing); mirror that
+        new.retain(|t| {
+            !((t.predicate == t_sub || t.predicate == t_subp) && t.subject == t.object)
+        });
+        let before = all.len();
+        all.extend(new);
+        if all.len() == before {
+            return all;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn store_closure_equals_naive_fixpoint(kg in kg_strategy()) {
+        let explicit = explicit_triples(&kg);
+        let mut store = Store::new();
+        for t in &explicit {
+            store.insert(t);
+        }
+        store.materialize_inference();
+        let via_store: BTreeSet<Triple> = store
+            .matching(None, None, None)
+            .map(|[s, p, o]| {
+                Triple::new(store.term(s).clone(), store.term(p).clone(), store.term(o).clone())
+            })
+            .collect();
+        let via_fixpoint = naive_closure(&explicit);
+        let missing: Vec<_> = via_fixpoint.difference(&via_store).collect();
+        let extra: Vec<_> = via_store.difference(&via_fixpoint).collect();
+        prop_assert!(
+            missing.is_empty() && extra.is_empty(),
+            "missing from store: {missing:#?}\nextra in store: {extra:#?}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the serialization substrate: Turtle and N-Triples
+//! round-trips over random graphs, and store load/export stability.
+
+use proptest::prelude::*;
+use rdf_analytics::model::{ntriples, turtle, Graph, Literal, Term, Triple};
+use rdf_analytics::store::Store;
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_map(|s| Term::iri(format!("http://rt.example/{s}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // printable strings incl. characters that need escaping
+        "[ -~]{0,20}".prop_map(Term::string),
+        any::<i64>().prop_map(Term::integer),
+        any::<bool>().prop_map(Term::boolean),
+        (1990i32..2030, 1u8..13, 1u8..29).prop_map(|(y, m, d)| Term::date(y, m, d)),
+        ("[a-z]{1,8}", "[a-z]{2}")
+            .prop_map(|(s, lang)| Term::Literal(Literal::lang_string(s, lang))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (
+        prop_oneof![arb_iri(), "[a-z]{1,6}".prop_map(Term::blank)],
+        arb_iri(),
+        prop_oneof![arb_iri(), arb_literal(), "[a-z]{1,6}".prop_map(Term::blank)],
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(arb_triple(), 0..30).prop_map(Graph::from_iter)
+}
+
+fn sorted(g: &Graph) -> Vec<Triple> {
+    let mut v: Vec<Triple> = g.iter().cloned().collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph()) {
+        let text = ntriples::serialize(&g);
+        let back = ntriples::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(sorted(&g), sorted(&back));
+    }
+
+    #[test]
+    fn turtle_roundtrip(g in arb_graph()) {
+        let text = turtle::serialize(&g, &[("rt", "http://rt.example/")]);
+        let back = turtle::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(sorted(&g), sorted(&back));
+    }
+
+    #[test]
+    fn store_load_export_is_stable(g in arb_graph()) {
+        let mut store = Store::new();
+        store.load_graph(&g);
+        let exported = store.to_graph();
+        // a second round through the store changes nothing
+        let mut store2 = Store::new();
+        store2.load_graph(&exported);
+        prop_assert_eq!(sorted(&exported), sorted(&store2.to_graph()));
+        // the store deduplicates: exported set equals the distinct input set
+        prop_assert_eq!(sorted(&g), sorted(&exported));
+    }
+}
+
+#[test]
+fn turtle_roundtrip_tricky_strings() {
+    let mut g = Graph::new();
+    for s in ["line\nbreak", "tab\there", "quote\"inside", "back\\slash", ""] {
+        g.add(
+            Term::iri("http://rt.example/s"),
+            Term::iri("http://rt.example/p"),
+            Term::string(s),
+        );
+    }
+    let text = turtle::serialize(&g, &[]);
+    let back = turtle::parse(&text).unwrap();
+    assert_eq!(sorted(&g), sorted(&back));
+}

@@ -1,0 +1,62 @@
+//! Robustness fuzzing: no input — however malformed — may panic any parser.
+//! Errors must come back as `Err`, never as a crash (the engine sits behind
+//! a public endpoint, §6.1).
+
+use proptest::prelude::*;
+use rdf_analytics::model::{ntriples, turtle};
+use rdf_analytics::sparql::{parse_query, Engine};
+use rdf_analytics::store::Store;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn turtle_parser_never_panics(input in ".{0,200}") {
+        let _ = turtle::parse(&input);
+    }
+
+    #[test]
+    fn ntriples_parser_never_panics(input in ".{0,200}") {
+        let _ = ntriples::parse(&input);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics_on_querylike(
+        head in "(SELECT|CONSTRUCT|ASK|DESCRIBE|PREFIX)",
+        body in "[ -~]{0,120}",
+    ) {
+        let _ = parse_query(&format!("{head} {body}"));
+    }
+
+    #[test]
+    fn engine_never_panics_on_arbitrary_select(
+        vars in "[?][a-z] [?][a-z]",
+        body in "[a-zA-Z0-9?<>:/{}.;, ]{0,80}",
+    ) {
+        let mut store = Store::new();
+        store
+            .load_turtle("@prefix ex: <http://e/> . ex:a ex:p ex:b .")
+            .unwrap();
+        let _ = Engine::new(&store).query(&format!("SELECT {vars} WHERE {{ {body} }}"));
+    }
+
+    #[test]
+    fn hifun_notation_parser_never_panics(input in ".{0,120}") {
+        let _ = rdf_analytics::hifun::parse_hifun(&input, "http://e/");
+    }
+
+    #[test]
+    fn script_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = rdf_analytics::analytics::Script::parse(&input);
+    }
+
+    #[test]
+    fn update_parser_never_panics(input in ".{0,160}") {
+        let mut store = Store::new();
+        let _ = rdf_analytics::sparql::execute_update(&mut store, &input);
+    }
+}

@@ -1,0 +1,278 @@
+//! Property test: the SPARQL engine's BGP + FILTER evaluation agrees with a
+//! naive reference evaluator on random graphs and random conjunctive
+//! queries. This pins down the core join machinery (with and without the
+//! join-order heuristic) independently of the hand-written unit tests.
+
+use proptest::prelude::*;
+use rdf_analytics::model::{Term, Value};
+use rdf_analytics::sparql::eval::EvalOptions;
+use rdf_analytics::sparql::Engine;
+use rdf_analytics::store::Store;
+
+const EX: &str = "http://b/";
+
+/// A random graph over small vocabularies.
+#[derive(Debug, Clone)]
+struct RandGraph {
+    /// (subject idx, predicate idx, object) — object is a resource idx or a
+    /// small integer
+    triples: Vec<(u8, u8, ObjKind)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ObjKind {
+    Res(u8),
+    Int(i8),
+}
+
+/// One triple pattern: each position is a variable id (0–3) or a constant.
+#[derive(Debug, Clone, Copy)]
+struct RandPattern {
+    s: Slot,
+    p: u8,
+    o: Slot,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Var(u8),
+    Res(u8),
+    Int(i8),
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandGraph> {
+    proptest::collection::vec(
+        (
+            0u8..5,
+            0u8..3,
+            prop_oneof![(0u8..5).prop_map(ObjKind::Res), (0i8..6).prop_map(ObjKind::Int)],
+        ),
+        1..20,
+    )
+    .prop_map(|triples| RandGraph { triples })
+}
+
+fn slot_strategy() -> impl Strategy<Value = Slot> {
+    prop_oneof![
+        (0u8..3).prop_map(Slot::Var),
+        (0u8..5).prop_map(Slot::Res),
+        (0i8..6).prop_map(Slot::Int),
+    ]
+}
+
+fn patterns_strategy() -> impl Strategy<Value = Vec<RandPattern>> {
+    proptest::collection::vec(
+        (slot_strategy(), 0u8..3, slot_strategy()).prop_map(|(s, p, o)| RandPattern { s, p, o }),
+        1..4,
+    )
+}
+
+fn res(i: u8) -> String {
+    format!("{EX}r{i}")
+}
+
+fn build_store(g: &RandGraph) -> Store {
+    let mut store = Store::new();
+    for &(s, p, o) in &g.triples {
+        let obj = match o {
+            ObjKind::Res(r) => Term::iri(res(r)),
+            ObjKind::Int(v) => Term::integer(v as i64),
+        };
+        store.insert(&rdf_analytics::model::Triple::new(
+            Term::iri(res(s)),
+            Term::iri(format!("{EX}p{p}")),
+            obj,
+        ));
+    }
+    store.materialize_inference();
+    store
+}
+
+fn slot_sparql(s: Slot) -> String {
+    match s {
+        Slot::Var(v) => format!("?v{v}"),
+        Slot::Res(r) => format!("<{}>", res(r)),
+        Slot::Int(v) => format!("{v}"),
+    }
+}
+
+fn to_sparql(patterns: &[RandPattern]) -> String {
+    let mut vars: Vec<u8> = Vec::new();
+    for p in patterns {
+        for s in [p.s, p.o] {
+            if let Slot::Var(v) = s {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+    }
+    vars.sort();
+    let projection = if vars.is_empty() {
+        "*".to_owned()
+    } else {
+        vars.iter().map(|v| format!("?v{v}")).collect::<Vec<_>>().join(" ")
+    };
+    let mut body = String::new();
+    for p in patterns {
+        body.push_str(&format!(
+            "{} <{}p{}> {} . ",
+            slot_sparql(p.s),
+            EX,
+            p.p,
+            slot_sparql(p.o)
+        ));
+    }
+    format!("SELECT {projection} WHERE {{ {body}}}")
+}
+
+/// Naive reference: recursive backtracking join over the raw triple list.
+fn brute_force(g: &RandGraph, patterns: &[RandPattern]) -> Vec<Vec<String>> {
+    // variable ids used, ordered
+    let mut vars: Vec<u8> = Vec::new();
+    for p in patterns {
+        for s in [p.s, p.o] {
+            if let Slot::Var(v) = s {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+    }
+    vars.sort();
+    let mut rows = Vec::new();
+    let mut binding: std::collections::HashMap<u8, String> = std::collections::HashMap::new();
+    fn obj_key(o: ObjKind) -> String {
+        match o {
+            ObjKind::Res(r) => format!("R{r}"),
+            ObjKind::Int(v) => format!("I{v}"),
+        }
+    }
+    fn slot_key_subject(s: u8) -> String {
+        format!("R{s}")
+    }
+    fn matches(
+        slot: Slot,
+        actual: &str,
+        binding: &mut std::collections::HashMap<u8, String>,
+        bound_here: &mut Vec<u8>,
+    ) -> bool {
+        match slot {
+            Slot::Res(r) => actual == format!("R{r}"),
+            Slot::Int(v) => actual == format!("I{v}"),
+            Slot::Var(v) => match binding.get(&v) {
+                Some(existing) => existing == actual,
+                None => {
+                    binding.insert(v, actual.to_owned());
+                    bound_here.push(v);
+                    true
+                }
+            },
+        }
+    }
+    fn recurse(
+        g: &RandGraph,
+        patterns: &[RandPattern],
+        idx: usize,
+        binding: &mut std::collections::HashMap<u8, String>,
+        vars: &[u8],
+        rows: &mut Vec<Vec<String>>,
+    ) {
+        if idx == patterns.len() {
+            rows.push(vars.iter().map(|v| binding[v].clone()).collect());
+            return;
+        }
+        let pat = patterns[idx];
+        for &(s, p, o) in &g.triples {
+            if p != pat.p {
+                continue;
+            }
+            let mut bound_here = Vec::new();
+            let s_ok = matches(pat.s, &slot_key_subject(s), binding, &mut bound_here);
+            let o_ok = s_ok && matches(pat.o, &obj_key(o), binding, &mut bound_here);
+            if s_ok && o_ok {
+                recurse(g, patterns, idx + 1, binding, vars, rows);
+            }
+            for v in bound_here {
+                binding.remove(&v);
+            }
+        }
+    }
+    recurse(g, patterns, 0, &mut binding, &vars, &mut rows);
+    rows.sort();
+    rows
+}
+
+/// Canonicalize engine output into the brute-force key space.
+fn canonicalize(rows: &[Vec<Option<Term>>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|c| match c {
+                    Some(Term::Iri(iri)) => format!("R{}", &iri[iri.len() - 1..]),
+                    Some(t) => match Value::from_term(t) {
+                        Value::Int(v) => format!("I{v}"),
+                        other => other.render(),
+                    },
+                    None => "∅".to_owned(),
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn engine_agrees_with_bruteforce(g in graph_strategy(), pats in patterns_strategy()) {
+        // duplicate triples in the random graph collapse in the store; do the
+        // same for the reference
+        let mut dedup = g.clone();
+        dedup.triples.sort_by_key(|&(s, p, o)| (s, p, obj_sort_key(o)));
+        dedup.triples.dedup_by_key(|&mut (s, p, o)| (s, p, obj_sort_key(o)));
+
+        let store = build_store(&dedup);
+        let sparql = to_sparql(&pats);
+        let expected = brute_force(&dedup, &pats);
+
+        for reorder in [true, false] {
+            let engine = Engine::with_options(&store, EvalOptions { reorder_bgp: reorder });
+            let sols = engine
+                .query(&sparql)
+                .unwrap_or_else(|e| panic!("{e}\n{sparql}"))
+                .into_solutions()
+                .unwrap();
+            let got = canonicalize(&sols.rows);
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "reorder={} query: {}",
+                reorder,
+                &sparql
+            );
+        }
+    }
+}
+
+fn obj_sort_key(o: ObjKind) -> (u8, i16) {
+    match o {
+        ObjKind::Res(r) => (0, r as i16),
+        ObjKind::Int(v) => (1, v as i16),
+    }
+}
+
+#[test]
+fn regression_repeated_variable() {
+    // ?v0 p0 ?v0 — self-loop pattern
+    let g = RandGraph { triples: vec![(1, 0, ObjKind::Res(1)), (1, 0, ObjKind::Res(2))] };
+    let store = build_store(&g);
+    let pats = [RandPattern { s: Slot::Var(0), p: 0, o: Slot::Var(0) }];
+    let sparql = to_sparql(&pats);
+    let engine = Engine::new(&store);
+    let sols = engine.query(&sparql).unwrap().into_solutions().unwrap();
+    assert_eq!(canonicalize(&sols.rows), brute_force(&g, &pats));
+    assert_eq!(sols.rows.len(), 1); // only the self-loop
+}

@@ -1,0 +1,208 @@
+//! Proposition 2 (soundness): on data satisfying HIFUN's functionality
+//! assumption, the direct functional evaluation of a HIFUN query and the
+//! evaluation of its SPARQL translation produce the same answer.
+//!
+//! Property test: random functional datasets × random queries drawn from
+//! the whole query space the interaction model reaches (groupings,
+//! compositions, derived attributes, restrictions, HAVING, every aggregate).
+
+use proptest::prelude::*;
+use rdf_analytics::hifun::{
+    self, query::RestrictedPath, AggOp, AttrPath, CondOp, DerivedFn, HifunQuery, Restriction, Step,
+};
+use rdf_analytics::model::{Term, Value};
+use rdf_analytics::sparql::Engine;
+use rdf_analytics::store::Store;
+
+const EX: &str = "http://t/";
+
+fn p(local: &str) -> String {
+    format!("{EX}{local}")
+}
+
+/// A random functional dataset: items with `cat` (resource), `num`
+/// (integer), `date` (xsd:date) attributes; categories have a `region`.
+#[derive(Debug, Clone)]
+struct Dataset {
+    /// per item: (category index 0..3, num 0..50, month 1..12, has_num)
+    items: Vec<(usize, i64, u8, bool)>,
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0usize..3, 0i64..50, 1u8..13, proptest::bool::weighted(0.9)), 1..25)
+        .prop_map(|items| Dataset { items })
+}
+
+fn build_store(d: &Dataset) -> Store {
+    let mut store = Store::new();
+    let mut ttl = format!("@prefix ex: <{EX}> .\n@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n");
+    // category backbone: cat0..cat2 with regions
+    for (i, region) in [(0, "north"), (1, "south"), (2, "north")] {
+        ttl.push_str(&format!("ex:cat{i} ex:region ex:{region} .\n"));
+    }
+    for (i, &(cat, num, month, has_num)) in d.items.iter().enumerate() {
+        ttl.push_str(&format!("ex:item{i} a ex:Item ; ex:cat ex:cat{cat} "));
+        ttl.push_str(&format!("; ex:date \"2021-{month:02}-10\"^^xsd:date "));
+        if has_num {
+            ttl.push_str(&format!("; ex:num {num} "));
+        }
+        ttl.push_str(".\n");
+    }
+    store.load_turtle(&ttl).unwrap();
+    store
+}
+
+/// The query space: grouping choice × measuring choice × op × restrictions.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    grouping: u8,      // 0 none, 1 cat, 2 cat/region, 3 month(date), 4 pair(cat, month)
+    op: AggOp,
+    measure_num: bool, // measure num vs identity-count
+    m_restr: Option<i64>,
+    root_cat: Option<usize>,
+    having: Option<i64>,
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        0u8..5,
+        prop_oneof![
+            Just(AggOp::Count),
+            Just(AggOp::Sum),
+            Just(AggOp::Avg),
+            Just(AggOp::Min),
+            Just(AggOp::Max)
+        ],
+        any::<bool>(),
+        proptest::option::of(0i64..40),
+        proptest::option::of(0usize..3),
+        proptest::option::of(0i64..100),
+    )
+        .prop_map(|(grouping, op, measure_num, m_restr, root_cat, having)| QuerySpec {
+            grouping,
+            op,
+            measure_num,
+            m_restr,
+            root_cat,
+            having,
+        })
+}
+
+fn build_query(spec: &QuerySpec) -> HifunQuery {
+    let mut q = HifunQuery::new(spec.op);
+    match spec.grouping {
+        0 => {}
+        1 => q = q.group_by(AttrPath::prop(p("cat"))),
+        2 => q = q.group_by(AttrPath::props(&[&p("cat"), &p("region")])),
+        3 => q = q.group_by(AttrPath::prop(p("date")).derived(DerivedFn::Month)),
+        _ => {
+            q = q
+                .group_by(AttrPath::prop(p("cat")))
+                .group_by(AttrPath::prop(p("date")).derived(DerivedFn::Month))
+        }
+    }
+    // identity measuring only makes sense for COUNT
+    let measure_num = spec.measure_num || spec.op != AggOp::Count;
+    if measure_num {
+        let mut rp = RestrictedPath::new(AttrPath::prop(p("num")));
+        if let Some(t) = spec.m_restr {
+            rp = rp.restricted(Restriction::cmp(CondOp::Ge, Term::integer(t)));
+        }
+        q = q.measure_restricted(rp);
+    }
+    if let Some(cat) = spec.root_cat {
+        q = q.with_conditions(vec![Restriction::via(
+            vec![Step::Prop(p("cat"))],
+            CondOp::Eq,
+            Term::iri(format!("{EX}cat{cat}")),
+        )]);
+    }
+    if let Some(h) = spec.having {
+        q = q.having(0, CondOp::Ge, Term::integer(h));
+    }
+    q
+}
+
+/// Canonical form of an answer: rows of rendered values, sorted. Numerics
+/// are normalized through f64 so `900` and `900.0` compare equal.
+fn canonical(rows: &[Vec<Option<Term>>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|c| match c {
+                    None => "∅".to_owned(),
+                    Some(t) => {
+                        let v = Value::from_term(t);
+                        match v.as_f64() {
+                            Some(f) => format!("{:.6}", f),
+                            None => v.render(),
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn direct_eval_equals_translated_sparql(d in dataset_strategy(), spec in query_strategy()) {
+        let store = build_store(&d);
+        let q = build_query(&spec);
+        let direct = hifun::direct::evaluate(&store, &q).unwrap();
+        let sparql = hifun::translate::to_sparql(&q);
+        let translated = Engine::new(&store)
+            .query(&sparql)
+            .unwrap_or_else(|e| panic!("{e}\n{sparql}"))
+            .into_solutions()
+            .unwrap();
+        prop_assert_eq!(
+            canonical(&direct.rows),
+            canonical(&translated.rows),
+            "query {} translated to:\n{}",
+            q,
+            sparql
+        );
+    }
+}
+
+#[test]
+fn regression_identity_count_with_having() {
+    // hand-picked case exercising COUNT(DISTINCT ?x1) + HAVING
+    let d = Dataset { items: vec![(0, 5, 1, true), (0, 7, 2, true), (1, 9, 1, false)] };
+    let store = build_store(&d);
+    let q = HifunQuery::new(AggOp::Count)
+        .group_by(AttrPath::prop(p("cat")))
+        .having(0, CondOp::Ge, Term::integer(2));
+    let direct = hifun::direct::evaluate(&store, &q).unwrap();
+    let translated = Engine::new(&store)
+        .query(&hifun::translate::to_sparql(&q))
+        .unwrap()
+        .into_solutions()
+        .unwrap();
+    assert_eq!(canonical(&direct.rows), canonical(&translated.rows));
+    assert_eq!(direct.rows.len(), 1); // only cat0 has ≥ 2 items
+}
+
+#[test]
+fn regression_avg_with_measure_restriction() {
+    let d = Dataset { items: vec![(0, 10, 1, true), (0, 30, 1, true), (1, 50, 2, true)] };
+    let store = build_store(&d);
+    let q = HifunQuery::new(AggOp::Avg)
+        .group_by(AttrPath::prop(p("cat")))
+        .measure_restricted(
+            RestrictedPath::new(AttrPath::prop(p("num")))
+                .restricted(Restriction::cmp(CondOp::Ge, Term::integer(20))),
+        );
+    let direct = hifun::direct::evaluate(&store, &q).unwrap();
+    let translated = Engine::new(&store)
+        .query(&hifun::translate::to_sparql(&q))
+        .unwrap()
+        .into_solutions()
+        .unwrap();
+    assert_eq!(canonical(&direct.rows), canonical(&translated.rows));
+}
