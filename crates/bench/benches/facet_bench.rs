@@ -2,7 +2,8 @@
 //! building the left frame — class markers, property facets with counts,
 //! path expansion — as the KG grows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_datagen::{ProductsGenerator, EX};
 use rdfa_facets::{class_markers, expand_path, property_facets, PathStep};
 use rdfa_store::Store;

@@ -1,7 +1,8 @@
 //! HIFUN benchmarks: translation cost (it is pure string assembly and must
 //! be negligible) and the two evaluation strategies of Fig 8.3.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rdfa_bench::microbench::{black_box, Criterion};
+use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_datagen::{InvoicesGenerator, EX};
 use rdfa_hifun::{direct, translate, AggOp, AttrPath, CondOp, HifunQuery};
 use rdfa_model::Term;

@@ -1,7 +1,8 @@
 //! SPARQL engine benchmarks over the workload queries, including the BGP
 //! join-order ablation (selectivity reordering on vs off — DESIGN.md).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rdfa_bench::microbench::{black_box, Criterion};
+use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_bench::queries::workload;
 use rdfa_datagen::{ProductsGenerator, EX};
 use rdfa_sparql::eval::EvalOptions;
@@ -49,11 +50,11 @@ fn bench_join_order_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_order_ablation");
     group.sample_size(20);
     group.bench_function("reordered", |b| {
-        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: true });
+        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: true, ..Default::default() });
         b.iter(|| black_box(engine.query(&q).unwrap()))
     });
     group.bench_function("naive_order", |b| {
-        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: false });
+        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: false, ..Default::default() });
         b.iter(|| black_box(engine.query(&q).unwrap()))
     });
     group.finish();

@@ -1,7 +1,8 @@
 //! Store microbenchmarks: load throughput, pattern matching, and the RDFS
 //! closure ablation (materialization cost vs entailed-query speed).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_datagen::{ProductsGenerator, EX};
 use rdfa_store::Store;
 

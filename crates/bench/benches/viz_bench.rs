@@ -1,7 +1,8 @@
 //! Visualization benchmarks: the spiral layout's near-linear behaviour
 //! (the companion paper's efficiency claim) and the 3D scene builder.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_viz::{spiral_layout, urban_layout};
 
 fn bench_spiral(c: &mut Criterion) {

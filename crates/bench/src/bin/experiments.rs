@@ -7,48 +7,63 @@
 //! cargo run -p rdfa-bench --bin experiments -- fig8.1       # per-task study
 //! cargo run -p rdfa-bench --bin experiments -- fig8.2       # study totals
 //! cargo run -p rdfa-bench --bin experiments -- fig8.3       # impl. strategies
+//! cargo run -p rdfa-bench --bin experiments -- robustness   # retry vs no-retry
 //! ```
 //!
 //! Add `--full` for the large (≈1M-triple) scale of the efficiency tables.
+//! Add `--faults` to run the efficiency tables through the fault-injecting
+//! endpoint (30% transient faults) with a retrying client; the tables then
+//! footer with fault/retry counts.
 
 use rdfa_bench::experiments;
-use rdfa_datagen::LatencyModel;
+use rdfa_datagen::{FaultModel, LatencyModel};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--full").collect();
+    let faults = if args.iter().any(|a| a == "--faults") {
+        FaultModel::transient(0.3)
+    } else {
+        FaultModel::none()
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--full" && *a != "--faults")
+        .collect();
     let what = which.first().copied().unwrap_or("all");
 
     let reps = 3;
     match what {
         "table6.1" => print!(
             "{}",
-            experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps)
+            experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps, faults)
         ),
         "table6.2" => print!(
             "{}",
-            experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps)
+            experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps, faults)
         ),
         "fig8.1" => print!("{}", experiments::fig8_1(20, 42)),
         "fig8.2" => print!("{}", experiments::fig8_2(20, 42)),
         "fig8.3" => print!("{}", experiments::fig8_3(2_000, reps)),
+        "robustness" => print!("{}", experiments::robustness_table(2_000, 0.3, 42)),
         "all" => {
             println!(
                 "{}",
-                experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps)
+                experiments::efficiency_table(LatencyModel::peak(), "peak hours (Table 6.1)", full, reps, faults)
             );
             println!(
                 "{}",
-                experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps)
+                experiments::efficiency_table(LatencyModel::off_peak(), "off-peak hours (Table 6.2)", full, reps, faults)
             );
             println!("{}", experiments::fig8_1(20, 42));
             println!("{}", experiments::fig8_2(20, 42));
-            print!("{}", experiments::fig8_3(2_000, reps));
+            println!("{}", experiments::fig8_3(2_000, reps));
+            print!("{}", experiments::robustness_table(2_000, 0.3, 42));
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'. one of: all table6.1 table6.2 fig8.1 fig8.2 fig8.3 [--full]"
+                "unknown experiment '{other}'. one of: all table6.1 table6.2 fig8.1 fig8.2 fig8.3 robustness [--full] [--faults]"
             );
             std::process::exit(2);
         }

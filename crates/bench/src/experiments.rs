@@ -4,7 +4,10 @@
 use crate::queries::workload;
 use crate::userstudy::{run_study, TaskOutcome};
 use rdfa_core::{AnalyticsSession, EvalStrategy, GroupSpec, MeasureSpec};
-use rdfa_datagen::{LatencyModel, ProductsGenerator, SimulatedEndpoint, EX};
+use rdfa_datagen::{
+    FaultModel, LatencyModel, ProductsGenerator, RetryPolicy, RetryingClient, SimulatedEndpoint,
+    EX,
+};
 use rdfa_hifun::AggOp;
 use rdfa_store::Store;
 use std::time::Instant;
@@ -27,9 +30,26 @@ fn build(n_products: usize) -> Store {
 
 /// Tables 6.1 / 6.2: mean end-to-end latency (ms) of the workload queries
 /// against the simulated endpoint, per dataset scale, at the given latency
-/// profile. Returns the table as text (also printed by the binary).
-pub fn efficiency_table(model: LatencyModel, label: &str, full: bool, reps: usize) -> String {
-    let sizes = scales(full);
+/// profile. When `faults` is active every request goes through a
+/// [`RetryingClient`] and the table footer reports fault/retry counts.
+/// Returns the table as text (also printed by the binary).
+pub fn efficiency_table(
+    model: LatencyModel,
+    label: &str,
+    full: bool,
+    reps: usize,
+    faults: FaultModel,
+) -> String {
+    efficiency_table_at(&scales(full), model, label, reps, faults)
+}
+
+fn efficiency_table_at(
+    sizes: &[usize],
+    model: LatencyModel,
+    label: &str,
+    reps: usize,
+    faults: FaultModel,
+) -> String {
     let stores: Vec<(usize, Store)> = sizes.iter().map(|&n| (n, build(n))).collect();
     let mut out = String::new();
     out.push_str(&format!("Efficiency — {label} (mean of {reps} runs, ms: compute + simulated network)\n"));
@@ -41,21 +61,96 @@ pub fn efficiency_table(model: LatencyModel, label: &str, full: bool, reps: usiz
     out.push('\n');
     out.push_str(&"-".repeat(52 + 17 * stores.len()));
     out.push('\n');
+    let mut client = RetryingClient::new(RetryPolicy::default(), 17);
+    let mut gave_up = 0u32;
     for wq in workload() {
         out.push_str(&format!("{:<4} {:<46}", wq.id, wq.description));
         for (i, (_, store)) in stores.iter().enumerate() {
-            let mut endpoint = SimulatedEndpoint::new(store, model, 7 + i as u64);
+            let mut endpoint = SimulatedEndpoint::with_faults(store, model, faults, 7 + i as u64);
             let mut total_ms = 0.0;
+            let mut ok_reps = 0usize;
             for _ in 0..reps {
-                let r = endpoint
-                    .query(&wq.sparql)
-                    .unwrap_or_else(|e| panic!("{}: {e}", wq.id));
-                total_ms += r.total().as_secs_f64() * 1000.0;
+                if faults.is_active() {
+                    match client.execute(&mut endpoint, &wq.sparql) {
+                        Ok(r) => {
+                            total_ms += r.total().as_secs_f64() * 1000.0;
+                            ok_reps += 1;
+                        }
+                        Err(_) => gave_up += 1,
+                    }
+                } else {
+                    let r = endpoint
+                        .query(&wq.sparql)
+                        .unwrap_or_else(|e| panic!("{}: {e}", wq.id));
+                    total_ms += r.total().as_secs_f64() * 1000.0;
+                    ok_reps += 1;
+                }
             }
-            out.push_str(&format!(" {:>16.1}", total_ms / reps as f64));
+            if ok_reps > 0 {
+                out.push_str(&format!(" {:>16.1}", total_ms / ok_reps as f64));
+            } else {
+                out.push_str(&format!(" {:>16}", "-"));
+            }
         }
         out.push('\n');
     }
+    if faults.is_active() {
+        let s = client.stats();
+        out.push_str(&format!(
+            "faults active (error {:.0}%, timeout {:.0}%): {} attempts, {} transient faults retried, {} timeouts, {} gave up, simulated backoff {:.0} ms\n",
+            faults.error_prob * 100.0,
+            faults.timeout_prob * 100.0,
+            s.attempts,
+            s.transient_faults,
+            s.timeouts,
+            gave_up,
+            s.backoff.as_secs_f64() * 1000.0,
+        ));
+    }
+    out
+}
+
+/// Robustness experiment: the E1 workload against an endpoint injecting
+/// transient faults at `fault_rate`, comparing a client that retries with
+/// exponential backoff against one that gives up on the first failure.
+/// Fully seeded, so the table is reproducible.
+pub fn robustness_table(n_products: usize, fault_rate: f64, seed: u64) -> String {
+    let store = build(n_products);
+    let faults = FaultModel::transient(fault_rate);
+    let mut naive_ep = SimulatedEndpoint::with_faults(&store, LatencyModel::off_peak(), faults, seed);
+    let mut retry_ep = SimulatedEndpoint::with_faults(&store, LatencyModel::off_peak(), faults, seed);
+    let mut client = RetryingClient::new(RetryPolicy::default(), seed ^ 0x5eed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Robustness — E1 workload under {:.0}% transient faults (seed {seed})\n",
+        fault_rate * 100.0
+    ));
+    out.push_str(&format!("{:<4} {:<46} {:>9} {:>9}\n", "id", "query", "no-retry", "retry"));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    let mut naive_failures = 0u32;
+    for wq in workload() {
+        let naive_ok = naive_ep.request(&wq.sparql).is_ok();
+        if !naive_ok {
+            naive_failures += 1;
+        }
+        let retry_ok = client.execute(&mut retry_ep, &wq.sparql).is_ok();
+        out.push_str(&format!(
+            "{:<4} {:<46} {:>9} {:>9}\n",
+            wq.id,
+            wq.description,
+            if naive_ok { "ok" } else { "FAIL" },
+            if retry_ok { "ok" } else { "FAIL" },
+        ));
+    }
+    let s = client.stats();
+    out.push_str(&format!(
+        "no-retry failed {naive_failures}/10; retry client: {} attempts, {} faults absorbed, {} gave up, simulated backoff {:.0} ms\n",
+        s.attempts,
+        s.transient_faults + s.timeouts,
+        s.exhausted,
+        s.backoff.as_secs_f64() * 1000.0,
+    ));
     out
 }
 
@@ -211,6 +306,53 @@ mod tests {
         let text = fig8_3(200, 1);
         assert!(text.contains("avg price by manufacturer"));
         assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn retrying_client_beats_naive_on_e1_mix_under_faults() {
+        // ISSUE acceptance: 30% transient faults, fixed seed — a no-retry
+        // client observably fails part of the E1 mix while the retrying
+        // client completes all ten queries
+        let store = build(200);
+        let faults = FaultModel::transient(0.3);
+        let mut naive = SimulatedEndpoint::with_faults(&store, LatencyModel::local(), faults, 42);
+        let naive_failures =
+            workload().iter().filter(|wq| naive.request(&wq.sparql).is_err()).count();
+        assert!(naive_failures > 0, "seed 42 must inject at least one fault into 10 requests");
+        let mut ep = SimulatedEndpoint::with_faults(&store, LatencyModel::local(), faults, 42);
+        let mut client = RetryingClient::new(RetryPolicy::default(), 7);
+        for wq in workload() {
+            assert!(client.execute(&mut ep, &wq.sparql).is_ok(), "{} failed with retries", wq.id);
+        }
+        let stats = client.stats();
+        assert!(stats.transient_faults > 0, "retries must actually have absorbed faults");
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn robustness_table_renders_and_is_deterministic() {
+        let t1 = robustness_table(200, 0.3, 42);
+        let t2 = robustness_table(200, 0.3, 42);
+        assert_eq!(t1, t2);
+        assert!(t1.contains("Q1") && t1.contains("Q10"), "{t1}");
+        assert!(t1.contains("no-retry failed"), "{t1}");
+    }
+
+    #[test]
+    fn efficiency_table_reports_fault_counts_when_active() {
+        let text = efficiency_table_at(
+            &[200],
+            LatencyModel::local(),
+            "faulty (test)",
+            1,
+            FaultModel::transient(0.3),
+        );
+        assert!(text.contains("faults active"), "{text}");
+        assert!(text.contains("attempts"), "{text}");
+        // and stays silent when no faults are injected
+        let clean =
+            efficiency_table_at(&[200], LatencyModel::local(), "clean (test)", 1, FaultModel::none());
+        assert!(!clean.contains("faults active"));
     }
 
     #[test]

@@ -12,5 +12,6 @@
 //! everything.
 
 pub mod experiments;
+pub mod microbench;
 pub mod queries;
 pub mod userstudy;

@@ -23,6 +23,10 @@ pub struct AnswerFrame {
     pub hifun: String,
     /// The SPARQL translation, when the translated strategy produced it.
     pub sparql: Option<String>,
+    /// Set when the answer was not produced by the requested strategy —
+    /// e.g. the SPARQL translation hit a resource limit and the session
+    /// degraded to direct HIFUN evaluation. Holds the reason.
+    pub fallback: Option<String>,
 }
 
 impl AnswerFrame {
@@ -34,7 +38,13 @@ impl AnswerFrame {
         sparql: Option<String>,
     ) -> Self {
         debug_assert_eq!(headers.len(), solutions.vars.len());
-        AnswerFrame { headers, rows: solutions.rows, hifun, sparql }
+        AnswerFrame { headers, rows: solutions.rows, hifun, sparql, fallback: None }
+    }
+
+    /// Record that this answer came from a degraded evaluation path.
+    pub fn with_fallback(mut self, reason: impl Into<String>) -> Self {
+        self.fallback = Some(reason.into());
+        self
     }
 
     /// Number of answer rows.
@@ -231,6 +241,7 @@ mod tests {
             ],
             hifun: "(manufacturer ⊗ year∘releaseDate, price, AVG)".into(),
             sparql: None,
+            fallback: None,
         }
     }
 

@@ -87,7 +87,7 @@ impl From<rdfa_facets::FacetError> for AnalyticsError {
 
 impl From<rdfa_sparql::SparqlError> for AnalyticsError {
     fn from(e: rdfa_sparql::SparqlError) -> Self {
-        AnalyticsError::new(e.message)
+        AnalyticsError::new(e.message())
     }
 }
 

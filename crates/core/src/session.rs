@@ -6,7 +6,7 @@ use rdfa_facets::{Constraint, FacetedSession, PathStep};
 use rdfa_hifun::query::{ResultRestriction, RestrictedPath};
 use rdfa_hifun::{direct, translate, AggOp, AttrPath, CondOp, DerivedFn, HifunQuery, Restriction, Step};
 use rdfa_model::{Term, Value};
-use rdfa_sparql::Engine;
+use rdfa_sparql::{Engine, EvalLimits};
 use rdfa_store::{Store, TermId};
 
 /// How a state's analytic intention is computed (the two implementations
@@ -78,6 +78,7 @@ pub struct AnalyticsSession<'s> {
     ops: Vec<AggOp>,
     havings: Vec<(usize, CondOp, Term)>,
     strategy: EvalStrategy,
+    limits: EvalLimits,
     /// Click log, exportable as a replayable [`crate::Script`].
     log: Vec<crate::script::Action>,
 }
@@ -92,6 +93,7 @@ impl<'s> AnalyticsSession<'s> {
             ops: Vec::new(),
             havings: Vec::new(),
             strategy: EvalStrategy::default(),
+            limits: EvalLimits::default(),
             log: Vec::new(),
         }
     }
@@ -106,6 +108,7 @@ impl<'s> AnalyticsSession<'s> {
             ops: Vec::new(),
             havings: Vec::new(),
             strategy: EvalStrategy::default(),
+            limits: EvalLimits::default(),
             log: Vec::new(),
         }
     }
@@ -113,6 +116,14 @@ impl<'s> AnalyticsSession<'s> {
     /// Choose the evaluation strategy (E5 ablation).
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Bound the resources [`run`](Self::run) may spend on the SPARQL
+    /// strategy. When a limit trips, the session degrades to direct HIFUN
+    /// evaluation and records the fallback in the answer's provenance.
+    pub fn with_limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -406,22 +417,41 @@ impl<'s> AnalyticsSession<'s> {
     }
 
     /// Evaluate the analytic intention, producing the Answer Frame.
+    ///
+    /// Under the `TranslatedSparql` strategy the engine runs with this
+    /// session's [`EvalLimits`]; if a limit trips, the session degrades
+    /// gracefully to the direct functional evaluator instead of failing,
+    /// and the answer's `fallback` field records why.
     pub fn run(&self) -> Result<AnswerFrame, AnalyticsError> {
         let q = self.hifun_query()?;
         let store = self.store();
-        let (solutions, sparql) = match self.strategy {
+        let headers = self.headers(&q);
+        match self.strategy {
             EvalStrategy::TranslatedSparql => {
                 let text = translate::to_sparql(&q);
-                let results = Engine::new(store).query(&text)?;
-                let sols = results
-                    .into_solutions()
-                    .ok_or_else(|| AnalyticsError::new("translated query was not a SELECT"))?;
-                (sols, Some(text))
+                match Engine::with_limits(store, self.limits).query(&text) {
+                    Ok(results) => {
+                        let sols = results.into_solutions().ok_or_else(|| {
+                            AnalyticsError::new("translated query was not a SELECT")
+                        })?;
+                        Ok(AnswerFrame::from_solutions(headers, sols, q.to_string(), Some(text)))
+                    }
+                    Err(e) if e.is_resource_limit() => {
+                        let sols = direct::evaluate(store, &q)?;
+                        Ok(AnswerFrame::from_solutions(headers, sols, q.to_string(), None)
+                            .with_fallback(format!(
+                                "SPARQL strategy aborted ({}); fell back to direct HIFUN evaluation",
+                                e.message()
+                            )))
+                    }
+                    Err(e) => Err(e.into()),
+                }
             }
-            EvalStrategy::DirectHifun => (direct::evaluate(store, &q)?, None),
-        };
-        let headers = self.headers(&q);
-        Ok(AnswerFrame::from_solutions(headers, solutions, q.to_string(), sparql))
+            EvalStrategy::DirectHifun => {
+                let sols = direct::evaluate(store, &q)?;
+                Ok(AnswerFrame::from_solutions(headers, sols, q.to_string(), None))
+            }
+        }
     }
 
     fn headers(&self, q: &HifunQuery) -> Vec<String> {
@@ -756,6 +786,34 @@ mod tests {
         d.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
         d.set_ops(vec![AggOp::Count]);
         assert_eq!(d.run().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn resource_limit_degrades_to_direct_evaluation() {
+        let s = store();
+        // a 1-row budget the translated SPARQL query cannot fit into
+        let mut a = AnalyticsSession::start(&s).with_limits(EvalLimits::default().with_max_rows(1));
+        a.select_class(id(&s, "Laptop")).unwrap();
+        a.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        a.set_measure(MeasureSpec::property(id(&s, "price")));
+        a.set_ops(vec![AggOp::Sum]);
+        let frame = a.run().unwrap();
+        // the answer is still correct — produced by the direct evaluator
+        assert!(row_value(&frame, "DELL", 1).unwrap().value_eq(&Value::Int(1900)));
+        let reason = frame.fallback.as_deref().expect("fallback must be recorded");
+        assert!(reason.contains("resource limit"), "{reason}");
+        assert!(reason.contains("direct HIFUN"), "{reason}");
+        assert!(frame.sparql.is_none(), "the SPARQL text did not produce this answer");
+
+        // generous limits: the SPARQL strategy completes, no fallback
+        let mut b = AnalyticsSession::start(&s).with_limits(EvalLimits::interactive());
+        b.select_class(id(&s, "Laptop")).unwrap();
+        b.add_grouping(GroupSpec::property(id(&s, "manufacturer")));
+        b.set_measure(MeasureSpec::property(id(&s, "price")));
+        b.set_ops(vec![AggOp::Sum]);
+        let frame = b.run().unwrap();
+        assert!(frame.fallback.is_none());
+        assert!(frame.sparql.is_some());
     }
 
     #[test]

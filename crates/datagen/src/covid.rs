@@ -7,8 +7,7 @@
 //! 1 million of population" example of §3.2.3) are expressible.
 
 use crate::products::EX;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rdfa_prng::StdRng;
 use rdfa_model::{Graph, Literal, Term, vocab::xsd};
 
 fn iri(local: &str) -> Term {

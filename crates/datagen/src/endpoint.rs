@@ -8,8 +8,7 @@
 //! component is simulated and reported separately so the experiment harness
 //! can print both.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rdfa_prng::StdRng;
 use rdfa_sparql::{Engine, QueryResults, SparqlError};
 use rdfa_store::Store;
 use std::time::{Duration, Instant};
@@ -47,11 +46,17 @@ impl LatencyModel {
     /// Simulated network+load latency for a query that computed in
     /// `compute` and produced `n_results` rows.
     pub fn simulate(&self, compute: Duration, n_results: usize, rng: &mut StdRng) -> Duration {
-        let jitter = 1.0 + rng.gen_range(-self.jitter..=self.jitter.max(f64::MIN_POSITIVE));
+        // symmetric multiplicative jitter; an amplitude <= 0 means "no
+        // jitter" rather than an inverted (and panicking) sample range
+        let factor = if self.jitter > 0.0 {
+            1.0 + rng.gen_range(-self.jitter..=self.jitter)
+        } else {
+            1.0
+        };
         let ms = (self.base_rtt_ms
             + self.per_result_ms * n_results as f64
             + compute.as_secs_f64() * 1000.0 * (self.load_factor - 1.0))
-            * jitter.max(0.0);
+            * factor.max(0.0);
         Duration::from_secs_f64((ms / 1000.0).max(0.0))
     }
 }
@@ -82,17 +87,93 @@ impl TimedResult {
     }
 }
 
-/// The simulated endpoint: a store, an engine, and a latency model.
+/// Injected failure behaviour for the simulated endpoint: with what
+/// probability a request errors or times out, and what share of errors are
+/// transient (retryable — think 503/connection reset) versus permanent.
+/// All sampling is seeded, so a given (seed, workload) pair always injects
+/// the same fault sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultModel {
+    /// Probability that a request fails with an endpoint fault.
+    pub error_prob: f64,
+    /// Probability that a request times out on the wire.
+    pub timeout_prob: f64,
+    /// Fraction of injected faults that are transient (retryable).
+    pub transient_ratio: f64,
+}
+
+impl FaultModel {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// Only transient faults, at probability `p` per request.
+    pub fn transient(p: f64) -> Self {
+        FaultModel { error_prob: p, timeout_prob: 0.0, transient_ratio: 1.0 }
+    }
+
+    /// Whether this model injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.error_prob > 0.0 || self.timeout_prob > 0.0
+    }
+}
+
+/// What a request against the simulated endpoint can fail with.
+#[derive(Debug, Clone)]
+pub enum EndpointError {
+    /// The query itself is bad (parse/eval error) — retrying cannot help.
+    Sparql(SparqlError),
+    /// An injected endpoint fault; transient ones are worth retrying.
+    Fault { transient: bool, message: String },
+    /// The request exceeded its (simulated) deadline.
+    Timeout { after: Duration },
+}
+
+impl EndpointError {
+    /// Whether a retry has any chance of succeeding.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EndpointError::Sparql(_) => false,
+            EndpointError::Fault { transient, .. } => *transient,
+            EndpointError::Timeout { .. } => true,
+        }
+    }
+}
+
+impl std::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndpointError::Sparql(e) => write!(f, "{e}"),
+            EndpointError::Fault { transient: true, message } => {
+                write!(f, "transient endpoint fault: {message}")
+            }
+            EndpointError::Fault { transient: false, message } => {
+                write!(f, "permanent endpoint fault: {message}")
+            }
+            EndpointError::Timeout { after } => write!(f, "request timed out after {after:?}"),
+        }
+    }
+}
+
+/// The simulated endpoint: a store, an engine, a latency model, and an
+/// optional fault model.
 pub struct SimulatedEndpoint<'s> {
     store: &'s Store,
     model: LatencyModel,
+    faults: FaultModel,
     rng: StdRng,
 }
 
 impl<'s> SimulatedEndpoint<'s> {
     /// Create an endpoint over a store with the given latency profile.
     pub fn new(store: &'s Store, model: LatencyModel, seed: u64) -> Self {
-        SimulatedEndpoint { store, model, rng: StdRng::seed_from_u64(seed) }
+        SimulatedEndpoint { store, model, faults: FaultModel::none(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Create an endpoint that also injects faults per `faults`.
+    pub fn with_faults(store: &'s Store, model: LatencyModel, faults: FaultModel, seed: u64) -> Self {
+        SimulatedEndpoint { store, model, faults, rng: StdRng::seed_from_u64(seed) }
     }
 
     /// The latency profile in force.
@@ -100,8 +181,13 @@ impl<'s> SimulatedEndpoint<'s> {
         self.model
     }
 
+    /// The fault model in force.
+    pub fn faults(&self) -> FaultModel {
+        self.faults
+    }
+
     /// Execute a query, reporting real compute time plus simulated network
-    /// latency.
+    /// latency. Never injects faults — the timing baseline.
     pub fn query(&mut self, text: &str) -> Result<TimedResult, SparqlError> {
         let start = Instant::now();
         let results = Engine::new(self.store).query(text)?;
@@ -113,6 +199,148 @@ impl<'s> SimulatedEndpoint<'s> {
         };
         let network = self.model.simulate(compute, n, &mut self.rng);
         Ok(TimedResult { results, compute, network })
+    }
+
+    /// Execute a query through the fault model: the request may be dropped
+    /// with a timeout or an (in)transient fault before the engine runs.
+    pub fn request(&mut self, text: &str) -> Result<TimedResult, EndpointError> {
+        if self.faults.timeout_prob > 0.0 && self.rng.gen_bool(self.faults.timeout_prob) {
+            // a timed-out request costs roughly an order of magnitude more
+            // than a healthy round trip before the client gives up on it
+            let after = Duration::from_secs_f64(self.model.base_rtt_ms.max(1.0) * 10.0 / 1000.0);
+            return Err(EndpointError::Timeout { after });
+        }
+        if self.faults.error_prob > 0.0 && self.rng.gen_bool(self.faults.error_prob) {
+            let transient = self.faults.transient_ratio > 0.0
+                && self.rng.gen_bool(self.faults.transient_ratio.min(1.0));
+            let message = if transient {
+                "503 service unavailable (injected)".to_owned()
+            } else {
+                "500 internal server error (injected)".to_owned()
+            };
+            return Err(EndpointError::Fault { transient, message });
+        }
+        self.query(text).map_err(EndpointError::Sparql)
+    }
+}
+
+/// How a [`RetryingClient`] schedules retries: exponential backoff with
+/// multiplicative jitter, a bounded number of attempts, and an optional
+/// per-attempt deadline (a reply slower than the deadline counts as a
+/// timeout and is retried).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Multiplier applied per retry (2.0 = classic doubling).
+    pub backoff_factor: f64,
+    /// Ceiling on a single backoff.
+    pub max_backoff: Duration,
+    /// Multiplicative jitter amplitude on each backoff (0.2 = ±20%).
+    pub jitter: f64,
+    /// Give up on any attempt whose end-to-end latency exceeds this.
+    pub attempt_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(50),
+            backoff_factor: 2.0,
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.2,
+            attempt_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to wait before retry number `retry` (1-based), jittered.
+    pub fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let base = self.initial_backoff.as_secs_f64()
+            * self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        let base = base.min(self.max_backoff.as_secs_f64());
+        let factor = if self.jitter > 0.0 {
+            1.0 + rng.gen_range(-self.jitter..=self.jitter)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((base * factor).max(0.0))
+    }
+}
+
+/// Counters a [`RetryingClient`] keeps across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Requests sent (every attempt counts).
+    pub attempts: u32,
+    /// Transient faults absorbed by retrying.
+    pub transient_faults: u32,
+    /// Timeouts absorbed (wire timeouts and attempt-deadline misses).
+    pub timeouts: u32,
+    /// Queries that ultimately failed after the retry budget ran out.
+    pub exhausted: u32,
+    /// Total backoff the client would have slept (recorded, not slept —
+    /// simulation stays fast and deterministic).
+    pub backoff: Duration,
+}
+
+/// A client that retries transient endpoint failures with exponential
+/// backoff. Permanent faults and SPARQL errors are returned immediately.
+pub struct RetryingClient {
+    policy: RetryPolicy,
+    rng: StdRng,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// A client with the given policy; `seed` drives backoff jitter.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        RetryingClient { policy, rng: StdRng::seed_from_u64(seed), stats: RetryStats::default() }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Execute `text` against `endpoint`, retrying transient failures until
+    /// the attempt budget runs out. Backoff is recorded in the stats rather
+    /// than slept.
+    pub fn execute(
+        &mut self,
+        endpoint: &mut SimulatedEndpoint,
+        text: &str,
+    ) -> Result<TimedResult, EndpointError> {
+        let mut attempt = 1u32;
+        loop {
+            self.stats.attempts += 1;
+            let failure = match endpoint.request(text) {
+                Ok(r) => match self.policy.attempt_deadline {
+                    Some(deadline) if r.total() > deadline => {
+                        EndpointError::Timeout { after: r.total() }
+                    }
+                    _ => return Ok(r),
+                },
+                Err(e) => e,
+            };
+            if !failure.is_transient() {
+                return Err(failure);
+            }
+            match failure {
+                EndpointError::Timeout { .. } => self.stats.timeouts += 1,
+                _ => self.stats.transient_faults += 1,
+            }
+            if attempt >= self.policy.max_attempts.max(1) {
+                self.stats.exhausted += 1;
+                return Err(failure);
+            }
+            self.stats.backoff += self.policy.backoff(attempt, &mut self.rng);
+            attempt += 1;
+        }
     }
 }
 
@@ -170,5 +398,145 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         assert_eq!(model.simulate(compute, 42, &mut r1), model.simulate(compute, 42, &mut r2));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        // regression: the sampling range used to be -j..=j.max(MIN_POSITIVE),
+        // which is asymmetric (and inverted for j < 0)
+        let model = LatencyModel { base_rtt_ms: 100.0, per_result_ms: 0.0, load_factor: 1.0, jitter: 0.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let d = model.simulate(Duration::from_millis(5), 1000, &mut rng);
+            assert_eq!(d, Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn negative_jitter_treated_as_none() {
+        let model =
+            LatencyModel { base_rtt_ms: 40.0, per_result_ms: 0.0, load_factor: 1.0, jitter: -0.5 };
+        let mut rng = StdRng::seed_from_u64(7);
+        // must not panic on an inverted range, and must be deterministic
+        assert_eq!(model.simulate(Duration::ZERO, 0, &mut rng), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn jitter_samples_both_sides_of_the_mean() {
+        let model =
+            LatencyModel { base_rtt_ms: 100.0, per_result_ms: 0.0, load_factor: 1.0, jitter: 0.5 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = Duration::from_millis(100);
+        let samples: Vec<Duration> =
+            (0..200).map(|_| model.simulate(Duration::ZERO, 0, &mut rng)).collect();
+        assert!(samples.iter().any(|d| *d < base), "never sampled below the mean");
+        assert!(samples.iter().any(|d| *d > base), "never sampled above the mean");
+    }
+
+    #[test]
+    fn fault_free_request_matches_query() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x a ex:Laptop . }}");
+        let mut ep = SimulatedEndpoint::new(&s, LatencyModel::local(), 3);
+        let r = ep.request(&q).unwrap();
+        assert_eq!(r.row_count(), 100);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> ASK WHERE {{ ?x a ex:Laptop . }}");
+        let faults = FaultModel { error_prob: 0.4, timeout_prob: 0.1, transient_ratio: 0.5 };
+        let run = |seed: u64| -> Vec<bool> {
+            let mut ep = SimulatedEndpoint::with_faults(&s, LatencyModel::local(), faults, seed);
+            (0..30).map(|_| ep.request(&q).is_ok()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert!(run(42).iter().any(|ok| !ok), "40% fault rate should fail sometimes");
+        assert!(run(42).iter().any(|ok| *ok), "and succeed sometimes");
+    }
+
+    #[test]
+    fn bad_query_is_never_transient() {
+        let s = store();
+        let mut ep = SimulatedEndpoint::new(&s, LatencyModel::local(), 3);
+        let e = ep.request("NOT SPARQL").unwrap_err();
+        assert!(matches!(e, EndpointError::Sparql(_)));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn retrying_client_survives_transient_faults() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x a ex:Laptop . }}");
+        let mut ep =
+            SimulatedEndpoint::with_faults(&s, LatencyModel::local(), FaultModel::transient(0.3), 9);
+        let mut client = RetryingClient::new(RetryPolicy::default(), 1);
+        for _ in 0..20 {
+            assert!(client.execute(&mut ep, &q).is_ok());
+        }
+        let stats = client.stats();
+        assert!(stats.transient_faults > 0, "30% fault rate must have injected something");
+        assert!(stats.attempts > 20, "retries must have happened");
+        assert!(stats.backoff > Duration::ZERO);
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn permanent_fault_is_not_retried() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> ASK WHERE {{ ?x a ex:Laptop . }}");
+        let faults = FaultModel { error_prob: 1.0, timeout_prob: 0.0, transient_ratio: 0.0 };
+        let mut ep = SimulatedEndpoint::with_faults(&s, LatencyModel::local(), faults, 5);
+        let mut client = RetryingClient::new(RetryPolicy::default(), 1);
+        let e = client.execute(&mut ep, &q).unwrap_err();
+        assert!(matches!(e, EndpointError::Fault { transient: false, .. }));
+        assert_eq!(client.stats().attempts, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhausts_on_persistent_transient_faults() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> ASK WHERE {{ ?x a ex:Laptop . }}");
+        let mut ep =
+            SimulatedEndpoint::with_faults(&s, LatencyModel::local(), FaultModel::transient(1.0), 5);
+        let policy = RetryPolicy { max_attempts: 4, ..RetryPolicy::default() };
+        let mut client = RetryingClient::new(policy, 1);
+        let e = client.execute(&mut ep, &q).unwrap_err();
+        assert!(e.is_transient());
+        let stats = client.stats();
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.exhausted, 1);
+    }
+
+    #[test]
+    fn attempt_deadline_counts_slow_replies_as_timeouts() {
+        let s = store();
+        let q = format!("PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x a ex:Laptop . }}");
+        // peak latency is always >> 1ns, so every attempt misses the deadline
+        let mut ep = SimulatedEndpoint::new(&s, LatencyModel::peak(), 5);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            attempt_deadline: Some(Duration::from_nanos(1)),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(policy, 1);
+        let e = client.execute(&mut ep, &q).unwrap_err();
+        assert!(matches!(e, EndpointError::Timeout { .. }));
+        assert_eq!(client.stats().timeouts, 3);
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_ceiling() {
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let b1 = policy.backoff(1, &mut rng);
+        let b2 = policy.backoff(2, &mut rng);
+        let b3 = policy.backoff(3, &mut rng);
+        assert_eq!(b1, Duration::from_millis(50));
+        assert_eq!(b2, Duration::from_millis(100));
+        assert_eq!(b3, Duration::from_millis(200));
+        let b_large = policy.backoff(20, &mut rng);
+        assert_eq!(b_large, policy.max_backoff);
     }
 }

@@ -2,8 +2,7 @@
 //! date, a branch, a product type, and a quantity.
 
 use crate::products::EX;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rdfa_prng::StdRng;
 use rdfa_model::{Graph, Literal, Term, vocab::xsd};
 
 fn iri(local: &str) -> Term {

@@ -18,6 +18,9 @@ pub mod invoices;
 pub mod products;
 
 pub use covid::CovidGenerator;
-pub use endpoint::{LatencyModel, SimulatedEndpoint, TimedResult};
+pub use endpoint::{
+    EndpointError, FaultModel, LatencyModel, RetryPolicy, RetryStats, RetryingClient,
+    SimulatedEndpoint, TimedResult,
+};
 pub use invoices::InvoicesGenerator;
 pub use products::{products_fixture, ProductsGenerator, EX};

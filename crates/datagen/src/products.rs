@@ -1,7 +1,6 @@
 //! The running-example products KG (Fig 1.2 / Fig 5.3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rdfa_prng::StdRng;
 use rdfa_model::{Graph, Literal, Term, vocab::xsd};
 
 /// The example namespace used throughout the paper (Fig 1.3).

@@ -1,0 +1,176 @@
+//! # rdfa-prng — deterministic randomness without external dependencies
+//!
+//! The experiment harness, the data generators, and the fault-injection
+//! layer all need *seeded, reproducible* randomness — and nothing else. A
+//! full `rand` dependency buys distributions and OS entropy we never use,
+//! and makes the workspace unbuildable in offline/air-gapped environments.
+//! This crate is the minimal replacement: xoshiro256\*\* seeded through
+//! SplitMix64, with the small sampling surface the workspace actually calls
+//! (`gen_range` over integer/float ranges, `gen_bool`).
+//!
+//! Determinism is part of the public contract: for a given seed and call
+//! sequence the stream is stable across platforms and releases, so
+//! experiment tables and fault-injection tests are exactly reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable PRNG (xoshiro256\*\*). Named `StdRng` so call sites read the
+/// same as they would with `rand`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the generator from a single `u64` (SplitMix64 expansion, the
+    /// same scheme `rand` uses for its xoshiro seeding).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample uniformly from a range, e.g. `rng.gen_range(0..10)`,
+    /// `rng.gen_range(1..=28u8)`, `rng.gen_range(-0.5..0.5)`.
+    ///
+    /// Panics on an empty range, like `rand` does. The output type parameter
+    /// mirrors rand's `SampleRange<T>` so the element type of an integer
+    /// literal range is inferred from the surrounding context.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Range types `StdRng::gen_range` can sample a `T` from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (rng.next_u64() as i128 % span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (rng.next_u64() as i128 % span)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=12u8);
+            assert!((1..=12).contains(&w));
+            let f = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.gen_range(-0.25..=0.25);
+            assert!((-0.25..=0.25).contains(&g));
+            let n = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn f64_uniform_covers_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 10_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        // out-of-range probabilities are clamped, not panicking
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn single_element_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(5..=5), 5);
+    }
+}

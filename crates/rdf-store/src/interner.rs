@@ -80,7 +80,7 @@ impl Interner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rdfa_prng::StdRng;
 
     #[test]
     fn intern_is_idempotent() {
@@ -106,29 +106,39 @@ mod tests {
         assert!(i.is_empty());
     }
 
-    fn arb_term() -> impl Strategy<Value = Term> {
-        prop_oneof![
-            "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://ex.org/{s}"))),
-            "[a-z]{0,8}".prop_map(Term::string),
-            any::<i64>().prop_map(Term::integer),
-            any::<bool>().prop_map(Term::boolean),
-            "[a-z]{1,4}".prop_map(Term::blank),
-        ]
+    fn rand_word(rng: &mut StdRng, min: usize, max: usize) -> String {
+        let n = rng.gen_range(min..=max);
+        (0..n).map(|_| rng.gen_range(b'a'..=b'z') as char).collect()
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip(terms in proptest::collection::vec(arb_term(), 0..40)) {
+    fn arb_term(rng: &mut StdRng) -> Term {
+        match rng.gen_range(0..5) {
+            0 => Term::iri(format!("http://ex.org/{}", rand_word(rng, 1, 8))),
+            1 => Term::string(rand_word(rng, 0, 8)),
+            2 => Term::integer(rng.gen_range(i64::MIN..=i64::MAX)),
+            3 => Term::boolean(rng.gen_bool(0.5)),
+            _ => Term::blank(rand_word(rng, 1, 4)),
+        }
+    }
+
+    /// Property: intern/lookup roundtrip and id↔term bijectivity over random
+    /// term collections.
+    #[test]
+    fn roundtrip() {
+        for case in 0u64..256 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let terms: Vec<Term> =
+                (0..rng.gen_range(0..40)).map(|_| arb_term(&mut rng)).collect();
             let mut i = Interner::new();
             let ids: Vec<_> = terms.iter().map(|t| i.get_or_intern(t)).collect();
             for (t, id) in terms.iter().zip(&ids) {
-                prop_assert_eq!(i.term(*id), t);
-                prop_assert_eq!(i.lookup(t), Some(*id));
+                assert_eq!(i.term(*id), t);
+                assert_eq!(i.lookup(t), Some(*id));
             }
             // bijectivity: number of distinct ids == number of distinct terms
             let distinct_terms: std::collections::HashSet<_> = terms.iter().collect();
             let distinct_ids: std::collections::HashSet<_> = ids.iter().collect();
-            prop_assert_eq!(distinct_terms.len(), distinct_ids.len());
+            assert_eq!(distinct_terms.len(), distinct_ids.len(), "case {case}");
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::ast::QueryForm;
 use crate::eval::{EvalOptions, Evaluator};
+use crate::limits::EvalLimits;
 use crate::parser::parse_query;
 use crate::results::QueryResults;
 use crate::SparqlError;
@@ -14,7 +15,7 @@ pub struct Engine<'s> {
 }
 
 impl<'s> Engine<'s> {
-    /// Engine with default options (BGP reordering on).
+    /// Engine with default options (BGP reordering on, no limits).
     pub fn new(store: &'s Store) -> Self {
         Engine { store, options: EvalOptions::default() }
     }
@@ -22,6 +23,12 @@ impl<'s> Engine<'s> {
     /// Engine with explicit evaluation options.
     pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
         Engine { store, options }
+    }
+
+    /// Engine with default options plus a resource budget. The limit clock
+    /// starts per query, not at engine construction.
+    pub fn with_limits(store: &'s Store, limits: EvalLimits) -> Self {
+        Engine { store, options: EvalOptions { limits, ..EvalOptions::default() } }
     }
 
     /// Parse and evaluate a query.
@@ -385,7 +392,7 @@ mod tests {
               ?x a ex:Laptop . ?x ex:manufacturer ?m . ?m ex:origin ex:USA .
             } ORDER BY ?x"#;
         let fast = rows(&s, q);
-        let naive = Engine::with_options(&s, EvalOptions { reorder_bgp: false })
+        let naive = Engine::with_options(&s, EvalOptions { reorder_bgp: false, ..Default::default() })
             .query(q)
             .unwrap()
             .into_solutions()
@@ -581,5 +588,129 @@ mod tests {
                SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?x ex:manufacturer ?m . }"#,
         );
         assert_eq!(r.rows[0][0], Some(Term::integer(2)));
+    }
+
+    // ---- resource limits ---------------------------------------------------
+
+    use crate::limits::{EvalLimits, LimitKind};
+    use crate::SparqlError;
+    use std::time::{Duration, Instant};
+
+    fn cycle_store(n: usize) -> Store {
+        let mut ttl = String::from("@prefix ex: <http://example.org/> .\n");
+        for i in 0..n {
+            ttl.push_str(&format!("ex:n{i} ex:partOf ex:n{} .\n", (i + 1) % n));
+        }
+        let mut s = Store::new();
+        s.load_turtle(&ttl).unwrap();
+        s
+    }
+
+    #[test]
+    fn limits_do_not_change_results_when_generous() {
+        let s = store();
+        let q = r#"PREFIX ex: <http://example.org/>
+            SELECT ?x ?m WHERE { ?x a ex:Laptop ; ex:manufacturer ?m . } ORDER BY ?x"#;
+        let unlimited = rows(&s, q);
+        let limited = Engine::with_limits(&s, EvalLimits::interactive())
+            .query(q)
+            .unwrap()
+            .into_solutions()
+            .unwrap();
+        assert_eq!(unlimited, limited);
+    }
+
+    #[test]
+    fn unbounded_closure_hits_deadline_promptly() {
+        // acceptance check: `?x ex:partOf+ ?y` over a cycle-heavy graph must
+        // come back as ResourceLimit within 2x its 100ms deadline
+        let s = cycle_store(2000);
+        let deadline = Duration::from_millis(100);
+        let engine = Engine::with_limits(&s, EvalLimits::default().with_deadline(deadline));
+        let t0 = Instant::now();
+        let err = engine
+            .query(
+                "PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }",
+            )
+            .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(err.is_resource_limit(), "expected ResourceLimit, got {err}");
+        assert_eq!(err, SparqlError::ResourceLimit { kind: LimitKind::Deadline, limit: 100 });
+        assert!(
+            elapsed < deadline * 2,
+            "took {elapsed:?} against a {deadline:?} deadline"
+        );
+    }
+
+    #[test]
+    fn closure_hits_path_visit_limit() {
+        let s = cycle_store(500);
+        let engine =
+            Engine::with_limits(&s, EvalLimits::default().with_max_path_visits(1_000));
+        let err = engine
+            .query("PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SparqlError::ResourceLimit { kind: LimitKind::PathVisits, limit: 1_000 }
+        );
+    }
+
+    #[test]
+    fn cartesian_product_hits_row_limit() {
+        let s = store();
+        let engine = Engine::with_limits(&s, EvalLimits::default().with_max_rows(20));
+        // unconstrained triple x triple cross product blows past 20 rows
+        let err = engine
+            .query("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . }")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SparqlError::ResourceLimit { kind: LimitKind::SolutionRows, limit: 20 }
+        );
+    }
+
+    #[test]
+    fn deep_nesting_hits_depth_limit() {
+        let s = store();
+        let engine = Engine::with_limits(&s, EvalLimits::default().with_max_depth(3));
+        let q = r#"PREFIX ex: <http://example.org/>
+            SELECT ?x WHERE { { { { { ?x a ex:Laptop . } } } } }"#;
+        let err = engine.query(q).unwrap_err();
+        assert_eq!(
+            err,
+            SparqlError::ResourceLimit { kind: LimitKind::RecursionDepth, limit: 3 }
+        );
+        // the same query is fine with a deeper budget
+        let ok = Engine::with_limits(&s, EvalLimits::default().with_max_depth(16)).query(q);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn limit_inside_exists_surfaces_as_error() {
+        // the EXISTS sub-pattern walks the cycle closure and must charge the
+        // outer query's budget rather than getting a fresh one
+        let s = cycle_store(500);
+        let engine =
+            Engine::with_limits(&s, EvalLimits::default().with_max_path_visits(1_000));
+        let result = engine.query(
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x WHERE {
+                 ?x ex:partOf ?y .
+                 FILTER EXISTS { ?x ex:partOf+ ?z . }
+               }"#,
+        );
+        assert!(
+            matches!(result, Err(SparqlError::ResourceLimit { kind: LimitKind::PathVisits, .. })),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn resource_limit_error_message_is_structured() {
+        let err = SparqlError::ResourceLimit { kind: LimitKind::Deadline, limit: 100 };
+        assert!(err.is_resource_limit());
+        assert_eq!(err.message(), "resource limit exceeded: deadline (limit 100)");
+        assert!(!SparqlError::new("boom").is_resource_limit());
     }
 }

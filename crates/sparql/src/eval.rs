@@ -6,13 +6,15 @@
 //! ablation of DESIGN.md).
 
 use crate::ast::*;
-use crate::expr::{bound_term, eval_expr};
-use crate::path::eval_path;
+use crate::expr::{bound_term, eval_expr_limited};
+use crate::limits::{EvalLimits, LimitGuard};
+use crate::path::eval_path_limited;
 use crate::results::Solutions;
 use crate::SparqlError;
 use rdfa_model::{Graph, Term, Value};
 use rdfa_store::{Store, TermId};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A bound value: an interned term or a computed (owned) term.
 #[derive(Debug, Clone)]
@@ -63,16 +65,18 @@ impl Frame {
     }
 }
 
-/// Evaluation options (the ablation switches).
+/// Evaluation options (the ablation switches plus resource budgets).
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Reorder BGP patterns by estimated selectivity (default true).
     pub reorder_bgp: bool,
+    /// Cooperative resource limits (default: unlimited).
+    pub limits: EvalLimits,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_bgp: true }
+        EvalOptions { reorder_bgp: true, limits: EvalLimits::unlimited() }
     }
 }
 
@@ -80,17 +84,32 @@ impl Default for EvalOptions {
 pub struct Evaluator<'s> {
     store: &'s Store,
     options: EvalOptions,
+    /// Shared budget: every sub-evaluation (EXISTS, subqueries) draws from
+    /// the same guard, so nesting cannot multiply the budget.
+    guard: Rc<LimitGuard>,
 }
 
 impl<'s> Evaluator<'s> {
     /// Create an evaluator with default options.
     pub fn new(store: &'s Store) -> Self {
-        Evaluator { store, options: EvalOptions::default() }
+        Self::with_options(store, EvalOptions::default())
     }
 
-    /// Create an evaluator with explicit options.
+    /// Create an evaluator with explicit options. The limit clock starts
+    /// here, so construct the evaluator right before running the query.
     pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
-        Evaluator { store, options }
+        let guard = Rc::new(LimitGuard::new(options.limits));
+        Evaluator { store, options, guard }
+    }
+
+    /// An evaluator sharing an existing guard (EXISTS sub-evaluations).
+    pub(crate) fn with_guard(store: &'s Store, guard: Rc<LimitGuard>) -> Self {
+        Evaluator { store, options: EvalOptions { limits: guard.limits(), ..Default::default() }, guard }
+    }
+
+    /// The guard in force (elapsed time, row/visit counters).
+    pub fn guard(&self) -> &LimitGuard {
+        &self.guard
     }
 
     // ---- frames ------------------------------------------------------------
@@ -238,6 +257,7 @@ impl<'s> Evaluator<'s> {
         frame: &Frame,
         input: Vec<Row>,
     ) -> Result<Vec<Row>, SparqlError> {
+        let _depth = self.guard.enter()?;
         let mut rows = input;
         let mut filters: Vec<&Expr> = Vec::new();
         let mut i = 0;
@@ -286,9 +306,10 @@ impl<'s> Evaluator<'s> {
                         .index(v)
                         .ok_or_else(|| SparqlError::new(format!("unknown BIND var ?{v}")))?;
                     for row in &mut rows {
-                        let val = eval_expr(e, row, frame, self.store);
+                        let val = eval_expr_limited(e, row, frame, self.store, &self.guard);
                         row[slot] = val.map(|v| Bound::Term(v.to_term()));
                     }
+                    self.guard.surface()?;
                 }
                 PatternElement::Values(vars, data) => {
                     let slots: Vec<usize> = vars
@@ -316,6 +337,7 @@ impl<'s> Evaluator<'s> {
                                     }
                                 }
                             }
+                            self.guard.count_row()?;
                             next.push(candidate);
                         }
                     }
@@ -323,7 +345,7 @@ impl<'s> Evaluator<'s> {
                 }
                 PatternElement::SubSelect(sub) => {
                     let solutions = self.eval_select(sub)?;
-                    rows = self.join_solutions(rows, &solutions, frame);
+                    rows = self.join_solutions(rows, &solutions, frame)?;
                 }
                 PatternElement::Minus(g) => {
                     // evaluate the inner pattern bottom-up, then anti-join:
@@ -348,13 +370,15 @@ impl<'s> Evaluator<'s> {
             }
             i += 1;
         }
-        // apply the group's filters
+        // apply the group's filters; a limit tripping inside a filter (e.g.
+        // an expensive EXISTS) is recorded softly and surfaced here
         for f in filters {
             rows.retain(|row| {
-                eval_expr(f, row, frame, self.store)
+                eval_expr_limited(f, row, frame, self.store, &self.guard)
                     .and_then(|v| v.effective_boolean())
                     .unwrap_or(false)
             });
+            self.guard.surface()?;
         }
         Ok(rows)
     }
@@ -366,7 +390,12 @@ impl<'s> Evaluator<'s> {
         }
     }
 
-    fn join_solutions(&self, rows: Vec<Row>, sol: &Solutions, frame: &Frame) -> Vec<Row> {
+    fn join_solutions(
+        &self,
+        rows: Vec<Row>,
+        sol: &Solutions,
+        frame: &Frame,
+    ) -> Result<Vec<Row>, SparqlError> {
         let shared: Vec<(usize, usize)> = sol
             .vars
             .iter()
@@ -393,11 +422,12 @@ impl<'s> Evaluator<'s> {
                     }
                 }
                 if ok {
+                    self.guard.count_row()?;
                     out.push(candidate);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     // ---- BGP ---------------------------------------------------------------
@@ -539,6 +569,9 @@ impl<'s> Evaluator<'s> {
         row: &Row,
         out: &mut Vec<Row>,
     ) -> Result<(), SparqlError> {
+        // probe per (pattern, row) pair so patterns that match nothing over
+        // many rows still honour the deadline
+        self.guard.check_deadline()?;
         // resolve anchors from the row
         let resolve = |t: &TermPattern| -> Result<Anchor, SparqlError> {
             match t {
@@ -591,6 +624,7 @@ impl<'s> Evaluator<'s> {
                     if same_var(&s_anchor, &o_anchor) && s != o {
                         continue;
                     }
+                    self.guard.count_row()?;
                     out.push(new);
                 }
             }
@@ -602,17 +636,21 @@ impl<'s> Evaluator<'s> {
                     }
                     let mut new = row.clone();
                     if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
+                        self.guard.count_row()?;
                         out.push(new);
                     }
                 }
             }
             PathOrVar::Path(path) => {
-                for (s, o) in eval_path(self.store, path, s_anchor.id(), o_anchor.id()) {
+                for (s, o) in
+                    eval_path_limited(self.store, path, s_anchor.id(), o_anchor.id(), &self.guard)?
+                {
                     if same_var(&s_anchor, &o_anchor) && s != o {
                         continue;
                     }
                     let mut new = row.clone();
                     if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
+                        self.guard.count_row()?;
                         out.push(new);
                     }
                 }
@@ -650,7 +688,10 @@ impl<'s> Evaluator<'s> {
                 let key: Vec<Option<Term>> = q
                     .group_by
                     .iter()
-                    .map(|e| eval_expr(e, &row, frame, self.store).map(|v| v.to_term()))
+                    .map(|e| {
+                        eval_expr_limited(e, &row, frame, self.store, &self.guard)
+                            .map(|v| v.to_term())
+                    })
                     .collect();
                 match index.get(&key) {
                     Some(&i) => groups[i].1.push(row),
@@ -686,7 +727,8 @@ impl<'s> Evaluator<'s> {
                 let out: Vec<Option<Term>> = items
                     .iter()
                     .map(|it| {
-                        eval_expr(&it.expr, row, frame, self.store).map(|v| v.to_term())
+                        eval_expr_limited(&it.expr, row, frame, self.store, &self.guard)
+                            .map(|v| v.to_term())
                     })
                     .collect();
                 out_rows.push(out);
@@ -706,8 +748,8 @@ impl<'s> Evaluator<'s> {
                 for spec in &q.order_by {
                     let row_a: Row = a.iter().map(|t| t.clone().map(Bound::Term)).collect();
                     let row_b: Row = b.iter().map(|t| t.clone().map(Bound::Term)).collect();
-                    let va = eval_expr(&spec.expr, &row_a, &out_frame, self.store);
-                    let vb = eval_expr(&spec.expr, &row_b, &out_frame, self.store);
+                    let va = eval_expr_limited(&spec.expr, &row_a, &out_frame, self.store, &self.guard);
+                    let vb = eval_expr_limited(&spec.expr, &row_b, &out_frame, self.store, &self.guard);
                     let ord = order_values(&va, &vb);
                     let ord = if spec.descending { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
@@ -726,6 +768,8 @@ impl<'s> Evaluator<'s> {
             out_rows.truncate(limit);
         }
 
+        // surface any limit that tripped softly inside projection/sorting
+        self.guard.surface()?;
         Ok(Solutions { vars, rows: out_rows })
     }
 
@@ -739,7 +783,7 @@ impl<'s> Evaluator<'s> {
                 // non-aggregate leaf: evaluate on a representative row
                 let empty: Row = Vec::new();
                 let row = group.first().unwrap_or(&empty);
-                eval_expr(expr, row, frame, self.store)
+                eval_expr_limited(expr, row, frame, self.store, &self.guard)
             }
             Expr::Or(a, b) => {
                 let va = self.eval_agg_expr(a, group, frame).and_then(|v| v.effective_boolean());
@@ -811,7 +855,7 @@ impl<'s> Evaluator<'s> {
             Expr::Call(..) | Expr::Exists(..) => {
                 let empty: Row = Vec::new();
                 let row = group.first().unwrap_or(&empty);
-                eval_expr(expr, row, frame, self.store)
+                eval_expr_limited(expr, row, frame, self.store, &self.guard)
             }
         }
     }
@@ -829,7 +873,7 @@ impl<'s> Evaluator<'s> {
             match inner {
                 None => values.push(Value::Int(1)), // COUNT(*) counts rows
                 Some(e) => {
-                    if let Some(v) = eval_expr(e, row, frame, self.store) {
+                    if let Some(v) = eval_expr_limited(e, row, frame, self.store, &self.guard) {
                         values.push(v);
                     }
                 }
@@ -968,18 +1012,22 @@ fn order_values(a: &Option<Value>, b: &Option<Value>) -> std::cmp::Ordering {
 }
 
 /// True when the `EXISTS` pattern has at least one solution compatible with
-/// the given row (SPARQL's substitute-then-evaluate semantics).
+/// the given row (SPARQL's substitute-then-evaluate semantics). The
+/// sub-evaluation shares the caller's limit guard: a limit tripping inside
+/// it makes the EXISTS report `false` and leaves the trip recorded for the
+/// caller to surface.
 pub(crate) fn exists_matches(
     store: &Store,
     group: &GroupPattern,
     outer_frame: &Frame,
     row: &Row,
+    guard: &Rc<LimitGuard>,
 ) -> bool {
     let mut frame = outer_frame.clone();
     Evaluator::collect_vars(group, &mut frame);
     let mut seeded = row.clone();
     seeded.resize(frame.len(), None);
-    let ev = Evaluator::new(store);
+    let ev = Evaluator::with_guard(store, Rc::clone(guard));
     match ev.eval_group(group, &frame, vec![seeded]) {
         Ok(rows) => !rows.is_empty(),
         Err(_) => false,

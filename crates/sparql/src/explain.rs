@@ -87,6 +87,9 @@ pub fn explain(store: &Store, text: &str, options: EvalOptions) -> Result<Plan, 
             pattern: render_pattern(bgp[src]),
         });
     }
+    if !options.limits.is_unlimited() {
+        plan.notes.push(format!("limits: {}", options.limits));
+    }
     for e in where_.elements.iter().skip(bgp.len()) {
         plan.notes.push(match e {
             PatternElement::Triple(t) => format!("then BGP: {}", render_pattern(t)),
@@ -158,7 +161,7 @@ mod tests {
     #[test]
     fn naive_order_preserves_source_order() {
         let s = store();
-        let plan = explain(&s, Q, EvalOptions { reorder_bgp: false }).unwrap();
+        let plan = explain(&s, Q, EvalOptions { reorder_bgp: false, ..Default::default() }).unwrap();
         let order: Vec<usize> = plan.steps.iter().map(|p| p.source_index).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
@@ -169,5 +172,25 @@ mod tests {
         let text = explain(&s, Q, EvalOptions::default()).unwrap().to_text();
         assert!(text.contains("plan:"));
         assert!(text.contains("est"));
+    }
+
+    #[test]
+    fn plan_reports_limits_in_force() {
+        use crate::limits::EvalLimits;
+        use std::time::Duration;
+        let s = store();
+        let options = EvalOptions {
+            limits: EvalLimits::default()
+                .with_deadline(Duration::from_millis(100))
+                .with_max_rows(10_000),
+            ..Default::default()
+        };
+        let plan = explain(&s, Q, options).unwrap();
+        let note = plan.notes.iter().find(|n| n.starts_with("limits:")).unwrap();
+        assert!(note.contains("deadline 100ms"), "{note}");
+        assert!(note.contains("rows <= 10000"), "{note}");
+        // unlimited runs stay silent
+        let silent = explain(&s, Q, EvalOptions::default()).unwrap();
+        assert!(!silent.notes.iter().any(|n| n.starts_with("limits:")));
     }
 }

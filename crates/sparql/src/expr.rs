@@ -3,12 +3,31 @@
 
 use crate::ast::{ArithOp, CompareOp, Expr};
 use crate::eval::{Bound, Frame, Row};
+use crate::limits::LimitGuard;
 use rdfa_model::{Term, Value};
 use rdfa_store::Store;
 use std::cmp::Ordering;
+use std::rc::Rc;
 
-/// Evaluate a (non-aggregate) expression against one row.
+/// Evaluate a (non-aggregate) expression against one row, unlimited.
 pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option<Value> {
+    eval_expr_limited(expr, row, frame, store, &Rc::new(LimitGuard::unlimited()))
+}
+
+/// Guarded variant: shares the evaluator's limit guard, so `EXISTS`
+/// sub-evaluations draw from the same budget as the outer query. Once the
+/// guard trips, evaluation returns `None` (an expression error); the
+/// evaluator surfaces the structured error at its next checkpoint.
+pub(crate) fn eval_expr_limited(
+    expr: &Expr,
+    row: &Row,
+    frame: &Frame,
+    store: &Store,
+    guard: &Rc<LimitGuard>,
+) -> Option<Value> {
+    if guard.soft_tripped() {
+        return None;
+    }
     match expr {
         Expr::Var(v) => {
             let slot = frame.index(v)?;
@@ -18,8 +37,8 @@ pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option
         Expr::Const(t) => Some(Value::from_term(t)),
         Expr::Or(a, b) => {
             // SPARQL ternary logic: true || error = true
-            let va = eval_expr(a, row, frame, store).and_then(|v| v.effective_boolean());
-            let vb = eval_expr(b, row, frame, store).and_then(|v| v.effective_boolean());
+            let va = eval_expr_limited(a, row, frame, store, guard).and_then(|v| v.effective_boolean());
+            let vb = eval_expr_limited(b, row, frame, store, guard).and_then(|v| v.effective_boolean());
             match (va, vb) {
                 (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
                 (Some(false), Some(false)) => Some(Value::Bool(false)),
@@ -27,8 +46,8 @@ pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option
             }
         }
         Expr::And(a, b) => {
-            let va = eval_expr(a, row, frame, store).and_then(|v| v.effective_boolean());
-            let vb = eval_expr(b, row, frame, store).and_then(|v| v.effective_boolean());
+            let va = eval_expr_limited(a, row, frame, store, guard).and_then(|v| v.effective_boolean());
+            let vb = eval_expr_limited(b, row, frame, store, guard).and_then(|v| v.effective_boolean());
             match (va, vb) {
                 (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
                 (Some(true), Some(true)) => Some(Value::Bool(true)),
@@ -36,17 +55,17 @@ pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option
             }
         }
         Expr::Not(e) => {
-            let v = eval_expr(e, row, frame, store)?.effective_boolean()?;
+            let v = eval_expr_limited(e, row, frame, store, guard)?.effective_boolean()?;
             Some(Value::Bool(!v))
         }
         Expr::Compare(a, op, b) => {
-            let va = eval_expr(a, row, frame, store)?;
-            let vb = eval_expr(b, row, frame, store)?;
+            let va = eval_expr_limited(a, row, frame, store, guard)?;
+            let vb = eval_expr_limited(b, row, frame, store, guard)?;
             compare(&va, *op, &vb).map(Value::Bool)
         }
         Expr::Arith(a, op, b) => {
-            let va = eval_expr(a, row, frame, store)?;
-            let vb = eval_expr(b, row, frame, store)?;
+            let va = eval_expr_limited(a, row, frame, store, guard)?;
+            let vb = eval_expr_limited(b, row, frame, store, guard)?;
             match op {
                 ArithOp::Add => va.add(&vb),
                 ArithOp::Sub => va.sub(&vb),
@@ -55,14 +74,14 @@ pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option
             }
         }
         Expr::Neg(e) => {
-            let v = eval_expr(e, row, frame, store)?;
+            let v = eval_expr_limited(e, row, frame, store, guard)?;
             Value::Int(0).sub(&v)
         }
         Expr::In(e, list, negated) => {
-            let v = eval_expr(e, row, frame, store)?;
+            let v = eval_expr_limited(e, row, frame, store, guard)?;
             let mut found = false;
             for item in list {
-                if let Some(vi) = eval_expr(item, row, frame, store) {
+                if let Some(vi) = eval_expr_limited(item, row, frame, store, guard) {
                     if v.value_eq(&vi) {
                         found = true;
                         break;
@@ -71,9 +90,9 @@ pub fn eval_expr(expr: &Expr, row: &Row, frame: &Frame, store: &Store) -> Option
             }
             Some(Value::Bool(found != *negated))
         }
-        Expr::Call(name, args) => eval_call(name, args, row, frame, store),
+        Expr::Call(name, args) => eval_call(name, args, row, frame, store, guard),
         Expr::Exists(group, negated) => {
-            let hit = crate::eval::exists_matches(store, group, frame, row);
+            let hit = crate::eval::exists_matches(store, group, frame, row, guard);
             Some(Value::Bool(hit != *negated))
         }
         // aggregates are handled by the grouping machinery in eval.rs; seeing
@@ -115,7 +134,14 @@ fn compare(a: &Value, op: CompareOp, b: &Value) -> Option<bool> {
     }
 }
 
-fn eval_call(name: &str, args: &[Expr], row: &Row, frame: &Frame, store: &Store) -> Option<Value> {
+fn eval_call(
+    name: &str,
+    args: &[Expr],
+    row: &Row,
+    frame: &Frame,
+    store: &Store,
+    guard: &Rc<LimitGuard>,
+) -> Option<Value> {
     // BOUND, IF and COALESCE need lazy/unbound-tolerant handling
     match name {
         "BOUND" => {
@@ -126,13 +152,13 @@ fn eval_call(name: &str, args: &[Expr], row: &Row, frame: &Frame, store: &Store)
             return None;
         }
         "IF" => {
-            let cond = eval_expr(args.first()?, row, frame, store)?.effective_boolean()?;
+            let cond = eval_expr_limited(args.first()?, row, frame, store, guard)?.effective_boolean()?;
             let branch = if cond { args.get(1)? } else { args.get(2)? };
-            return eval_expr(branch, row, frame, store);
+            return eval_expr_limited(branch, row, frame, store, guard);
         }
         "COALESCE" => {
             for a in args {
-                if let Some(v) = eval_expr(a, row, frame, store) {
+                if let Some(v) = eval_expr_limited(a, row, frame, store, guard) {
                     return Some(v);
                 }
             }
@@ -143,7 +169,7 @@ fn eval_call(name: &str, args: &[Expr], row: &Row, frame: &Frame, store: &Store)
 
     let v: Vec<Value> = args
         .iter()
-        .map(|a| eval_expr(a, row, frame, store))
+        .map(|a| eval_expr_limited(a, row, frame, store, guard))
         .collect::<Option<Vec<_>>>()?;
 
     match name {

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod eval;
 pub mod explain;
 pub mod expr;
+pub mod limits;
 pub mod parser;
 pub mod path;
 pub mod results;
@@ -40,26 +41,51 @@ pub mod update;
 
 pub use ast::{Query, QueryForm, SelectQuery};
 pub use engine::Engine;
+pub use eval::EvalOptions;
 pub use explain::{explain, Plan};
+pub use limits::{EvalLimits, LimitKind};
 pub use parser::parse_query;
 pub use results::{QueryResults, Solutions};
 pub use update::{execute_update, UpdateOp, UpdateStats};
 
 /// Errors from parsing or evaluating a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SparqlError {
-    pub message: String,
+pub enum SparqlError {
+    /// A parse or evaluation error, with a human-readable message.
+    Query(String),
+    /// Evaluation exceeded a configured resource budget (see [`EvalLimits`]).
+    /// `limit` is the configured ceiling: milliseconds for
+    /// [`LimitKind::Deadline`], a count otherwise.
+    ResourceLimit { kind: LimitKind, limit: u64 },
 }
 
 impl SparqlError {
+    /// A plain query error (the common case throughout the parser).
     pub fn new(message: impl Into<String>) -> Self {
-        SparqlError { message: message.into() }
+        SparqlError::Query(message.into())
+    }
+
+    /// The human-readable message, whatever the variant.
+    pub fn message(&self) -> String {
+        match self {
+            SparqlError::Query(m) => m.clone(),
+            SparqlError::ResourceLimit { kind, limit } => {
+                format!("resource limit exceeded: {kind} (limit {limit})")
+            }
+        }
+    }
+
+    /// True for the structured resource-limit variant. Callers use this to
+    /// choose between failing and degrading gracefully (e.g. the analytics
+    /// session falls back to direct functional evaluation).
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, SparqlError::ResourceLimit { .. })
     }
 }
 
 impl std::fmt::Display for SparqlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sparql error: {}", self.message)
+        write!(f, "sparql error: {}", self.message())
     }
 }
 

@@ -1,0 +1,376 @@
+//! Cooperative resource limits for query evaluation.
+//!
+//! An interactive endpoint cannot afford an unbounded property-path closure
+//! or a cartesian-product BGP: evaluation must notice it has exhausted its
+//! budget and return a structured error instead of hanging. [`EvalLimits`]
+//! is the declarative budget (every limit defaults to "unlimited") and
+//! [`LimitGuard`] is its runtime counterpart, threaded through the
+//! evaluator, the path engine, and expression evaluation.
+//!
+//! Checks are cooperative: hot loops call the cheap counters
+//! ([`LimitGuard::count_row`], [`LimitGuard::count_path_visit`]) which probe
+//! the wall clock only once every `DEADLINE_PROBE_INTERVAL` ticks, so the
+//! overhead on unlimited queries is a couple of `Cell` bumps per row.
+//! Contexts with no error channel (a `FILTER` expression, an `ORDER BY`
+//! comparator) use [`LimitGuard::soft_tripped`]: the trip is recorded in the
+//! guard and surfaced as a hard error at the next checkpoint that can
+//! return one.
+
+use crate::SparqlError;
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which budget a query exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// Wall-clock deadline for the whole evaluation.
+    Deadline,
+    /// Total intermediate/solution rows produced.
+    SolutionRows,
+    /// Property-path node expansions (closure BFS and sequence joins).
+    PathVisits,
+    /// Nesting depth of group patterns and subqueries.
+    RecursionDepth,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LimitKind::Deadline => "deadline",
+            LimitKind::SolutionRows => "solution rows",
+            LimitKind::PathVisits => "path visits",
+            LimitKind::RecursionDepth => "recursion depth",
+        })
+    }
+}
+
+/// Declarative evaluation budget; `None` means unlimited for that axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalLimits {
+    /// Wall-clock deadline for the whole evaluation.
+    pub deadline: Option<Duration>,
+    /// Maximum number of rows produced across all operators.
+    pub max_rows: Option<u64>,
+    /// Maximum number of property-path node expansions.
+    pub max_path_visits: Option<u64>,
+    /// Maximum nesting depth of groups/subqueries.
+    pub max_depth: Option<u32>,
+}
+
+impl EvalLimits {
+    /// No limits at all (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A profile for interactive serving: generous enough for every
+    /// legitimate analytics query in the workload, tight enough to bound a
+    /// runaway closure or cartesian product.
+    pub fn interactive() -> Self {
+        EvalLimits {
+            deadline: Some(Duration::from_secs(10)),
+            max_rows: Some(1_000_000),
+            max_path_visits: Some(5_000_000),
+            max_depth: Some(32),
+        }
+    }
+
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    pub fn with_max_rows(mut self, n: u64) -> Self {
+        self.max_rows = Some(n);
+        self
+    }
+
+    pub fn with_max_path_visits(mut self, n: u64) -> Self {
+        self.max_path_visits = Some(n);
+        self
+    }
+
+    pub fn with_max_depth(mut self, n: u32) -> Self {
+        self.max_depth = Some(n);
+        self
+    }
+
+    /// True when no limit is set on any axis.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_rows.is_none()
+            && self.max_path_visits.is_none()
+            && self.max_depth.is_none()
+    }
+}
+
+impl fmt::Display for EvalLimits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            return f.write_str("unlimited");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(d) = self.deadline {
+            parts.push(format!("deadline {d:?}"));
+        }
+        if let Some(n) = self.max_rows {
+            parts.push(format!("rows <= {n}"));
+        }
+        if let Some(n) = self.max_path_visits {
+            parts.push(format!("path visits <= {n}"));
+        }
+        if let Some(n) = self.max_depth {
+            parts.push(format!("depth <= {n}"));
+        }
+        f.write_str(&parts.join(", "))
+    }
+}
+
+/// How many cheap counter bumps between wall-clock probes.
+const DEADLINE_PROBE_INTERVAL: u32 = 64;
+
+/// Runtime counterpart of [`EvalLimits`]: interior-mutable counters shared
+/// (via `Rc`) by every sub-evaluation of one query, so `EXISTS` patterns and
+/// subqueries draw from the same budget as the outer query.
+#[derive(Debug)]
+pub struct LimitGuard {
+    limits: EvalLimits,
+    start: Instant,
+    rows: Cell<u64>,
+    path_visits: Cell<u64>,
+    depth: Cell<u32>,
+    ticks: Cell<u32>,
+    tripped: Cell<Option<(LimitKind, u64)>>,
+}
+
+impl LimitGuard {
+    /// Start the clock on a budget.
+    pub fn new(limits: EvalLimits) -> Self {
+        LimitGuard {
+            limits,
+            start: Instant::now(),
+            rows: Cell::new(0),
+            path_visits: Cell::new(0),
+            depth: Cell::new(0),
+            ticks: Cell::new(0),
+            tripped: Cell::new(None),
+        }
+    }
+
+    /// A guard that never trips.
+    pub fn unlimited() -> Self {
+        Self::new(EvalLimits::unlimited())
+    }
+
+    /// The budget in force.
+    pub fn limits(&self) -> EvalLimits {
+        self.limits
+    }
+
+    /// Time since the guard was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Rows produced so far.
+    pub fn rows(&self) -> u64 {
+        self.rows.get()
+    }
+
+    /// Path expansions so far.
+    pub fn path_visits(&self) -> u64 {
+        self.path_visits.get()
+    }
+
+    fn trip(&self, kind: LimitKind, limit: u64) -> SparqlError {
+        self.tripped.set(Some((kind, limit)));
+        SparqlError::ResourceLimit { kind, limit }
+    }
+
+    /// Re-raise a limit that already tripped — possibly in a context with no
+    /// error channel, like a `FILTER` closure.
+    pub fn surface(&self) -> Result<(), SparqlError> {
+        match self.tripped.get() {
+            Some((kind, limit)) => Err(SparqlError::ResourceLimit { kind, limit }),
+            None => Ok(()),
+        }
+    }
+
+    /// Probe the wall-clock deadline. Amortised: `Instant::now` runs once
+    /// per `DEADLINE_PROBE_INTERVAL` calls.
+    pub fn check_deadline(&self) -> Result<(), SparqlError> {
+        self.surface()?;
+        if let Some(d) = self.limits.deadline {
+            let t = self.ticks.get().wrapping_add(1);
+            self.ticks.set(t);
+            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) && self.start.elapsed() > d {
+                return Err(self.trip(LimitKind::Deadline, d.as_millis() as u64));
+            }
+        }
+        Ok(())
+    }
+
+    /// Count one produced row (and probe the deadline).
+    pub fn count_row(&self) -> Result<(), SparqlError> {
+        let n = self.rows.get() + 1;
+        self.rows.set(n);
+        if let Some(max) = self.limits.max_rows {
+            if n > max {
+                return Err(self.trip(LimitKind::SolutionRows, max));
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// Count one property-path node expansion (and probe the deadline).
+    pub fn count_path_visit(&self) -> Result<(), SparqlError> {
+        let n = self.path_visits.get() + 1;
+        self.path_visits.set(n);
+        if let Some(max) = self.limits.max_path_visits {
+            if n > max {
+                return Err(self.trip(LimitKind::PathVisits, max));
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// Enter one nesting level (group pattern / subquery). The returned
+    /// scope decrements the depth when dropped.
+    pub fn enter(&self) -> Result<DepthScope<'_>, SparqlError> {
+        self.surface()?;
+        let d = self.depth.get() + 1;
+        if let Some(max) = self.limits.max_depth {
+            if d > max {
+                return Err(self.trip(LimitKind::RecursionDepth, max as u64));
+            }
+        }
+        self.depth.set(d);
+        Ok(DepthScope { depth: &self.depth })
+    }
+
+    /// Deadline probe for contexts that cannot return an error: reports
+    /// `true` once any limit has tripped (recording a deadline trip if the
+    /// clock just ran out). The caller should bail out cheaply; the trip is
+    /// surfaced by the next [`LimitGuard::surface`] checkpoint.
+    pub fn soft_tripped(&self) -> bool {
+        if self.tripped.get().is_some() {
+            return true;
+        }
+        if let Some(d) = self.limits.deadline {
+            let t = self.ticks.get().wrapping_add(1);
+            self.ticks.set(t);
+            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) && self.start.elapsed() > d {
+                self.tripped.set(Some((LimitKind::Deadline, d.as_millis() as u64)));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// RAII scope for one recursion level; decrements the shared depth counter
+/// on drop so early returns (including `?`) unwind it correctly.
+pub struct DepthScope<'a> {
+    depth: &'a Cell<u32>,
+}
+
+impl Drop for DepthScope<'_> {
+    fn drop(&mut self) {
+        self.depth.set(self.depth.get().saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let g = LimitGuard::unlimited();
+        for _ in 0..10_000 {
+            g.count_row().unwrap();
+            g.count_path_visit().unwrap();
+        }
+        assert!(g.surface().is_ok());
+        assert!(!g.soft_tripped());
+    }
+
+    #[test]
+    fn row_limit_trips_and_sticks() {
+        let g = LimitGuard::new(EvalLimits::default().with_max_rows(10));
+        for _ in 0..10 {
+            g.count_row().unwrap();
+        }
+        let err = g.count_row().unwrap_err();
+        assert_eq!(
+            err,
+            SparqlError::ResourceLimit { kind: LimitKind::SolutionRows, limit: 10 }
+        );
+        // once tripped, every checkpoint re-raises
+        assert!(g.surface().is_err());
+        assert!(g.check_deadline().is_err());
+        assert!(g.soft_tripped());
+    }
+
+    #[test]
+    fn path_visit_limit_trips() {
+        let g = LimitGuard::new(EvalLimits::default().with_max_path_visits(3));
+        for _ in 0..3 {
+            g.count_path_visit().unwrap();
+        }
+        assert!(matches!(
+            g.count_path_visit(),
+            Err(SparqlError::ResourceLimit { kind: LimitKind::PathVisits, .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_trips_within_probe_interval() {
+        let g = LimitGuard::new(EvalLimits::default().with_deadline(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        let mut err = None;
+        for _ in 0..=DEADLINE_PROBE_INTERVAL {
+            if let Err(e) = g.check_deadline() {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(
+            err,
+            Some(SparqlError::ResourceLimit { kind: LimitKind::Deadline, limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn depth_scope_unwinds() {
+        let g = LimitGuard::new(EvalLimits::default().with_max_depth(2));
+        let a = g.enter().unwrap();
+        {
+            let _b = g.enter().unwrap();
+            assert!(g.enter().is_err()); // third level exceeds the budget
+        }
+        drop(a);
+        // tripped is sticky even after the scopes unwind
+        assert!(g.enter().is_err());
+    }
+
+    #[test]
+    fn depth_scope_allows_reentry_when_not_tripped() {
+        let g = LimitGuard::new(EvalLimits::default().with_max_depth(1));
+        {
+            let _a = g.enter().unwrap();
+        }
+        // sibling scope at the same level is fine
+        assert!(g.enter().is_ok());
+    }
+
+    #[test]
+    fn limits_display() {
+        assert_eq!(EvalLimits::unlimited().to_string(), "unlimited");
+        let l = EvalLimits::default()
+            .with_deadline(Duration::from_millis(100))
+            .with_max_rows(5);
+        assert_eq!(l.to_string(), "deadline 100ms, rows <= 5");
+    }
+}

@@ -1117,7 +1117,7 @@ mod tests {
     #[test]
     fn error_on_undeclared_prefix() {
         let e = parse_query("SELECT ?s WHERE { ?s ex:p ?o . }").unwrap_err();
-        assert!(e.message.contains("undeclared prefix"));
+        assert!(e.message().contains("undeclared prefix"));
     }
 
     #[test]

@@ -5,77 +5,99 @@
 //! path-expansion transitions of the faceted UI (Fig 5.5).
 
 use crate::ast::PropertyPath;
+use crate::limits::LimitGuard;
+use crate::SparqlError;
 use rdfa_store::{Store, TermId};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 /// All `(start, end)` node pairs connected by `path`, optionally anchored on
-/// either side. Results are deduplicated.
+/// either side. Results are deduplicated. Unlimited: a cyclic graph under a
+/// closure path is walked in full — interactive callers should prefer
+/// [`eval_path_limited`].
 pub fn eval_path(
     store: &Store,
     path: &PropertyPath,
     start: Option<TermId>,
     end: Option<TermId>,
 ) -> BTreeSet<(TermId, TermId)> {
+    // an unlimited guard never trips
+    eval_path_limited(store, path, start, end, &LimitGuard::unlimited()).unwrap_or_default()
+}
+
+/// Like [`eval_path`], but every node expansion is charged against `guard`,
+/// so a runaway closure surfaces `SparqlError::ResourceLimit` instead of
+/// hanging the query.
+pub fn eval_path_limited(
+    store: &Store,
+    path: &PropertyPath,
+    start: Option<TermId>,
+    end: Option<TermId>,
+    guard: &LimitGuard,
+) -> Result<BTreeSet<(TermId, TermId)>, SparqlError> {
     match path {
         PropertyPath::Iri(iri) => {
             let Some(p) = store.lookup_iri(iri) else {
-                return BTreeSet::new();
+                return Ok(BTreeSet::new());
             };
-            store
+            Ok(store
                 .matching(start, Some(p), end)
                 .map(|[s, _, o]| (s, o))
-                .collect()
+                .collect())
         }
-        PropertyPath::Inverse(inner) => eval_path(store, inner, end, start)
+        PropertyPath::Inverse(inner) => Ok(eval_path_limited(store, inner, end, start, guard)?
             .into_iter()
             .map(|(a, b)| (b, a))
-            .collect(),
+            .collect()),
         PropertyPath::Sequence(a, b) => {
             if start.is_some() || end.is_none() {
                 // drive left-to-right, anchored at start when available
-                let left = eval_path(store, a, start, None);
+                let left = eval_path_limited(store, a, start, None, guard)?;
                 let mut out = BTreeSet::new();
                 let mut mid_cache: HashMap<TermId, BTreeSet<(TermId, TermId)>> = HashMap::new();
                 for (s, mid) in left {
-                    let rights = mid_cache
-                        .entry(mid)
-                        .or_insert_with(|| eval_path(store, b, Some(mid), end));
-                    for &(_, o) in rights.iter() {
+                    guard.count_path_visit()?;
+                    if let std::collections::hash_map::Entry::Vacant(e) = mid_cache.entry(mid) {
+                        let rights = eval_path_limited(store, b, Some(mid), end, guard)?;
+                        e.insert(rights);
+                    }
+                    for &(_, o) in &mid_cache[&mid] {
                         out.insert((s, o));
                     }
                 }
-                out
+                Ok(out)
             } else {
                 // only end anchored: drive right-to-left
-                let right = eval_path(store, b, None, end);
+                let right = eval_path_limited(store, b, None, end, guard)?;
                 let mut out = BTreeSet::new();
                 let mut mid_cache: HashMap<TermId, BTreeSet<(TermId, TermId)>> = HashMap::new();
                 for (mid, o) in right {
-                    let lefts = mid_cache
-                        .entry(mid)
-                        .or_insert_with(|| eval_path(store, a, None, Some(mid)));
-                    for &(s, _) in lefts.iter() {
+                    guard.count_path_visit()?;
+                    if let std::collections::hash_map::Entry::Vacant(e) = mid_cache.entry(mid) {
+                        let lefts = eval_path_limited(store, a, None, Some(mid), guard)?;
+                        e.insert(lefts);
+                    }
+                    for &(s, _) in &mid_cache[&mid] {
                         out.insert((s, o));
                     }
                 }
-                out
+                Ok(out)
             }
         }
         PropertyPath::Alternative(a, b) => {
-            let mut out = eval_path(store, a, start, end);
-            out.extend(eval_path(store, b, start, end));
-            out
+            let mut out = eval_path_limited(store, a, start, end, guard)?;
+            out.extend(eval_path_limited(store, b, start, end, guard)?);
+            Ok(out)
         }
         PropertyPath::ZeroOrOne(inner) => {
-            let mut out = eval_path(store, inner, start, end);
+            let mut out = eval_path_limited(store, inner, start, end, guard)?;
             out.extend(identity_pairs(store, start, end));
-            out
+            Ok(out)
         }
-        PropertyPath::OneOrMore(inner) => closure(store, inner, start, end, false),
+        PropertyPath::OneOrMore(inner) => closure(store, inner, start, end, guard),
         PropertyPath::ZeroOrMore(inner) => {
-            let mut out = closure(store, inner, start, end, false);
+            let mut out = closure(store, inner, start, end, guard)?;
             out.extend(identity_pairs(store, start, end));
-            out
+            Ok(out)
         }
     }
 }
@@ -108,25 +130,27 @@ fn graph_nodes(store: &Store) -> BTreeSet<TermId> {
         .collect()
 }
 
-/// Transitive closure of a path via BFS from each start node.
+/// Transitive closure of a path via BFS from each start node. Every node
+/// expansion (queue pop) is charged against the guard — this is the loop
+/// that walks a cycle-heavy graph forever without a budget.
 fn closure(
     store: &Store,
     inner: &PropertyPath,
     start: Option<TermId>,
     end: Option<TermId>,
-    _reflexive: bool,
-) -> BTreeSet<(TermId, TermId)> {
+    guard: &LimitGuard,
+) -> Result<BTreeSet<(TermId, TermId)>, SparqlError> {
     // when only the end is anchored, walk the inverse path instead
     if start.is_none() && end.is_some() {
         let inv = PropertyPath::Inverse(Box::new(inner.clone()));
-        return closure(store, &inv, end, None, _reflexive)
+        return Ok(closure(store, &inv, end, None, guard)?
             .into_iter()
             .map(|(a, b)| (b, a))
-            .collect();
+            .collect());
     }
     let starts: Vec<TermId> = match start {
         Some(s) => vec![s],
-        None => eval_path(store, inner, None, None)
+        None => eval_path_limited(store, inner, None, None, guard)?
             .into_iter()
             .map(|(s, _)| s)
             .collect::<BTreeSet<_>>()
@@ -138,16 +162,13 @@ fn closure(
         let mut seen: HashSet<TermId> = HashSet::new();
         let mut queue: VecDeque<TermId> = VecDeque::new();
         queue.push_back(s);
-        let mut first = true;
         while let Some(node) = queue.pop_front() {
+            guard.count_path_visit()?;
             // expand one step of the inner path from `node`
-            for (_, next) in eval_path(store, inner, Some(node), None) {
+            for (_, next) in eval_path_limited(store, inner, Some(node), None, guard)? {
                 if seen.insert(next) {
                     queue.push_back(next);
                 }
-            }
-            if first {
-                first = false;
             }
         }
         for reached in seen {
@@ -156,7 +177,7 @@ fn closure(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -278,5 +299,52 @@ mod tests {
         let plus = PropertyPath::OneOrMore(Box::new(p("next")));
         let to_d = eval_path(&s, &plus, None, Some(id(&s, "d")));
         assert_eq!(to_d.len(), 3); // a→d, b→d, c→d
+    }
+
+    fn cycle_store(n: usize) -> Store {
+        let mut s = Store::new();
+        let mut ttl = format!("@prefix ex: <{EX}> .\n");
+        for i in 0..n {
+            ttl.push_str(&format!("ex:n{i} ex:partOf ex:n{} .\n", (i + 1) % n));
+        }
+        s.load_turtle(&ttl).unwrap();
+        s
+    }
+
+    #[test]
+    fn closure_terminates_on_cycles() {
+        let s = cycle_store(5);
+        let plus = PropertyPath::OneOrMore(Box::new(p("partOf")));
+        let from_n0 = eval_path(&s, &plus, Some(id(&s, "n0")), None);
+        assert_eq!(from_n0.len(), 5); // n0+ reaches every node incl. itself
+    }
+
+    #[test]
+    fn closure_respects_path_visit_limit() {
+        let s = cycle_store(100);
+        let plus = PropertyPath::OneOrMore(Box::new(p("partOf")));
+        let guard =
+            LimitGuard::new(crate::limits::EvalLimits::default().with_max_path_visits(50));
+        let err = eval_path_limited(&s, &plus, None, None, &guard).unwrap_err();
+        assert!(err.is_resource_limit(), "{err}");
+    }
+
+    #[test]
+    fn closure_respects_deadline() {
+        use std::time::{Duration, Instant};
+        let s = cycle_store(2000);
+        let plus = PropertyPath::OneOrMore(Box::new(p("partOf")));
+        let deadline = Duration::from_millis(20);
+        let guard = LimitGuard::new(crate::limits::EvalLimits::default().with_deadline(deadline));
+        let t0 = Instant::now();
+        let result = eval_path_limited(&s, &plus, None, None, &guard);
+        let elapsed = t0.elapsed();
+        // the full closure over a 2000-cycle is 4M pairs — the deadline must
+        // cut it off promptly (well under 2x the budget)
+        assert!(matches!(
+            result,
+            Err(SparqlError::ResourceLimit { kind: crate::limits::LimitKind::Deadline, .. })
+        ));
+        assert!(elapsed < deadline * 2, "took {elapsed:?} against a {deadline:?} deadline");
     }
 }

@@ -117,7 +117,7 @@ pub fn to_svg(layout: &[PlacedCircle], width: u32) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rdfa_prng::StdRng;
 
     #[test]
     fn biggest_value_at_center() {
@@ -185,15 +185,21 @@ mod tests {
         assert_eq!(bounding_box(&[]), (0.0, 0.0, 0.0, 0.0));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn layout_never_overlaps(values in proptest::collection::vec(0.1f64..100.0, 1..40)) {
+    /// Property: no random layout ever contains overlapping circles.
+    #[test]
+    fn layout_never_overlaps() {
+        for case in 0u64..32 {
+            let mut rng = StdRng::seed_from_u64(case);
+            let n = rng.gen_range(1..40);
+            let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1f64..100.0)).collect();
             let layout = spiral_layout(&values, 1.0);
-            prop_assert_eq!(layout.len(), values.len());
+            assert_eq!(layout.len(), values.len());
             for i in 0..layout.len() {
                 for j in i + 1..layout.len() {
-                    prop_assert!(!layout[i].overlaps(&layout[j]));
+                    assert!(
+                        !layout[i].overlaps(&layout[j]),
+                        "case {case}: {i} and {j} overlap"
+                    );
                 }
             }
         }

@@ -245,7 +245,7 @@ fn dispatch(
                 &text,
                 rdf_analytics::sparql::eval::EvalOptions::default(),
             )
-            .map_err(|e| e.message)?;
+            .map_err(|e| e.message())?;
             print!("{}", plan.to_text());
         }
         "hifun" => {
@@ -259,7 +259,7 @@ fn dispatch(
             println!("{sparql}");
             let sols = Engine::new(store)
                 .query(&sparql)
-                .map_err(|e| e.message)?
+                .map_err(|e| e.message())?
                 .into_solutions()
                 .ok_or("not a SELECT")?;
             print!("{}", sols.to_table());
@@ -291,7 +291,7 @@ fn dispatch(
         }
         "query" => {
             let q = line.trim_start_matches("query").trim();
-            let results = Engine::new(store).query(q).map_err(|e| e.message)?;
+            let results = Engine::new(store).query(q).map_err(|e| e.message())?;
             match results {
                 rdf_analytics::sparql::QueryResults::Solutions(s) => print!("{}", s.to_table()),
                 rdf_analytics::sparql::QueryResults::Graph(g) => {

@@ -1,4 +1,4 @@
-//! A minimal HTTP SPARQL endpoint — the server side of the paper's
+//! A hardened HTTP SPARQL endpoint — the server side of the paper's
 //! architecture (Fig 6.1: the GUI talks to a backend that evaluates SPARQL
 //! over the KG). Implemented on `std::net` only (HTTP/1.1 subset), enough
 //! for the SPARQL protocol's common cases:
@@ -12,49 +12,134 @@
 //! | `/health` | GET | — | `ok` |
 //!
 //! The store lives behind an `RwLock`: queries share it, updates take the
-//! write lock. `Server::start` binds an ephemeral port and serves on a
-//! background thread until the handle is dropped — exactly what the tests
-//! and the quickstart need; production deployments would front this with a
-//! real HTTP stack.
+//! write lock. `Server::start` binds an ephemeral port and serves until the
+//! handle is dropped.
+//!
+//! Robustness ([`ServerConfig`]): a fixed pool of worker threads drains a
+//! bounded accept queue (overflow → `503`), every connection gets read/write
+//! timeouts (stalled clients → `408` instead of a wedged worker),
+//! `Content-Length` is capped *before* the body buffer is allocated
+//! (oversized → `413`), queries run under [`EvalLimits`] (exhausted → `503`),
+//! a panicking handler is caught and answered with a `500` without taking
+//! the worker down, and a poisoned store lock is recovered rather than
+//! propagated. Errors are JSON bodies: `{"error":{"code":…,"message":…}}`.
 
-use rdfa_sparql::{execute_update, Engine, QueryResults};
+use rdfa_sparql::{execute_update, Engine, EvalLimits, QueryResults};
 use rdfa_store::{Store, StoreStats};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Tunables for the endpoint's robustness behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the accept queue.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; overflow is answered `503`.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout (stalled request → `408`).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest `Content-Length` accepted; larger requests → `413`.
+    pub max_body_bytes: usize,
+    /// Resource limits applied to every query evaluation (`503` when hit).
+    pub limits: EvalLimits,
+    /// Enable test-only routes (`/panic`). Off by default.
+    pub debug_routes: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20, // 1 MiB
+            limits: EvalLimits::interactive(),
+            debug_routes: false,
+        }
+    }
+}
 
 /// A running endpoint: drop it (or call [`Server::stop`]) to shut down.
 pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `127.0.0.1:port` (0 = ephemeral) and serve the store.
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and serve with default config.
     pub fn start(store: Store, port: u16) -> std::io::Result<Server> {
+        Server::start_with(store, port, ServerConfig::default())
+    }
+
+    /// Bind and serve with an explicit [`ServerConfig`].
+    pub fn start_with(store: Store, port: u16, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
         let shared = Arc::new(RwLock::new(store));
-        let handle = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        let _ = handle_connection(stream, &shared);
+        let config = Arc::new(config);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut handles = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let config = Arc::clone(&config);
+            let handle = std::thread::Builder::new()
+                .name(format!("rdfa-worker-{i}"))
+                .spawn(move || loop {
+                    // hold the lock only while receiving, not while serving
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match next {
+                        Ok(stream) => serve_connection(stream, &shared, &config),
+                        Err(_) => break, // acceptor gone: shutdown
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                })?;
+            handles.push(handle);
+        }
+
+        let stop2 = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new().name("rdfa-accept".to_owned()).spawn(
+            move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_read_timeout(Some(config.read_timeout));
+                            let _ = stream.set_write_timeout(Some(config.write_timeout));
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(mut rejected)) => {
+                                    let _ = write_response(
+                                        &mut rejected,
+                                        "503 Service Unavailable",
+                                        "application/json",
+                                        &json_error(503, "server busy: connection queue full"),
+                                    );
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => break,
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
                     }
-                    Err(_) => break,
                 }
-            }
-        });
-        Ok(Server { addr, stop, handle: Some(handle) })
+                // dropping `tx` here unblocks the workers' `recv` so they exit
+            },
+        )?;
+        handles.push(acceptor);
+        Ok(Server { addr, stop, handles })
     }
 
     /// The bound address.
@@ -62,14 +147,14 @@ impl Server {
         self.addr
     }
 
-    /// Request shutdown and join the serving thread.
+    /// Request shutdown and join the serving threads.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -81,35 +166,135 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, store: &Arc<RwLock<Store>>) -> std::io::Result<()> {
+/// Run one connection to completion; a panic inside the handler is answered
+/// with a `500` on a pre-cloned stream and does not take the worker down.
+fn serve_connection(stream: TcpStream, store: &Arc<RwLock<Store>>, config: &ServerConfig) {
+    let spare = stream.try_clone().ok();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_connection(stream, store, config)
+    }));
+    if outcome.is_err() {
+        if let Some(mut out) = spare {
+            let _ = write_response(
+                &mut out,
+                "500 Internal Server Error",
+                "application/json",
+                &json_error(500, "internal server error: handler panicked"),
+            );
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: &Arc<RwLock<Store>>,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    match reader.read_line(&mut request_line) {
+        Ok(0) => return Ok(()), // client closed without sending anything
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => {
+            return write_response(
+                reader.get_mut(),
+                "408 Request Timeout",
+                "application/json",
+                &json_error(408, "timed out reading the request"),
+            );
+        }
+        Err(e) => return Err(e),
+    }
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_owned();
-    let target = parts.next().unwrap_or("/").to_owned();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => {
+            (m.to_owned(), t.to_owned(), v)
+        }
+        _ => {
+            return write_response(
+                reader.get_mut(),
+                "400 Bad Request",
+                "application/json",
+                &json_error(400, "malformed request line"),
+            );
+        }
+    };
+    let _ = version;
 
     // headers
     let mut content_length = 0usize;
     let mut accept = String::new();
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                return write_response(
+                    reader.get_mut(),
+                    "408 Request Timeout",
+                    "application/json",
+                    &json_error(408, "timed out reading request headers"),
+                );
+            }
+            Err(e) => return Err(e),
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
             match name.to_ascii_lowercase().as_str() {
-                "content-length" => content_length = value.trim().parse().unwrap_or(0),
+                "content-length" => match value.trim().parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => {
+                        return write_response(
+                            reader.get_mut(),
+                            "400 Bad Request",
+                            "application/json",
+                            &json_error(400, "invalid Content-Length"),
+                        );
+                    }
+                },
                 "accept" => accept = value.trim().to_owned(),
                 _ => {}
             }
         }
     }
+
+    // cap the declared body size BEFORE allocating the buffer: a client
+    // claiming Content-Length: 999999999 must not make us reserve a gig
+    if content_length > config.max_body_bytes {
+        return write_response(
+            reader.get_mut(),
+            "413 Payload Too Large",
+            "application/json",
+            &json_error(
+                413,
+                &format!(
+                    "request body of {content_length} bytes exceeds the {} byte limit",
+                    config.max_body_bytes
+                ),
+            ),
+        );
+    }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader.read_exact(&mut body)?;
+        if let Err(e) = reader.read_exact(&mut body) {
+            if is_timeout(&e) {
+                return write_response(
+                    reader.get_mut(),
+                    "408 Request Timeout",
+                    "application/json",
+                    &json_error(408, "timed out reading the request body"),
+                );
+            }
+            return Err(e);
+        }
     }
     let body = String::from_utf8_lossy(&body).into_owned();
 
@@ -119,22 +304,17 @@ fn handle_connection(stream: TcpStream, store: &Arc<RwLock<Store>>) -> std::io::
     };
 
     let mut stream = reader.into_inner();
-    let respond = |stream: &mut TcpStream, status: &str, ctype: &str, payload: &str| {
-        let head = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            payload.len()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(payload.as_bytes())
-    };
 
     match (method.as_str(), path) {
-        ("GET", "/health") => respond(&mut stream, "200 OK", "text/plain", "ok"),
+        ("GET", "/health") => write_response(&mut stream, "200 OK", "text/plain", "ok"),
+        ("GET", "/panic") if config.debug_routes => {
+            panic!("deliberate panic for robustness testing")
+        }
         ("GET", "/void") => {
-            let guard = store.read().expect("store lock");
+            let guard = store.read().unwrap_or_else(|e| e.into_inner());
             let stats = StoreStats::gather(&guard);
             let void = stats.to_void_graph(&guard, "urn:rdfa:dataset");
-            respond(
+            write_response(
                 &mut stream,
                 "200 OK",
                 "application/n-triples",
@@ -148,24 +328,24 @@ fn handle_connection(stream: TcpStream, store: &Arc<RwLock<Store>>) -> std::io::
                 match form_value(query_string, "query") {
                     Some(q) => q,
                     None => {
-                        return respond(
+                        return write_response(
                             &mut stream,
                             "400 Bad Request",
-                            "text/plain",
-                            "missing ?query=",
+                            "application/json",
+                            &json_error(400, "missing ?query="),
                         )
                     }
                 }
             };
-            let guard = store.read().expect("store lock");
-            match Engine::new(&guard).query(&query) {
+            let guard = store.read().unwrap_or_else(|e| e.into_inner());
+            match Engine::with_limits(&guard, config.limits).query(&query) {
                 Ok(QueryResults::Solutions(sols)) => {
                     if accept.contains("text/csv") {
-                        respond(&mut stream, "200 OK", "text/csv", &sols.to_csv())
+                        write_response(&mut stream, "200 OK", "text/csv", &sols.to_csv())
                     } else if accept.contains("text/plain") {
-                        respond(&mut stream, "200 OK", "text/plain", &sols.to_table())
+                        write_response(&mut stream, "200 OK", "text/plain", &sols.to_table())
                     } else {
-                        respond(
+                        write_response(
                             &mut stream,
                             "200 OK",
                             "application/sparql-results+json",
@@ -173,35 +353,96 @@ fn handle_connection(stream: TcpStream, store: &Arc<RwLock<Store>>) -> std::io::
                         )
                     }
                 }
-                Ok(QueryResults::Graph(g)) => respond(
+                Ok(QueryResults::Graph(g)) => write_response(
                     &mut stream,
                     "200 OK",
                     "application/n-triples",
                     &rdfa_model::ntriples::serialize(&g),
                 ),
-                Ok(QueryResults::Boolean(b)) => respond(
+                Ok(QueryResults::Boolean(b)) => write_response(
                     &mut stream,
                     "200 OK",
                     "application/sparql-results+json",
                     &format!("{{\"head\":{{}},\"boolean\":{b}}}"),
                 ),
-                Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &e.message),
+                Err(e) => write_query_error(&mut stream, &e),
             }
         }
         ("POST", "/update") => {
-            let mut guard = store.write().expect("store lock");
+            let mut guard = store.write().unwrap_or_else(|e| e.into_inner());
             match execute_update(&mut guard, &body) {
-                Ok(stats) => respond(
+                Ok(stats) => write_response(
                     &mut stream,
                     "200 OK",
                     "application/json",
                     &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
                 ),
-                Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &e.message),
+                Err(e) => write_query_error(&mut stream, &e),
             }
         }
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "no such route"),
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "application/json",
+            &json_error(404, "no such route"),
+        ),
     }
+}
+
+/// A query/update error: resource exhaustion is `503` (the request was fine,
+/// the server declined to spend more on it); anything else is the client's
+/// `400`.
+fn write_query_error(stream: &mut TcpStream, e: &rdfa_sparql::SparqlError) -> std::io::Result<()> {
+    if e.is_resource_limit() {
+        write_response(
+            stream,
+            "503 Service Unavailable",
+            "application/json",
+            &json_error(503, &e.message()),
+        )
+    } else {
+        write_response(
+            stream,
+            "400 Bad Request",
+            "application/json",
+            &json_error(400, &e.message()),
+        )
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    ctype: &str,
+    payload: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())
+}
+
+/// `{"error":{"code":…,"message":"…"}}`
+fn json_error(code: u16, message: &str) -> String {
+    format!("{{\"error\":{{\"code\":{code},\"message\":\"{}\"}}}}", json_escape(message))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Extract and percent-decode one value from a `k=v&k2=v2` query string.
@@ -269,6 +510,7 @@ pub fn percent_encode(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     fn demo_store() -> Store {
         let mut s = Store::new();
@@ -284,9 +526,10 @@ mod tests {
 
     fn http(addr: std::net::SocketAddr, request: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
         stream.write_all(request.as_bytes()).unwrap();
         let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
+        let _ = stream.read_to_string(&mut response);
         response
     }
 
@@ -363,10 +606,12 @@ mod tests {
     }
 
     #[test]
-    fn bad_query_is_400() {
+    fn bad_query_is_400_with_json_error_body() {
         let server = Server::start(demo_store(), 0).unwrap();
         let resp = get(server.addr(), "/sparql?query=NOT+SPARQL", "*/*");
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("\"error\""), "{resp}");
+        assert!(resp.contains("\"code\":400"), "{resp}");
     }
 
     #[test]
@@ -388,5 +633,154 @@ mod tests {
     fn percent_roundtrip() {
         let s = "SELECT * WHERE { ?s ?p \"a b+c%\" . }";
         assert_eq!(percent_decode(&percent_encode(s)), s);
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_with_413() {
+        // regression: the server used to allocate `vec![0u8; content_length]`
+        // straight from the header — a one-line request could reserve a gig
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = http(
+            server.addr(),
+            "POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        assert!(resp.contains("\"code\":413"), "{resp}");
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = http(server.addr(), "GARBAGE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let resp = http(server.addr(), "GET /health NOT-HTTP\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[test]
+    fn invalid_content_length_is_400() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = http(
+            server.addr(),
+            "POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[test]
+    fn slow_loris_times_out_without_blocking_others() {
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let addr = server.addr();
+        // a client that sends one byte of the request line and then stalls
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        loris.write_all(b"G").unwrap();
+        // other clients are served promptly while the loris occupies a worker
+        let t0 = Instant::now();
+        assert!(get(addr, "/health", "*/*").contains("ok"));
+        assert!(t0.elapsed() < Duration::from_millis(250), "{:?}", t0.elapsed());
+        // the stalled connection itself is answered 408 once its timeout fires
+        let mut resp = String::new();
+        let _ = loris.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+    }
+
+    #[test]
+    fn panicking_handler_returns_500_and_server_survives() {
+        let config = ServerConfig { debug_routes: true, ..ServerConfig::default() };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let resp = get(server.addr(), "/panic", "*/*");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        assert!(resp.contains("\"code\":500"), "{resp}");
+        // the worker survives the panic and keeps serving
+        assert!(get(server.addr(), "/health", "*/*").contains("ok"));
+        // without debug_routes the route does not exist
+        let plain = Server::start(demo_store(), 0).unwrap();
+        assert!(get(plain.addr(), "/panic", "*/*").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn resource_limited_query_returns_503_json() {
+        let mut s = Store::new();
+        let mut ttl = String::from("@prefix ex: <http://example.org/> .\n");
+        for i in 0..400 {
+            ttl.push_str(&format!("ex:n{i} ex:partOf ex:n{} .\n", (i + 1) % 400));
+        }
+        s.load_turtle(&ttl).unwrap();
+        let config = ServerConfig {
+            limits: EvalLimits::default().with_max_path_visits(100),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(s, 0, config).unwrap();
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }",
+        );
+        let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("\"error\""), "{resp}");
+        assert!(resp.contains("resource limit"), "{resp}");
+    }
+
+    #[test]
+    fn queue_overflow_returns_503() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let addr = server.addr();
+        // occupy the single worker with a stalled connection
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(b"G").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // fill the one queue slot
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // the next connection overflows the queue and is turned away
+        let mut overflow = TcpStream::connect(addr).unwrap();
+        overflow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut resp = String::new();
+        let _ = overflow.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("queue full"), "{resp}");
+    }
+
+    #[test]
+    fn concurrent_clients_under_write_contention() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    let body = format!(
+                        "PREFIX ex: <http://example.org/> INSERT DATA {{ ex:c{i} a ex:Laptop . }}"
+                    );
+                    let resp = post(addr, "/update", &body);
+                    assert!(resp.contains("\"inserted\":1"), "{resp}");
+                } else {
+                    let q = percent_encode(
+                        "PREFIX ex: <http://example.org/> SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Laptop . }",
+                    );
+                    let resp = get(addr, &format!("/sparql?query={q}"), "*/*");
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 2 seed laptops + 4 inserted by the even-numbered clients
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Laptop . }",
+        );
+        let resp = get(addr, &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.contains("\"value\":\"6\""), "{resp}");
     }
 }

@@ -5,9 +5,9 @@
 //! until nothing changes — obviously correct, hopelessly slow; the store's
 //! closure must produce exactly the same triple set.
 
-use proptest::prelude::*;
 use rdf_analytics::model::{vocab, Term, Triple};
 use rdf_analytics::store::Store;
+use rdfa_prng::StdRng;
 use std::collections::BTreeSet;
 
 const EX: &str = "http://fx/";
@@ -26,21 +26,23 @@ struct RandKg {
     data: Vec<(u8, u8, u8)>,
 }
 
-fn kg_strategy() -> impl Strategy<Value = RandKg> {
-    (
-        proptest::collection::vec((0u8..5, 0u8..5), 0..6),
-        proptest::collection::vec((0u8..4, 0u8..4), 0..4),
-        proptest::collection::vec((0u8..4, 0u8..5, any::<bool>()), 0..4),
-        proptest::collection::vec((0u8..6, 0u8..5), 0..8),
-        proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 0..10),
-    )
-        .prop_map(|(subclass, subprop, domran, types, data)| RandKg {
-            subclass,
-            subprop,
-            domran,
-            types,
-            data,
-        })
+fn rand_kg(rng: &mut StdRng) -> RandKg {
+    let subclass = (0..rng.gen_range(0..6))
+        .map(|_| (rng.gen_range(0u8..5), rng.gen_range(0u8..5)))
+        .collect();
+    let subprop = (0..rng.gen_range(0..4))
+        .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u8..4)))
+        .collect();
+    let domran = (0..rng.gen_range(0..4))
+        .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u8..5), rng.gen_bool(0.5)))
+        .collect();
+    let types = (0..rng.gen_range(0..8))
+        .map(|_| (rng.gen_range(0u8..6), rng.gen_range(0u8..5)))
+        .collect();
+    let data = (0..rng.gen_range(0..10))
+        .map(|_| (rng.gen_range(0u8..6), rng.gen_range(0u8..4), rng.gen_range(0u8..6)))
+        .collect();
+    RandKg { subclass, subprop, domran, types, data }
 }
 
 fn cls(i: u8) -> Term {
@@ -133,10 +135,10 @@ fn naive_closure(explicit: &BTreeSet<Triple>) -> BTreeSet<Triple> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn store_closure_equals_naive_fixpoint(kg in kg_strategy()) {
+#[test]
+fn store_closure_equals_naive_fixpoint() {
+    for case in 0u64..48 {
+        let kg = rand_kg(&mut StdRng::seed_from_u64(case));
         let explicit = explicit_triples(&kg);
         let mut store = Store::new();
         for t in &explicit {
@@ -152,9 +154,9 @@ proptest! {
         let via_fixpoint = naive_closure(&explicit);
         let missing: Vec<_> = via_fixpoint.difference(&via_store).collect();
         let extra: Vec<_> = via_store.difference(&via_fixpoint).collect();
-        prop_assert!(
+        assert!(
             missing.is_empty() && extra.is_empty(),
-            "missing from store: {missing:#?}\nextra in store: {extra:#?}"
+            "case {case}: missing from store: {missing:#?}\nextra in store: {extra:#?}"
         );
     }
 }

@@ -1,37 +1,65 @@
 //! Property tests for the serialization substrate: Turtle and N-Triples
 //! round-trips over random graphs, and store load/export stability.
 
-use proptest::prelude::*;
 use rdf_analytics::model::{ntriples, turtle, Graph, Literal, Term, Triple};
 use rdf_analytics::store::Store;
+use rdfa_prng::StdRng;
 
-fn arb_iri() -> impl Strategy<Value = Term> {
-    "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_map(|s| Term::iri(format!("http://rt.example/{s}")))
+fn rand_word(rng: &mut StdRng, chars: &[u8], min: usize, max: usize) -> String {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| chars[rng.gen_range(0..chars.len())] as char)
+        .collect()
 }
 
-fn arb_literal() -> impl Strategy<Value = Term> {
-    prop_oneof![
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const IRI_TAIL: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+const PRINTABLE: &[u8] =
+    b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+
+fn arb_iri(rng: &mut StdRng) -> Term {
+    let head = rand_word(rng, b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 1);
+    let tail = rand_word(rng, IRI_TAIL, 0, 10);
+    Term::iri(format!("http://rt.example/{head}{tail}"))
+}
+
+fn arb_literal(rng: &mut StdRng) -> Term {
+    match rng.gen_range(0..5) {
         // printable strings incl. characters that need escaping
-        "[ -~]{0,20}".prop_map(Term::string),
-        any::<i64>().prop_map(Term::integer),
-        any::<bool>().prop_map(Term::boolean),
-        (1990i32..2030, 1u8..13, 1u8..29).prop_map(|(y, m, d)| Term::date(y, m, d)),
-        ("[a-z]{1,8}", "[a-z]{2}")
-            .prop_map(|(s, lang)| Term::Literal(Literal::lang_string(s, lang))),
-    ]
+        0 => Term::string(rand_word(rng, PRINTABLE, 0, 20)),
+        1 => Term::integer(rng.gen_range(i64::MIN..=i64::MAX)),
+        2 => Term::boolean(rng.gen_bool(0.5)),
+        3 => Term::date(
+            rng.gen_range(1990i32..2030),
+            rng.gen_range(1u8..13),
+            rng.gen_range(1u8..29),
+        ),
+        _ => Term::Literal(Literal::lang_string(
+            rand_word(rng, LOWER, 1, 8),
+            rand_word(rng, LOWER, 2, 2),
+        )),
+    }
 }
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    (
-        prop_oneof![arb_iri(), "[a-z]{1,6}".prop_map(Term::blank)],
-        arb_iri(),
-        prop_oneof![arb_iri(), arb_literal(), "[a-z]{1,6}".prop_map(Term::blank)],
-    )
-        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+fn arb_triple(rng: &mut StdRng) -> Triple {
+    let s = if rng.gen_bool(0.7) {
+        arb_iri(rng)
+    } else {
+        Term::blank(rand_word(rng, LOWER, 1, 6))
+    };
+    let p = arb_iri(rng);
+    let o = match rng.gen_range(0..3) {
+        0 => arb_iri(rng),
+        1 => arb_literal(rng),
+        _ => Term::blank(rand_word(rng, LOWER, 1, 6)),
+    };
+    Triple::new(s, p, o)
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    proptest::collection::vec(arb_triple(), 0..30).prop_map(Graph::from_iter)
+fn arb_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(0..30);
+    Graph::from_iter((0..n).map(|_| arb_triple(rng)))
 }
 
 fn sorted(g: &Graph) -> Vec<Triple> {
@@ -41,33 +69,39 @@ fn sorted(g: &Graph) -> Vec<Triple> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn ntriples_roundtrip(g in arb_graph()) {
+#[test]
+fn ntriples_roundtrip() {
+    for case in 0u64..64 {
+        let g = arb_graph(&mut StdRng::seed_from_u64(case));
         let text = ntriples::serialize(&g);
         let back = ntriples::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(sorted(&g), sorted(&back));
+        assert_eq!(sorted(&g), sorted(&back), "case {case}");
     }
+}
 
-    #[test]
-    fn turtle_roundtrip(g in arb_graph()) {
+#[test]
+fn turtle_roundtrip() {
+    for case in 0u64..64 {
+        let g = arb_graph(&mut StdRng::seed_from_u64(1000 + case));
         let text = turtle::serialize(&g, &[("rt", "http://rt.example/")]);
         let back = turtle::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(sorted(&g), sorted(&back));
+        assert_eq!(sorted(&g), sorted(&back), "case {case}");
     }
+}
 
-    #[test]
-    fn store_load_export_is_stable(g in arb_graph()) {
+#[test]
+fn store_load_export_is_stable() {
+    for case in 0u64..64 {
+        let g = arb_graph(&mut StdRng::seed_from_u64(2000 + case));
         let mut store = Store::new();
         store.load_graph(&g);
         let exported = store.to_graph();
         // a second round through the store changes nothing
         let mut store2 = Store::new();
         store2.load_graph(&exported);
-        prop_assert_eq!(sorted(&exported), sorted(&store2.to_graph()));
+        assert_eq!(sorted(&exported), sorted(&store2.to_graph()), "case {case}");
         // the store deduplicates: exported set equals the distinct input set
-        prop_assert_eq!(sorted(&g), sorted(&exported));
+        assert_eq!(sorted(&g), sorted(&exported), "case {case}");
     }
 }
 

@@ -2,60 +2,114 @@
 //! Errors must come back as `Err`, never as a crash (the engine sits behind
 //! a public endpoint, §6.1).
 
-use proptest::prelude::*;
 use rdf_analytics::model::{ntriples, turtle};
 use rdf_analytics::sparql::{parse_query, Engine};
 use rdf_analytics::store::Store;
+use rdfa_prng::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn turtle_parser_never_panics(input in ".{0,200}") {
+/// A random string of up to `max` chars drawn from printable ASCII with a
+/// sprinkling of whitespace, control chars and multi-byte unicode — the kind
+/// of junk a public endpoint actually receives.
+fn fuzz_string(rng: &mut StdRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0 => '\n',
+            1 => '\t',
+            2 => ['λ', 'é', '中', '🦀', '\u{0}', '\u{7f}'][rng.gen_range(0usize..6)],
+            _ => rng.gen_range(b' '..=b'~') as char,
+        })
+        .collect()
+}
+
+fn printable(rng: &mut StdRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n).map(|_| rng.gen_range(b' '..=b'~') as char).collect()
+}
+
+fn from_charset(rng: &mut StdRng, chars: &[u8], max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| chars[rng.gen_range(0..chars.len())] as char)
+        .collect()
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn turtle_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(case), 200);
         let _ = turtle::parse(&input);
     }
+}
 
-    #[test]
-    fn ntriples_parser_never_panics(input in ".{0,200}") {
+#[test]
+fn ntriples_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(3000 + case), 200);
         let _ = ntriples::parse(&input);
     }
+}
 
-    #[test]
-    fn sparql_parser_never_panics(input in ".{0,200}") {
+#[test]
+fn sparql_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(6000 + case), 200);
         let _ = parse_query(&input);
     }
+}
 
-    #[test]
-    fn sparql_parser_never_panics_on_querylike(
-        head in "(SELECT|CONSTRUCT|ASK|DESCRIBE|PREFIX)",
-        body in "[ -~]{0,120}",
-    ) {
+#[test]
+fn sparql_parser_never_panics_on_querylike() {
+    let heads = ["SELECT", "CONSTRUCT", "ASK", "DESCRIBE", "PREFIX"];
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let head = heads[rng.gen_range(0..heads.len())];
+        let body = printable(&mut rng, 120);
         let _ = parse_query(&format!("{head} {body}"));
     }
+}
 
-    #[test]
-    fn engine_never_panics_on_arbitrary_select(
-        vars in "[?][a-z] [?][a-z]",
-        body in "[a-zA-Z0-9?<>:/{}.;, ]{0,80}",
-    ) {
-        let mut store = Store::new();
-        store
-            .load_turtle("@prefix ex: <http://e/> . ex:a ex:p ex:b .")
-            .unwrap();
-        let _ = Engine::new(&store).query(&format!("SELECT {vars} WHERE {{ {body} }}"));
+#[test]
+fn engine_never_panics_on_arbitrary_select() {
+    let mut store = Store::new();
+    store
+        .load_turtle("@prefix ex: <http://e/> . ex:a ex:p ex:b .")
+        .unwrap();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(12000 + case);
+        let v1 = rng.gen_range(b'a'..=b'z') as char;
+        let v2 = rng.gen_range(b'a'..=b'z') as char;
+        let body = from_charset(
+            &mut rng,
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789?<>:/{}.;, ",
+            80,
+        );
+        let _ = Engine::new(&store).query(&format!("SELECT ?{v1} ?{v2} WHERE {{ {body} }}"));
     }
+}
 
-    #[test]
-    fn hifun_notation_parser_never_panics(input in ".{0,120}") {
+#[test]
+fn hifun_notation_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(15000 + case), 120);
         let _ = rdf_analytics::hifun::parse_hifun(&input, "http://e/");
     }
+}
 
-    #[test]
-    fn script_parser_never_panics(input in "[ -~\\n]{0,200}") {
+#[test]
+fn script_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(18000 + case), 200);
         let _ = rdf_analytics::analytics::Script::parse(&input);
     }
+}
 
-    #[test]
-    fn update_parser_never_panics(input in ".{0,160}") {
+#[test]
+fn update_parser_never_panics() {
+    for case in 0..CASES {
+        let input = fuzz_string(&mut StdRng::seed_from_u64(21000 + case), 160);
         let mut store = Store::new();
         let _ = rdf_analytics::sparql::execute_update(&mut store, &input);
     }
