@@ -8,6 +8,7 @@
 //! cargo run -p rdfa-bench --bin experiments -- fig8.2       # study totals
 //! cargo run -p rdfa-bench --bin experiments -- fig8.3       # impl. strategies
 //! cargo run -p rdfa-bench --bin experiments -- robustness   # retry vs no-retry
+//! cargo run -p rdfa-bench --bin experiments -- durability   # WAL fsync policies
 //! ```
 //!
 //! Add `--full` for the large (≈1M-triple) scale of the efficiency tables.
@@ -47,6 +48,10 @@ fn main() {
         "fig8.2" => print!("{}", experiments::fig8_2(20, 42)),
         "fig8.3" => print!("{}", experiments::fig8_3(2_000, reps)),
         "robustness" => print!("{}", experiments::robustness_table(2_000, 0.3, 42)),
+        "durability" => print!(
+            "{}",
+            rdfa_bench::durability::durability_table(if full { 5_000 } else { 500 })
+        ),
         "all" => {
             println!(
                 "{}",
@@ -59,11 +64,15 @@ fn main() {
             println!("{}", experiments::fig8_1(20, 42));
             println!("{}", experiments::fig8_2(20, 42));
             println!("{}", experiments::fig8_3(2_000, reps));
-            print!("{}", experiments::robustness_table(2_000, 0.3, 42));
+            println!("{}", experiments::robustness_table(2_000, 0.3, 42));
+            print!(
+                "{}",
+                rdfa_bench::durability::durability_table(if full { 5_000 } else { 500 })
+            );
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'. one of: all table6.1 table6.2 fig8.1 fig8.2 fig8.3 robustness [--full] [--faults]"
+                "unknown experiment '{other}'. one of: all table6.1 table6.2 fig8.1 fig8.2 fig8.3 robustness durability [--full] [--faults]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,158 @@
+//! Durability microbenchmarks: what each WAL fsync policy costs, and what
+//! recovery and checkpointing cost at a given store size.
+//!
+//! One row per [`FsyncPolicy`]:
+//!
+//! | column | meaning |
+//! |---|---|
+//! | append ops/s | logged single-triple inserts per second |
+//! | WAL bytes | log size after the append phase |
+//! | replay ms | reopen time with the whole workload in the WAL |
+//! | checkpoint ms | snapshot + WAL rotation time |
+//! | snapshot bytes | size of the resulting snapshot file |
+//! | reopen ms | reopen time after the checkpoint (snapshot, empty WAL) |
+//!
+//! The spread between the `always` and `never` rows is the price of the
+//! durability guarantee; `every:N` sits between them with a bounded loss
+//! window of N records.
+
+use rdfa_datagen::ProductsGenerator;
+use rdfa_store::{FsyncPolicy, PersistConfig, PersistentStore};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One fsync policy's measurements.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    pub policy: String,
+    pub append_ops_per_s: f64,
+    pub wal_bytes: u64,
+    pub replay_ms: f64,
+    pub checkpoint_ms: f64,
+    pub snapshot_bytes: u64,
+    pub reopen_ms: f64,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdfa-bench-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn policy_name(p: FsyncPolicy) -> String {
+    match p {
+        FsyncPolicy::Always => "always".to_owned(),
+        FsyncPolicy::EveryN(n) => format!("every:{n}"),
+        FsyncPolicy::Never => "never".to_owned(),
+    }
+}
+
+fn config(fsync: FsyncPolicy) -> PersistConfig {
+    PersistConfig { fsync, ..PersistConfig::default() }
+}
+
+/// Measure one policy over a `products`-sized workload.
+pub fn measure(fsync: FsyncPolicy, products: usize) -> DurabilityRow {
+    let dir = bench_dir(&policy_name(fsync));
+    let workload = ProductsGenerator::new(products, 7).generate();
+    let triples: Vec<_> = workload.into_triples();
+
+    // 1. append phase: every triple is one logged insert
+    let mut store = PersistentStore::open(&dir, config(fsync)).expect("open bench store");
+    let t0 = Instant::now();
+    for t in &triples {
+        store.insert(t).expect("logged insert");
+    }
+    store.sync().expect("final sync");
+    let append_s = t0.elapsed().as_secs_f64();
+    let wal_bytes = file_size(&dir, "wal.0.log");
+    drop(store);
+
+    // 2. recovery with the whole workload in the WAL
+    let t0 = Instant::now();
+    let store = PersistentStore::open(&dir, config(fsync)).expect("reopen for replay");
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(store.recovery().wal_records_replayed, triples.len() as u64);
+
+    // 3. checkpoint: snapshot + WAL rotation
+    let t0 = Instant::now();
+    store.checkpoint().expect("checkpoint");
+    let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = file_size(&dir, "snapshot.1.bin");
+    drop(store);
+
+    // 4. recovery from the snapshot alone
+    let t0 = Instant::now();
+    let store = PersistentStore::open(&dir, config(fsync)).expect("reopen after checkpoint");
+    let reopen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(store);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    DurabilityRow {
+        policy: policy_name(fsync),
+        append_ops_per_s: triples.len() as f64 / append_s.max(1e-9),
+        wal_bytes,
+        replay_ms,
+        checkpoint_ms,
+        snapshot_bytes,
+        reopen_ms,
+    }
+}
+
+fn file_size(dir: &std::path::Path, name: &str) -> u64 {
+    std::fs::metadata(dir.join(name)).map(|m| m.len()).unwrap_or(0)
+}
+
+/// The durability table: one row per fsync policy over the same workload.
+pub fn durability_table(products: usize) -> String {
+    let policies = [FsyncPolicy::Always, FsyncPolicy::EveryN(64), FsyncPolicy::Never];
+    let rows: Vec<DurabilityRow> = policies.iter().map(|&p| measure(p, products)).collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "durability: WAL fsync policy trade-offs ({products} products)\n"
+    ));
+    out.push_str(
+        "| policy   | append ops/s | WAL bytes | replay ms | checkpoint ms | snapshot bytes | reopen ms |\n",
+    );
+    out.push_str(
+        "|----------|-------------:|----------:|----------:|--------------:|---------------:|----------:|\n",
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "| {:<8} | {:>12.0} | {:>9} | {:>9.1} | {:>13.1} | {:>14} | {:>9.1} |\n",
+            r.policy,
+            r.append_ops_per_s,
+            r.wal_bytes,
+            r.replay_ms,
+            r.checkpoint_ms,
+            r.snapshot_bytes,
+            r.reopen_ms
+        ));
+    }
+    out.push_str(
+        "(append = logged single-triple inserts; replay = reopen with the full workload in the WAL;\n reopen = recovery from the checkpoint snapshot alone)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_table_runs_and_reports_every_policy() {
+        let table = durability_table(40);
+        assert!(table.contains("always"), "{table}");
+        assert!(table.contains("every:64"), "{table}");
+        assert!(table.contains("never"), "{table}");
+        assert!(table.contains("append ops/s"), "{table}");
+    }
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        let row = measure(FsyncPolicy::Never, 40);
+        assert!(row.append_ops_per_s > 0.0);
+        assert!(row.wal_bytes > 0);
+        assert!(row.snapshot_bytes > 0);
+    }
+}

@@ -1,9 +1,9 @@
 //! The Answer Frame (AF): tabular analytic answers and their reload as a new
 //! RDF dataset (§5.1, §5.3.3).
 
-use rdfa_model::{Term, Triple};
+use rdfa_model::{Graph, Term, Triple};
 use rdfa_sparql::Solutions;
-use rdfa_store::Store;
+use rdfa_store::{PersistConfig, PersistError, PersistentStore, Store};
 
 /// Namespace for answer-frame resources and properties.
 pub const AF_NS: &str = "urn:rdfa:af:";
@@ -187,14 +187,24 @@ impl AnswerFrame {
     /// limit.
     pub fn load_as_dataset(&self) -> Store {
         let mut store = Store::new();
+        store.load_graph(&self.dataset_graph());
+        store
+    }
+
+    /// The reload triples themselves (what [`load_as_dataset`] inserts):
+    /// per row, one `rdf:type af:Row` triple plus one triple per bound cell.
+    ///
+    /// [`load_as_dataset`]: AnswerFrame::load_as_dataset
+    pub fn dataset_graph(&self) -> Graph {
         let row_class = Term::iri(AF_ROW_CLASS);
         let rdf_type = Term::iri(rdfa_model::vocab::rdf::TYPE);
+        let mut graph = Graph::new();
         for (i, row) in self.rows.iter().enumerate() {
             let subject = Term::iri(format!("{AF_NS}row{}", i + 1));
-            store.insert(&Triple::new(subject.clone(), rdf_type.clone(), row_class.clone()));
+            graph.push(Triple::new(subject.clone(), rdf_type.clone(), row_class.clone()));
             for (j, cell) in row.iter().enumerate() {
                 if let Some(value) = cell {
-                    store.insert(&Triple::new(
+                    graph.push(Triple::new(
                         subject.clone(),
                         Term::iri(self.column_property(j)),
                         value.clone(),
@@ -202,8 +212,24 @@ impl AnswerFrame {
                 }
             }
         }
-        store.materialize_inference();
-        store
+        graph
+    }
+
+    /// Reload the AF as a **durable** dataset rooted at `dir`: the answer
+    /// triples are WAL-logged into a [`PersistentStore`], so an analysis
+    /// session built on a reloaded answer survives a crash and can be
+    /// reopened later (the nested-exploration workflow of §5.3.3, made
+    /// restart-safe). Reopening a non-empty directory appends nothing; the
+    /// existing dataset wins.
+    pub fn persist_as_dataset(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<PersistentStore, PersistError> {
+        let mut store = PersistentStore::open(dir, PersistConfig::default())?;
+        if store.is_empty() {
+            store.load_graph(&self.dataset_graph())?;
+        }
+        Ok(store)
     }
 }
 
@@ -286,6 +312,26 @@ mod tests {
         f.rows[0][2] = None;
         let store = f.load_as_dataset();
         assert_eq!(store.len(), 11);
+    }
+
+    #[test]
+    fn persisted_dataset_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("rdfa-af-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = frame();
+        {
+            let store = f.persist_as_dataset(&dir).unwrap();
+            assert_eq!(store.len(), 12);
+            store.checkpoint().unwrap();
+        }
+        // reopen: the reloaded answer dataset is still there, still a
+        // faceted-search starting point — and a second persist call does
+        // not double-load it
+        let store = f.persist_as_dataset(&dir).unwrap();
+        assert_eq!(store.len(), 12);
+        let row_class = store.lookup_iri(AF_ROW_CLASS).unwrap();
+        assert_eq!(store.instances(row_class).len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

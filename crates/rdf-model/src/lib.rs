@@ -30,6 +30,7 @@ pub mod value;
 pub mod vocab;
 
 pub use date::{Date, DateTime};
-pub use term::{Literal, Term};
+pub use ntriples::{NtriplesError, NtriplesErrorKind};
+pub use term::{EscapeError, Literal, Term};
 pub use triple::{Graph, Triple};
 pub use value::Value;

@@ -1,11 +1,92 @@
 //! N-Triples line-based serialization: one triple per line, absolute IRIs.
 //!
-//! Used for bulk export/import in the benchmark harness where Turtle's
-//! grouping buys nothing.
+//! This is both the bulk export/import format of the benchmark harness and
+//! the **durability format** of the persistence layer (`rdfa-store`'s WAL
+//! records carry N-Triples payloads, and the snapshot fallback exporter
+//! writes it), so parsing is strict: malformed escapes, lone surrogates and
+//! truncated terms are rejected with a typed error carrying the line number
+//! and the offending lexeme rather than silently repaired.
 
-use crate::term::{unescape_literal, Literal, Term};
+use crate::term::{unescape_literal_checked, Literal, Term};
 use crate::triple::{Graph, Triple};
 use crate::vocab::xsd;
+use std::fmt;
+
+/// What went wrong on an N-Triples line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NtriplesErrorKind {
+    /// `<` without a closing `>`.
+    UnterminatedIri,
+    /// `"` without a closing unescaped `"`.
+    UnterminatedLiteral,
+    /// `^^<` without a closing `>`.
+    UnterminatedDatatype,
+    /// The line does not end with `.`.
+    MissingDot,
+    /// A term starts with a character no term can start with.
+    UnparsableTerm,
+    /// A literal contains a malformed or forbidden escape sequence
+    /// (unknown escape, truncated `\u`, lone surrogate, …).
+    BadEscape { reason: &'static str },
+}
+
+impl NtriplesErrorKind {
+    fn message(&self) -> String {
+        match self {
+            NtriplesErrorKind::UnterminatedIri => "unterminated IRI".to_owned(),
+            NtriplesErrorKind::UnterminatedLiteral => "unterminated literal".to_owned(),
+            NtriplesErrorKind::UnterminatedDatatype => "unterminated datatype IRI".to_owned(),
+            NtriplesErrorKind::MissingDot => "expected terminating '.'".to_owned(),
+            NtriplesErrorKind::UnparsableTerm => "cannot parse term".to_owned(),
+            NtriplesErrorKind::BadEscape { reason } => format!("bad escape: {reason}"),
+        }
+    }
+}
+
+/// A typed N-Triples parse error: the 1-based line number, the offending
+/// lexeme (the unparsable fragment, truncated for display), and the kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtriplesError {
+    /// 1-based line number within the parsed document.
+    pub line: usize,
+    /// The offending fragment of the line.
+    pub lexeme: String,
+    /// What went wrong.
+    pub kind: NtriplesErrorKind,
+}
+
+impl fmt::Display for NtriplesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N-Triples line {}: {} at {:?}",
+            self.line,
+            self.kind.message(),
+            self.lexeme
+        )
+    }
+}
+
+impl std::error::Error for NtriplesError {}
+
+/// A line-local error, upgraded to [`NtriplesError`] once the line number
+/// is known.
+struct LineError {
+    lexeme: String,
+    kind: NtriplesErrorKind,
+}
+
+impl LineError {
+    fn new(lexeme: &str, kind: NtriplesErrorKind) -> Self {
+        // keep error lexemes bounded so a pathological line cannot balloon
+        // error messages (and WAL recovery reports) without limit
+        let mut short: String = lexeme.chars().take(64).collect();
+        if short.len() < lexeme.len() {
+            short.push('…');
+        }
+        LineError { lexeme: short, kind }
+    }
+}
 
 /// Serialize a graph as N-Triples.
 pub fn serialize(graph: &Graph) -> String {
@@ -17,39 +98,43 @@ pub fn serialize(graph: &Graph) -> String {
     out
 }
 
-/// Parse an N-Triples document. Malformed lines are reported with their
-/// 1-based line number.
-pub fn parse(input: &str) -> Result<Graph, String> {
+/// Parse an N-Triples document. A leading UTF-8 BOM is skipped; CRLF line
+/// endings, blank lines and `#` comments are accepted. Malformed lines are
+/// reported with their 1-based line number and offending lexeme.
+pub fn parse(input: &str) -> Result<Graph, NtriplesError> {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
     let mut graph = Graph::new();
     for (i, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let triple =
-            parse_line(line).map_err(|e| format!("N-Triples line {}: {}", i + 1, e))?;
+        let triple = parse_line(line)
+            .map_err(|e| NtriplesError { line: i + 1, lexeme: e.lexeme, kind: e.kind })?;
         graph.push(triple);
     }
     Ok(graph)
 }
 
-fn parse_line(line: &str) -> Result<Triple, String> {
+fn parse_line(line: &str) -> Result<Triple, LineError> {
     let mut rest = line;
     let subject = take_term(&mut rest)?;
     let predicate = take_term(&mut rest)?;
     let object = take_term(&mut rest)?;
     let rest = rest.trim();
     if rest != "." {
-        return Err(format!("expected terminating '.', found {rest:?}"));
+        return Err(LineError::new(rest, NtriplesErrorKind::MissingDot));
     }
     Ok(Triple::new(subject, predicate, object))
 }
 
-fn take_term(rest: &mut &str) -> Result<Term, String> {
+fn take_term(rest: &mut &str) -> Result<Term, LineError> {
     *rest = rest.trim_start();
     let s = *rest;
     if let Some(body) = s.strip_prefix('<') {
-        let end = body.find('>').ok_or("unterminated IRI")?;
+        let end = body
+            .find('>')
+            .ok_or_else(|| LineError::new(s, NtriplesErrorKind::UnterminatedIri))?;
         *rest = &body[end + 1..];
         Ok(Term::iri(&body[..end]))
     } else if let Some(body) = s.strip_prefix("_:") {
@@ -72,11 +157,16 @@ fn take_term(rest: &mut &str) -> Result<Term, String> {
                 break;
             }
         }
-        let end = end.ok_or("unterminated literal")?;
-        let lexical = unescape_literal(&body[..end]);
+        let end = end.ok_or_else(|| LineError::new(s, NtriplesErrorKind::UnterminatedLiteral))?;
+        let raw = &body[..end];
+        let lexical = unescape_literal_checked(raw).map_err(|e| {
+            LineError::new(&e.lexeme, NtriplesErrorKind::BadEscape { reason: e.reason })
+        })?;
         let mut tail = &body[end + 1..];
         let term = if let Some(t) = tail.strip_prefix("^^<") {
-            let close = t.find('>').ok_or("unterminated datatype IRI")?;
+            let close = t
+                .find('>')
+                .ok_or_else(|| LineError::new(tail, NtriplesErrorKind::UnterminatedDatatype))?;
             let dt = &t[..close];
             tail = &t[close + 1..];
             Term::Literal(Literal::typed(lexical, dt))
@@ -93,7 +183,7 @@ fn take_term(rest: &mut &str) -> Result<Term, String> {
         *rest = tail;
         Ok(term)
     } else {
-        Err(format!("cannot parse term starting at {s:?}"))
+        Err(LineError::new(s, NtriplesErrorKind::UnparsableTerm))
     }
 }
 
@@ -117,14 +207,48 @@ mod tests {
     }
 
     #[test]
-    fn reports_line_numbers() {
+    fn reports_line_numbers_and_lexeme() {
         let err = parse("<http://s> <http://p> <http://o> .\nbogus line\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, NtriplesErrorKind::UnparsableTerm);
+        assert!(err.lexeme.starts_with("bogus"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
     fn skips_comments_and_blanks() {
         let g = parse("# header\n\n<http://s> <http://p> \"v\" .\n").unwrap();
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn accepts_bom_and_crlf() {
+        let g = parse("\u{feff}<http://s> <http://p> \"v\" .\r\n<http://s> <http://p> \"w\" .\r\n")
+            .unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn rejects_lone_surrogate_escape() {
+        let err = parse("<http://s> <http://p> \"\\uD83D\" .\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(
+            matches!(err.kind, NtriplesErrorKind::BadEscape { reason } if reason.contains("surrogate")),
+            "{err:?}"
+        );
+        assert_eq!(err.lexeme, "\\uD83D");
+    }
+
+    #[test]
+    fn typed_errors_cover_each_failure_shape() {
+        let kind = |text: &str| parse(text).unwrap_err().kind;
+        assert_eq!(kind("<http://s <http://p ."), NtriplesErrorKind::UnterminatedIri);
+        assert_eq!(kind("<http://s> <http://p> \"v ."), NtriplesErrorKind::UnterminatedLiteral);
+        assert_eq!(
+            kind("<http://s> <http://p> \"v\"^^<http://t ."),
+            NtriplesErrorKind::UnterminatedDatatype
+        );
+        assert_eq!(kind("<http://s> <http://p> \"v\""), NtriplesErrorKind::MissingDot);
+        assert_eq!(kind("<http://s> <http://p> 42 ."), NtriplesErrorKind::UnparsableTerm);
     }
 }

@@ -204,7 +204,9 @@ impl fmt::Display for Literal {
     }
 }
 
-/// Escape a literal's lexical form for N-Triples/Turtle output.
+/// Escape a literal's lexical form for N-Triples/Turtle output. Control
+/// characters outside the named escapes are written as `\uXXXX` so every
+/// lexical form round-trips through the line-based N-Triples grammar.
 pub fn escape_literal(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -214,35 +216,141 @@ pub fn escape_literal(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04X}", c as u32))
+            }
             _ => out.push(c),
         }
     }
     out
 }
 
+/// An invalid escape sequence inside a literal, with the byte offset and the
+/// offending lexeme fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeError {
+    /// Byte offset of the backslash that starts the bad sequence.
+    pub pos: usize,
+    /// The offending fragment, e.g. `\uD800` or `\uZZ`.
+    pub lexeme: String,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in escape {:?} at offset {}", self.reason, self.lexeme, self.pos)
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
 /// Unescape a literal lexical form read from N-Triples/Turtle input.
+/// Lenient: malformed sequences are passed through verbatim. Use
+/// [`unescape_literal_checked`] where malformed input must be rejected.
 pub fn unescape_literal(s: &str) -> String {
+    match unescape_inner(s, false) {
+        Ok(out) => out,
+        Err(_) => unreachable!("lenient unescape never fails"),
+    }
+}
+
+/// Strict unescaping: rejects unknown escapes, truncated `\u`/`\U`
+/// sequences, lone surrogates, and out-of-range code points.
+pub fn unescape_literal_checked(s: &str) -> Result<String, EscapeError> {
+    unescape_inner(s, true)
+}
+
+fn unescape_inner(s: &str, strict: bool) -> Result<String, EscapeError> {
     let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next() {
-                Some('n') => out.push('\n'),
-                Some('r') => out.push('\r'),
-                Some('t') => out.push('\t'),
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some(other) => {
-                    out.push('\\');
-                    out.push(other);
-                }
-                None => out.push('\\'),
-            }
-        } else {
+    let mut iter = s.char_indices().peekable();
+    while let Some((pos, c)) = iter.next() {
+        if c != '\\' {
             out.push(c);
+            continue;
+        }
+        let err = |lexeme: &str, reason: &'static str| EscapeError {
+            pos,
+            lexeme: lexeme.to_owned(),
+            reason,
+        };
+        match iter.next() {
+            Some((_, 'n')) => out.push('\n'),
+            Some((_, 'r')) => out.push('\r'),
+            Some((_, 't')) => out.push('\t'),
+            Some((_, 'b')) => out.push('\u{8}'),
+            Some((_, 'f')) => out.push('\u{c}'),
+            Some((_, '"')) => out.push('"'),
+            Some((_, '\'')) => out.push('\''),
+            Some((_, '\\')) => out.push('\\'),
+            Some((_, u @ ('u' | 'U'))) => {
+                let want = if u == 'u' { 4 } else { 8 };
+                let mut hex = String::with_capacity(want);
+                while hex.len() < want {
+                    match iter.peek() {
+                        Some(&(_, h)) if h.is_ascii_hexdigit() => {
+                            hex.push(h);
+                            iter.next();
+                        }
+                        _ => break,
+                    }
+                }
+                let code = if hex.len() == want {
+                    u32::from_str_radix(&hex, 16).ok()
+                } else {
+                    None
+                };
+                match code {
+                    Some(cp) if (0xD800..=0xDFFF).contains(&cp) => {
+                        if strict {
+                            return Err(err(
+                                &format!("\\{u}{hex}"),
+                                "lone surrogate code point",
+                            ));
+                        }
+                        out.push('\u{fffd}');
+                    }
+                    Some(cp) => match char::from_u32(cp) {
+                        Some(ch) => out.push(ch),
+                        None => {
+                            if strict {
+                                return Err(err(
+                                    &format!("\\{u}{hex}"),
+                                    "code point out of range",
+                                ));
+                            }
+                            out.push('\u{fffd}');
+                        }
+                    },
+                    None => {
+                        if strict {
+                            return Err(err(
+                                &format!("\\{u}{hex}"),
+                                "truncated unicode escape",
+                            ));
+                        }
+                        out.push('\\');
+                        out.push(u);
+                        out.push_str(&hex);
+                    }
+                }
+            }
+            Some((_, other)) => {
+                if strict {
+                    return Err(err(&format!("\\{other}"), "unknown escape"));
+                }
+                out.push('\\');
+                out.push(other);
+            }
+            None => {
+                if strict {
+                    return Err(err("\\", "trailing backslash"));
+                }
+                out.push('\\');
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -285,6 +393,35 @@ mod tests {
     fn escape_roundtrip() {
         let s = "line1\nline2\t\"quoted\" back\\slash";
         assert_eq!(unescape_literal(&escape_literal(s)), s);
+    }
+
+    #[test]
+    fn escape_roundtrip_control_and_unicode() {
+        let s = "nul\u{0}bell\u{7}del\u{7f}λ中🦀";
+        let escaped = escape_literal(s);
+        assert!(escaped.contains("\\u0000"), "{escaped}");
+        assert_eq!(unescape_literal(&escaped), s);
+        assert_eq!(unescape_literal_checked(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn checked_unescape_rejects_lone_surrogates() {
+        let err = unescape_literal_checked("a\\uD800b").unwrap_err();
+        assert_eq!(err.reason, "lone surrogate code point");
+        assert_eq!(err.lexeme, "\\uD800");
+        assert_eq!(err.pos, 1);
+        assert!(unescape_literal_checked("\\UDFFFFFFF").is_err());
+        // lenient mode substitutes the replacement character instead
+        assert_eq!(unescape_literal("a\\uD800b"), "a\u{fffd}b");
+    }
+
+    #[test]
+    fn checked_unescape_rejects_malformed_sequences() {
+        assert_eq!(unescape_literal_checked("\\uZZ").unwrap_err().reason, "truncated unicode escape");
+        assert_eq!(unescape_literal_checked("\\u12").unwrap_err().reason, "truncated unicode escape");
+        assert_eq!(unescape_literal_checked("\\q").unwrap_err().reason, "unknown escape");
+        assert_eq!(unescape_literal_checked("tail\\").unwrap_err().reason, "trailing backslash");
+        assert_eq!(unescape_literal_checked("\\u0041\\U0001F980").unwrap(), "A🦀");
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub mod index;
 pub mod inference;
 pub mod interner;
 pub mod keyword;
+pub mod persist;
 pub mod stats;
 pub mod store;
 
 pub use index::{IdTriple, TripleIndex};
 pub use interner::{Interner, TermId};
 pub use keyword::KeywordIndex;
+pub use persist::{
+    CrashInjector, FsyncPolicy, Mutation, PersistConfig, PersistError, PersistentStore,
+    RecoveryReport, WalTruncation, CRASH_POINTS,
+};
 pub use stats::StoreStats;
 pub use store::{Pattern, Store};

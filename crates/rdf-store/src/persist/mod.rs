@@ -1,0 +1,740 @@
+//! Crash-safe persistence for the [`Store`]: checksummed snapshots + a
+//! write-ahead log, recovery-on-open, and a deterministic crash-injection
+//! harness.
+//!
+//! # On-disk layout
+//!
+//! A persistent store is a directory:
+//!
+//! ```text
+//! CURRENT            the active generation number (ASCII u64)
+//! snapshot.<g>.bin   checksummed binary dump of generation g (see snapshot.rs)
+//! wal.<g>.log        append-only log of mutations since snapshot g (see wal.rs)
+//! ```
+//!
+//! Mutations are logged **write-ahead** (record appended, then applied in
+//! memory). [`PersistentStore::checkpoint`] compacts: it writes the next
+//! generation's snapshot to a temp file, fsyncs, atomically renames it into
+//! place, creates the next WAL, then flips `CURRENT` via the same
+//! temp-file + rename + fsync-dir dance. A crash at *any* point leaves
+//! `CURRENT` naming a complete snapshot/WAL pair: recovery loads the
+//! snapshot, replays the WAL (truncating a torn tail), and rematerializes
+//! the RDFS closure.
+//!
+//! # Crash injection
+//!
+//! Every labeled point on the write paths consults a [`CrashInjector`]
+//! (config- or env-driven, seeded via `rdfa-prng`); when it fires, writing
+//! stops mid-record and the handle is poisoned, simulating a kill. The
+//! crash-matrix test in `tests/crash_recovery.rs` proves that after every
+//! labeled crash, under every fsync policy, the store reopens to a
+//! consistent prefix of the committed data.
+
+pub mod crash;
+pub mod crc;
+mod snapshot;
+mod wal;
+
+pub use crash::{CrashInjector, CRASH_POINTS};
+pub use wal::WalTruncation;
+
+use crate::store::Store;
+use rdfa_model::{ntriples, turtle, Graph, NtriplesError, Triple};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use wal::Wal;
+
+/// Everything that can go wrong in the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O failure.
+    Io { context: &'static str, source: std::io::Error },
+    /// The snapshot file does not start with the expected magic bytes.
+    BadMagic { found: Vec<u8> },
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion { found: u32 },
+    /// A CRC-32 check failed — the bytes on disk are not the bytes written.
+    Checksum { what: &'static str, expected: u32, found: u32 },
+    /// Structurally invalid data (truncated section, bad tag, …).
+    Corrupt { what: &'static str, detail: String },
+    /// A WAL payload or imported document failed N-Triples parsing.
+    Ntriples(NtriplesError),
+    /// A Turtle document failed parsing during a logged load.
+    Turtle(String),
+    /// The crash-injection harness fired at this labeled point.
+    InjectedCrash { point: &'static str },
+    /// The handle was poisoned by an earlier failure; reopen the store.
+    Dead,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { context, source } => write!(f, "{context}: {source}"),
+            PersistError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic {found:02x?})")
+            }
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            PersistError::Checksum { what, expected, found } => write!(
+                f,
+                "checksum mismatch in {what}: expected {expected:08x}, found {found:08x}"
+            ),
+            PersistError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            PersistError::Ntriples(e) => write!(f, "{e}"),
+            PersistError::Turtle(msg) => write!(f, "turtle: {msg}"),
+            PersistError::InjectedCrash { point } => {
+                write!(f, "injected crash at {point}")
+            }
+            PersistError::Dead => {
+                write!(f, "persistence handle poisoned by an earlier failure; reopen the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Ntriples(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// When WAL appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record — no acknowledged write is ever lost.
+    Always,
+    /// Sync every N records — bounded loss window, much higher throughput.
+    EveryN(u32),
+    /// Leave syncing to the OS — fastest, loses the page-cache tail on
+    /// power failure (process crashes still lose nothing).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse `"always"`, `"never"`, or `"every:N"`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            other => other
+                .strip_prefix("every:")
+                .and_then(|n| n.parse().ok())
+                .map(FsyncPolicy::EveryN),
+        }
+    }
+}
+
+/// Tunables for a persistent store.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// WAL durability policy.
+    pub fsync: FsyncPolicy,
+    /// Crash-injection hook (off in production).
+    pub crash: Arc<CrashInjector>,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig { fsync: FsyncPolicy::Always, crash: CrashInjector::off() }
+    }
+}
+
+impl PersistConfig {
+    /// Config honouring `RDFA_FSYNC` (`always`/`never`/`every:N`) and the
+    /// `RDFA_CRASHPOINT`/`RDFA_CRASHPOINT_SEED` crash-injection variables.
+    pub fn from_env() -> PersistConfig {
+        let fsync = std::env::var("RDFA_FSYNC")
+            .ok()
+            .and_then(|s| FsyncPolicy::parse(s.trim()))
+            .unwrap_or(FsyncPolicy::Always);
+        PersistConfig { fsync, crash: CrashInjector::from_env() }
+    }
+}
+
+/// One logical mutation, as recorded in (and replayed from) the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    Insert(Triple),
+    Remove(Triple),
+}
+
+/// What recovery found when the store was opened.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The generation named by `CURRENT` (0 before the first checkpoint).
+    pub generation: u64,
+    /// Explicit triples loaded from the snapshot.
+    pub snapshot_triples: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Set when the WAL had a torn/corrupt tail that was cut off.
+    pub wal_truncation: Option<WalTruncation>,
+}
+
+struct Inner {
+    wal: Wal,
+    generation: u64,
+    config: PersistConfig,
+    dead: bool,
+}
+
+/// A [`Store`] bound to a directory: every mutation is WAL-logged before it
+/// is applied, [`checkpoint`](PersistentStore::checkpoint) compacts the log
+/// into a checksummed snapshot, and reopening the directory recovers to the
+/// last consistent state. Dereferences to [`Store`] for the whole read API.
+pub struct PersistentStore {
+    store: Store,
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    recovery: RecoveryReport,
+}
+
+impl std::ops::Deref for PersistentStore {
+    type Target = Store;
+
+    fn deref(&self) -> &Store {
+        &self.store
+    }
+}
+
+impl fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation())
+            .field("triples", &self.store.len())
+            .finish()
+    }
+}
+
+impl PersistentStore {
+    /// Open (creating if needed) the store directory, running recovery:
+    /// load the current snapshot, replay the WAL (truncating a torn tail),
+    /// rematerialize inference.
+    pub fn open(dir: impl AsRef<Path>, config: PersistConfig) -> Result<PersistentStore, PersistError> {
+        let dir = dir.as_ref().to_owned();
+        fs::create_dir_all(&dir)
+            .map_err(|e| PersistError::Io { context: "create store dir", source: e })?;
+        let generation = read_current(&dir)?;
+        let snap_path = dir.join(format!("snapshot.{generation}.bin"));
+        let mut store = if snap_path.exists() {
+            snapshot::read_snapshot(&snap_path)?
+        } else {
+            Store::new()
+        };
+        let snapshot_triples = store.len();
+        let wal_path = dir.join(format!("wal.{generation}.log"));
+        let (replayed, truncation) = wal::replay(&wal_path, &mut store)?;
+        store.materialize_inference();
+        let wal = Wal::open_append(&wal_path, config.fsync, Arc::clone(&config.crash), replayed)?;
+        let recovery = RecoveryReport {
+            generation,
+            snapshot_triples,
+            wal_records_replayed: replayed,
+            wal_truncation: truncation,
+        };
+        Ok(PersistentStore {
+            store,
+            dir,
+            inner: Mutex::new(Inner { wal, generation, config, dead: false }),
+            recovery,
+        })
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read access to the underlying store (also available via `Deref`).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The current generation (bumped by every checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Records in the current WAL — the replay work a crash would cost now.
+    pub fn wal_records(&self) -> u64 {
+        self.lock().wal.records
+    }
+
+    /// True once a durability failure (or injected crash) poisoned the
+    /// handle; all further mutations fail until the directory is reopened.
+    pub fn is_dead(&self) -> bool {
+        let inner = self.lock();
+        inner.dead || inner.wal.is_dead()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- logged mutations -------------------------------------------------
+
+    /// Insert one triple (WAL-logged, then applied). Leaves the inference
+    /// layer stale, like [`Store::insert`].
+    pub fn insert(&mut self, t: &Triple) -> Result<bool, PersistError> {
+        {
+            let mut inner = self.lock();
+            if inner.dead {
+                return Err(PersistError::Dead);
+            }
+            inner.wal.append_insert(t)?;
+        }
+        Ok(self.store.insert(t))
+    }
+
+    /// Remove one explicit triple (WAL-logged, then applied). Absent
+    /// triples are a silent no-op and are not logged.
+    pub fn remove(&mut self, t: &Triple) -> Result<bool, PersistError> {
+        let ids = match (
+            self.store.lookup(&t.subject),
+            self.store.lookup(&t.predicate),
+            self.store.lookup(&t.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => [s, p, o],
+            _ => return Ok(false),
+        };
+        if self.store.matching_explicit(Some(ids[0]), Some(ids[1]), Some(ids[2])).next().is_none() {
+            return Ok(false);
+        }
+        {
+            let mut inner = self.lock();
+            if inner.dead {
+                return Err(PersistError::Dead);
+            }
+            inner.wal.append_remove(t)?;
+        }
+        Ok(self.store.remove_ids(ids))
+    }
+
+    /// Load a graph as one atomic WAL record and materialize inference.
+    pub fn load_graph(&mut self, graph: &Graph) -> Result<usize, PersistError> {
+        {
+            let mut inner = self.lock();
+            if inner.dead {
+                return Err(PersistError::Dead);
+            }
+            inner.wal.append_load(&ntriples::serialize(graph))?;
+        }
+        self.store.load_graph(graph);
+        Ok(graph.len())
+    }
+
+    /// Parse and load a Turtle document (logged as its N-Triples form).
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, PersistError> {
+        let graph = turtle::parse(text).map_err(|e| PersistError::Turtle(e.to_string()))?;
+        self.load_graph(&graph)
+    }
+
+    /// Parse and load an N-Triples document.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, PersistError> {
+        let graph = ntriples::parse(text).map_err(PersistError::Ntriples)?;
+        self.load_graph(&graph)
+    }
+
+    /// Recompute the inferred layer (not logged — it is derived state).
+    pub fn materialize_inference(&mut self) {
+        self.store.materialize_inference();
+    }
+
+    /// Escape hatch for callers that mutate the store through external code
+    /// (e.g. a SPARQL update executor) and then log the recorded changes
+    /// via [`log_mutations`](PersistentStore::log_mutations). Mutating
+    /// through this reference without logging forfeits durability for those
+    /// changes.
+    pub fn store_mut_unlogged(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Append already-applied mutations as one atomic WAL batch record.
+    pub fn log_mutations(&mut self, mutations: &[Mutation]) -> Result<(), PersistError> {
+        if mutations.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        if inner.dead {
+            return Err(PersistError::Dead);
+        }
+        inner.wal.append_batch(mutations)
+    }
+
+    // ---- checkpoint / compaction -----------------------------------------
+
+    /// Write the next generation's snapshot, rotate the WAL, and flip
+    /// `CURRENT` — all via temp-file + atomic rename + fsync-dir, so a
+    /// crash at any point leaves a complete generation behind. Returns the
+    /// new generation. Takes `&self`: readers holding the store can keep
+    /// going while a checkpoint runs.
+    pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        let mut inner = self.lock();
+        if inner.dead || inner.wal.is_dead() {
+            return Err(PersistError::Dead);
+        }
+        let result = self.checkpoint_inner(&mut inner);
+        if result.is_err() {
+            inner.dead = true;
+        }
+        result
+    }
+
+    fn checkpoint_inner(&self, inner: &mut Inner) -> Result<u64, PersistError> {
+        let crash = Arc::clone(&inner.config.crash);
+        let io = |context: &'static str| {
+            move |e: std::io::Error| PersistError::Io { context, source: e }
+        };
+        crash.check("checkpoint.begin")?;
+        let next = inner.generation + 1;
+
+        // 1. snapshot to a temp file, fsync, atomic rename into place
+        let tmp = self.dir.join(format!("snapshot.{next}.tmp"));
+        let snap = self.dir.join(format!("snapshot.{next}.bin"));
+        {
+            let mut file = File::create(&tmp).map_err(io("snapshot create"))?;
+            snapshot::write_snapshot(&self.store, &mut file, &crash)?;
+            file.sync_all().map_err(io("snapshot fsync"))?;
+        }
+        crash.check("snapshot.fsync")?;
+        fs::rename(&tmp, &snap).map_err(io("snapshot rename"))?;
+        sync_dir(&self.dir)?;
+        crash.check("snapshot.rename")?;
+
+        // 2. the next WAL starts empty
+        let wal_path = self.dir.join(format!("wal.{next}.log"));
+        File::create(&wal_path)
+            .and_then(|f| f.sync_all())
+            .map_err(io("wal create"))?;
+        sync_dir(&self.dir)?;
+        crash.check("checkpoint.wal-created")?;
+
+        // 3. flip CURRENT — the commit point of the checkpoint
+        let cur_tmp = self.dir.join("CURRENT.tmp");
+        let cur = self.dir.join("CURRENT");
+        {
+            let mut file = File::create(&cur_tmp).map_err(io("CURRENT create"))?;
+            file.write_all(format!("{next}\n").as_bytes()).map_err(io("CURRENT write"))?;
+            file.sync_all().map_err(io("CURRENT fsync"))?;
+        }
+        fs::rename(&cur_tmp, &cur).map_err(io("CURRENT rename"))?;
+        sync_dir(&self.dir)?;
+        crash.check("checkpoint.current")?;
+
+        // 4. swap in-memory state to the new generation
+        inner.wal =
+            Wal::open_append(&wal_path, inner.config.fsync, Arc::clone(&crash), 0)?;
+        inner.generation = next;
+
+        // 5. best-effort cleanup of superseded generations and stray temps
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale = name.ends_with(".tmp")
+                    || parse_generation(&name, "snapshot.", ".bin")
+                        .is_some_and(|g| g != next)
+                    || parse_generation(&name, "wal.", ".log").is_some_and(|g| g != next);
+                if stale {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        crash.check("checkpoint.cleanup")?;
+        Ok(next)
+    }
+
+    /// Write the N-Triples fallback export (human-readable durability
+    /// escape hatch; see the snapshot module docs).
+    pub fn export_ntriples(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        snapshot::export_ntriples(&self.store, path.as_ref())
+    }
+
+    /// Flush the WAL to disk regardless of fsync policy.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        self.lock().wal.sync()
+    }
+}
+
+fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+fn read_current(dir: &Path) -> Result<u64, PersistError> {
+    let path = dir.join("CURRENT");
+    match fs::read_to_string(&path) {
+        Ok(text) => text.trim().parse().map_err(|_| PersistError::Corrupt {
+            what: "CURRENT",
+            detail: format!("not a generation number: {:?}", text.trim()),
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(PersistError::Io { context: "read CURRENT", source: e }),
+    }
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| PersistError::Io { context: "fsync dir", source: e })
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<(), PersistError> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_model::Term;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rdfa-persist-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn triple(i: usize) -> Triple {
+        Triple::new(
+            Term::iri(format!("http://e/s{i}")),
+            Term::iri("http://e/p"),
+            Term::integer(i as i64),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_wal_only() {
+        let dir = tmpdir("wal-roundtrip");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            for i in 0..10 {
+                assert!(p.insert(&triple(i)).unwrap());
+            }
+            assert_eq!(p.wal_records(), 10);
+            assert_eq!(p.generation(), 0);
+        }
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.recovery().wal_records_replayed, 10);
+        assert!(p.recovery().wal_truncation.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_bumps_generation() {
+        let dir = tmpdir("checkpoint");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            for i in 0..5 {
+                p.insert(&triple(i)).unwrap();
+            }
+            assert_eq!(p.checkpoint().unwrap(), 1);
+            assert_eq!(p.wal_records(), 0);
+            for i in 5..8 {
+                p.insert(&triple(i)).unwrap();
+            }
+            assert_eq!(p.wal_records(), 3);
+        }
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.recovery().generation, 1);
+        assert_eq!(p.recovery().snapshot_triples, 5);
+        assert_eq!(p.recovery().wal_records_replayed, 3);
+        // superseded generation-0 files were cleaned up
+        assert!(!dir.join("wal.0.log").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_preserves_schema_and_inference() {
+        let dir = tmpdir("inference");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            p.load_turtle(
+                r#"@prefix ex: <http://e/> .
+                   @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                   ex:Laptop rdfs:subClassOf ex:Product .
+                   ex:l1 a ex:Laptop ."#,
+            )
+            .unwrap();
+            p.checkpoint().unwrap();
+        }
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        let product = p.lookup_iri("http://e/Product").unwrap();
+        assert_eq!(p.instances(product).len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_is_logged_and_survives_reopen() {
+        let dir = tmpdir("remove");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            p.insert(&triple(0)).unwrap();
+            p.insert(&triple(1)).unwrap();
+            assert!(p.remove(&triple(0)).unwrap());
+            assert!(!p.remove(&triple(7)).unwrap()); // absent → no-op, unlogged
+        }
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(p.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_byte_is_a_typed_checksum_error() {
+        let dir = tmpdir("flip-snapshot");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            for i in 0..20 {
+                p.insert(&triple(i)).unwrap();
+            }
+            p.checkpoint().unwrap();
+        }
+        let snap = dir.join("snapshot.1.bin");
+        let mut bytes = fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&snap, &bytes).unwrap();
+        match PersistentStore::open(&dir, PersistConfig::default()) {
+            Err(PersistError::Checksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_wal_byte_truncates_to_good_prefix() {
+        let dir = tmpdir("flip-wal");
+        {
+            let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            for i in 0..10 {
+                p.insert(&triple(i)).unwrap();
+            }
+        }
+        let wal = dir.join("wal.0.log");
+        let mut bytes = fs::read(&wal).unwrap();
+        // flip a byte inside the 6th record's body
+        let target = (bytes.len() / 10) * 5 + 12;
+        bytes[target] ^= 0x10;
+        fs::write(&wal, &bytes).unwrap();
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        let trunc = p.recovery().wal_truncation.clone().expect("truncation reported");
+        assert!(trunc.reason.contains("checksum"), "{trunc:?}");
+        // a strict prefix survived, and it is a prefix (triples 0..n)
+        let n = p.recovery().wal_records_replayed as usize;
+        assert!(n < 10);
+        assert_eq!(p.len(), n);
+        for i in 0..n {
+            let t = triple(i);
+            let ids = [
+                p.lookup(&t.subject).unwrap(),
+                p.lookup(&t.predicate).unwrap(),
+                p.lookup(&t.object).unwrap(),
+            ];
+            assert!(p.contains(ids), "triple {i} missing from recovered prefix");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_ntriples_fallback_parses_back() {
+        let dir = tmpdir("export");
+        let mut p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        p.load_turtle(r#"@prefix ex: <http://e/> . ex:a ex:p "tricky \"value\"\n" ."#).unwrap();
+        let out = dir.join("fallback.nt");
+        p.export_ntriples(&out).unwrap();
+        let graph = ntriples::parse(&fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(graph.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_poisons_handle_and_recovery_sees_prefix() {
+        let dir = tmpdir("poison");
+        let config = PersistConfig {
+            fsync: FsyncPolicy::Always,
+            crash: CrashInjector::at("wal.append.torn-body", 4),
+        };
+        let mut p = PersistentStore::open(&dir, config).unwrap();
+        let mut acked = 0;
+        let mut crashed = false;
+        for i in 0..10 {
+            match p.insert(&triple(i)) {
+                Ok(_) => acked += 1,
+                Err(PersistError::InjectedCrash { point }) => {
+                    assert_eq!(point, "wal.append.torn-body");
+                    crashed = true;
+                    break;
+                }
+                Err(other) => panic!("{other}"),
+            }
+        }
+        assert!(crashed);
+        assert!(p.is_dead());
+        assert!(matches!(p.insert(&triple(99)), Err(PersistError::Dead)));
+        drop(p);
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        let trunc = p.recovery().wal_truncation.clone().expect("torn record cut off");
+        assert!(trunc.reason.contains("torn") || trunc.reason.contains("checksum"), "{trunc:?}");
+        assert_eq!(p.len(), acked);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// CI sweep hook: with `RDFA_CRASHPOINT` set (e.g. `sample:0.05` +
+    /// `RDFA_CRASHPOINT_SEED`), this test drives a seeded workload through
+    /// the env-armed injector and asserts recovery lands on a consistent
+    /// prefix. Without the env var it runs a fixed sampled schedule so the
+    /// path is always exercised.
+    #[test]
+    fn env_driven_crash_sampling_recovers() {
+        let dir = tmpdir("env-sample");
+        let crash = if std::env::var("RDFA_CRASHPOINT").is_ok() {
+            CrashInjector::from_env()
+        } else {
+            CrashInjector::sampled(1234, 0.05)
+        };
+        let config = PersistConfig { fsync: FsyncPolicy::EveryN(2), crash };
+        let mut acked = 0usize;
+        {
+            let mut p = PersistentStore::open(&dir, config).unwrap();
+            for i in 0..50 {
+                match p.insert(&triple(i)) {
+                    Ok(_) => acked += 1,
+                    Err(_) => break,
+                }
+                if i % 10 == 9 && p.checkpoint().is_err() {
+                    break;
+                }
+            }
+        }
+        let p = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        // every acknowledged insert survived; at most one torn-but-complete
+        // record beyond that may also have made it
+        assert!(p.len() >= acked, "lost acknowledged data: {} < {acked}", p.len());
+        assert!(p.len() <= acked + 1, "phantom data: {} > {acked}+1", p.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

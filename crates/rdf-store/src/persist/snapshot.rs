@@ -1,0 +1,277 @@
+//! The checksummed binary snapshot: a full dump of the interner and the
+//! explicit triple set.
+//!
+//! ```text
+//! magic   8 bytes  b"RDFASNP1"
+//! version u32      format version (currently 1)
+//! count   u32      number of sections
+//! section *        tag u32 | len u64 | crc32 u32 | payload (len bytes)
+//! ```
+//!
+//! Sections: `TERMS` (tag 1) — `u32` term count, then each term as a tag
+//! byte (`0` IRI, `1` blank, `2` literal) followed by length-prefixed UTF-8
+//! strings; `TRIPLES` (tag 2) — `u64` triple count, then three `u32` term
+//! ids per triple in SPO order. Every section's CRC-32 is verified on read;
+//! a mismatch is a typed [`PersistError::Checksum`], never a partial load.
+//! The inferred layer is *not* stored — it is rematerialized on open.
+
+use super::crash::CrashInjector;
+use super::crc::crc32;
+use super::PersistError;
+use crate::index::TripleIndex;
+use crate::interner::{Interner, TermId};
+use crate::store::Store;
+use rdfa_model::{ntriples, Literal, Term};
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub(crate) const MAGIC: &[u8; 8] = b"RDFASNP1";
+pub(crate) const VERSION: u32 = 1;
+const SECTION_TERMS: u32 = 1;
+const SECTION_TRIPLES: u32 = 2;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_terms(store: &Store) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(store.term_count() as u32).to_le_bytes());
+    for (_, term) in store.terms() {
+        match term {
+            Term::Iri(iri) => {
+                buf.push(0);
+                put_str(&mut buf, iri);
+            }
+            Term::Blank(label) => {
+                buf.push(1);
+                put_str(&mut buf, label);
+            }
+            Term::Literal(l) => {
+                buf.push(2);
+                put_str(&mut buf, &l.lexical);
+                put_str(&mut buf, &l.datatype);
+                match &l.lang {
+                    Some(lang) => {
+                        buf.push(1);
+                        put_str(&mut buf, lang);
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+    }
+    buf
+}
+
+fn encode_triples(store: &Store) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + store.len() * 12);
+    buf.extend_from_slice(&(store.len() as u64).to_le_bytes());
+    for [s, p, o] in store.iter_explicit() {
+        buf.extend_from_slice(&s.0.to_le_bytes());
+        buf.extend_from_slice(&p.0.to_le_bytes());
+        buf.extend_from_slice(&o.0.to_le_bytes());
+    }
+    buf
+}
+
+/// Write a snapshot of `store` to `file`, pausing at the labeled crash
+/// points. The file is *not* fsynced here — the checkpoint sequence owns
+/// durability and atomic-rename ordering.
+pub(crate) fn write_snapshot(
+    store: &Store,
+    file: &mut File,
+    crash: &CrashInjector,
+) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io { context: "snapshot write", source: e };
+    let sections = [
+        (SECTION_TERMS, encode_terms(store)),
+        (SECTION_TRIPLES, encode_triples(store)),
+    ];
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    file.write_all(&header).map_err(io)?;
+    crash.check("snapshot.header")?;
+    for (i, (tag, payload)) in sections.iter().enumerate() {
+        let mut head = Vec::with_capacity(16);
+        head.extend_from_slice(&tag.to_le_bytes());
+        head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        head.extend_from_slice(&crc32(payload).to_le_bytes());
+        file.write_all(&head).map_err(io)?;
+        let half = payload.len() / 2;
+        file.write_all(&payload[..half]).map_err(io)?;
+        if i == 0 {
+            // a tear in the middle of the first section's payload
+            crash.check("snapshot.torn-section")?;
+        }
+        file.write_all(&payload[half..]).map_err(io)?;
+    }
+    crash.check("snapshot.written")?;
+    Ok(())
+}
+
+/// A bounds-checked little-endian cursor over an immutable byte buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or(
+            PersistError::Corrupt {
+                what: self.what,
+                detail: format!("truncated: wanted {n} bytes at offset {}", self.pos),
+            },
+        )?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, PersistError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| PersistError::Corrupt {
+            what: self.what,
+            detail: format!("invalid UTF-8 in string: {e}"),
+        })
+    }
+}
+
+fn decode_terms(payload: &[u8]) -> Result<Interner, PersistError> {
+    let mut cur = Cursor { buf: payload, pos: 0, what: "snapshot terms" };
+    let count = cur.u32()? as usize;
+    let mut interner = Interner::new();
+    for i in 0..count {
+        let term = match cur.u8()? {
+            0 => Term::iri(cur.str()?),
+            1 => Term::blank(cur.str()?),
+            2 => {
+                let lexical = cur.str()?.to_owned();
+                let datatype = cur.str()?.to_owned();
+                let lang = match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.str()?.to_owned()),
+                    other => {
+                        return Err(PersistError::Corrupt {
+                            what: "snapshot terms",
+                            detail: format!("bad lang flag {other} in term {i}"),
+                        })
+                    }
+                };
+                Term::Literal(Literal { lexical, datatype, lang })
+            }
+            other => {
+                return Err(PersistError::Corrupt {
+                    what: "snapshot terms",
+                    detail: format!("bad term tag {other} in term {i}"),
+                })
+            }
+        };
+        let id = interner.get_or_intern(&term);
+        if id.idx() != i {
+            return Err(PersistError::Corrupt {
+                what: "snapshot terms",
+                detail: format!("duplicate term at index {i}"),
+            });
+        }
+    }
+    Ok(interner)
+}
+
+fn decode_triples(payload: &[u8], terms: usize) -> Result<TripleIndex, PersistError> {
+    let mut cur = Cursor { buf: payload, pos: 0, what: "snapshot triples" };
+    let count = cur.u64()?;
+    let mut index = TripleIndex::new();
+    for i in 0..count {
+        let (s, p, o) = (cur.u32()?, cur.u32()?, cur.u32()?);
+        if s as usize >= terms || p as usize >= terms || o as usize >= terms {
+            return Err(PersistError::Corrupt {
+                what: "snapshot triples",
+                detail: format!("triple {i} references a term id beyond the term table"),
+            });
+        }
+        index.insert([TermId(s), TermId(p), TermId(o)]);
+    }
+    Ok(index)
+}
+
+/// Read and verify a snapshot file, reconstructing the store's explicit
+/// layer. The returned store is *dirty* — the caller rematerializes the
+/// RDFS closure after any WAL replay.
+pub(crate) fn read_snapshot(path: &Path) -> Result<Store, PersistError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| PersistError::Io { context: "snapshot read", source: e })?;
+    let mut cur = Cursor { buf: &bytes, pos: 0, what: "snapshot header" };
+    let magic = cur.take(8)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic.to_vec() });
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let sections = cur.u32()?;
+    let mut interner: Option<Interner> = None;
+    let mut triples_payload: Option<&[u8]> = None;
+    for _ in 0..sections {
+        cur.what = "snapshot section";
+        let tag = cur.u32()?;
+        let len = cur.u64()? as usize;
+        let expected = cur.u32()?;
+        let payload = cur.take(len)?;
+        let found = crc32(payload);
+        if found != expected {
+            return Err(PersistError::Checksum {
+                what: if tag == SECTION_TERMS { "snapshot terms section" } else { "snapshot triples section" },
+                expected,
+                found,
+            });
+        }
+        match tag {
+            SECTION_TERMS => interner = Some(decode_terms(payload)?),
+            SECTION_TRIPLES => triples_payload = Some(payload),
+            _ => {} // unknown sections are skipped (forward compatibility)
+        }
+    }
+    let interner = interner.ok_or(PersistError::Corrupt {
+        what: "snapshot",
+        detail: "missing terms section".to_owned(),
+    })?;
+    let payload = triples_payload.ok_or(PersistError::Corrupt {
+        what: "snapshot",
+        detail: "missing triples section".to_owned(),
+    })?;
+    let explicit = decode_triples(payload, interner.len())?;
+    Ok(Store::from_layers(interner, explicit))
+}
+
+/// The N-Triples fallback exporter: a human-readable, tool-compatible dump
+/// of the explicit triples, usable when the binary snapshot cannot be (a
+/// version from the future, external tooling, manual recovery).
+pub(crate) fn export_ntriples(store: &Store, path: &Path) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io { context: "ntriples export", source: e };
+    let text = ntriples::serialize(&store.to_graph());
+    let mut file = File::create(path).map_err(io)?;
+    file.write_all(text.as_bytes()).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    Ok(())
+}

@@ -77,6 +77,34 @@ impl Store {
         }
     }
 
+    /// Rebuild a store from a deserialized interner + explicit layer (the
+    /// snapshot reader). Well-known ids are re-resolved by lookup rather
+    /// than assumed, so the format stays robust to interning order. The
+    /// returned store is dirty — the caller rematerializes inference after
+    /// WAL replay.
+    pub(crate) fn from_layers(mut interner: Interner, explicit: TripleIndex) -> Store {
+        let wk = WellKnown {
+            rdf_type: interner.get_or_intern(&Term::iri(vocab::rdf::TYPE)),
+            rdfs_subclassof: interner.get_or_intern(&Term::iri(vocab::rdfs::SUB_CLASS_OF)),
+            rdfs_subpropertyof: interner.get_or_intern(&Term::iri(vocab::rdfs::SUB_PROPERTY_OF)),
+            rdfs_domain: interner.get_or_intern(&Term::iri(vocab::rdfs::DOMAIN)),
+            rdfs_range: interner.get_or_intern(&Term::iri(vocab::rdfs::RANGE)),
+            rdfs_class: interner.get_or_intern(&Term::iri(vocab::rdfs::CLASS)),
+            rdf_property: interner.get_or_intern(&Term::iri(vocab::rdf::PROPERTY)),
+            owl_functional: interner.get_or_intern(&Term::iri(vocab::owl::FUNCTIONAL_PROPERTY)),
+        };
+        Store { interner, explicit, inferred: TripleIndex::new(), dirty: true, wk }
+    }
+
+    /// Open a durable store rooted at `dir` with default persistence
+    /// settings (fsync on every WAL append, crash injection off). See
+    /// [`crate::persist::PersistentStore::open`] for full control.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<crate::persist::PersistentStore, crate::persist::PersistError> {
+        crate::persist::PersistentStore::open(dir, crate::persist::PersistConfig::default())
+    }
+
     /// The interned ids of the interpreted vocabulary.
     pub fn well_known(&self) -> WellKnown {
         self.wk
@@ -163,8 +191,9 @@ impl Store {
         Ok(n)
     }
 
-    /// Parse and load an N-Triples document.
-    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, String> {
+    /// Parse and load an N-Triples document. The error carries the line
+    /// number and offending lexeme of the first failure.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, ntriples::NtriplesError> {
         let g = ntriples::parse(text)?;
         let n = g.len();
         self.load_graph(&g);

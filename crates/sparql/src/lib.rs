@@ -46,7 +46,7 @@ pub use explain::{explain, Plan};
 pub use limits::{EvalLimits, LimitKind};
 pub use parser::parse_query;
 pub use results::{QueryResults, Solutions};
-pub use update::{execute_update, UpdateOp, UpdateStats};
+pub use update::{execute_update, execute_update_recording, UpdateOp, UpdateStats};
 
 /// Errors from parsing or evaluating a query.
 #[derive(Debug, Clone, PartialEq, Eq)]

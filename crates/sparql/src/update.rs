@@ -12,7 +12,7 @@ use crate::expr::bound_term;
 use crate::parser::parse_update_ops;
 use crate::SparqlError;
 use rdfa_model::{Term, Triple};
-use rdfa_store::Store;
+use rdfa_store::{Mutation, Store};
 
 /// One update operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,21 +41,39 @@ pub struct UpdateStats {
 /// Parse and execute an update request against a store. The RDFS closure is
 /// re-materialized once at the end.
 pub fn execute_update(store: &mut Store, text: &str) -> Result<UpdateStats, SparqlError> {
-    let ops = parse_update_ops(text)?;
-    let mut stats = UpdateStats::default();
-    for op in &ops {
-        apply(store, op, &mut stats)?;
-    }
-    store.materialize_inference();
-    Ok(stats)
+    execute_update_recording(store, text).map(|(stats, _)| stats)
 }
 
-fn apply(store: &mut Store, op: &UpdateOp, stats: &mut UpdateStats) -> Result<(), SparqlError> {
+/// Like [`execute_update`], additionally returning the concrete triple
+/// changes that took effect, in application order. A durable caller logs
+/// these as one atomic WAL batch — replay then never needs to re-run the
+/// SPARQL (WHERE-form updates are not idempotent over a recovered store).
+pub fn execute_update_recording(
+    store: &mut Store,
+    text: &str,
+) -> Result<(UpdateStats, Vec<Mutation>), SparqlError> {
+    let ops = parse_update_ops(text)?;
+    let mut stats = UpdateStats::default();
+    let mut changes = Vec::new();
+    for op in &ops {
+        apply(store, op, &mut stats, &mut changes)?;
+    }
+    store.materialize_inference();
+    Ok((stats, changes))
+}
+
+fn apply(
+    store: &mut Store,
+    op: &UpdateOp,
+    stats: &mut UpdateStats,
+    changes: &mut Vec<Mutation>,
+) -> Result<(), SparqlError> {
     match op {
         UpdateOp::InsertData(triples) => {
             for t in triples {
                 if store.insert(t) {
                     stats.inserted += 1;
+                    changes.push(Mutation::Insert(t.clone()));
                 }
             }
         }
@@ -68,6 +86,7 @@ fn apply(store: &mut Store, op: &UpdateOp, stats: &mut UpdateStats) -> Result<()
                 ) {
                     if store.remove_ids([s, p, o]) {
                         stats.deleted += 1;
+                        changes.push(Mutation::Remove(t.clone()));
                     }
                 }
             }
@@ -84,6 +103,7 @@ fn apply(store: &mut Store, op: &UpdateOp, stats: &mut UpdateStats) -> Result<()
             for t in deletions {
                 if remove_triple(store, &t) {
                     stats.deleted += 1;
+                    changes.push(Mutation::Remove(t));
                 }
             }
         }
@@ -93,11 +113,13 @@ fn apply(store: &mut Store, op: &UpdateOp, stats: &mut UpdateStats) -> Result<()
             for t in deletions {
                 if remove_triple(store, &t) {
                     stats.deleted += 1;
+                    changes.push(Mutation::Remove(t));
                 }
             }
             for t in insertions {
                 if store.insert(&t) {
                     stats.inserted += 1;
+                    changes.push(Mutation::Insert(t));
                 }
             }
         }
@@ -246,6 +268,56 @@ mod tests {
         .unwrap();
         assert_eq!(stats.inserted, 1);
         assert_eq!(stats.deleted, 1);
+    }
+
+    #[test]
+    fn recording_captures_effective_changes_in_order() {
+        let mut s = store();
+        let (stats, changes) = execute_update_recording(
+            &mut s,
+            &format!(
+                "PREFIX ex: <{EX}> DELETE {{ ?x ex:price ?p . }} INSERT {{ ?x ex:cheap true . }} WHERE {{ ?x ex:price ?p . FILTER(?p < 950) }}"
+            ),
+        )
+        .unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(&changes[0], Mutation::Remove(t) if t.predicate == Term::iri(format!("{EX}price"))));
+        assert!(matches!(&changes[1], Mutation::Insert(t) if t.predicate == Term::iri(format!("{EX}cheap"))));
+        // replaying the recorded changes on a fresh copy converges to the
+        // same store — the property the WAL relies on
+        let mut replica = store();
+        for m in &changes {
+            match m {
+                Mutation::Insert(t) => {
+                    replica.insert(t);
+                }
+                Mutation::Remove(t) => {
+                    let ids = (
+                        replica.lookup(&t.subject),
+                        replica.lookup(&t.predicate),
+                        replica.lookup(&t.object),
+                    );
+                    if let (Some(a), Some(b), Some(c)) = ids {
+                        replica.remove_ids([a, b, c]);
+                    }
+                }
+            }
+        }
+        replica.materialize_inference();
+        assert_eq!(replica.len(), s.len());
+    }
+
+    #[test]
+    fn recording_skips_no_op_changes() {
+        let mut s = store();
+        let (_, changes) = execute_update_recording(
+            &mut s,
+            &format!("PREFIX ex: <{EX}> DELETE DATA {{ ex:nope ex:price 1 . }} ;\nINSERT DATA {{ ex:l1 ex:price 900 . }}"),
+        )
+        .unwrap();
+        assert!(changes.is_empty(), "{changes:?}");
     }
 
     #[test]

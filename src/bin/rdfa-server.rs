@@ -2,58 +2,170 @@
 //! backend of the paper's client–server architecture, Fig 6.1).
 //!
 //! ```text
-//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port]
+//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port] [--persist DIR]
 //! curl 'http://127.0.0.1:3030/sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D+LIMIT+3'
 //! curl -X POST --data 'PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p 1 . }' http://127.0.0.1:3030/update
 //! curl http://127.0.0.1:3030/void
+//! curl http://127.0.0.1:3030/healthz
 //! ```
 //!
-//! Without a file argument the demo products KG is served.
+//! With `--persist DIR` the store is durable: it recovers from `DIR` on
+//! start (snapshot + WAL replay), every update is logged before it is
+//! acknowledged, and SIGTERM/SIGINT trigger a graceful shutdown — stop
+//! accepting, drain in-flight requests, checkpoint, exit. The WAL fsync
+//! policy comes from `RDFA_FSYNC` (`always` | `never` | `every:N`).
+//!
+//! Without a file argument (and an empty/absent persist dir) the demo
+//! products KG is served.
 
-use rdf_analytics::server::Server;
-use rdf_analytics::store::Store;
+use rdf_analytics::server::{Server, ServerConfig};
+use rdf_analytics::store::{PersistConfig, PersistentStore, Store};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM/SIGINT handlers with the C `signal` call directly — no
+/// crate dependency, and an async-signal-safe handler (one atomic store).
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut store = Store::new();
     let mut port = 3030u16;
-    let mut loaded = false;
-    for arg in &args {
-        if let Ok(p) = arg.parse::<u16>() {
-            port = p;
-        } else {
-            let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
-                eprintln!("cannot read {arg}: {e}");
-                std::process::exit(2);
-            });
-            let result = if arg.ends_with(".nt") {
-                store.load_ntriples(&text).map_err(|e| e.to_string())
-            } else {
-                store.load_turtle(&text).map_err(|e| e.to_string())
-            };
-            match result {
-                Ok(n) => eprintln!("loaded {n} triples from {arg}"),
-                Err(e) => {
-                    eprintln!("cannot parse {arg}: {e}");
+    let mut persist_dir: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--persist" {
+            i += 1;
+            match args.get(i) {
+                Some(dir) => persist_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--persist needs a directory argument");
                     std::process::exit(2);
                 }
             }
-            loaded = true;
+        } else if let Ok(p) = arg.parse::<u16>() {
+            port = p;
+        } else {
+            input = Some(arg.clone());
         }
+        i += 1;
     }
-    if !loaded {
-        store.load_graph(&rdf_analytics::datagen::ProductsGenerator::new(300, 7).generate());
-        eprintln!("no input file given — serving the demo products KG ({} triples)", store.len());
-    }
-    let server = Server::start(store, port).unwrap_or_else(|e| {
+
+    install_signal_handlers();
+
+    let server = match persist_dir {
+        Some(dir) => {
+            let mut pstore = PersistentStore::open(&dir, PersistConfig::from_env())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open persistent store at {dir}: {e}");
+                    std::process::exit(2);
+                });
+            let r = pstore.recovery();
+            eprintln!(
+                "recovered {dir}: generation {}, {} snapshot triples + {} WAL records{}",
+                r.generation,
+                r.snapshot_triples,
+                r.wal_records_replayed,
+                match &r.wal_truncation {
+                    Some(t) => format!(" (WAL truncated at byte {}: {})", t.offset, t.reason),
+                    None => String::new(),
+                }
+            );
+            // a file argument seeds an EMPTY durable store; an already
+            // populated one keeps its recovered state
+            if let Some(path) = &input {
+                if pstore.is_empty() {
+                    match load_into_durable(&mut pstore, path) {
+                        Ok(n) => eprintln!("loaded {n} triples from {path}"),
+                        Err(e) => {
+                            eprintln!("cannot load {path}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    eprintln!("ignoring {path}: store already holds {} triples", pstore.len());
+                }
+            }
+            Server::start_durable(pstore, port, ServerConfig::default())
+        }
+        None => {
+            let mut store = Store::new();
+            let mut loaded = false;
+            if let Some(path) = &input {
+                match load_into_plain(&mut store, path) {
+                    Ok(n) => eprintln!("loaded {n} triples from {path}"),
+                    Err(e) => {
+                        eprintln!("cannot load {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                loaded = true;
+            }
+            if !loaded {
+                store.load_graph(
+                    &rdf_analytics::datagen::ProductsGenerator::new(300, 7).generate(),
+                );
+                eprintln!(
+                    "no input file given — serving the demo products KG ({} triples)",
+                    store.len()
+                );
+            }
+            Server::start(store, port)
+        }
+    };
+    let server = server.unwrap_or_else(|e| {
         eprintln!("cannot bind port {port}: {e}");
         std::process::exit(2);
     });
     eprintln!(
-        "SPARQL endpoint at http://{}/sparql (POST /update, GET /void, GET /health) — Ctrl-C to stop",
+        "SPARQL endpoint at http://{}/sparql (POST /update, GET /void, GET /healthz) — Ctrl-C or SIGTERM to stop",
         server.addr()
     );
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    // graceful shutdown: stop accepting, drain in-flight requests, then
+    // checkpoint the durable store
+    eprintln!("shutting down: draining requests and checkpointing…");
+    server.stop();
+    eprintln!("bye");
+}
+
+fn load_into_plain(store: &mut Store, path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if path.ends_with(".nt") {
+        store.load_ntriples(&text).map_err(|e| e.to_string())
+    } else {
+        store.load_turtle(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn load_into_durable(store: &mut PersistentStore, path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if path.ends_with(".nt") {
+        store.load_ntriples(&text).map_err(|e| e.to_string())
+    } else {
+        store.load_turtle(&text).map_err(|e| e.to_string())
     }
 }

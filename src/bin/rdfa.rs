@@ -3,52 +3,120 @@
 //!
 //! ```text
 //! $ cargo run --bin rdfa                       # starts on the demo KG
+//! $ cargo run --bin rdfa -- --open ./kg.db     # durable store (WAL + snapshots)
 //! rdfa> facets
 //! rdfa> class Laptop
 //! rdfa> group manufacturer
 //! rdfa> measure price
 //! rdfa> ops avg max
 //! rdfa> run
+//! rdfa> checkpoint
 //! rdfa> help
 //! ```
 //!
 //! Property and resource names may be given as plain local names; they are
-//! resolved against the loaded KG.
+//! resolved against the loaded KG. With `--open DIR` the store recovers
+//! from `DIR` on start; a file argument seeds it only when it is empty, and
+//! `checkpoint` compacts the WAL into a fresh snapshot.
 
 use rdf_analytics::analytics::{AnalyticsSession, GroupSpec, MeasureSpec};
 use rdf_analytics::facets::{markers, PathStep};
 use rdf_analytics::hifun::{AggOp, CondOp, DerivedFn};
 use rdf_analytics::model::{Term, Value};
 use rdf_analytics::sparql::Engine;
-use rdf_analytics::store::{Store, StoreStats, TermId};
+use rdf_analytics::store::{PersistConfig, PersistentStore, Store, StoreStats, TermId};
 use rdf_analytics::viz::{BarChart, BarDatum};
 use std::io::{BufRead, Write};
 
+/// The REPL's store: in-memory, or bound to a durable directory.
+enum Backing {
+    Plain(Store),
+    Durable(PersistentStore),
+}
+
+impl Backing {
+    fn store(&self) -> &Store {
+        match self {
+            Backing::Plain(s) => s,
+            Backing::Durable(p) => p,
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut store = Store::new();
-    match args.first().map(String::as_str) {
-        Some("invoices") => {
-            store.load_graph(&rdf_analytics::datagen::InvoicesGenerator::new(300, 7).generate())
+    let mut open_dir: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--open" {
+            i += 1;
+            match args.get(i) {
+                Some(dir) => open_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--open needs a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(args[i].clone());
         }
-        Some(path) if std::path::Path::new(path).exists() => {
-            let text = std::fs::read_to_string(path).expect("readable file");
-            let n = if path.ends_with(".nt") {
-                store.load_ntriples(&text).expect("valid N-Triples")
-            } else {
-                store.load_turtle(&text).expect("valid Turtle")
-            };
-            eprintln!("loaded {n} triples from {path}");
-        }
-        _ => store.load_graph(&rdf_analytics::datagen::ProductsGenerator::new(200, 7).generate()),
+        i += 1;
     }
+
+    let backing = match open_dir {
+        Some(dir) => {
+            let mut pstore = PersistentStore::open(&dir, PersistConfig::from_env())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open {dir}: {e}");
+                    std::process::exit(2);
+                });
+            let r = pstore.recovery();
+            eprintln!(
+                "recovered {dir}: generation {}, {} snapshot triples + {} WAL records",
+                r.generation, r.snapshot_triples, r.wal_records_replayed
+            );
+            // seed only an empty store; a populated one keeps its state
+            if pstore.is_empty() {
+                if let Err(e) = seed_durable(&mut pstore, positional.first()) {
+                    eprintln!("cannot load: {e}");
+                    std::process::exit(2);
+                }
+            } else if let Some(path) = positional.first() {
+                eprintln!("ignoring {path}: store already holds {} triples", pstore.len());
+            }
+            Backing::Durable(pstore)
+        }
+        None => {
+            let mut store = Store::new();
+            match positional.first().map(String::as_str) {
+                Some("invoices") => store.load_graph(
+                    &rdf_analytics::datagen::InvoicesGenerator::new(300, 7).generate(),
+                ),
+                Some(path) if std::path::Path::new(path).exists() => {
+                    let text = std::fs::read_to_string(path).expect("readable file");
+                    let n = if path.ends_with(".nt") {
+                        store.load_ntriples(&text).expect("valid N-Triples")
+                    } else {
+                        store.load_turtle(&text).expect("valid Turtle")
+                    };
+                    eprintln!("loaded {n} triples from {path}");
+                }
+                _ => store.load_graph(
+                    &rdf_analytics::datagen::ProductsGenerator::new(200, 7).generate(),
+                ),
+            }
+            Backing::Plain(store)
+        }
+    };
+    let store = backing.store();
     eprintln!(
         "KG ready: {} triples ({} entailed). Type 'help' for commands.",
         store.len(),
         store.len_entailed()
     );
 
-    let mut session = AnalyticsSession::start(&store);
+    let mut session = AnalyticsSession::start(store);
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -62,12 +130,37 @@ fn main() {
         if line.is_empty() {
             continue;
         }
-        match dispatch(line, &store, &mut session) {
+        match dispatch(line, &backing, &mut session) {
             Ok(Continue::Yes) => {}
             Ok(Continue::No) => break,
             Err(msg) => eprintln!("error: {msg}"),
         }
     }
+}
+
+/// Seed an empty durable store from a file (or the demo KG), logging the
+/// load through the WAL so it survives a crash before the first checkpoint.
+fn seed_durable(pstore: &mut PersistentStore, path: Option<&String>) -> Result<(), String> {
+    match path.map(String::as_str) {
+        Some("invoices") => {
+            let g = rdf_analytics::datagen::InvoicesGenerator::new(300, 7).generate();
+            pstore.load_graph(&g).map_err(|e| e.to_string())?;
+        }
+        Some(path) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let n = if path.ends_with(".nt") {
+                pstore.load_ntriples(&text).map_err(|e| e.to_string())?
+            } else {
+                pstore.load_turtle(&text).map_err(|e| e.to_string())?
+            };
+            eprintln!("loaded {n} triples from {path}");
+        }
+        _ => {
+            let g = rdf_analytics::datagen::ProductsGenerator::new(200, 7).generate();
+            pstore.load_graph(&g).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
 }
 
 enum Continue {
@@ -77,9 +170,10 @@ enum Continue {
 
 fn dispatch(
     line: &str,
-    store: &Store,
+    backing: &Backing,
     session: &mut AnalyticsSession<'_>,
 ) -> Result<Continue, String> {
+    let store = backing.store();
     let mut words = line.split_whitespace();
     let verb = words.next().unwrap_or("");
     let rest: Vec<&str> = words.collect();
@@ -88,6 +182,29 @@ fn dispatch(
             println!("{HELP}");
         }
         "quit" | "exit" => return Ok(Continue::No),
+        "checkpoint" => match backing {
+            Backing::Durable(p) => {
+                let generation = p.checkpoint().map_err(|e| e.to_string())?;
+                println!(
+                    "checkpointed to generation {generation} in {} ({} triples, WAL reset)",
+                    p.dir().display(),
+                    p.len()
+                );
+            }
+            Backing::Plain(_) => {
+                return Err("store is in-memory only — start with --open DIR".into())
+            }
+        },
+        "export" => match backing {
+            Backing::Durable(p) => {
+                let path = rest.first().ok_or("usage: export <file.nt>")?;
+                p.export_ntriples(path).map_err(|e| e.to_string())?;
+                println!("exported {} triples to {path}", p.len());
+            }
+            Backing::Plain(_) => {
+                return Err("store is in-memory only — start with --open DIR".into())
+            }
+        },
         "stats" => {
             let stats = StoreStats::gather(store);
             print!("{}", stats.report(store));
@@ -436,4 +553,6 @@ commands:
   script <file>              run a click script from a file
   record                     show this session's click log
   query <sparql>             run raw SPARQL (one line)
+  checkpoint                 compact the WAL into a snapshot (--open mode)
+  export <file.nt>           N-Triples fallback dump (--open mode)
   quit";

@@ -10,10 +10,14 @@
 //! | `/update` | POST | an update request | `{"inserted":n,"deleted":m}` |
 //! | `/void` | GET | — | the dataset's VoID description (N-Triples) |
 //! | `/health` | GET | — | `ok` |
+//! | `/healthz` | GET | — | JSON: store generation, WAL lag, triple count |
 //!
 //! The store lives behind an `RwLock`: queries share it, updates take the
 //! write lock. `Server::start` binds an ephemeral port and serves until the
-//! handle is dropped.
+//! handle is dropped. [`Server::start_durable`] serves a
+//! [`PersistentStore`] instead: updates are WAL-logged before they are
+//! acknowledged, and shutdown checkpoints the store after the last
+//! in-flight request has drained.
 //!
 //! Robustness ([`ServerConfig`]): a fixed pool of worker threads drains a
 //! bounded accept queue (overflow → `503`), every connection gets read/write
@@ -23,13 +27,19 @@
 //! a panicking handler is caught and answered with a `500` without taking
 //! the worker down, and a poisoned store lock is recovered rather than
 //! propagated. Errors are JSON bodies: `{"error":{"code":…,"message":…}}`.
+//!
+//! Shutdown ordering (the part that used to be subtly wrong): stop
+//! accepting first, join the acceptor (dropping the queue sender), let the
+//! workers drain every already-accepted connection out of the bounded
+//! queue, join them, and only then checkpoint — so no request is dropped
+//! mid-flight and the checkpoint sees the final state.
 
-use rdfa_sparql::{execute_update, Engine, EvalLimits, QueryResults};
-use rdfa_store::{Store, StoreStats};
+use rdfa_sparql::{execute_update, execute_update_recording, Engine, EvalLimits, QueryResults};
+use rdfa_store::{PersistError, PersistentStore, Store, StoreStats};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::Duration;
 
 /// Tunables for the endpoint's robustness behaviour.
@@ -65,11 +75,52 @@ impl Default for ServerConfig {
     }
 }
 
+/// The store behind the endpoint: a plain in-memory store, or a durable one
+/// whose mutations are WAL-logged and checkpointed on shutdown.
+pub enum SharedStore {
+    Plain(RwLock<Store>),
+    Durable(RwLock<PersistentStore>),
+}
+
+/// A read guard over either store flavour, usable wherever `&Store` is.
+enum StoreReadGuard<'a> {
+    Plain(RwLockReadGuard<'a, Store>),
+    Durable(RwLockReadGuard<'a, PersistentStore>),
+}
+
+impl std::ops::Deref for StoreReadGuard<'_> {
+    type Target = Store;
+
+    fn deref(&self) -> &Store {
+        match self {
+            StoreReadGuard::Plain(g) => g,
+            StoreReadGuard::Durable(g) => g,
+        }
+    }
+}
+
+impl SharedStore {
+    fn read(&self) -> StoreReadGuard<'_> {
+        match self {
+            SharedStore::Plain(lock) => {
+                StoreReadGuard::Plain(lock.read().unwrap_or_else(|e| e.into_inner()))
+            }
+            SharedStore::Durable(lock) => {
+                StoreReadGuard::Durable(lock.read().unwrap_or_else(|e| e.into_inner()))
+            }
+        }
+    }
+}
+
 /// A running endpoint: drop it (or call [`Server::stop`]) to shut down.
 pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// The accept loop — joined *first* on shutdown so no new connections
+    /// enter the queue while the workers drain it.
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<SharedStore>,
 }
 
 impl Server {
@@ -80,16 +131,34 @@ impl Server {
 
     /// Bind and serve with an explicit [`ServerConfig`].
     pub fn start_with(store: Store, port: u16, config: ServerConfig) -> std::io::Result<Server> {
+        Server::serve(Arc::new(SharedStore::Plain(RwLock::new(store))), port, config)
+    }
+
+    /// Serve a durable store: `/update` is WAL-logged before it is
+    /// acknowledged, `/healthz` reports generation and WAL lag, and
+    /// shutdown checkpoints after draining in-flight requests.
+    pub fn start_durable(
+        store: PersistentStore,
+        port: u16,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::serve(Arc::new(SharedStore::Durable(RwLock::new(store))), port, config)
+    }
+
+    fn serve(
+        shared: Arc<SharedStore>,
+        port: u16,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let shared = Arc::new(RwLock::new(store));
         let config = Arc::new(config);
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
-        let mut handles = Vec::new();
+        let mut workers = Vec::new();
         for i in 0..config.workers.max(1) {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
@@ -101,10 +170,10 @@ impl Server {
                     let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match next {
                         Ok(stream) => serve_connection(stream, &shared, &config),
-                        Err(_) => break, // acceptor gone: shutdown
+                        Err(_) => break, // acceptor gone and queue drained: shutdown
                     }
                 })?;
-            handles.push(handle);
+            workers.push(handle);
         }
 
         let stop2 = Arc::clone(&stop);
@@ -135,16 +204,32 @@ impl Server {
                         Err(_) => break,
                     }
                 }
-                // dropping `tx` here unblocks the workers' `recv` so they exit
+                // dropping `tx` here unblocks the workers' `recv` so they
+                // exit — but only after draining every queued connection
             },
         )?;
-        handles.push(acceptor);
-        Ok(Server { addr, stop, handles })
+        Ok(Server { addr, stop, acceptor: Some(acceptor), workers, shared })
     }
 
     /// The bound address.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The store behind the endpoint.
+    pub fn shared(&self) -> &Arc<SharedStore> {
+        &self.shared
+    }
+
+    /// Checkpoint the durable store now (no-op for a plain store). Safe to
+    /// call while serving: readers proceed, updates briefly queue.
+    pub fn checkpoint(&self) -> Result<Option<u64>, PersistError> {
+        match &*self.shared {
+            SharedStore::Plain(_) => Ok(None),
+            SharedStore::Durable(lock) => {
+                lock.read().unwrap_or_else(|e| e.into_inner()).checkpoint().map(Some)
+            }
+        }
     }
 
     /// Request shutdown and join the serving threads.
@@ -153,9 +238,26 @@ impl Server {
     }
 
     fn shutdown(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() {
+            return; // already shut down (stop() followed by Drop)
+        }
+        // 1. stop accepting: joining the acceptor first guarantees nothing
+        //    new enters the queue after this point, and drops the sender
         self.stop.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
+        if let Some(h) = self.acceptor.take() {
             let _ = h.join();
+        }
+        // 2. workers finish their in-flight request, drain what the
+        //    acceptor already queued, then see the closed channel and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // 3. no request can be running: checkpoint the final state
+        if let SharedStore::Durable(lock) = &*self.shared {
+            let guard = lock.read().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = guard.checkpoint() {
+                eprintln!("rdfa-server: checkpoint on shutdown failed: {e}");
+            }
         }
     }
 }
@@ -168,7 +270,7 @@ impl Drop for Server {
 
 /// Run one connection to completion; a panic inside the handler is answered
 /// with a `500` on a pre-cloned stream and does not take the worker down.
-fn serve_connection(stream: TcpStream, store: &Arc<RwLock<Store>>, config: &ServerConfig) {
+fn serve_connection(stream: TcpStream, store: &Arc<SharedStore>, config: &ServerConfig) {
     let spare = stream.try_clone().ok();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         handle_connection(stream, store, config)
@@ -191,7 +293,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 fn handle_connection(
     stream: TcpStream,
-    store: &Arc<RwLock<Store>>,
+    store: &Arc<SharedStore>,
     config: &ServerConfig,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
@@ -307,11 +409,35 @@ fn handle_connection(
 
     match (method.as_str(), path) {
         ("GET", "/health") => write_response(&mut stream, "200 OK", "text/plain", "ok"),
+        ("GET", "/healthz") => {
+            let payload = match &**store {
+                SharedStore::Plain(lock) => {
+                    let guard = lock.read().unwrap_or_else(|e| e.into_inner());
+                    format!(
+                        "{{\"status\":\"ok\",\"durable\":false,\"triples\":{},\"dirty\":{}}}",
+                        guard.len(),
+                        guard.is_dirty()
+                    )
+                }
+                SharedStore::Durable(lock) => {
+                    let guard = lock.read().unwrap_or_else(|e| e.into_inner());
+                    let status = if guard.is_dead() { "degraded" } else { "ok" };
+                    format!(
+                        "{{\"status\":\"{status}\",\"durable\":true,\"generation\":{},\"wal_records\":{},\"triples\":{},\"dirty\":{}}}",
+                        guard.generation(),
+                        guard.wal_records(),
+                        guard.len(),
+                        guard.is_dirty()
+                    )
+                }
+            };
+            write_response(&mut stream, "200 OK", "application/json", &payload)
+        }
         ("GET", "/panic") if config.debug_routes => {
             panic!("deliberate panic for robustness testing")
         }
         ("GET", "/void") => {
-            let guard = store.read().unwrap_or_else(|e| e.into_inner());
+            let guard = store.read();
             let stats = StoreStats::gather(&guard);
             let void = stats.to_void_graph(&guard, "urn:rdfa:dataset");
             write_response(
@@ -337,7 +463,7 @@ fn handle_connection(
                     }
                 }
             };
-            let guard = store.read().unwrap_or_else(|e| e.into_inner());
+            let guard = store.read();
             match Engine::with_limits(&guard, config.limits).query(&query) {
                 Ok(QueryResults::Solutions(sols)) => {
                     if accept.contains("text/csv") {
@@ -368,18 +494,48 @@ fn handle_connection(
                 Err(e) => write_query_error(&mut stream, &e),
             }
         }
-        ("POST", "/update") => {
-            let mut guard = store.write().unwrap_or_else(|e| e.into_inner());
-            match execute_update(&mut guard, &body) {
-                Ok(stats) => write_response(
-                    &mut stream,
-                    "200 OK",
-                    "application/json",
-                    &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
-                ),
-                Err(e) => write_query_error(&mut stream, &e),
+        ("POST", "/update") => match &**store {
+            SharedStore::Plain(lock) => {
+                let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+                match execute_update(&mut guard, &body) {
+                    Ok(stats) => write_response(
+                        &mut stream,
+                        "200 OK",
+                        "application/json",
+                        &format!(
+                            "{{\"inserted\":{},\"deleted\":{}}}",
+                            stats.inserted, stats.deleted
+                        ),
+                    ),
+                    Err(e) => write_query_error(&mut stream, &e),
+                }
             }
-        }
+            SharedStore::Durable(lock) => {
+                let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+                // apply, recording the concrete triple changes, then log
+                // them as ONE atomic WAL record before acknowledging
+                match execute_update_recording(guard.store_mut_unlogged(), &body) {
+                    Ok((stats, changes)) => match guard.log_mutations(&changes) {
+                        Ok(()) => write_response(
+                            &mut stream,
+                            "200 OK",
+                            "application/json",
+                            &format!(
+                                "{{\"inserted\":{},\"deleted\":{}}}",
+                                stats.inserted, stats.deleted
+                            ),
+                        ),
+                        Err(e) => write_response(
+                            &mut stream,
+                            "500 Internal Server Error",
+                            "application/json",
+                            &json_error(500, &format!("durability failure: {e}")),
+                        ),
+                    },
+                    Err(e) => write_query_error(&mut stream, &e),
+                }
+            }
+        },
         _ => write_response(
             &mut stream,
             "404 Not Found",
@@ -749,6 +905,60 @@ mod tests {
         let _ = overflow.read_to_string(&mut resp);
         assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
         assert!(resp.contains("queue full"), "{resp}");
+    }
+
+    #[test]
+    fn healthz_reports_plain_store() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = get(server.addr(), "/healthz", "*/*");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"durable\":false"), "{resp}");
+        assert!(resp.contains("\"triples\":4"), "{resp}");
+    }
+
+    #[test]
+    fn durable_server_persists_updates_across_restart() {
+        use rdfa_store::PersistConfig;
+        let dir = std::env::temp_dir()
+            .join(format!("rdfa-server-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut pstore = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+            pstore
+                .load_turtle(
+                    r#"@prefix ex: <http://example.org/> . ex:l1 a ex:Laptop ."#,
+                )
+                .unwrap();
+            let server =
+                Server::start_durable(pstore, 0, ServerConfig::default()).unwrap();
+            let resp = post(
+                server.addr(),
+                "/update",
+                "PREFIX ex: <http://example.org/> INSERT DATA { ex:l2 a ex:Laptop . }",
+            );
+            assert!(resp.contains("\"inserted\":1"), "{resp}");
+            // healthz sees the durable store: gen 0, 2 WAL records (the
+            // initial load + the update batch)
+            let hz = get(server.addr(), "/healthz", "*/*");
+            assert!(hz.contains("\"durable\":true"), "{hz}");
+            assert!(hz.contains("\"generation\":0"), "{hz}");
+            assert!(hz.contains("\"wal_records\":2"), "{hz}");
+            server.stop(); // drains in-flight work, then checkpoints
+        }
+        // a new process generation reopens the directory and sees both
+        // laptops — from the shutdown checkpoint, with an empty WAL
+        let pstore = PersistentStore::open(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(pstore.recovery().generation, 1);
+        assert_eq!(pstore.recovery().snapshot_triples, 2);
+        assert_eq!(pstore.recovery().wal_records_replayed, 0);
+        let server = Server::start_durable(pstore, 0, ServerConfig::default()).unwrap();
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Laptop . }",
+        );
+        let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(resp.contains("\"value\":\"2\""), "{resp}");
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

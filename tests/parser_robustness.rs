@@ -114,3 +114,92 @@ fn update_parser_never_panics() {
         let _ = rdf_analytics::sparql::execute_update(&mut store, &input);
     }
 }
+
+// ---- N-Triples round-trip properties -------------------------------------
+//
+// N-Triples is the durability format (WAL payloads, fallback exports), so
+// serialize → parse must reproduce every literal exactly — including the
+// adversarial ones.
+
+use rdf_analytics::model::{Graph, Literal, Term, Triple};
+
+/// A literal lexical form stuffed with escape-relevant characters: quotes,
+/// backslashes, control chars, newlines, multi-byte unicode, astral planes.
+fn adversarial_lexical(rng: &mut StdRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| match rng.gen_range(0..12) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '\r',
+            4 => '\t',
+            5 => '\u{0}',
+            6 => '\u{1b}',
+            7 => '\u{7f}',
+            8 => ['λ', '中', '🦀', '\u{e000}', '\u{10ffff}'][rng.gen_range(0usize..5)],
+            _ => rng.gen_range(b' '..=b'~') as char,
+        })
+        .collect()
+}
+
+#[test]
+fn ntriples_roundtrips_adversarial_literals() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(24000 + case);
+        let mut graph = Graph::new();
+        let term = match rng.gen_range(0..3) {
+            0 => Term::string(adversarial_lexical(&mut rng, 40)),
+            1 => Term::Literal(Literal::lang_string(adversarial_lexical(&mut rng, 40), "en")),
+            _ => Term::iri(format!("http://e/o{case}")),
+        };
+        graph.push(Triple::new(
+            Term::iri(format!("http://e/s{case}")),
+            Term::iri("http://e/p"),
+            term,
+        ));
+        let text = ntriples::serialize(&graph);
+        let parsed = ntriples::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: serialized form unparsable: {e}\n{text}"));
+        assert_eq!(
+            parsed.iter().collect::<Vec<_>>(),
+            graph.iter().collect::<Vec<_>>(),
+            "case {case} round-trip mismatch"
+        );
+    }
+}
+
+#[test]
+fn ntriples_rejects_lone_surrogate_escapes() {
+    for (input, what) in [
+        (r#"<http://e/s> <http://e/p> "\uD800" ."#, "high surrogate"),
+        (r#"<http://e/s> <http://e/p> "\uDFFF" ."#, "low surrogate"),
+        (r#"<http://e/s> <http://e/p> "\U0000D812" ."#, "surrogate via \\U"),
+        (r#"<http://e/s> <http://e/p> "\U00110000" ."#, "beyond U+10FFFF"),
+        (r#"<http://e/s> <http://e/p> "\u12" ."#, "truncated \\u"),
+        (r#"<http://e/s> <http://e/p> "\q" ."#, "unknown escape"),
+    ] {
+        let err = ntriples::parse(input).expect_err(what);
+        assert_eq!(err.line, 1, "{what}: {err}");
+    }
+}
+
+#[test]
+fn ntriples_accepts_bom_and_crlf() {
+    let input = "\u{feff}<http://e/s> <http://e/p> \"v1\" .\r\n<http://e/s> <http://e/p> \"v2\" .\r\n";
+    let graph = ntriples::parse(input).expect("BOM + CRLF input parses");
+    assert_eq!(graph.len(), 2);
+    // and the round-trip normalizes to plain LF without losing data
+    let again = ntriples::parse(&ntriples::serialize(&graph)).unwrap();
+    assert_eq!(again.len(), 2);
+}
+
+#[test]
+fn ntriples_errors_carry_line_and_lexeme() {
+    let input = "<http://e/s> <http://e/p> \"ok\" .\n<http://e/s> <http://e/p> \"\\uD800\" .";
+    let err = ntriples::parse(input).expect_err("lone surrogate on line 2");
+    assert_eq!(err.line, 2);
+    assert!(!err.lexeme.is_empty());
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+}
