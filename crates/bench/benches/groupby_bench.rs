@@ -1,0 +1,91 @@
+//! Group-by microbenchmark: term-space evaluator vs the ID-space batched
+//! engine at 1 and N worker threads, over a store big enough to clear the
+//! parallel-aggregation threshold. Asserts all three configurations return
+//! the same (sorted) result rows, then writes `BENCH_3.json` with the
+//! timings and speedups so CI can archive the artifact.
+//!
+//! Run with `cargo bench --bench groupby_bench`.
+
+use rdfa_datagen::{ProductsGenerator, EX};
+use rdfa_sparql::{Engine, ExecMode, Solutions};
+use rdfa_store::Store;
+use std::time::Instant;
+
+const REPS: usize = 9;
+
+fn canon(sols: &Solutions) -> Vec<Vec<Option<String>>> {
+    let mut rows: Vec<Vec<Option<String>>> = sols
+        .rows()
+        .iter()
+        .map(|r| r.iter().map(|c| c.as_ref().map(|t| format!("{t:?}"))).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Median wall-clock seconds over `REPS` runs of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // ~7 triples per product → ~50k triples
+    let mut store = Store::new();
+    store.load_graph(&ProductsGenerator::new(7_000, 1).generate());
+    let n_triples = store.len();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let query = format!(
+        "PREFIX ex: <{EX}> \
+         SELECT ?m ?u (COUNT(?x) AS ?n) (AVG(?p) AS ?avg) (MIN(?p) AS ?lo) (MAX(?p) AS ?hi) \
+         WHERE {{ ?x ex:manufacturer ?m ; ex:USBPorts ?u ; ex:price ?p . }} \
+         GROUP BY ?m ?u"
+    );
+
+    let run = |mode: ExecMode, threads: usize| -> Solutions {
+        Engine::builder(&store)
+            .execution(mode)
+            .threads(threads)
+            .build()
+            .run(&query)
+            .expect("group-by query must evaluate")
+            .into_solutions()
+            .unwrap()
+    };
+
+    // correctness gate first: all three configurations, identical rows
+    let term_rows = canon(&run(ExecMode::TermSpace, 1));
+    let seq_rows = canon(&run(ExecMode::IdSpace, 1));
+    let par_rows = canon(&run(ExecMode::IdSpace, threads));
+    assert_eq!(term_rows, seq_rows, "id-space(1) diverged from term-space");
+    assert_eq!(term_rows, par_rows, "id-space({threads}) diverged from term-space");
+    let groups = term_rows.len();
+
+    let term = median_secs(|| {
+        run(ExecMode::TermSpace, 1);
+    });
+    let idspace_1 = median_secs(|| {
+        run(ExecMode::IdSpace, 1);
+    });
+    let idspace_n = median_secs(|| {
+        run(ExecMode::IdSpace, threads);
+    });
+
+    let speedup_vs_term = term / idspace_n;
+    let speedup_vs_seq = idspace_1 / idspace_n;
+    let json = format!(
+        "{{\n  \"bench\": \"groupby_parallel_hash_aggregation\",\n  \"triples\": {n_triples},\n  \"groups\": {groups},\n  \"reps\": {REPS},\n  \"threads\": {threads},\n  \"term_space_secs\": {term:.6},\n  \"id_space_1_thread_secs\": {idspace_1:.6},\n  \"id_space_n_threads_secs\": {idspace_n:.6},\n  \"speedup_id_space_n_vs_term_space\": {speedup_vs_term:.3},\n  \"speedup_id_space_n_vs_1_thread\": {speedup_vs_seq:.3}\n}}\n"
+    );
+    // repo root when run via cargo, current dir otherwise
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_3.json");
+    std::fs::write(&out, &json).expect("write BENCH_3.json");
+    println!("{json}");
+    println!("wrote {}", out.display());
+}

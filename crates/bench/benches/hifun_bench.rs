@@ -37,8 +37,8 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluation_strategy");
     group.sample_size(20);
     group.bench_function("translated_sparql", |b| {
-        let engine = Engine::new(&s);
-        b.iter(|| black_box(engine.query(&sparql).unwrap()))
+        let engine = Engine::builder(&s).build();
+        b.iter(|| black_box(engine.run(&sparql).unwrap()))
     });
     group.bench_function("direct_hifun", |b| {
         b.iter(|| black_box(direct::evaluate(&s, &q).unwrap()))

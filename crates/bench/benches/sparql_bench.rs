@@ -5,7 +5,6 @@ use rdfa_bench::microbench::{black_box, Criterion};
 use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_bench::queries::workload;
 use rdfa_datagen::{ProductsGenerator, EX};
-use rdfa_sparql::eval::EvalOptions;
 use rdfa_sparql::Engine;
 use rdfa_store::Store;
 
@@ -21,8 +20,8 @@ fn bench_workload(c: &mut Criterion) {
     group.sample_size(20);
     for wq in workload() {
         group.bench_function(wq.id, |b| {
-            let engine = Engine::new(&s);
-            b.iter(|| black_box(engine.query(&wq.sparql).unwrap()))
+            let engine = Engine::builder(&s).build();
+            b.iter(|| black_box(engine.run(&wq.sparql).unwrap()))
         });
     }
     group.finish();
@@ -50,12 +49,12 @@ fn bench_join_order_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_order_ablation");
     group.sample_size(20);
     group.bench_function("reordered", |b| {
-        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: true, ..Default::default() });
-        b.iter(|| black_box(engine.query(&q).unwrap()))
+        let engine = Engine::builder(&s).reorder_bgp(true).build();
+        b.iter(|| black_box(engine.run(&q).unwrap()))
     });
     group.bench_function("naive_order", |b| {
-        let engine = Engine::with_options(&s, EvalOptions { reorder_bgp: false, ..Default::default() });
-        b.iter(|| black_box(engine.query(&q).unwrap()))
+        let engine = Engine::builder(&s).reorder_bgp(false).build();
+        b.iter(|| black_box(engine.run(&q).unwrap()))
     });
     group.finish();
 }
@@ -66,8 +65,8 @@ fn bench_property_paths(c: &mut Criterion) {
         "PREFIX ex: <{EX}> SELECT ?x WHERE {{ ?x ex:manufacturer/ex:origin/ex:locatedAt ex:Asia . }}"
     );
     c.bench_function("property_path_3_steps", |b| {
-        let engine = Engine::new(&s);
-        b.iter(|| black_box(engine.query(&q).unwrap()))
+        let engine = Engine::builder(&s).build();
+        b.iter(|| black_box(engine.run(&q).unwrap()))
     });
 }
 

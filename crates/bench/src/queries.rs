@@ -88,7 +88,7 @@ mod tests {
         let mut store = Store::new();
         store.load_graph(&ProductsGenerator::new(100, 5).generate());
         for wq in workload() {
-            let result = Engine::new(&store).query(&wq.sparql);
+            let result = Engine::builder(&store).build().run(&wq.sparql);
             assert!(result.is_ok(), "{} failed: {:?}", wq.id, result.err());
         }
     }

@@ -37,8 +37,8 @@ impl AnswerFrame {
         hifun: String,
         sparql: Option<String>,
     ) -> Self {
-        debug_assert_eq!(headers.len(), solutions.vars.len());
-        AnswerFrame { headers, rows: solutions.rows, hifun, sparql, fallback: None }
+        debug_assert_eq!(headers.len(), solutions.vars().len());
+        AnswerFrame { headers, rows: solutions.into_rows(), hifun, sparql, fallback: None }
     }
 
     /// Record that this answer came from a degraded evaluation path.
@@ -60,8 +60,10 @@ impl AnswerFrame {
     /// Render as a plain-text table (Fig 6.3 a). Fractional numerics are
     /// rounded to two decimals for display (the underlying terms keep full
     /// precision).
+    /// Column widths are measured in characters, not bytes, so non-ASCII
+    /// labels stay aligned.
     pub fn to_table(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
         let render = |t: &Term| -> String {
             match rdfa_model::Value::from_term(t) {
                 rdfa_model::Value::Float(v) if v.fract().abs() > 1e-9 => format!("{v:.2}"),
@@ -76,7 +78,7 @@ impl AnswerFrame {
                     .enumerate()
                     .map(|(i, c)| {
                         let s = c.as_ref().map(render).unwrap_or_default();
-                        widths[i] = widths[i].max(s.len());
+                        widths[i] = widths[i].max(s.chars().count());
                         s
                     })
                     .collect()

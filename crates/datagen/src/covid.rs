@@ -117,15 +117,15 @@ mod tests {
                  ?c ex:population ?pop .
                }} GROUP BY ?c ORDER BY DESC(?perM)"#
         );
-        let sols = rdfa_sparql::Engine::new(&store)
-            .query(&q)
+        let sols = rdfa_sparql::Engine::builder(&store).build()
+            .run(&q)
             .unwrap()
             .into_solutions()
             .unwrap();
-        assert_eq!(sols.rows.len(), COUNTRIES.len());
+        assert_eq!(sols.len(), COUNTRIES.len());
         // descending order holds
         let vals: Vec<f64> = sols
-            .rows
+            .rows()
             .iter()
             .map(|r| {
                 rdfa_model::Value::from_term(r[1].as_ref().unwrap())

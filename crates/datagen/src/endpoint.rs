@@ -80,7 +80,7 @@ impl TimedResult {
     /// Number of result rows (0 for CONSTRUCT/ASK).
     pub fn row_count(&self) -> usize {
         match &self.results {
-            QueryResults::Solutions(s) => s.rows.len(),
+            QueryResults::Solutions(s) => s.len(),
             QueryResults::Graph(g) => g.len(),
             QueryResults::Boolean(_) => 1,
         }
@@ -190,10 +190,10 @@ impl<'s> SimulatedEndpoint<'s> {
     /// latency. Never injects faults — the timing baseline.
     pub fn query(&mut self, text: &str) -> Result<TimedResult, SparqlError> {
         let start = Instant::now();
-        let results = Engine::new(self.store).query(text)?;
+        let results = Engine::builder(self.store).build().run(text)?;
         let compute = start.elapsed();
         let n = match &results {
-            QueryResults::Solutions(s) => s.rows.len(),
+            QueryResults::Solutions(s) => s.len(),
             QueryResults::Graph(g) => g.len(),
             QueryResults::Boolean(_) => 1,
         };

@@ -108,14 +108,14 @@ mod tests {
             .group_by(AttrPath::prop(format!("{EX}takesPlaceAt")))
             .measure(AttrPath::prop(format!("{EX}inQuantity")));
         let direct = rdfa_hifun::direct::evaluate(&store, &q).unwrap();
-        assert_eq!(direct.rows.len(), 5);
+        assert_eq!(direct.len(), 5);
         // cross-check against the SPARQL translation
         let sparql = rdfa_hifun::translate::to_sparql(&q);
-        let translated = rdfa_sparql::Engine::new(&store)
-            .query(&sparql)
+        let translated = rdfa_sparql::Engine::builder(&store).build()
+            .run(&sparql)
             .unwrap()
             .into_solutions()
             .unwrap();
-        assert_eq!(translated.rows.len(), 5);
+        assert_eq!(translated.len(), 5);
     }
 }

@@ -230,7 +230,7 @@ mod tests {
                  FILTER (?u >= 2).
                }} GROUP BY ?m"#
         );
-        let results = rdfa_sparql::Engine::new(&store).query(&q).unwrap();
-        assert!(!results.solutions().unwrap().rows.is_empty());
+        let results = rdfa_sparql::Engine::builder(&store).build().run(&q).unwrap();
+        assert!(!results.solutions().unwrap().is_empty());
     }
 }

@@ -134,9 +134,9 @@ mod tests {
     fn sparql_only_joins_agree_with_ops() {
         let (s, ext) = store();
         let temp_store = store_with_temp(&s, &ext);
-        let engine = Engine::new(&temp_store);
+        let engine = Engine::builder(&temp_store).build();
         let man = format!("{EX}manufacturer");
-        let sols = engine.query(&q_joins(&man)).unwrap();
+        let sols = engine.run(&q_joins(&man)).unwrap();
         let via_sparql: BTreeSet<String> = sols
             .solutions()
             .unwrap()
@@ -155,13 +155,13 @@ mod tests {
     fn sparql_only_counts_agree() {
         let (s, ext) = store();
         let temp_store = store_with_temp(&s, &ext);
-        let engine = Engine::new(&temp_store);
+        let engine = Engine::builder(&temp_store).build();
         let sols = engine
-            .query(&q_joins_with_counts(&format!("{EX}manufacturer")))
+            .run(&q_joins_with_counts(&format!("{EX}manufacturer")))
             .unwrap();
         let rows = sols.into_solutions().unwrap();
         let get = |name: &str| -> i64 {
-            rows.rows
+            rows.rows()
                 .iter()
                 .find(|r| r[0].as_ref().unwrap().display_name() == name)
                 .and_then(|r| r[1].as_ref())
@@ -176,9 +176,9 @@ mod tests {
     fn sparql_only_restrict_agrees() {
         let (s, ext) = store();
         let temp_store = store_with_temp(&s, &ext);
-        let engine = Engine::new(&temp_store);
+        let engine = Engine::builder(&temp_store).build();
         let q = q_restrict_value(&format!("{EX}manufacturer"), &Term::iri(format!("{EX}DELL")));
-        let n = engine.query(&q).unwrap().solutions().unwrap().rows.len();
+        let n = engine.run(&q).unwrap().solutions().unwrap().len();
         assert_eq!(n, 2);
     }
 
@@ -186,19 +186,19 @@ mod tests {
     fn sparql_only_path_markers_agree() {
         let (s, ext) = store();
         let temp_store = store_with_temp(&s, &ext);
-        let engine = Engine::new(&temp_store);
+        let engine = Engine::builder(&temp_store).build();
         let man = format!("{EX}manufacturer");
         let origin = format!("{EX}origin");
-        let sols = engine.query(&q_path_markers(&[&man, &origin])).unwrap();
+        let sols = engine.run(&q_path_markers(&[&man, &origin])).unwrap();
         let rows = sols.into_solutions().unwrap();
-        assert_eq!(rows.rows.len(), 2);
+        assert_eq!(rows.len(), 2);
         // agree with the in-memory expansion
         let path = [
             PathStep::fwd(s.lookup_iri(&man).unwrap()),
             PathStep::fwd(s.lookup_iri(&origin).unwrap()),
         ];
         let markers = crate::markers::expand_path(&s, &ext, &path);
-        assert_eq!(markers.len(), rows.rows.len());
+        assert_eq!(markers.len(), rows.len());
     }
 
     #[test]

@@ -302,7 +302,7 @@ mod tests {
         session.select_class(id(&s, "Laptop")).unwrap();
         session.select_value(id(&s, "manufacturer"), id(&s, "DELL")).unwrap();
         let sparql = session.intent_sparql();
-        let sols = rdfa_sparql::Engine::new(&s).query(&sparql).unwrap();
+        let sols = rdfa_sparql::Engine::builder(&s).build().run(&sparql).unwrap();
         let got: BTreeSet<String> = sols
             .solutions()
             .unwrap()
@@ -344,12 +344,12 @@ mod tests {
         // the OR intention evaluates back to the extension
         let sparql = session.intent_sparql();
         assert!(sparql.contains(" IN ("), "{sparql}");
-        let got = rdfa_sparql::Engine::new(&s)
-            .query(&sparql)
+        let got = rdfa_sparql::Engine::builder(&s).build()
+            .run(&sparql)
             .unwrap()
             .into_solutions()
             .unwrap();
-        assert_eq!(got.rows.len(), 3);
+        assert_eq!(got.len(), 3);
         // empty selection rejected
         assert!(session.select_values(id(&s, "manufacturer"), &BTreeSet::new()).is_err());
     }

@@ -264,8 +264,8 @@ mod tests {
         assert!(q.contains("?x <http://e/manufacturer> ?v1 ."), "{q}");
         assert!(q.contains("?v1 <http://e/origin> <http://e/USA> ."), "{q}");
         // and the query actually evaluates to the same extension
-        let results = rdfa_sparql::Engine::new(&s).query(&q).unwrap();
-        assert_eq!(results.solutions().unwrap().rows.len(), 1);
+        let results = rdfa_sparql::Engine::builder(&s).build().run(&q).unwrap();
+        assert_eq!(results.solutions().unwrap().len(), 1);
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub fn evaluate(store: &Store, q: &HifunQuery) -> Result<Solutions, HifunError> 
 
     let mut vars: Vec<String> = (1..=q.groupings.len()).map(|i| format!("g{i}")).collect();
     vars.extend((1..=q.ops.len()).map(|i| format!("agg{i}")));
-    Ok(Solutions { vars, rows })
+    Ok(Solutions::new(vars, rows))
 }
 
 fn dedup_values(vals: &[Value]) -> Vec<Value> {
@@ -314,7 +314,7 @@ mod tests {
     }
 
     fn find_row<'a>(sol: &'a Solutions, key: &str) -> &'a Vec<Option<Term>> {
-        sol.rows
+        sol.rows()
             .iter()
             .find(|r| r[0].as_ref().map(|t| t.display_name()) == Some(key.to_owned()))
             .unwrap_or_else(|| panic!("no row {key} in {sol:?}"))
@@ -353,7 +353,7 @@ mod tests {
             .group_by(AttrPath::prop(p("takesPlaceAt")))
             .measure(AttrPath::prop(p("inQuantity")));
         let sol = evaluate(&s, &q).unwrap();
-        assert_eq!(sol.rows.len(), 2);
+        assert_eq!(sol.len(), 2);
         assert_eq!(find_row(&sol, "b1")[1], Some(Term::integer(300)));
         assert_eq!(find_row(&sol, "b2")[1], Some(Term::integer(400)));
     }
@@ -388,8 +388,8 @@ mod tests {
             .measure(AttrPath::prop(p("inQuantity")))
             .having(0, CondOp::Gt, Term::integer(300));
         let sol = evaluate(&s, &q).unwrap();
-        assert_eq!(sol.rows.len(), 1);
-        assert_eq!(sol.rows[0][0].as_ref().unwrap().display_name(), "b2");
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol.rows()[0][0].as_ref().unwrap().display_name(), "b2");
     }
 
     #[test]
@@ -405,7 +405,7 @@ mod tests {
             .group_by(AttrPath::prop(p("takesPlaceAt")))
             .measure(AttrPath::prop(p("inQuantity")));
         let sol = evaluate(&s, &q).unwrap();
-        assert_eq!(sol.rows.len(), 1);
+        assert_eq!(sol.len(), 1);
         assert_eq!(find_row(&sol, "b1")[1], Some(Term::integer(300)));
     }
 
@@ -419,7 +419,7 @@ mod tests {
             )
             .measure(AttrPath::prop(p("inQuantity")));
         let sol = evaluate(&s, &q).unwrap();
-        assert_eq!(sol.rows.len(), 1);
+        assert_eq!(sol.len(), 1);
         assert_eq!(find_row(&sol, "b1")[1], Some(Term::integer(300)));
     }
 
@@ -470,7 +470,7 @@ mod tests {
             .group_by(AttrPath::prop(p("delivers")))
             .measure(AttrPath::prop(p("inQuantity")));
         let sol = evaluate(&s, &q).unwrap();
-        assert_eq!(sol.rows.len(), 3); // (b1,p1), (b1,p2), (b2,p1)
+        assert_eq!(sol.len(), 3); // (b1,p1), (b1,p2), (b2,p1)
     }
 
     #[test]
@@ -481,6 +481,6 @@ mod tests {
             .group_by(AttrPath::prop(p("takesPlaceAt")))
             .measure(AttrPath::prop(p("inQuantity")));
         let sol = evaluate(&s, &q).unwrap();
-        assert!(sol.rows.is_empty());
+        assert!(sol.is_empty());
     }
 }

@@ -314,7 +314,7 @@ mod tests {
             .unwrap();
         let q = parse_hifun("(takesPlaceAt, inQuantity, SUM)", NS).unwrap();
         let answer = crate::direct::evaluate(&store, &q).unwrap();
-        assert_eq!(answer.rows.len(), 2);
+        assert_eq!(answer.len(), 2);
     }
 
     #[test]

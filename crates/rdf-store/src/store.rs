@@ -228,6 +228,19 @@ impl Store {
         self.explicit.matching(s, p, o).chain(self.inferred.matching(s, p, o))
     }
 
+    /// Number of entailed triples matching a pattern, counting at most
+    /// `cap`. Used by query planners to rank triple patterns by selectivity
+    /// without paying for an exact count on huge patterns.
+    pub fn count_matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        cap: usize,
+    ) -> usize {
+        self.matching(s, p, o).take(cap).count()
+    }
+
     /// Triples matching a pattern among asserted triples only.
     pub fn matching_explicit(
         &self,

@@ -1,12 +1,26 @@
-//! The public query interface: parse + evaluate in one call.
+//! The public query interface: build an [`Engine`], [`Engine::prepare`] a
+//! query once, execute it many times.
+//!
+//! A [`PreparedQuery`] carries its parsed form and — for `SELECT` queries in
+//! the batched fragment — a compiled physical plan over the store's interned
+//! ID space ([`crate::plan`]). Repeated [`PreparedQuery::execute`] calls
+//! reuse the plan; [`PreparedQuery::explain`] renders it, and
+//! [`PreparedQuery::last_stats`] reports per-operator cardinalities of the
+//! most recent execution.
+//!
+//! The pre-redesign constructors (`new`/`with_options`/`with_limits`) and
+//! the one-shot `query()` remain as thin deprecated shims over the same
+//! machinery.
 
-use crate::ast::QueryForm;
-use crate::eval::{EvalOptions, Evaluator};
+use crate::ast::{Query, QueryForm};
+use crate::eval::{EvalOptions, Evaluator, ExecMode};
 use crate::limits::EvalLimits;
 use crate::parser::parse_query;
+use crate::plan::{compile_select, describe_plan, execute_plan, ExecStats, PhysicalPlan};
 use crate::results::QueryResults;
 use crate::SparqlError;
 use rdfa_store::Store;
+use std::cell::RefCell;
 
 /// A query engine bound to a store.
 pub struct Engine<'s> {
@@ -14,62 +28,221 @@ pub struct Engine<'s> {
     options: EvalOptions,
 }
 
+/// Configures an [`Engine`] (see [`Engine::builder`]).
+pub struct EngineBuilder<'s> {
+    store: &'s Store,
+    options: EvalOptions,
+}
+
+impl<'s> EngineBuilder<'s> {
+    /// Replace the whole option set at once.
+    pub fn options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Set the resource budget (the limit clock starts per execution).
+    pub fn limits(mut self, limits: EvalLimits) -> Self {
+        self.options.limits = limits;
+        self
+    }
+
+    /// Enable or disable selectivity-based BGP reordering (default: on).
+    pub fn reorder_bgp(mut self, on: bool) -> Self {
+        self.options.reorder_bgp = on;
+        self
+    }
+
+    /// Choose the execution engine for `SELECT` queries (default: ID space).
+    pub fn execution(mut self, mode: ExecMode) -> Self {
+        self.options.execution = mode;
+        self
+    }
+
+    /// Worker threads for parallel hash aggregation; `0` (the default) uses
+    /// [`std::thread::available_parallelism`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.options.threads = n;
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> Engine<'s> {
+        Engine { store: self.store, options: self.options }
+    }
+}
+
 impl<'s> Engine<'s> {
-    /// Engine with default options (BGP reordering on, no limits).
+    /// Start configuring an engine over `store`.
+    pub fn builder(store: &'s Store) -> EngineBuilder<'s> {
+        EngineBuilder { store, options: EvalOptions::default() }
+    }
+
+    /// Engine with default options.
+    #[deprecated(since = "0.4.0", note = "use `Engine::builder(store).build()`")]
     pub fn new(store: &'s Store) -> Self {
-        Engine { store, options: EvalOptions::default() }
+        Engine::builder(store).build()
     }
 
     /// Engine with explicit evaluation options.
+    #[deprecated(since = "0.4.0", note = "use `Engine::builder(store).options(..).build()`")]
     pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
-        Engine { store, options }
+        Engine::builder(store).options(options).build()
     }
 
-    /// Engine with default options plus a resource budget. The limit clock
-    /// starts per query, not at engine construction.
+    /// Engine with default options plus a resource budget.
+    #[deprecated(since = "0.4.0", note = "use `Engine::builder(store).limits(..).build()`")]
     pub fn with_limits(store: &'s Store, limits: EvalLimits) -> Self {
-        Engine { store, options: EvalOptions { limits, ..EvalOptions::default() } }
+        Engine::builder(store).limits(limits).build()
+    }
+
+    /// The options this engine executes with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Parse a query and compile it for repeated execution. `SELECT`
+    /// queries inside the batched fragment get a physical plan over the
+    /// interned ID space; everything else (and [`ExecMode::TermSpace`])
+    /// executes on the term-space evaluator.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'s>, SparqlError> {
+        let query = parse_query(text)?;
+        let plan = match (&query.form, self.options.execution) {
+            (QueryForm::Select(q), ExecMode::IdSpace) => {
+                compile_select(q, self.store, &self.options)
+            }
+            _ => None,
+        };
+        Ok(PreparedQuery {
+            store: self.store,
+            options: self.options,
+            text: text.to_owned(),
+            query,
+            plan,
+            stats: RefCell::new(None),
+        })
+    }
+
+    /// One-shot convenience: [`Engine::prepare`] + [`PreparedQuery::execute`].
+    pub fn run(&self, text: &str) -> Result<QueryResults, SparqlError> {
+        self.prepare(text)?.execute()
     }
 
     /// Parse and evaluate a query.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `prepare()` + `execute()` (or `run()` for one-shots)"
+    )]
     pub fn query(&self, text: &str) -> Result<QueryResults, SparqlError> {
-        let query = parse_query(text)?;
-        let ev = Evaluator::with_options(self.store, self.options);
-        match query.form {
-            QueryForm::Select(q) => Ok(QueryResults::Solutions(ev.eval_select(&q)?)),
-            QueryForm::Construct { template, where_ } => {
-                Ok(QueryResults::Graph(ev.eval_construct(&template, &where_)?))
+        self.run(text)
+    }
+}
+
+/// A parsed (and, where possible, compiled) query bound to a store,
+/// executable any number of times.
+pub struct PreparedQuery<'s> {
+    store: &'s Store,
+    options: EvalOptions,
+    text: String,
+    query: Query,
+    plan: Option<PhysicalPlan>,
+    stats: RefCell<Option<ExecStats>>,
+}
+
+impl<'s> PreparedQuery<'s> {
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// True when this query runs on the compiled ID-space plan (false for
+    /// non-`SELECT` forms, [`ExecMode::TermSpace`], and fragment fallbacks).
+    pub fn uses_id_space(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Execute the query. The resource-limit clock starts now.
+    pub fn execute(&self) -> Result<QueryResults, SparqlError> {
+        match &self.query.form {
+            QueryForm::Select(q) => {
+                if let Some(plan) = &self.plan {
+                    let (solutions, stats) = execute_plan(plan, q, self.store, &self.options)?;
+                    *self.stats.borrow_mut() = Some(stats);
+                    Ok(QueryResults::Solutions(solutions))
+                } else {
+                    let ev = Evaluator::with_options(self.store, self.options);
+                    Ok(QueryResults::Solutions(ev.eval_select(q)?))
+                }
             }
-            QueryForm::Ask(where_) => Ok(QueryResults::Boolean(ev.eval_ask(&where_)?)),
+            QueryForm::Construct { template, where_ } => {
+                let ev = Evaluator::with_options(self.store, self.options);
+                Ok(QueryResults::Graph(ev.eval_construct(template, where_)?))
+            }
+            QueryForm::Ask(where_) => {
+                let ev = Evaluator::with_options(self.store, self.options);
+                Ok(QueryResults::Boolean(ev.eval_ask(where_)?))
+            }
             QueryForm::Describe(resources) => {
-                Ok(QueryResults::Graph(self.describe(&resources)))
+                Ok(QueryResults::Graph(describe(self.store, resources)))
             }
         }
     }
 
-    /// Concise bounded description: outgoing triples of each resource,
-    /// expanded recursively through blank-node objects.
-    fn describe(&self, resources: &[rdfa_model::Term]) -> rdfa_model::Graph {
-        use rdfa_model::{Graph, Term, Triple};
-        let mut graph = Graph::new();
-        let mut queue: Vec<rdfa_store::TermId> =
-            resources.iter().filter_map(|t| self.store.lookup(t)).collect();
-        let mut seen: std::collections::HashSet<rdfa_store::TermId> =
-            queue.iter().copied().collect();
-        while let Some(s) = queue.pop() {
-            for [s2, p, o] in self.store.matching_explicit(Some(s), None, None) {
-                graph.push(Triple::new(
-                    self.store.term(s2).clone(),
-                    self.store.term(p).clone(),
-                    self.store.term(o).clone(),
-                ));
-                if matches!(self.store.term(o), Term::Blank(_)) && seen.insert(o) {
-                    queue.push(o);
-                }
+    /// Statistics of the most recent [`PreparedQuery::execute`] on the
+    /// ID-space plan (operator cardinalities, threads used, arena size).
+    /// `None` before the first execution and on term-space fallbacks.
+    pub fn last_stats(&self) -> Option<ExecStats> {
+        self.stats.borrow().clone()
+    }
+
+    /// Render the plan as text. For compiled queries this is the physical
+    /// operator tree with estimates, and — after an execution — observed
+    /// per-operator cardinalities; otherwise the term-space BGP plan.
+    pub fn explain(&self) -> String {
+        if let Some(plan) = &self.plan {
+            let stats = self.stats.borrow();
+            let mut out = String::from("physical plan:\n");
+            for line in describe_plan(plan, stats.as_ref()) {
+                out.push_str("  ");
+                out.push_str(&line);
+                out.push('\n');
+            }
+            out
+        } else {
+            match crate::explain::explain(self.store, &self.text, self.options) {
+                Ok(plan) => plan.to_text(),
+                Err(e) => format!("explain unavailable: {e}\n"),
             }
         }
-        graph
     }
+}
+
+/// Concise bounded description: outgoing triples of each resource,
+/// expanded recursively through blank-node objects.
+fn describe(store: &Store, resources: &[rdfa_model::Term]) -> rdfa_model::Graph {
+    use rdfa_model::{Graph, Term, Triple};
+    let mut graph = Graph::new();
+    let mut queue: Vec<rdfa_store::TermId> =
+        resources.iter().filter_map(|t| store.lookup(t)).collect();
+    let mut seen: std::collections::HashSet<rdfa_store::TermId> = queue.iter().copied().collect();
+    while let Some(s) = queue.pop() {
+        for [s2, p, o] in store.matching_explicit(Some(s), None, None) {
+            graph.push(Triple::new(
+                store.term(s2).clone(),
+                store.term(p).clone(),
+                store.term(o).clone(),
+            ));
+            if matches!(store.term(o), Term::Blank(_)) && seen.insert(o) {
+                queue.push(o);
+            }
+        }
+    }
+    graph
 }
 
 #[cfg(test)]
@@ -102,8 +275,9 @@ mod tests {
     }
 
     fn rows(store: &Store, q: &str) -> crate::results::Solutions {
-        Engine::new(store)
-            .query(q)
+        Engine::builder(store)
+            .build()
+            .run(q)
             .unwrap_or_else(|e| panic!("{e}: {q}"))
             .into_solutions()
             .unwrap()
@@ -113,14 +287,14 @@ mod tests {
     fn basic_select() {
         let s = store();
         let r = rows(&s, "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . }");
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
     fn inference_visible_to_queries() {
         let s = store();
         let r = rows(&s, "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Product . }");
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
@@ -131,7 +305,7 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x WHERE { ?x a ex:Laptop ; ex:price ?p . FILTER(?p < 950) }"#,
         );
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -144,12 +318,12 @@ mod tests {
                WHERE { ?x ex:manufacturer ?m ; ex:price ?p . }
                GROUP BY ?m ORDER BY ?m"#,
         );
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
         // ACER first alphabetically
-        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/ACER")));
-        let avg = Value::from_term(r.rows[0][1].as_ref().unwrap());
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://example.org/ACER")));
+        let avg = Value::from_term(r.rows()[0][1].as_ref().unwrap());
         assert!(avg.value_eq(&Value::Float(820.0)));
-        let avg_dell = Value::from_term(r.rows[1][1].as_ref().unwrap());
+        let avg_dell = Value::from_term(r.rows()[1][1].as_ref().unwrap());
         assert!(avg_dell.value_eq(&Value::Float(950.0)));
     }
 
@@ -162,8 +336,8 @@ mod tests {
                SELECT (SUM(?q) AS ?s) (COUNT(?q) AS ?c) (MIN(?q) AS ?lo) (MAX(?q) AS ?hi)
                WHERE { ?i ex:inQuantity ?q . }"#,
         );
-        assert_eq!(r.rows.len(), 1);
-        let get = |i: usize| Value::from_term(r.rows[0][i].as_ref().unwrap());
+        assert_eq!(r.len(), 1);
+        let get = |i: usize| Value::from_term(r.rows()[0][i].as_ref().unwrap());
         assert!(get(0).value_eq(&Value::Int(700)));
         assert!(get(1).value_eq(&Value::Int(3)));
         assert!(get(2).value_eq(&Value::Int(100)));
@@ -182,8 +356,8 @@ mod tests {
                HAVING (SUM(?q) > 300)"#,
         );
         // branch1 totals 300 (excluded by > 300); branch2 totals 400 (kept)
-        assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://example.org/branch2")));
     }
 
     #[test]
@@ -196,8 +370,8 @@ mod tests {
                WHERE { ?i ex:takesPlaceAt ?b ; ex:inQuantity ?q . }
                GROUP BY ?b HAVING (SUM(?q) >= 400)"#,
         );
-        assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://example.org/branch2")));
     }
 
     #[test]
@@ -208,7 +382,7 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x WHERE { ?x ex:manufacturer/ex:origin ex:USA . }"#,
         );
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -222,8 +396,8 @@ mod tests {
                  OPTIONAL { ?x ex:nonexistent ?o . }
                }"#,
         );
-        assert_eq!(r.rows.len(), 3);
-        assert!(r.rows.iter().all(|row| row[1].is_none()));
+        assert_eq!(r.len(), 3);
+        assert!(r.rows().iter().all(|row| row[1].is_none()));
     }
 
     #[test]
@@ -236,7 +410,7 @@ mod tests {
                  { ?x ex:manufacturer ex:DELL . } UNION { ?x ex:manufacturer ex:ACER . }
                }"#,
         );
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
@@ -251,7 +425,7 @@ mod tests {
                  FILTER(?rd >= "2021-01-01"^^xsd:date && ?rd <= "2021-12-31"^^xsd:date)
                }"#,
         );
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -264,9 +438,9 @@ mod tests {
                WHERE { ?x ex:releaseDate ?rd . }
                GROUP BY YEAR(?rd) ORDER BY ?y"#,
         );
-        assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.rows[0][0], Some(Term::integer(2020)));
-        assert_eq!(r.rows[1][1], Some(Term::integer(2)));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0][0], Some(Term::integer(2020)));
+        assert_eq!(r.rows()[1][1], Some(Term::integer(2)));
     }
 
     #[test]
@@ -276,7 +450,7 @@ mod tests {
             &s,
             "PREFIX ex: <http://example.org/> SELECT DISTINCT ?m WHERE { ?x ex:manufacturer ?m . }",
         );
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]
@@ -287,14 +461,14 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x ?p WHERE { ?x ex:price ?p . } ORDER BY DESC(?p) LIMIT 2"#,
         );
-        assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.rows[0][1], Some(Term::integer(1000)));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0][1], Some(Term::integer(1000)));
         let r2 = rows(
             &s,
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x ?p WHERE { ?x ex:price ?p . } ORDER BY ?p OFFSET 1 LIMIT 1"#,
         );
-        assert_eq!(r2.rows[0][1], Some(Term::integer(900)));
+        assert_eq!(r2.rows()[0][1], Some(Term::integer(900)));
     }
 
     #[test]
@@ -310,8 +484,8 @@ mod tests {
                  FILTER(?t >= 400)
                }"#,
         );
-        assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/branch2")));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://example.org/branch2")));
     }
 
     #[test]
@@ -322,7 +496,7 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x ?p2 WHERE { ?x ex:price ?p . BIND(?p * 2 AS ?p2) } ORDER BY ?p2"#,
         );
-        assert_eq!(r.rows[0][1], Some(Term::integer(1640)));
+        assert_eq!(r.rows()[0][1], Some(Term::integer(1640)));
     }
 
     #[test]
@@ -333,14 +507,15 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x WHERE { ?x ex:manufacturer ?m . VALUES ?m { ex:ACER } }"#,
         );
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.len(), 1);
     }
 
     #[test]
     fn construct_derives_graph() {
         let s = store();
-        let g = Engine::new(&s)
-            .query(
+        let g = Engine::builder(&s)
+            .build()
+            .run(
                 r#"PREFIX ex: <http://example.org/>
                    CONSTRUCT { ?x ex:cheap true }
                    WHERE { ?x ex:price ?p . FILTER(?p < 900) }"#,
@@ -353,12 +528,13 @@ mod tests {
     #[test]
     fn ask_query() {
         let s = store();
-        let yes = Engine::new(&s)
-            .query("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 900 . }")
+        let engine = Engine::builder(&s).build();
+        let yes = engine
+            .run("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 900 . }")
             .unwrap();
         assert_eq!(yes.boolean(), Some(true));
-        let no = Engine::new(&s)
-            .query("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 1 . }")
+        let no = engine
+            .run("PREFIX ex: <http://example.org/> ASK WHERE { ?x ex:price 1 . }")
             .unwrap();
         assert_eq!(no.boolean(), Some(false));
     }
@@ -370,8 +546,8 @@ mod tests {
             &s,
             "PREFIX ex: <http://example.org/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:missing ?y . }",
         );
-        assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], Some(Term::integer(0)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::integer(0)));
     }
 
     #[test]
@@ -381,7 +557,7 @@ mod tests {
             &s,
             "PREFIX ex: <http://example.org/> SELECT DISTINCT ?p WHERE { ex:l1 ?p ?o . }",
         );
-        assert!(r.rows.len() >= 5);
+        assert!(r.len() >= 5);
     }
 
     #[test]
@@ -392,8 +568,10 @@ mod tests {
               ?x a ex:Laptop . ?x ex:manufacturer ?m . ?m ex:origin ex:USA .
             } ORDER BY ?x"#;
         let fast = rows(&s, q);
-        let naive = Engine::with_options(&s, EvalOptions { reorder_bgp: false, ..Default::default() })
-            .query(q)
+        let naive = Engine::builder(&s)
+            .reorder_bgp(false)
+            .build()
+            .run(q)
             .unwrap()
             .into_solutions()
             .unwrap();
@@ -409,9 +587,9 @@ mod tests {
                SELECT (GROUP_CONCAT(?m) AS ?ms) (SAMPLE(?m) AS ?one)
                WHERE { ?x ex:manufacturer ?m . }"#,
         );
-        let joined = r.rows[0][0].as_ref().unwrap().display_name();
+        let joined = r.rows()[0][0].as_ref().unwrap().display_name();
         assert!(joined.contains("DELL"));
-        assert!(r.rows[0][1].is_some());
+        assert!(r.rows()[0][1].is_some());
     }
 
     #[test]
@@ -427,7 +605,7 @@ mod tests {
                  ?x ex:price ?p .
                }"#,
         );
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.len(), 1);
     }
 
     #[test]
@@ -444,9 +622,9 @@ mod tests {
                  }
                }"#,
         );
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
         // every laptop has a manufacturer with an origin in this fixture
-        assert!(r.rows.iter().all(|row| row[1].is_some() && row[2].is_some()));
+        assert!(r.rows().iter().all(|row| row[1].is_some() && row[2].is_some()));
     }
 
     #[test]
@@ -460,9 +638,9 @@ mod tests {
                  OPTIONAL { ?x ex:price ?p . FILTER(?p > 900) }
                } ORDER BY ?x"#,
         );
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
         // only l2 (price 1000) keeps a binding
-        let bound: Vec<bool> = r.rows.iter().map(|row| row[1].is_some()).collect();
+        let bound: Vec<bool> = r.rows().iter().map(|row| row[1].is_some()).collect();
         assert_eq!(bound, vec![false, true, false]);
     }
 
@@ -480,14 +658,15 @@ mod tests {
                }"#,
         );
         // each laptop contributes 2 rows (usb + price)
-        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.len(), 6);
     }
 
     #[test]
     fn describe_returns_outgoing_triples() {
         let s = store();
-        let g = Engine::new(&s)
-            .query("PREFIX ex: <http://example.org/> DESCRIBE ex:l1")
+        let g = Engine::builder(&s)
+            .build()
+            .run("PREFIX ex: <http://example.org/> DESCRIBE ex:l1")
             .unwrap();
         let graph = g.graph().unwrap();
         assert_eq!(graph.len(), 5); // type, price, manufacturer, releaseDate, usb
@@ -503,8 +682,9 @@ mod tests {
             "@prefix ex: <http://example.org/> . ex:a ex:p _:b1 . _:b1 ex:q 5 .",
         )
         .unwrap();
-        let g = Engine::new(&s)
-            .query("PREFIX ex: <http://example.org/> DESCRIBE ex:a")
+        let g = Engine::builder(&s)
+            .build()
+            .run("PREFIX ex: <http://example.org/> DESCRIBE ex:a")
             .unwrap();
         assert_eq!(g.graph().unwrap().len(), 2);
     }
@@ -520,8 +700,8 @@ mod tests {
                  MINUS { ?x ex:manufacturer ex:DELL . }
                }"#,
         );
-        assert_eq!(r.rows.len(), 1); // only the ACER laptop survives
-        assert_eq!(r.rows[0][0], Some(Term::iri("http://example.org/l3")));
+        assert_eq!(r.len(), 1); // only the ACER laptop survives
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://example.org/l3")));
     }
 
     #[test]
@@ -535,7 +715,7 @@ mod tests {
                  MINUS { ?y ex:manufacturer ex:DELL . }
                }"#,
         );
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
@@ -549,7 +729,7 @@ mod tests {
                  FILTER EXISTS { ?x ex:manufacturer ?m . ?m ex:origin ex:USA . }
                }"#,
         );
-        assert_eq!(with.rows.len(), 2);
+        assert_eq!(with.len(), 2);
         let without = rows(
             &s,
             r#"PREFIX ex: <http://example.org/>
@@ -558,7 +738,7 @@ mod tests {
                  FILTER NOT EXISTS { ?x ex:manufacturer ?m . ?m ex:origin ex:USA . }
                }"#,
         );
-        assert_eq!(without.rows.len(), 1);
+        assert_eq!(without.len(), 1);
     }
 
     #[test]
@@ -573,10 +753,10 @@ mod tests {
                  BIND(ENCODE_FOR_URI("a b/c") AS ?d)
                }"#,
         );
-        assert_eq!(r.rows[0][0].as_ref().unwrap().display_name(), "laptop");
-        assert_eq!(r.rows[0][1].as_ref().unwrap().display_name(), "15");
-        assert_eq!(r.rows[0][2].as_ref().unwrap().display_name(), "a/b/c");
-        assert_eq!(r.rows[0][3].as_ref().unwrap().display_name(), "a%20b%2Fc");
+        assert_eq!(r.rows()[0][0].as_ref().unwrap().display_name(), "laptop");
+        assert_eq!(r.rows()[0][1].as_ref().unwrap().display_name(), "15");
+        assert_eq!(r.rows()[0][2].as_ref().unwrap().display_name(), "a/b/c");
+        assert_eq!(r.rows()[0][3].as_ref().unwrap().display_name(), "a%20b%2Fc");
     }
 
     #[test]
@@ -587,7 +767,101 @@ mod tests {
             r#"PREFIX ex: <http://example.org/>
                SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?x ex:manufacturer ?m . }"#,
         );
-        assert_eq!(r.rows[0][0], Some(Term::integer(2)));
+        assert_eq!(r.rows()[0][0], Some(Term::integer(2)));
+    }
+
+    // ---- the prepare/execute API -------------------------------------------
+
+    #[test]
+    fn prepared_query_executes_repeatedly() {
+        let s = store();
+        let engine = Engine::builder(&s).build();
+        let prepared = engine
+            .prepare(
+                r#"PREFIX ex: <http://example.org/>
+                   SELECT ?m (COUNT(*) AS ?n)
+                   WHERE { ?x ex:manufacturer ?m . } GROUP BY ?m ORDER BY ?m"#,
+            )
+            .unwrap();
+        assert!(prepared.uses_id_space());
+        let first = prepared.execute().unwrap().into_solutions().unwrap();
+        let second = prepared.execute().unwrap().into_solutions().unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn prepared_query_reports_stats_and_explain() {
+        let s = store();
+        let engine = Engine::builder(&s).build();
+        let prepared = engine
+            .prepare(
+                r#"PREFIX ex: <http://example.org/>
+                   SELECT ?m (AVG(?p) AS ?avg)
+                   WHERE { ?x ex:manufacturer ?m ; ex:price ?p . } GROUP BY ?m"#,
+            )
+            .unwrap();
+        assert!(prepared.last_stats().is_none(), "no stats before execution");
+        // the pre-execution explain shows the operator tree with estimates
+        let pre = prepared.explain();
+        assert!(pre.contains("physical plan:"), "{pre}");
+        assert!(pre.contains("IndexJoin"), "{pre}");
+        prepared.execute().unwrap();
+        let stats = prepared.last_stats().expect("stats after execution");
+        assert_eq!(stats.rows_out, 2);
+        assert!(stats.operators.iter().any(|o| o.kind == "join" && o.rows_out > 0));
+        // post-execution explain reports observed cardinalities
+        let post = prepared.explain();
+        assert!(post.contains("rows="), "{post}");
+    }
+
+    #[test]
+    fn term_space_mode_skips_the_plan() {
+        let s = store();
+        let engine = Engine::builder(&s).execution(ExecMode::TermSpace).build();
+        let prepared = engine
+            .prepare("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . }")
+            .unwrap();
+        assert!(!prepared.uses_id_space());
+        assert_eq!(prepared.execute().unwrap().solutions().unwrap().len(), 3);
+        // the fallback explain is the term-space BGP plan
+        assert!(prepared.explain().contains("plan:"));
+    }
+
+    #[test]
+    fn fragment_fallback_still_answers() {
+        let s = store();
+        let engine = Engine::builder(&s).build();
+        // property paths are outside the batched fragment
+        let prepared = engine
+            .prepare(
+                r#"PREFIX ex: <http://example.org/>
+                   SELECT ?x WHERE { ?x ex:manufacturer/ex:origin ex:USA . }"#,
+            )
+            .unwrap();
+        assert!(!prepared.uses_id_space());
+        assert_eq!(prepared.execute().unwrap().solutions().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let s = store();
+        let q = "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . }";
+        let via_new = Engine::new(&s).query(q).unwrap().into_solutions().unwrap();
+        let via_limits = Engine::with_limits(&s, EvalLimits::interactive())
+            .query(q)
+            .unwrap()
+            .into_solutions()
+            .unwrap();
+        let via_options = Engine::with_options(&s, EvalOptions::default())
+            .query(q)
+            .unwrap()
+            .into_solutions()
+            .unwrap();
+        assert_eq!(via_new, via_limits);
+        assert_eq!(via_new, via_options);
+        assert_eq!(via_new.len(), 3);
     }
 
     // ---- resource limits ---------------------------------------------------
@@ -612,8 +886,10 @@ mod tests {
         let q = r#"PREFIX ex: <http://example.org/>
             SELECT ?x ?m WHERE { ?x a ex:Laptop ; ex:manufacturer ?m . } ORDER BY ?x"#;
         let unlimited = rows(&s, q);
-        let limited = Engine::with_limits(&s, EvalLimits::interactive())
-            .query(q)
+        let limited = Engine::builder(&s)
+            .limits(EvalLimits::interactive())
+            .build()
+            .run(q)
             .unwrap()
             .into_solutions()
             .unwrap();
@@ -626,10 +902,11 @@ mod tests {
         // come back as ResourceLimit within 2x its 100ms deadline
         let s = cycle_store(2000);
         let deadline = Duration::from_millis(100);
-        let engine = Engine::with_limits(&s, EvalLimits::default().with_deadline(deadline));
+        let engine =
+            Engine::builder(&s).limits(EvalLimits::default().with_deadline(deadline)).build();
         let t0 = Instant::now();
         let err = engine
-            .query(
+            .run(
                 "PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }",
             )
             .unwrap_err();
@@ -645,10 +922,11 @@ mod tests {
     #[test]
     fn closure_hits_path_visit_limit() {
         let s = cycle_store(500);
-        let engine =
-            Engine::with_limits(&s, EvalLimits::default().with_max_path_visits(1_000));
+        let engine = Engine::builder(&s)
+            .limits(EvalLimits::default().with_max_path_visits(1_000))
+            .build();
         let err = engine
-            .query("PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }")
+            .run("PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { ?x ex:partOf+ ?y . }")
             .unwrap_err();
         assert_eq!(
             err,
@@ -659,11 +937,10 @@ mod tests {
     #[test]
     fn cartesian_product_hits_row_limit() {
         let s = store();
-        let engine = Engine::with_limits(&s, EvalLimits::default().with_max_rows(20));
+        let engine =
+            Engine::builder(&s).limits(EvalLimits::default().with_max_rows(20)).build();
         // unconstrained triple x triple cross product blows past 20 rows
-        let err = engine
-            .query("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . }")
-            .unwrap_err();
+        let err = engine.run("SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . }").unwrap_err();
         assert_eq!(
             err,
             SparqlError::ResourceLimit { kind: LimitKind::SolutionRows, limit: 20 }
@@ -673,16 +950,19 @@ mod tests {
     #[test]
     fn deep_nesting_hits_depth_limit() {
         let s = store();
-        let engine = Engine::with_limits(&s, EvalLimits::default().with_max_depth(3));
+        let engine = Engine::builder(&s).limits(EvalLimits::default().with_max_depth(3)).build();
         let q = r#"PREFIX ex: <http://example.org/>
             SELECT ?x WHERE { { { { { ?x a ex:Laptop . } } } } }"#;
-        let err = engine.query(q).unwrap_err();
+        let err = engine.run(q).unwrap_err();
         assert_eq!(
             err,
             SparqlError::ResourceLimit { kind: LimitKind::RecursionDepth, limit: 3 }
         );
         // the same query is fine with a deeper budget
-        let ok = Engine::with_limits(&s, EvalLimits::default().with_max_depth(16)).query(q);
+        let ok = Engine::builder(&s)
+            .limits(EvalLimits::default().with_max_depth(16))
+            .build()
+            .run(q);
         assert!(ok.is_ok());
     }
 
@@ -691,9 +971,10 @@ mod tests {
         // the EXISTS sub-pattern walks the cycle closure and must charge the
         // outer query's budget rather than getting a fresh one
         let s = cycle_store(500);
-        let engine =
-            Engine::with_limits(&s, EvalLimits::default().with_max_path_visits(1_000));
-        let result = engine.query(
+        let engine = Engine::builder(&s)
+            .limits(EvalLimits::default().with_max_path_visits(1_000))
+            .build();
+        let result = engine.run(
             r#"PREFIX ex: <http://example.org/>
                SELECT ?x WHERE {
                  ?x ex:partOf ?y .

@@ -65,6 +65,17 @@ impl Frame {
     }
 }
 
+/// Which execution engine runs `SELECT` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compile to a physical plan over interned ids ([`crate::plan`]),
+    /// falling back to the term-space evaluator for unsupported constructs.
+    #[default]
+    IdSpace,
+    /// Always use the term-space row-at-a-time evaluator.
+    TermSpace,
+}
+
 /// Evaluation options (the ablation switches plus resource budgets).
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
@@ -72,11 +83,21 @@ pub struct EvalOptions {
     pub reorder_bgp: bool,
     /// Cooperative resource limits (default: unlimited).
     pub limits: EvalLimits,
+    /// Execution engine for `SELECT` queries (default: ID space).
+    pub execution: ExecMode,
+    /// Worker threads for parallel hash aggregation; `0` = use
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_bgp: true, limits: EvalLimits::unlimited() }
+        EvalOptions {
+            reorder_bgp: true,
+            limits: EvalLimits::unlimited(),
+            execution: ExecMode::IdSpace,
+            threads: 0,
+        }
     }
 }
 
@@ -397,14 +418,14 @@ impl<'s> Evaluator<'s> {
         frame: &Frame,
     ) -> Result<Vec<Row>, SparqlError> {
         let shared: Vec<(usize, usize)> = sol
-            .vars
+            .vars()
             .iter()
             .enumerate()
             .filter_map(|(j, v)| frame.index(v).map(|i| (i, j)))
             .collect();
         let mut out = Vec::new();
         for row in &rows {
-            for sol_row in &sol.rows {
+            for sol_row in sol.rows() {
                 let mut candidate = row.clone();
                 let mut ok = true;
                 for &(slot, j) in &shared {
@@ -555,11 +576,7 @@ impl<'s> Evaluator<'s> {
             PathOrVar::Var(_) => None,
         };
         // cap the scan so estimation stays cheap on huge stores
-        let mut n = 0usize;
-        for _ in self.store.matching(s, p, o).take(10_000) {
-            n += 1;
-        }
-        n as f64
+        self.store.count_matching(s, p, o, 10_000) as f64
     }
 
     fn match_triple(
@@ -736,41 +753,7 @@ impl<'s> Evaluator<'s> {
         }
 
         let vars: Vec<String> = items.iter().map(|it| it.alias.clone()).collect();
-
-        if q.distinct {
-            let mut seen = std::collections::HashSet::new();
-            out_rows.retain(|r| seen.insert(r.clone()));
-        }
-
-        if !q.order_by.is_empty() {
-            let out_frame = Frame::new(vars.clone());
-            out_rows.sort_by(|a, b| {
-                for spec in &q.order_by {
-                    let row_a: Row = a.iter().map(|t| t.clone().map(Bound::Term)).collect();
-                    let row_b: Row = b.iter().map(|t| t.clone().map(Bound::Term)).collect();
-                    let va = eval_expr_limited(&spec.expr, &row_a, &out_frame, self.store, &self.guard);
-                    let vb = eval_expr_limited(&spec.expr, &row_b, &out_frame, self.store, &self.guard);
-                    let ord = order_values(&va, &vb);
-                    let ord = if spec.descending { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-        }
-
-        let offset = q.offset.unwrap_or(0);
-        if offset > 0 {
-            out_rows.drain(..offset.min(out_rows.len()));
-        }
-        if let Some(limit) = q.limit {
-            out_rows.truncate(limit);
-        }
-
-        // surface any limit that tripped softly inside projection/sorting
-        self.guard.surface()?;
-        Ok(Solutions { vars, rows: out_rows })
+        finalize_rows(q, vars, out_rows, self.store, &self.guard)
     }
 
     /// Evaluate an expression that may contain aggregates, against one group.
@@ -986,6 +969,53 @@ fn bind(row: &mut Row, anchor: &Anchor, value: TermId) -> bool {
         }
         Anchor::Impossible => false,
     }
+}
+
+/// Shared tail of SELECT evaluation: DISTINCT, ORDER BY, OFFSET/LIMIT, and
+/// the final soft-limit surface. Both the term-space evaluator and the
+/// ID-space plan executor ([`crate::plan`]) funnel through here so the
+/// solution modifiers behave identically.
+pub(crate) fn finalize_rows(
+    q: &SelectQuery,
+    vars: Vec<String>,
+    mut out_rows: Vec<Vec<Option<Term>>>,
+    store: &Store,
+    guard: &Rc<LimitGuard>,
+) -> Result<Solutions, SparqlError> {
+    if q.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    if !q.order_by.is_empty() {
+        let out_frame = Frame::new(vars.clone());
+        out_rows.sort_by(|a, b| {
+            for spec in &q.order_by {
+                let row_a: Row = a.iter().map(|t| t.clone().map(Bound::Term)).collect();
+                let row_b: Row = b.iter().map(|t| t.clone().map(Bound::Term)).collect();
+                let va = eval_expr_limited(&spec.expr, &row_a, &out_frame, store, guard);
+                let vb = eval_expr_limited(&spec.expr, &row_b, &out_frame, store, guard);
+                let ord = order_values(&va, &vb);
+                let ord = if spec.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let offset = q.offset.unwrap_or(0);
+    if offset > 0 {
+        out_rows.drain(..offset.min(out_rows.len()));
+    }
+    if let Some(limit) = q.limit {
+        out_rows.truncate(limit);
+    }
+
+    // surface any limit that tripped softly inside projection/sorting
+    guard.surface()?;
+    Ok(Solutions::new(vars, out_rows))
 }
 
 /// Total order for ORDER BY: unbound < blank < IRI < literal-by-value.

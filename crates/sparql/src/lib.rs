@@ -19,15 +19,20 @@
 //!   ex:l1 ex:price 900 ; ex:manufacturer ex:DELL .
 //!   ex:l2 ex:price 1000 ; ex:manufacturer ex:DELL .
 //! "#).unwrap();
-//! let results = Engine::new(&store).query(r#"
+//! let engine = Engine::builder(&store).build();
+//! let prepared = engine.prepare(r#"
 //!   PREFIX ex: <http://example.org/>
 //!   SELECT ?m (AVG(?p) AS ?avg) WHERE { ?x ex:manufacturer ?m . ?x ex:price ?p . }
 //!   GROUP BY ?m
 //! "#).unwrap();
-//! assert_eq!(results.solutions().unwrap().rows.len(), 1);
+//! let results = prepared.execute().unwrap();
+//! assert_eq!(results.solutions().unwrap().len(), 1);
+//! // the compiled plan is reusable and explainable
+//! assert!(prepared.explain().contains("physical plan:"));
 //! ```
 
 pub mod ast;
+pub mod batch;
 pub mod engine;
 pub mod eval;
 pub mod explain;
@@ -35,16 +40,18 @@ pub mod expr;
 pub mod limits;
 pub mod parser;
 pub mod path;
+pub mod plan;
 pub mod results;
 pub mod token;
 pub mod update;
 
 pub use ast::{Query, QueryForm, SelectQuery};
-pub use engine::Engine;
-pub use eval::EvalOptions;
+pub use engine::{Engine, EngineBuilder, PreparedQuery};
+pub use eval::{EvalOptions, ExecMode};
 pub use explain::{explain, Plan};
 pub use limits::{EvalLimits, LimitKind};
 pub use parser::parse_query;
+pub use plan::{ExecStats, OpStats};
 pub use results::{QueryResults, Solutions};
 pub use update::{execute_update, execute_update_recording, UpdateOp, UpdateStats};
 

@@ -188,6 +188,21 @@ impl LimitGuard {
         SparqlError::ResourceLimit { kind, limit }
     }
 
+    /// The guard's start instant and deadline, for worker threads that
+    /// cannot share the (non-`Sync`) guard itself: they probe the clock
+    /// against these and report back via [`LimitGuard::note_trip`].
+    pub(crate) fn deadline_info(&self) -> (Instant, Option<Duration>) {
+        (self.start, self.limits.deadline)
+    }
+
+    /// Record a trip observed outside the guard (e.g. by an aggregation
+    /// worker thread); the next checkpoint surfaces it as a hard error.
+    pub(crate) fn note_trip(&self, kind: LimitKind, limit: u64) {
+        if self.tripped.get().is_none() {
+            self.tripped.set(Some((kind, limit)));
+        }
+    }
+
     /// Re-raise a limit that already tripped — possibly in a context with no
     /// error channel, like a `FILTER` closure.
     pub fn surface(&self) -> Result<(), SparqlError> {

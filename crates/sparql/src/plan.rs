@@ -1,0 +1,1648 @@
+//! Physical query plans over the interned ID space.
+//!
+//! [`compile_select`] lowers a parsed `SELECT` into a small operator tree
+//! (scan/join → filter → bind/values → optional/union → project/aggregate)
+//! once, ahead of execution. The executor evaluates the tree over columnar
+//! [`Batch`]es of packed execution ids ([`crate::batch`]): joins compare
+//! `u32`s against the store's triple indexes, hash `GROUP BY` keys are
+//! `Vec<u32>`, and terms are materialized only at the [`Solutions`]
+//! boundary. Hash aggregation runs on a scoped thread pool when the input
+//! is large enough: contiguous row chunks build per-worker partial group
+//! maps that are merged in chunk order, which preserves the first-seen
+//! group order of the sequential path exactly.
+//!
+//! Queries using constructs outside this fragment (sub-selects, `MINUS`,
+//! non-IRI property paths) return `None` from [`compile_select`] and fall
+//! back to the term-space [`crate::eval::Evaluator`].
+
+use crate::ast::*;
+use crate::batch::{as_store, pack_store, Batch, EId, TermArena, UNBOUND};
+use crate::eval::{finalize_rows, Bound, EvalOptions, Evaluator, Frame, Row};
+use crate::expr::eval_expr_limited;
+use crate::limits::{LimitGuard, LimitKind};
+use crate::results::Solutions;
+use crate::SparqlError;
+use rdfa_model::{Term, Value};
+use rdfa_store::{Store, TermId};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+/// Minimum input rows before hash aggregation fans out to worker threads.
+const PARALLEL_MIN_ROWS: usize = 4096;
+/// Rows between cooperative deadline probes inside a worker.
+const WORKER_PROBE_INTERVAL: usize = 512;
+
+// ---- plan structure --------------------------------------------------------
+
+/// A compiled subject/object position.
+#[derive(Debug, Clone)]
+pub(crate) enum CSlot {
+    /// Constant present in the store.
+    Const(TermId),
+    /// Variable at this frame slot.
+    Var(usize),
+    /// Constant absent from the store: the pattern can never match.
+    Missing,
+}
+
+/// A compiled predicate position.
+#[derive(Debug, Clone)]
+pub(crate) enum CPred {
+    Const(TermId),
+    Var(usize),
+    Missing,
+}
+
+/// One operator of the physical plan. `Input` is the leaf that consumes
+/// whatever batch the parent feeds in (the seed row at the root, the outer
+/// batch inside `OPTIONAL`/`UNION` subtrees).
+#[derive(Debug)]
+pub(crate) enum Node {
+    Input,
+    Join { input: Box<Node>, s: CSlot, p: CPred, o: CSlot, op: usize },
+    Filter { input: Box<Node>, exprs: Vec<Expr>, op: usize },
+    Bind { input: Box<Node>, expr: Expr, slot: usize, op: usize },
+    Values { input: Box<Node>, slots: Vec<usize>, data: Vec<Vec<Option<Term>>>, op: usize },
+    Optional { input: Box<Node>, inner: Box<Node>, op: usize },
+    Union { input: Box<Node>, arms: Vec<Node>, op: usize },
+}
+
+/// Static description of one operator (label + compile-time estimate).
+#[derive(Debug, Clone)]
+pub struct OpMeta {
+    /// Human-readable operator label, e.g. `IndexJoin ?x <p> ?o`.
+    pub label: String,
+    /// Operator kind: `join`, `filter`, `bind`, `values`, `optional`,
+    /// `union`, `select`.
+    pub kind: &'static str,
+    /// Compile-time cardinality estimate, where one exists (joins).
+    pub estimate: Option<f64>,
+}
+
+/// A compiled physical plan for one `SELECT` query.
+#[derive(Debug)]
+pub struct PhysicalPlan {
+    pub(crate) root: Node,
+    pub(crate) frame: Frame,
+    /// Operator metadata indexed by operator id.
+    pub(crate) ops: Vec<OpMeta>,
+    /// Static nesting depth of the WHERE clause (for the recursion budget).
+    pub(crate) depth: u32,
+    /// Operator id of the final projection/aggregation stage.
+    pub(crate) select_op: usize,
+    /// Whether the final stage groups and aggregates.
+    pub(crate) grouped: bool,
+}
+
+impl PhysicalPlan {
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+// ---- execution statistics --------------------------------------------------
+
+/// Observed cardinality of one operator after execution.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator label (copied from the plan).
+    pub label: String,
+    /// Operator kind (copied from the plan).
+    pub kind: &'static str,
+    /// Compile-time estimate, where one exists.
+    pub estimate: Option<f64>,
+    /// Rows the operator produced across all invocations.
+    pub rows_out: u64,
+    /// Times the operator ran.
+    pub invocations: u64,
+}
+
+/// Per-execution statistics reported by a prepared query.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Per-operator cardinalities, indexed like the plan's operators.
+    pub operators: Vec<OpStats>,
+    /// Rows in the final result.
+    pub rows_out: usize,
+    /// Worker threads used by the aggregation stage (1 = sequential).
+    pub threads_used: usize,
+    /// Whether hash aggregation ran on the parallel path.
+    pub parallel_groupby: bool,
+    /// Terms interned into the execution arena (computed terms).
+    pub arena_terms: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// Render the plan as an indented operator tree, one operator per line,
+/// with estimates and (when `stats` is given) observed cardinalities.
+pub(crate) fn describe_plan(plan: &PhysicalPlan, stats: Option<&ExecStats>) -> Vec<String> {
+    fn line(plan: &PhysicalPlan, stats: Option<&ExecStats>, op: usize, indent: usize) -> String {
+        let meta = &plan.ops[op];
+        let mut s = format!("{}{}", "  ".repeat(indent), meta.label);
+        if let Some(est) = meta.estimate {
+            s.push_str(&format!(" est={est}"));
+        }
+        if let Some(st) = stats {
+            s.push_str(&format!(" rows={}", st.operators[op].rows_out));
+        }
+        s
+    }
+    fn walk(
+        plan: &PhysicalPlan,
+        stats: Option<&ExecStats>,
+        node: &Node,
+        indent: usize,
+        out: &mut Vec<String>,
+    ) {
+        match node {
+            Node::Input => {}
+            Node::Join { input, op, .. }
+            | Node::Filter { input, op, .. }
+            | Node::Bind { input, op, .. }
+            | Node::Values { input, op, .. } => {
+                walk(plan, stats, input, indent, out);
+                out.push(line(plan, stats, *op, indent));
+            }
+            Node::Optional { input, inner, op } => {
+                walk(plan, stats, input, indent, out);
+                out.push(line(plan, stats, *op, indent));
+                walk(plan, stats, inner, indent + 1, out);
+            }
+            Node::Union { input, arms, op } => {
+                walk(plan, stats, input, indent, out);
+                out.push(line(plan, stats, *op, indent));
+                for arm in arms {
+                    walk(plan, stats, arm, indent + 1, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, stats, &plan.root, 1, &mut out);
+    out.push(line(plan, stats, plan.select_op, 0));
+    out
+}
+
+// ---- compilation -----------------------------------------------------------
+
+/// Compile a `SELECT` query to a physical plan, or `None` when it uses a
+/// construct outside the batched fragment (the caller falls back to the
+/// term-space evaluator).
+pub(crate) fn compile_select(
+    q: &SelectQuery,
+    store: &Store,
+    options: &EvalOptions,
+) -> Option<PhysicalPlan> {
+    let mut frame = Frame::default();
+    Evaluator::collect_vars(&q.where_, &mut frame);
+    let mut c = Compiler { store, frame: &frame, reorder: options.reorder_bgp, ops: Vec::new() };
+    let mut bound = vec![false; frame.len()];
+    let mut depth = 0u32;
+    let root = c.compile_group(&q.where_, Node::Input, &mut bound, 1, &mut depth)?;
+    let items = select_items(q, &frame);
+    let has_agg = items.iter().any(|it| it.expr.has_aggregate())
+        || q.having.as_ref().is_some_and(|h| h.has_aggregate());
+    let grouped = !q.group_by.is_empty() || has_agg;
+    let select_op = c.op(
+        if grouped {
+            format!("GroupAggregate(keys={}, items={})", q.group_by.len(), items.len())
+        } else {
+            format!("Project({} items)", items.len())
+        },
+        "select",
+        None,
+    );
+    let ops = c.ops;
+    Some(PhysicalPlan { root, frame, ops, depth, select_op, grouped })
+}
+
+/// The effective projection items (expanding `SELECT *` over the frame).
+fn select_items(q: &SelectQuery, frame: &Frame) -> Vec<SelectItem> {
+    match &q.projection {
+        Projection::Star => frame
+            .names()
+            .iter()
+            .map(|v| SelectItem { expr: Expr::Var(v.clone()), alias: v.clone() })
+            .collect(),
+        Projection::Items(items) => items.clone(),
+    }
+}
+
+struct Compiler<'a> {
+    store: &'a Store,
+    frame: &'a Frame,
+    reorder: bool,
+    ops: Vec<OpMeta>,
+}
+
+impl Compiler<'_> {
+    fn op(&mut self, label: String, kind: &'static str, estimate: Option<f64>) -> usize {
+        self.ops.push(OpMeta { label, kind, estimate });
+        self.ops.len() - 1
+    }
+
+    fn compile_group(
+        &mut self,
+        g: &GroupPattern,
+        input: Node,
+        bound: &mut Vec<bool>,
+        level: u32,
+        max_depth: &mut u32,
+    ) -> Option<Node> {
+        *max_depth = (*max_depth).max(level);
+        let mut node = input;
+        let mut filters: Vec<Expr> = Vec::new();
+        let els = &g.elements;
+        let mut i = 0;
+        while i < els.len() {
+            match &els[i] {
+                PatternElement::Triple(_) => {
+                    let mut bgp: Vec<&TriplePattern> = Vec::new();
+                    while i < els.len() {
+                        if let PatternElement::Triple(t) = &els[i] {
+                            bgp.push(t);
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    node = self.compile_bgp(&bgp, node, bound)?;
+                    continue;
+                }
+                PatternElement::Filter(e) => filters.push(e.clone()),
+                PatternElement::Optional(g2) => {
+                    let mut inner_bound = bound.clone();
+                    let inner =
+                        self.compile_group(g2, Node::Input, &mut inner_bound, level + 1, max_depth)?;
+                    // after OPTIONAL the inner vars *may* be bound; treating
+                    // them as bound only steers later join ordering
+                    *bound = inner_bound;
+                    let op = self.op("Optional".to_owned(), "optional", None);
+                    node = Node::Optional { input: Box::new(node), inner: Box::new(inner), op };
+                }
+                PatternElement::Union(arms) => {
+                    let mut arm_nodes = Vec::new();
+                    let mut merged = bound.clone();
+                    for arm in arms {
+                        let mut ab = bound.clone();
+                        arm_nodes.push(self.compile_group(
+                            arm,
+                            Node::Input,
+                            &mut ab,
+                            level + 1,
+                            max_depth,
+                        )?);
+                        for (m, b) in merged.iter_mut().zip(&ab) {
+                            *m = *m || *b;
+                        }
+                    }
+                    *bound = merged;
+                    let op = self.op(format!("Union({} arms)", arm_nodes.len()), "union", None);
+                    node = Node::Union { input: Box::new(node), arms: arm_nodes, op };
+                }
+                PatternElement::Group(g2) => {
+                    node = self.compile_group(g2, node, bound, level + 1, max_depth)?;
+                }
+                PatternElement::Bind(e, v) => {
+                    let slot = self.frame.index(v)?;
+                    let op = self.op(format!("Bind ?{v}"), "bind", None);
+                    bound[slot] = true;
+                    node = Node::Bind { input: Box::new(node), expr: e.clone(), slot, op };
+                }
+                PatternElement::Values(vars, data) => {
+                    let slots: Vec<usize> =
+                        vars.iter().map(|v| self.frame.index(v)).collect::<Option<_>>()?;
+                    for &s in &slots {
+                        bound[s] = true;
+                    }
+                    let op = self.op(format!("Values({} tuples)", data.len()), "values", None);
+                    node = Node::Values { input: Box::new(node), slots, data: data.clone(), op };
+                }
+                // outside the batched fragment: fall back to the term-space
+                // evaluator, which implements these
+                PatternElement::SubSelect(_) | PatternElement::Minus(_) => return None,
+            }
+            i += 1;
+        }
+        if !filters.is_empty() {
+            let op = self.op(format!("Filter({} exprs)", filters.len()), "filter", None);
+            node = Node::Filter { input: Box::new(node), exprs: filters, op };
+        }
+        Some(node)
+    }
+
+    fn compile_bgp(
+        &mut self,
+        patterns: &[&TriplePattern],
+        input: Node,
+        bound: &mut [bool],
+    ) -> Option<Node> {
+        for tp in patterns {
+            if matches!(&tp.predicate, PathOrVar::Path(p) if !matches!(p, PropertyPath::Iri(_))) {
+                return None; // property paths stay on the term-space engine
+            }
+        }
+        let order = if self.reorder {
+            plan_order(self.store, patterns, self.frame, bound)
+        } else {
+            (0..patterns.len()).collect()
+        };
+        let mut node = input;
+        for idx in order {
+            let tp = patterns[idx];
+            let est = estimate_pattern(self.store, tp);
+            let s = self.cslot(&tp.subject, bound)?;
+            let o = self.cslot(&tp.object, bound)?;
+            let p = match &tp.predicate {
+                PathOrVar::Var(v) => {
+                    let slot = self.frame.index(v)?;
+                    bound[slot] = true;
+                    CPred::Var(slot)
+                }
+                PathOrVar::Path(PropertyPath::Iri(iri)) => match self.store.lookup_iri(iri) {
+                    Some(id) => CPred::Const(id),
+                    None => CPred::Missing,
+                },
+                PathOrVar::Path(_) => unreachable!("checked above"),
+            };
+            let op = self.op(format!("IndexJoin {}", fmt_pattern(tp)), "join", Some(est));
+            node = Node::Join { input: Box::new(node), s, p, o, op };
+        }
+        Some(node)
+    }
+
+    fn cslot(&self, t: &TermPattern, bound: &mut [bool]) -> Option<CSlot> {
+        Some(match t {
+            TermPattern::Term(term) => match self.store.lookup(term) {
+                Some(id) => CSlot::Const(id),
+                None => CSlot::Missing,
+            },
+            TermPattern::Var(v) => {
+                let slot = self.frame.index(v)?;
+                bound[slot] = true;
+                CSlot::Var(slot)
+            }
+        })
+    }
+}
+
+/// The same greedy ordering as the term-space planner, driven by the static
+/// may-be-bound variable set instead of a sample row: start from the most
+/// selective pattern, then repeatedly pick the cheapest pattern connected
+/// to the bound variables (100× bonus against cartesian products).
+fn plan_order(
+    store: &Store,
+    patterns: &[&TriplePattern],
+    frame: &Frame,
+    bound: &[bool],
+) -> Vec<usize> {
+    let mut bound_vars = bound.to_vec();
+    let estimates: Vec<f64> = patterns.iter().map(|tp| estimate_pattern(store, tp)).collect();
+    let pattern_vars: Vec<Vec<usize>> = patterns
+        .iter()
+        .map(|tp| {
+            let mut v = Vec::new();
+            if let Some(name) = tp.subject.as_var() {
+                if let Some(i) = frame.index(name) {
+                    v.push(i);
+                }
+            }
+            if let PathOrVar::Var(name) = &tp.predicate {
+                if let Some(i) = frame.index(name) {
+                    v.push(i);
+                }
+            }
+            if let Some(name) = tp.object.as_var() {
+                if let Some(i) = frame.index(name) {
+                    v.push(i);
+                }
+            }
+            v
+        })
+        .collect();
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let score = |i: usize| {
+                    let connected = pattern_vars[i].iter().any(|&v| bound_vars[v]);
+                    let bonus = if connected || order.is_empty() { 0.01 } else { 1.0 };
+                    estimates[i] * bonus
+                };
+                score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty remaining");
+        remaining.retain(|&i| i != best);
+        for &v in &pattern_vars[best] {
+            bound_vars[v] = true;
+        }
+        order.push(best);
+    }
+    order
+}
+
+/// Static cardinality estimate for one pattern (constants only), shared
+/// with the term-space planner via [`Store::count_matching`].
+pub(crate) fn estimate_pattern(store: &Store, tp: &TriplePattern) -> f64 {
+    let s = match &tp.subject {
+        TermPattern::Term(t) => match store.lookup(t) {
+            Some(id) => Some(id),
+            None => return 0.0,
+        },
+        TermPattern::Var(_) => None,
+    };
+    let o = match &tp.object {
+        TermPattern::Term(t) => match store.lookup(t) {
+            Some(id) => Some(id),
+            None => return 0.0,
+        },
+        TermPattern::Var(_) => None,
+    };
+    let p = match &tp.predicate {
+        PathOrVar::Path(PropertyPath::Iri(iri)) => match store.lookup_iri(iri) {
+            Some(id) => Some(id),
+            None => return 0.0,
+        },
+        PathOrVar::Path(_) => return 1000.0, // complex path: moderately expensive
+        PathOrVar::Var(_) => None,
+    };
+    store.count_matching(s, p, o, 10_000) as f64
+}
+
+fn fmt_pattern(tp: &TriplePattern) -> String {
+    fn pos(t: &TermPattern) -> String {
+        match t {
+            TermPattern::Var(v) => format!("?{v}"),
+            TermPattern::Term(t) => t.display_name(),
+        }
+    }
+    let p = match &tp.predicate {
+        PathOrVar::Var(v) => format!("?{v}"),
+        PathOrVar::Path(PropertyPath::Iri(iri)) => Term::iri(iri.clone()).display_name(),
+        PathOrVar::Path(_) => "<path>".to_owned(),
+    };
+    format!("{} {} {}", pos(&tp.subject), p, pos(&tp.object))
+}
+
+// ---- aggregation state -----------------------------------------------------
+
+/// One distinct aggregate call appearing in the projection or `HAVING`.
+#[derive(Debug, Clone, PartialEq)]
+struct AggSpec {
+    op: AggregateOp,
+    distinct: bool,
+    inner: Option<Expr>,
+}
+
+/// Collect the distinct aggregate calls of an expression. `Call` and
+/// `EXISTS` arguments are *not* descended into: the term-space engine
+/// treats them as leaves evaluated on the representative row, and the
+/// batched engine mirrors that.
+fn collect_agg_specs(e: &Expr, out: &mut Vec<AggSpec>) {
+    match e {
+        Expr::Aggregate(op, distinct, inner) => {
+            let spec = AggSpec { op: *op, distinct: *distinct, inner: inner.as_deref().cloned() };
+            if !out.contains(&spec) {
+                out.push(spec);
+            }
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Compare(a, _, b) | Expr::Arith(a, _, b) => {
+            collect_agg_specs(a, out);
+            collect_agg_specs(b, out);
+        }
+        Expr::Not(x) | Expr::Neg(x) => collect_agg_specs(x, out),
+        Expr::In(x, list, _) => {
+            collect_agg_specs(x, out);
+            for item in list {
+                collect_agg_specs(item, out);
+            }
+        }
+        Expr::Var(_) | Expr::Const(_) | Expr::Call(..) | Expr::Exists(..) => {}
+    }
+}
+
+/// Streaming accumulator for one aggregate over one group. The update and
+/// finalize rules replicate the term-space `compute_aggregate` exactly,
+/// including its poisoning behaviour (a failing `add` turns the whole
+/// SUM/AVG into an unbound result).
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    /// `None` = poisoned by a failed addition.
+    Sum(Option<Value>),
+    Avg { acc: Option<Value>, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Sample(Option<Value>),
+    Concat(Vec<String>),
+    /// DISTINCT aggregates buffer first-occurrence values and replay the
+    /// non-streaming fold at finalize, for exact parity.
+    Distinct { op: AggregateOp, seen: HashSet<Term>, values: Vec<Value> },
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        if spec.distinct {
+            return AggState::Distinct { op: spec.op, seen: HashSet::new(), values: Vec::new() };
+        }
+        match spec.op {
+            AggregateOp::Count => AggState::Count(0),
+            AggregateOp::Sum => AggState::Sum(Some(Value::Int(0))),
+            AggregateOp::Avg => AggState::Avg { acc: Some(Value::Int(0)), n: 0 },
+            AggregateOp::Min => AggState::Min(None),
+            AggregateOp::Max => AggState::Max(None),
+            AggregateOp::Sample => AggState::Sample(None),
+            AggregateOp::GroupConcat => AggState::Concat(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, v: Value) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(acc) => {
+                if let Some(a) = acc.take() {
+                    *acc = a.add(&v);
+                }
+            }
+            AggState::Avg { acc, n } => {
+                if let Some(a) = acc.take() {
+                    *acc = a.add(&v);
+                }
+                *n += 1;
+            }
+            AggState::Min(best) => {
+                *best = Some(match best.take() {
+                    None => v,
+                    Some(b) => {
+                        if v.compare(&b) == Some(std::cmp::Ordering::Less) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            AggState::Max(best) => {
+                *best = Some(match best.take() {
+                    None => v,
+                    Some(b) => {
+                        if v.compare(&b) == Some(std::cmp::Ordering::Greater) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            AggState::Sample(s) => {
+                if s.is_none() {
+                    *s = Some(v);
+                }
+            }
+            AggState::Concat(parts) => parts.push(v.render()),
+            AggState::Distinct { seen, values, .. } => {
+                if seen.insert(v.to_term()) {
+                    values.push(v);
+                }
+            }
+        }
+    }
+
+    /// Fold a later chunk's state into an earlier chunk's (parallel merge).
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => {
+                *a = match (a.take(), b) {
+                    (Some(x), Some(y)) => x.add(&y),
+                    _ => None,
+                };
+            }
+            (AggState::Avg { acc: aa, n: an }, AggState::Avg { acc: ba, n: bn }) => {
+                *aa = match (aa.take(), ba) {
+                    (Some(x), Some(y)) => x.add(&y),
+                    _ => None,
+                };
+                *an += bn;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(match a.take() {
+                        None => bv,
+                        Some(av) => {
+                            if bv.compare(&av) == Some(std::cmp::Ordering::Less) {
+                                bv
+                            } else {
+                                av
+                            }
+                        }
+                    });
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(match a.take() {
+                        None => bv,
+                        Some(av) => {
+                            if bv.compare(&av) == Some(std::cmp::Ordering::Greater) {
+                                bv
+                            } else {
+                                av
+                            }
+                        }
+                    });
+                }
+            }
+            (AggState::Sample(a), AggState::Sample(b)) => {
+                if a.is_none() {
+                    *a = b;
+                }
+            }
+            (AggState::Concat(a), AggState::Concat(b)) => a.extend(b),
+            (AggState::Distinct { seen, values, .. }, AggState::Distinct { values: bv, .. }) => {
+                for v in bv {
+                    if seen.insert(v.to_term()) {
+                        values.push(v);
+                    }
+                }
+            }
+            _ => unreachable!("mismatched aggregate states"),
+        }
+    }
+
+    fn finalize(self) -> Option<Value> {
+        match self {
+            AggState::Count(n) => Some(Value::Int(n)),
+            AggState::Sum(acc) => acc,
+            AggState::Avg { acc, n } => {
+                if n == 0 {
+                    None
+                } else {
+                    acc?.div(&Value::Int(n))
+                }
+            }
+            AggState::Min(best) | AggState::Max(best) | AggState::Sample(best) => best,
+            AggState::Concat(parts) => Some(Value::Str(parts.join(" "), None)),
+            AggState::Distinct { op, values, .. } => aggregate_values(op, values),
+        }
+    }
+}
+
+/// The non-streaming aggregate fold of the term-space engine, used to
+/// finalize DISTINCT accumulators over their deduplicated value list.
+fn aggregate_values(op: AggregateOp, values: Vec<Value>) -> Option<Value> {
+    match op {
+        AggregateOp::Count => Some(Value::Int(values.len() as i64)),
+        AggregateOp::Sum => {
+            let mut acc = Value::Int(0);
+            for v in &values {
+                acc = acc.add(v)?;
+            }
+            Some(acc)
+        }
+        AggregateOp::Avg => {
+            if values.is_empty() {
+                return None;
+            }
+            let n = values.len() as i64;
+            let mut acc = Value::Int(0);
+            for v in &values {
+                acc = acc.add(v)?;
+            }
+            acc.div(&Value::Int(n))
+        }
+        AggregateOp::Min => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if v.compare(&b) == Some(std::cmp::Ordering::Less) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best
+        }
+        AggregateOp::Max => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if v.compare(&b) == Some(std::cmp::Ordering::Greater) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best
+        }
+        AggregateOp::Sample => values.into_iter().next(),
+        AggregateOp::GroupConcat => {
+            let joined = values.iter().map(Value::render).collect::<Vec<_>>().join(" ");
+            Some(Value::Str(joined, None))
+        }
+    }
+}
+
+/// One group under construction: canonical key, first source row (the
+/// representative for non-aggregate expressions), and one state per spec.
+struct GroupAcc {
+    key: Vec<EId>,
+    first_row: usize,
+    states: Vec<AggState>,
+}
+
+/// A group-key column, pre-canonicalized for plain variables.
+enum KeyCol {
+    Canon(Vec<EId>),
+    Complex(Expr),
+}
+
+/// Where one aggregate draws its per-row input from.
+enum SpecIn {
+    /// `COUNT(*)`: every row contributes `1`.
+    CountStar,
+    /// A plain variable at this frame slot.
+    Slot(usize),
+    /// A variable absent from the frame: never contributes.
+    Never,
+    /// An arbitrary expression (sequential path only).
+    Complex(Expr),
+}
+
+/// The parallel-safe subset of [`SpecIn`].
+#[derive(Clone, Copy)]
+enum SimpleIn {
+    CountStar,
+    Slot(usize),
+    Never,
+}
+
+// ---- execution -------------------------------------------------------------
+
+/// Run a compiled plan. Returns the solutions plus per-operator statistics.
+pub(crate) fn execute_plan(
+    plan: &PhysicalPlan,
+    q: &SelectQuery,
+    store: &Store,
+    options: &EvalOptions,
+) -> Result<(Solutions, ExecStats), SparqlError> {
+    let t0 = Instant::now();
+    let guard = Rc::new(LimitGuard::new(options.limits));
+    let mut ex = Executor {
+        store,
+        frame: &plan.frame,
+        options: *options,
+        guard: Rc::clone(&guard),
+        arena: TermArena::new(),
+        op_rows: vec![0; plan.ops.len()],
+        op_calls: vec![0; plan.ops.len()],
+        threads_used: 1,
+        parallel_groupby: false,
+    };
+    // charge the static nesting depth against the recursion budget, like the
+    // per-group scopes of the term-space evaluator; the scopes stay alive
+    // for the whole execution so EXISTS sub-evaluations nest below them
+    let mut scopes = Vec::with_capacity(plan.depth as usize);
+    for _ in 0..plan.depth {
+        scopes.push(guard.enter()?);
+    }
+    let out = ex.exec(&plan.root, Batch::seed(plan.frame.len()))?;
+    let solutions = ex.finish_select(plan, q, out)?;
+    drop(scopes);
+    ex.op_rows[plan.select_op] = solutions.rows().len() as u64;
+    ex.op_calls[plan.select_op] = 1;
+    let stats = ExecStats {
+        operators: plan
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, m)| OpStats {
+                label: m.label.clone(),
+                kind: m.kind,
+                estimate: m.estimate,
+                rows_out: ex.op_rows[i],
+                invocations: ex.op_calls[i],
+            })
+            .collect(),
+        rows_out: solutions.rows().len(),
+        threads_used: ex.threads_used,
+        parallel_groupby: ex.parallel_groupby,
+        arena_terms: ex.arena.len(),
+        elapsed: t0.elapsed(),
+    };
+    Ok((solutions, stats))
+}
+
+struct Executor<'s> {
+    store: &'s Store,
+    frame: &'s Frame,
+    options: EvalOptions,
+    guard: Rc<LimitGuard>,
+    arena: TermArena,
+    op_rows: Vec<u64>,
+    op_calls: Vec<u64>,
+    threads_used: usize,
+    parallel_groupby: bool,
+}
+
+/// Runtime anchor of a join position for one input row.
+enum RAnchor {
+    Fixed(TermId),
+    BoundV(TermId),
+    Free(usize),
+}
+
+impl RAnchor {
+    fn id(&self) -> Option<TermId> {
+        match self {
+            RAnchor::Fixed(id) | RAnchor::BoundV(id) => Some(*id),
+            RAnchor::Free(_) => None,
+        }
+    }
+}
+
+fn same_free(a: &RAnchor, b: &RAnchor) -> bool {
+    matches!((a, b), (RAnchor::Free(x), RAnchor::Free(y)) if x == y)
+}
+
+/// Bind an anchor to a matched id; false rejects the match.
+fn anchor_bind(a: &RAnchor, value: TermId, overrides: &mut Vec<(usize, EId)>) -> bool {
+    match a {
+        RAnchor::Fixed(_) => true,
+        RAnchor::BoundV(id) => *id == value,
+        RAnchor::Free(slot) => {
+            overrides.push((*slot, pack_store(value)));
+            true
+        }
+    }
+}
+
+impl Executor<'_> {
+    fn note(&mut self, op: usize, rows: usize) {
+        self.op_rows[op] += rows as u64;
+        self.op_calls[op] += 1;
+    }
+
+    fn exec(&mut self, node: &Node, input: Batch) -> Result<Batch, SparqlError> {
+        match node {
+            Node::Input => Ok(input),
+            Node::Join { input: child, s, p, o, op } => {
+                let b = self.exec(child, input)?;
+                let out = self.exec_join(&b, s, p, o)?;
+                self.note(*op, out.len());
+                Ok(out)
+            }
+            Node::Filter { input: child, exprs, op } => {
+                let b = self.exec(child, input)?;
+                let out = self.exec_filter(b, exprs)?;
+                self.note(*op, out.len());
+                Ok(out)
+            }
+            Node::Bind { input: child, expr, slot, op } => {
+                let b = self.exec(child, input)?;
+                let out = self.exec_bind(b, expr, *slot)?;
+                self.note(*op, out.len());
+                Ok(out)
+            }
+            Node::Values { input: child, slots, data, op } => {
+                let b = self.exec(child, input)?;
+                let out = self.exec_values(&b, slots, data)?;
+                self.note(*op, out.len());
+                Ok(out)
+            }
+            Node::Optional { input: child, inner, op } => {
+                let b = self.exec(child, input)?;
+                let out = self.exec_optional(&b, inner)?;
+                self.note(*op, out.len());
+                Ok(out)
+            }
+            Node::Union { input: child, arms, op } => {
+                let base = self.exec(child, input)?;
+                let mut out = Batch::new(base.width());
+                for arm in arms {
+                    let arm_out = self.exec(arm, base.clone())?;
+                    out.append(&arm_out);
+                }
+                self.note(*op, out.len());
+                Ok(out)
+            }
+        }
+    }
+
+    fn exec_join(
+        &mut self,
+        input: &Batch,
+        s: &CSlot,
+        p: &CPred,
+        o: &CSlot,
+    ) -> Result<Batch, SparqlError> {
+        let mut out = Batch::new(input.width());
+        let mut overrides: Vec<(usize, EId)> = Vec::with_capacity(3);
+        for r in 0..input.len() {
+            // probe per (pattern, row) pair, like the term-space evaluator
+            self.guard.check_deadline()?;
+            let sa = match self.resolve(s, input, r) {
+                Some(a) => a,
+                None => continue,
+            };
+            let oa = match self.resolve(o, input, r) {
+                Some(a) => a,
+                None => continue,
+            };
+            let (p_fixed, p_slot) = match p {
+                CPred::Const(id) => (Some(*id), None),
+                CPred::Missing => continue,
+                CPred::Var(slot) => {
+                    let v = input.get(r, *slot);
+                    if v == UNBOUND {
+                        (None, Some(*slot))
+                    } else if let Some(tid) = as_store(v) {
+                        (Some(tid), None)
+                    } else {
+                        continue; // bound to a computed term: never in the store
+                    }
+                }
+            };
+            for [sv, pv, ov] in self.store.matching(sa.id(), p_fixed, oa.id()) {
+                // repeated-variable consistency (?x p ?x)
+                if same_free(&sa, &oa) && sv != ov {
+                    continue;
+                }
+                overrides.clear();
+                if !anchor_bind(&sa, sv, &mut overrides) || !anchor_bind(&oa, ov, &mut overrides) {
+                    continue;
+                }
+                if let Some(ps) = p_slot {
+                    // the predicate binding wins on slot collisions, matching
+                    // the term-space evaluator's overwrite order
+                    overrides.push((ps, pack_store(pv)));
+                }
+                self.guard.count_row()?;
+                out.push_row_from(input, r, &overrides);
+            }
+        }
+        Ok(out)
+    }
+
+    fn resolve(&self, c: &CSlot, input: &Batch, r: usize) -> Option<RAnchor> {
+        match c {
+            CSlot::Const(id) => Some(RAnchor::Fixed(*id)),
+            CSlot::Missing => None,
+            CSlot::Var(slot) => {
+                let v = input.get(r, *slot);
+                if v == UNBOUND {
+                    Some(RAnchor::Free(*slot))
+                } else {
+                    // a computed (arena-local) term can never match the store
+                    as_store(v).map(RAnchor::BoundV)
+                }
+            }
+        }
+    }
+
+    fn exec_filter(&mut self, mut batch: Batch, exprs: &[Expr]) -> Result<Batch, SparqlError> {
+        for e in exprs {
+            let keep: Vec<bool> = (0..batch.len())
+                .map(|r| {
+                    let row = self.to_row(&batch, r);
+                    eval_expr_limited(e, &row, self.frame, self.store, &self.guard)
+                        .and_then(|v| v.effective_boolean())
+                        .unwrap_or(false)
+                })
+                .collect();
+            batch.retain_rows(&keep);
+            self.guard.surface()?;
+        }
+        Ok(batch)
+    }
+
+    fn exec_bind(
+        &mut self,
+        mut batch: Batch,
+        expr: &Expr,
+        slot: usize,
+    ) -> Result<Batch, SparqlError> {
+        let ids: Vec<EId> = (0..batch.len())
+            .map(|r| {
+                let row = self.to_row(&batch, r);
+                match eval_expr_limited(expr, &row, self.frame, self.store, &self.guard) {
+                    Some(v) => self.arena.intern(self.store, &v.to_term()),
+                    None => UNBOUND,
+                }
+            })
+            .collect();
+        for (r, id) in ids.into_iter().enumerate() {
+            batch.set(r, slot, id);
+        }
+        self.guard.surface()?;
+        Ok(batch)
+    }
+
+    fn exec_values(
+        &mut self,
+        input: &Batch,
+        slots: &[usize],
+        data: &[Vec<Option<Term>>],
+    ) -> Result<Batch, SparqlError> {
+        let tuples: Vec<Vec<Option<EId>>> = data
+            .iter()
+            .map(|tuple| {
+                tuple.iter().map(|t| t.as_ref().map(|t| self.arena.intern(self.store, t))).collect()
+            })
+            .collect();
+        let mut out = Batch::new(input.width());
+        let mut overrides: Vec<(usize, EId)> = Vec::new();
+        for r in 0..input.len() {
+            'data: for tuple in &tuples {
+                overrides.clear();
+                for (slot, id) in slots.iter().zip(tuple) {
+                    if let Some(id) = id {
+                        let existing = input.get(r, *slot);
+                        if existing != UNBOUND {
+                            if existing != *id {
+                                continue 'data; // incompatible binding
+                            }
+                        } else {
+                            overrides.push((*slot, *id));
+                        }
+                    }
+                }
+                self.guard.count_row()?;
+                out.push_row_from(input, r, &overrides);
+            }
+        }
+        Ok(out)
+    }
+
+    fn exec_optional(&mut self, input: &Batch, inner: &Node) -> Result<Batch, SparqlError> {
+        let mut inner_input = input.clone();
+        inner_input.reset_prov();
+        let extended = self.exec(inner, inner_input)?;
+        // regroup extended rows under their source row, in source order
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); input.len()];
+        for r in 0..extended.len() {
+            buckets[extended.prov(r) as usize].push(r);
+        }
+        let mut out = Batch::new(input.width());
+        for (r, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                out.push_row(&input.row(r), input.prov(r));
+            } else {
+                for &ir in bucket {
+                    out.push_row(&extended.row(ir), input.prov(r));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn to_row(&self, batch: &Batch, r: usize) -> Row {
+        (0..batch.width())
+            .map(|c| {
+                let id = batch.get(r, c);
+                if id == UNBOUND {
+                    None
+                } else if let Some(tid) = as_store(id) {
+                    Some(Bound::Id(tid))
+                } else {
+                    Some(Bound::Term(self.arena.term(self.store, id).clone()))
+                }
+            })
+            .collect()
+    }
+
+    fn finish_select(
+        &mut self,
+        plan: &PhysicalPlan,
+        q: &SelectQuery,
+        batch: Batch,
+    ) -> Result<Solutions, SparqlError> {
+        let items = select_items(q, &plan.frame);
+        let vars: Vec<String> = items.iter().map(|it| it.alias.clone()).collect();
+        let out_rows = if plan.grouped {
+            self.grouped_rows(q, &items, &batch)?
+        } else {
+            self.projected_rows(&items, &batch)?
+        };
+        finalize_rows(q, vars, out_rows, self.store, &self.guard)
+    }
+
+    // ---- plain projection --------------------------------------------------
+
+    fn projected_rows(
+        &mut self,
+        items: &[SelectItem],
+        batch: &Batch,
+    ) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
+        // pre-resolve Var items to slots; anything else evaluates per row
+        let slots: Vec<Option<Option<usize>>> = items
+            .iter()
+            .map(|it| match &it.expr {
+                Expr::Var(v) => Some(self.frame.index(v)),
+                _ => None,
+            })
+            .collect();
+        let all_vars = slots.iter().all(|s| s.is_some());
+        // projected term per execution id, memoized: the value round trip
+        // (term -> typed value -> canonical term) matches the term-space
+        // engine's per-cell evaluation, but runs once per distinct id
+        let mut memo: HashMap<EId, Option<Term>> = HashMap::new();
+        let mut out = Vec::with_capacity(batch.len());
+        for r in 0..batch.len() {
+            let row: Row = if all_vars { Vec::new() } else { self.to_row(batch, r) };
+            let cells: Vec<Option<Term>> = items
+                .iter()
+                .zip(&slots)
+                .map(|(it, slot)| match slot {
+                    Some(None) => None, // projected var absent from the frame
+                    Some(Some(c)) => {
+                        let id = batch.get(r, *c);
+                        if id == UNBOUND {
+                            None
+                        } else if let Some(t) = memo.get(&id) {
+                            t.clone()
+                        } else {
+                            let term = self.arena.term(self.store, id);
+                            let t = Some(Value::from_term(term).to_term());
+                            memo.insert(id, t.clone());
+                            t
+                        }
+                    }
+                    None => eval_expr_limited(&it.expr, &row, self.frame, self.store, &self.guard)
+                        .map(|v| v.to_term()),
+                })
+                .collect();
+            out.push(cells);
+        }
+        Ok(out)
+    }
+
+    // ---- grouping / aggregation --------------------------------------------
+
+    fn grouped_rows(
+        &mut self,
+        q: &SelectQuery,
+        items: &[SelectItem],
+        batch: &Batch,
+    ) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
+        // distinct aggregate specs across projection and HAVING
+        let mut specs: Vec<AggSpec> = Vec::new();
+        for it in items {
+            collect_agg_specs(&it.expr, &mut specs);
+        }
+        if let Some(h) = &q.having {
+            collect_agg_specs(h, &mut specs);
+        }
+
+        // group-key columns: plain variables canonicalize id-to-id; anything
+        // else evaluates per row on the sequential path
+        let mut canon_memo: HashMap<EId, EId> = HashMap::new();
+        let mut key_cols: Vec<KeyCol> = Vec::with_capacity(q.group_by.len());
+        let mut all_var_keys = true;
+        for e in &q.group_by {
+            match e {
+                Expr::Var(v) => {
+                    let col: Vec<EId> = match self.frame.index(v) {
+                        Some(c) => (0..batch.len())
+                            .map(|r| self.canon_id(batch.get(r, c), &mut canon_memo))
+                            .collect(),
+                        None => vec![UNBOUND; batch.len()],
+                    };
+                    key_cols.push(KeyCol::Canon(col));
+                }
+                _ => {
+                    all_var_keys = false;
+                    key_cols.push(KeyCol::Complex(e.clone()));
+                }
+            }
+        }
+
+        let mut all_simple_specs = true;
+        let spec_in: Vec<SpecIn> = specs
+            .iter()
+            .map(|s| match &s.inner {
+                None => SpecIn::CountStar,
+                Some(Expr::Var(v)) => match self.frame.index(v) {
+                    Some(c) => SpecIn::Slot(c),
+                    None => SpecIn::Never,
+                },
+                Some(e) => {
+                    all_simple_specs = false;
+                    SpecIn::Complex(e.clone())
+                }
+            })
+            .collect();
+
+        let threads = effective_threads(self.options.threads);
+        let parallel =
+            all_var_keys && all_simple_specs && threads > 1 && batch.len() >= PARALLEL_MIN_ROWS;
+
+        let mut groups: Vec<GroupAcc> = if parallel {
+            let canon: Vec<&[EId]> = key_cols
+                .iter()
+                .map(|k| match k {
+                    KeyCol::Canon(c) => c.as_slice(),
+                    KeyCol::Complex(_) => unreachable!("parallel requires var keys"),
+                })
+                .collect();
+            let simple: Vec<SimpleIn> = spec_in
+                .iter()
+                .map(|s| match s {
+                    SpecIn::CountStar => SimpleIn::CountStar,
+                    SpecIn::Slot(c) => SimpleIn::Slot(*c),
+                    SpecIn::Never => SimpleIn::Never,
+                    SpecIn::Complex(_) => unreachable!("parallel requires var inputs"),
+                })
+                .collect();
+            let workers = threads.min(batch.len().div_ceil(PARALLEL_MIN_ROWS / 4)).max(2);
+            self.threads_used = workers;
+            self.parallel_groupby = true;
+            let ctx = ParCtx {
+                store: self.store,
+                arena: &self.arena,
+                batch,
+                canon: &canon,
+                specs: &specs,
+                simple: &simple,
+            };
+            match parallel_group(&ctx, workers, self.guard.deadline_info()) {
+                Some(groups) => groups,
+                None => {
+                    // a worker saw the deadline expire: record and surface
+                    let ms =
+                        self.guard.limits().deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
+                    self.guard.note_trip(LimitKind::Deadline, ms);
+                    self.guard.surface()?;
+                    unreachable!("surface must fail after a recorded trip");
+                }
+            }
+        } else {
+            self.sequential_group(batch, &key_cols, &specs, &spec_in)
+        };
+
+        // an aggregate query with no GROUP BY over zero rows still yields
+        // one group (COUNT(*) = 0)
+        if groups.is_empty() && q.group_by.is_empty() {
+            groups.push(GroupAcc {
+                key: Vec::new(),
+                first_row: usize::MAX,
+                states: specs.iter().map(AggState::new).collect(),
+            });
+        }
+
+        let mut out_rows = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let rep_row: Row = if g.first_row == usize::MAX {
+                Vec::new()
+            } else {
+                self.to_row(batch, g.first_row)
+            };
+            let agg_vals: Vec<Option<Value>> =
+                g.states.iter().map(|s| s.clone().finalize()).collect();
+            if let Some(having) = &q.having {
+                let keep = self
+                    .eval_with_aggs(having, &specs, &agg_vals, &rep_row)
+                    .and_then(|v| v.effective_boolean())
+                    .unwrap_or(false);
+                if !keep {
+                    continue;
+                }
+            }
+            let cells: Vec<Option<Term>> = items
+                .iter()
+                .map(|it| {
+                    self.eval_with_aggs(&it.expr, &specs, &agg_vals, &rep_row).map(|v| v.to_term())
+                })
+                .collect();
+            out_rows.push(cells);
+        }
+        Ok(out_rows)
+    }
+
+    /// Canonical execution id of a group-key cell: the id of the term's
+    /// value round trip, so e.g. `"07"^^xsd:integer` and `"7"^^xsd:integer`
+    /// land in the same group — exactly like term-space group keys.
+    fn canon_id(&mut self, id: EId, memo: &mut HashMap<EId, EId>) -> EId {
+        if id == UNBOUND {
+            return UNBOUND;
+        }
+        if let Some(&c) = memo.get(&id) {
+            return c;
+        }
+        let canon_term = Value::from_term(self.arena.term(self.store, id)).to_term();
+        let c = self.arena.intern(self.store, &canon_term);
+        memo.insert(id, c);
+        c
+    }
+
+    fn sequential_group(
+        &mut self,
+        batch: &Batch,
+        key_cols: &[KeyCol],
+        specs: &[AggSpec],
+        spec_in: &[SpecIn],
+    ) -> Vec<GroupAcc> {
+        let mut groups: Vec<GroupAcc> = Vec::new();
+        let mut index: HashMap<Vec<EId>, usize> = HashMap::new();
+        let mut val_memo: HashMap<EId, Value> = HashMap::new();
+        let need_row = key_cols.iter().any(|k| matches!(k, KeyCol::Complex(_)))
+            || spec_in.iter().any(|s| matches!(s, SpecIn::Complex(_)));
+        for r in 0..batch.len() {
+            let row: Row = if need_row { self.to_row(batch, r) } else { Vec::new() };
+            let mut key: Vec<EId> = Vec::with_capacity(key_cols.len());
+            for k in key_cols {
+                key.push(match k {
+                    KeyCol::Canon(col) => col[r],
+                    KeyCol::Complex(e) => {
+                        match eval_expr_limited(e, &row, self.frame, self.store, &self.guard) {
+                            Some(v) => self.arena.intern(self.store, &v.to_term()),
+                            None => UNBOUND,
+                        }
+                    }
+                });
+            }
+            let gi = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push(GroupAcc {
+                        key,
+                        first_row: r,
+                        states: specs.iter().map(AggState::new).collect(),
+                    });
+                    groups.len() - 1
+                }
+            };
+            for (si, input) in spec_in.iter().enumerate() {
+                let v: Option<Value> = match input {
+                    SpecIn::CountStar => Some(Value::Int(1)),
+                    SpecIn::Never => None,
+                    SpecIn::Slot(c) => {
+                        let id = batch.get(r, *c);
+                        if id == UNBOUND {
+                            None
+                        } else if let Some(v) = val_memo.get(&id) {
+                            Some(v.clone())
+                        } else {
+                            let v = Value::from_term(self.arena.term(self.store, id));
+                            val_memo.insert(id, v.clone());
+                            Some(v)
+                        }
+                    }
+                    SpecIn::Complex(e) => {
+                        eval_expr_limited(e, &row, self.frame, self.store, &self.guard)
+                    }
+                };
+                if let Some(v) = v {
+                    groups[gi].states[si].update(v);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Evaluate a projection/`HAVING` expression against one finished group:
+    /// aggregate leaves substitute the precomputed values, everything else
+    /// mirrors the term-space `eval_agg_expr` (non-aggregate leaves are
+    /// evaluated on the group's representative row).
+    fn eval_with_aggs(
+        &self,
+        expr: &Expr,
+        specs: &[AggSpec],
+        agg_vals: &[Option<Value>],
+        rep_row: &Row,
+    ) -> Option<Value> {
+        match expr {
+            Expr::Aggregate(op, distinct, inner) => {
+                let idx = specs.iter().position(|s| {
+                    s.op == *op && s.distinct == *distinct && s.inner.as_ref() == inner.as_deref()
+                })?;
+                agg_vals[idx].clone()
+            }
+            Expr::Var(_) | Expr::Const(_) | Expr::Call(..) | Expr::Exists(..) => {
+                eval_expr_limited(expr, rep_row, self.frame, self.store, &self.guard)
+            }
+            Expr::Or(a, b) => {
+                let va = self
+                    .eval_with_aggs(a, specs, agg_vals, rep_row)
+                    .and_then(|v| v.effective_boolean());
+                let vb = self
+                    .eval_with_aggs(b, specs, agg_vals, rep_row)
+                    .and_then(|v| v.effective_boolean());
+                match (va, vb) {
+                    (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                    (Some(false), Some(false)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Expr::And(a, b) => {
+                let va = self
+                    .eval_with_aggs(a, specs, agg_vals, rep_row)
+                    .and_then(|v| v.effective_boolean());
+                let vb = self
+                    .eval_with_aggs(b, specs, agg_vals, rep_row)
+                    .and_then(|v| v.effective_boolean());
+                match (va, vb) {
+                    (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                    (Some(true), Some(true)) => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            Expr::Not(e) => {
+                let v = self.eval_with_aggs(e, specs, agg_vals, rep_row)?.effective_boolean()?;
+                Some(Value::Bool(!v))
+            }
+            Expr::Compare(a, op, b) => {
+                let va = self.eval_with_aggs(a, specs, agg_vals, rep_row)?;
+                let vb = self.eval_with_aggs(b, specs, agg_vals, rep_row)?;
+                match op {
+                    CompareOp::Eq => Some(Value::Bool(va.value_eq(&vb))),
+                    CompareOp::Ne => Some(Value::Bool(!va.value_eq(&vb))),
+                    _ => {
+                        let ord = va.compare(&vb)?;
+                        Some(Value::Bool(match op {
+                            CompareOp::Lt => ord == std::cmp::Ordering::Less,
+                            CompareOp::Le => ord != std::cmp::Ordering::Greater,
+                            CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+                            CompareOp::Ge => ord != std::cmp::Ordering::Less,
+                            _ => unreachable!(),
+                        }))
+                    }
+                }
+            }
+            Expr::Arith(a, op, b) => {
+                let va = self.eval_with_aggs(a, specs, agg_vals, rep_row)?;
+                let vb = self.eval_with_aggs(b, specs, agg_vals, rep_row)?;
+                match op {
+                    ArithOp::Add => va.add(&vb),
+                    ArithOp::Sub => va.sub(&vb),
+                    ArithOp::Mul => va.mul(&vb),
+                    ArithOp::Div => va.div(&vb),
+                }
+            }
+            Expr::Neg(e) => {
+                let v = self.eval_with_aggs(e, specs, agg_vals, rep_row)?;
+                Value::Int(0).sub(&v)
+            }
+            Expr::In(e, list, negated) => {
+                let v = self.eval_with_aggs(e, specs, agg_vals, rep_row)?;
+                let mut found = false;
+                for item in list {
+                    if let Some(vi) = self.eval_with_aggs(item, specs, agg_vals, rep_row) {
+                        if v.value_eq(&vi) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                Some(Value::Bool(found != *negated))
+            }
+        }
+    }
+}
+
+// ---- parallel hash aggregation ---------------------------------------------
+
+/// Shared read-only context for aggregation workers.
+struct ParCtx<'a> {
+    store: &'a Store,
+    arena: &'a TermArena,
+    batch: &'a Batch,
+    canon: &'a [&'a [EId]],
+    specs: &'a [AggSpec],
+    simple: &'a [SimpleIn],
+}
+
+/// Hash-aggregate `ctx.batch` across `workers` scoped threads over
+/// contiguous row chunks, then merge the per-worker partial maps in chunk
+/// order (preserving global first-seen group order). Returns `None` when a
+/// worker observed the deadline expire.
+fn parallel_group(
+    ctx: &ParCtx<'_>,
+    workers: usize,
+    deadline: (Instant, Option<Duration>),
+) -> Option<Vec<GroupAcc>> {
+    let rows = ctx.batch.len();
+    let chunk = rows.div_ceil(workers);
+    let stop = AtomicBool::new(false);
+    let partials: Vec<Option<Vec<GroupAcc>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(rows);
+                let stop = &stop;
+                scope.spawn(move || worker_group(ctx, start, end, stop, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("aggregation worker panicked")).collect()
+    });
+    if stop.load(AtomicOrdering::Relaxed) {
+        return None;
+    }
+    // merge in chunk order: chunk 0's rows precede chunk 1's, so first-seen
+    // order (and each group's representative row) matches the sequential scan
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    let mut index: HashMap<Vec<EId>, usize> = HashMap::new();
+    for partial in partials.into_iter().flatten() {
+        for g in partial {
+            match index.get(&g.key) {
+                Some(&i) => {
+                    let dst = &mut groups[i];
+                    for (a, b) in dst.states.iter_mut().zip(g.states) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    index.insert(g.key.clone(), groups.len());
+                    groups.push(g);
+                }
+            }
+        }
+    }
+    Some(groups)
+}
+
+/// One worker: sequential hash aggregation over `[start, end)`, probing the
+/// shared stop flag and the deadline every [`WORKER_PROBE_INTERVAL`] rows.
+fn worker_group(
+    ctx: &ParCtx<'_>,
+    start: usize,
+    end: usize,
+    stop: &AtomicBool,
+    (t0, deadline): (Instant, Option<Duration>),
+) -> Option<Vec<GroupAcc>> {
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    let mut index: HashMap<Vec<EId>, usize> = HashMap::new();
+    let mut val_memo: HashMap<EId, Value> = HashMap::new();
+    for (i, r) in (start..end).enumerate() {
+        if i % WORKER_PROBE_INTERVAL == 0 {
+            if stop.load(AtomicOrdering::Relaxed) {
+                return None;
+            }
+            if let Some(d) = deadline {
+                if t0.elapsed() > d {
+                    stop.store(true, AtomicOrdering::Relaxed);
+                    return None;
+                }
+            }
+        }
+        let key: Vec<EId> = ctx.canon.iter().map(|col| col[r]).collect();
+        let gi = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push(GroupAcc {
+                    key,
+                    first_row: r,
+                    states: ctx.specs.iter().map(AggState::new).collect(),
+                });
+                groups.len() - 1
+            }
+        };
+        for (si, input) in ctx.simple.iter().enumerate() {
+            let v: Option<Value> = match input {
+                SimpleIn::CountStar => Some(Value::Int(1)),
+                SimpleIn::Never => None,
+                SimpleIn::Slot(c) => {
+                    let id = ctx.batch.get(r, *c);
+                    if id == UNBOUND {
+                        None
+                    } else if let Some(v) = val_memo.get(&id) {
+                        Some(v.clone())
+                    } else {
+                        let v = Value::from_term(ctx.arena.term(ctx.store, id));
+                        val_memo.insert(id, v.clone());
+                        Some(v)
+                    }
+                }
+            };
+            if let Some(v) = v {
+                groups[gi].states[si].update(v);
+            }
+        }
+    }
+    Some(groups)
+}
+
+fn effective_threads(configured: usize) -> usize {
+    if configured != 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}

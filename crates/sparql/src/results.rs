@@ -7,11 +7,47 @@ use rdfa_model::{vocab::xsd, Graph, Literal, Term, Value};
 /// (`None` = unbound, e.g. under `OPTIONAL`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solutions {
+    #[deprecated(since = "0.4.0", note = "use `vars()` instead of poking the field")]
     pub vars: Vec<String>,
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `rows()` / `into_rows()` instead of poking the field"
+    )]
     pub rows: Vec<Vec<Option<Term>>>,
 }
 
+#[allow(deprecated)] // the accessors are the blessed path to the fields
 impl Solutions {
+    /// Build a solution table from column names and rows.
+    pub fn new(vars: Vec<String>, rows: Vec<Vec<Option<Term>>>) -> Self {
+        Solutions { vars, rows }
+    }
+
+    /// The projected variable names, in column order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The solution rows (one `Option<Term>` per column; `None` = unbound).
+    pub fn rows(&self) -> &[Vec<Option<Term>>] {
+        &self.rows
+    }
+
+    /// Consume into the row set without cloning.
+    pub fn into_rows(self) -> Vec<Vec<Option<Term>>> {
+        self.rows
+    }
+
+    /// Number of solution rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the solution sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
     /// Index of a variable by name.
     pub fn var_index(&self, name: &str) -> Option<usize> {
         self.vars.iter().position(|v| v == name)
@@ -31,8 +67,10 @@ impl Solutions {
     }
 
     /// Render as a plain-text table (used by examples and tests).
+    /// Column widths are measured in characters, not bytes, so non-ASCII
+    /// IRIs and literals stay aligned.
     pub fn to_table(&self) -> String {
-        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.chars().count() + 1).collect();
         let cells: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -41,7 +79,7 @@ impl Solutions {
                     .enumerate()
                     .map(|(i, c)| {
                         let s = c.as_ref().map(|t| t.display_name()).unwrap_or_default();
-                        widths[i] = widths[i].max(s.len());
+                        widths[i] = widths[i].max(s.chars().count());
                         s
                     })
                     .collect()
@@ -67,6 +105,7 @@ impl Solutions {
     }
 }
 
+#[allow(deprecated)]
 impl Solutions {
     /// Serialize per the SPARQL 1.1 CSV results format: a header of bare
     /// variable names, then value rows (IRIs bare, literal lexical forms,
@@ -211,28 +250,28 @@ mod tests {
 
     #[test]
     fn csv_format() {
-        let s = Solutions {
-            vars: vec!["m".into(), "n".into()],
-            rows: vec![
+        let s = Solutions::new(
+            vec!["m".into(), "n".into()],
+            vec![
                 vec![Some(Term::iri("http://e/DELL")), Some(Term::integer(2))],
                 vec![Some(Term::string("a,b")), None],
             ],
-        };
+        );
         let csv = s.to_csv();
         assert_eq!(csv, "m,n\nhttp://e/DELL,2\n\"a,b\",\n");
     }
 
     #[test]
     fn json_format_matches_w3c_shape() {
-        let s = Solutions {
-            vars: vec!["x".into()],
-            rows: vec![
+        let s = Solutions::new(
+            vec!["x".into()],
+            vec![
                 vec![Some(Term::iri("http://e/a"))],
                 vec![Some(Term::integer(5))],
                 vec![Some(Term::Literal(crate::results::Literal::lang_string("hi", "en")))],
                 vec![None],
             ],
-        };
+        );
         let json = s.to_json();
         assert!(json.starts_with("{\"head\":{\"vars\":[\"x\"]}"));
         assert!(json.contains("\"type\":\"uri\",\"value\":\"http://e/a\""));
@@ -244,23 +283,20 @@ mod tests {
 
     #[test]
     fn json_escapes_control_characters() {
-        let s = Solutions {
-            vars: vec!["x".into()],
-            rows: vec![vec![Some(Term::string("a\"b\\c\nd"))]],
-        };
+        let s = Solutions::new(vec!["x".into()], vec![vec![Some(Term::string("a\"b\\c\nd"))]]);
         let json = s.to_json();
         assert!(json.contains("a\\\"b\\\\c\\nd"));
     }
 
     #[test]
     fn table_rendering_and_columns() {
-        let s = Solutions {
-            vars: vec!["m".into(), "avg".into()],
-            rows: vec![
+        let s = Solutions::new(
+            vec!["m".into(), "avg".into()],
+            vec![
                 vec![Some(Term::iri("http://e/DELL")), Some(Term::decimal(950.0))],
                 vec![Some(Term::iri("http://e/ACER")), None],
             ],
-        };
+        );
         let t = s.to_table();
         assert!(t.contains("?m"));
         assert!(t.contains("DELL"));

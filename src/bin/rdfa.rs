@@ -374,8 +374,9 @@ fn dispatch(
             println!("{} — translating to SPARQL:", q);
             let sparql = rdf_analytics::hifun::to_sparql(&q);
             println!("{sparql}");
-            let sols = Engine::new(store)
-                .query(&sparql)
+            let sols = Engine::builder(store)
+                .build()
+                .run(&sparql)
                 .map_err(|e| e.message())?
                 .into_solutions()
                 .ok_or("not a SELECT")?;
@@ -408,7 +409,7 @@ fn dispatch(
         }
         "query" => {
             let q = line.trim_start_matches("query").trim();
-            let results = Engine::new(store).query(q).map_err(|e| e.message())?;
+            let results = Engine::builder(store).build().run(q).map_err(|e| e.message())?;
             match results {
                 rdf_analytics::sparql::QueryResults::Solutions(s) => print!("{}", s.to_table()),
                 rdf_analytics::sparql::QueryResults::Graph(g) => {

@@ -5,12 +5,17 @@
 //!
 //! | route | method | body/query | response |
 //! |---|---|---|---|
-//! | `/sparql?query=…` | GET | URL-encoded query | JSON (default), CSV or text via `Accept` |
-//! | `/sparql` | POST | the query verbatim | same |
-//! | `/update` | POST | an update request | `{"inserted":n,"deleted":m}` |
+//! | `/v1/query?query=…` | GET | URL-encoded query | negotiated via `Accept` (see below) |
+//! | `/v1/query` | POST | the query verbatim | same |
+//! | `/v1/update` | POST | an update request | `{"inserted":n,"deleted":m}` |
+//! | `/sparql`, `/update` | GET/POST | legacy aliases of the `/v1` routes | same, plus a `Deprecation` header |
 //! | `/void` | GET | — | the dataset's VoID description (N-Triples) |
 //! | `/health` | GET | — | `ok` |
 //! | `/healthz` | GET | — | JSON: store generation, WAL lag, triple count |
+//!
+//! Content negotiation on `/v1/query`: `Accept: text/csv` → SPARQL CSV
+//! results, `Accept: text/plain` → an aligned text table, anything else →
+//! `application/sparql-results+json` (the default).
 //!
 //! The store lives behind an `RwLock`: queries share it, updates take the
 //! write lock. `Server::start` binds an ephemeral port and serves until the
@@ -447,95 +452,32 @@ fn handle_connection(
                 &rdfa_model::ntriples::serialize(&void),
             )
         }
-        ("GET", "/sparql") | ("POST", "/sparql") => {
+        ("GET", "/v1/query") | ("POST", "/v1/query") | ("GET", "/sparql") | ("POST", "/sparql") => {
+            // `/sparql` is the pre-v1 alias: same behaviour, plus headers
+            // steering clients to the versioned route
+            let extra = legacy_headers(path, "/sparql", "/v1/query");
             let query = if method == "POST" {
                 body
             } else {
                 match form_value(query_string, "query") {
                     Some(q) => q,
                     None => {
-                        return write_response(
+                        return write_response_headed(
                             &mut stream,
                             "400 Bad Request",
                             "application/json",
+                            extra,
                             &json_error(400, "missing ?query="),
                         )
                     }
                 }
             };
-            let guard = store.read();
-            match Engine::with_limits(&guard, config.limits).query(&query) {
-                Ok(QueryResults::Solutions(sols)) => {
-                    if accept.contains("text/csv") {
-                        write_response(&mut stream, "200 OK", "text/csv", &sols.to_csv())
-                    } else if accept.contains("text/plain") {
-                        write_response(&mut stream, "200 OK", "text/plain", &sols.to_table())
-                    } else {
-                        write_response(
-                            &mut stream,
-                            "200 OK",
-                            "application/sparql-results+json",
-                            &sols.to_json(),
-                        )
-                    }
-                }
-                Ok(QueryResults::Graph(g)) => write_response(
-                    &mut stream,
-                    "200 OK",
-                    "application/n-triples",
-                    &rdfa_model::ntriples::serialize(&g),
-                ),
-                Ok(QueryResults::Boolean(b)) => write_response(
-                    &mut stream,
-                    "200 OK",
-                    "application/sparql-results+json",
-                    &format!("{{\"head\":{{}},\"boolean\":{b}}}"),
-                ),
-                Err(e) => write_query_error(&mut stream, &e),
-            }
+            serve_query(&mut stream, store, config, &accept, &query, extra)
         }
-        ("POST", "/update") => match &**store {
-            SharedStore::Plain(lock) => {
-                let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
-                match execute_update(&mut guard, &body) {
-                    Ok(stats) => write_response(
-                        &mut stream,
-                        "200 OK",
-                        "application/json",
-                        &format!(
-                            "{{\"inserted\":{},\"deleted\":{}}}",
-                            stats.inserted, stats.deleted
-                        ),
-                    ),
-                    Err(e) => write_query_error(&mut stream, &e),
-                }
-            }
-            SharedStore::Durable(lock) => {
-                let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
-                // apply, recording the concrete triple changes, then log
-                // them as ONE atomic WAL record before acknowledging
-                match execute_update_recording(guard.store_mut_unlogged(), &body) {
-                    Ok((stats, changes)) => match guard.log_mutations(&changes) {
-                        Ok(()) => write_response(
-                            &mut stream,
-                            "200 OK",
-                            "application/json",
-                            &format!(
-                                "{{\"inserted\":{},\"deleted\":{}}}",
-                                stats.inserted, stats.deleted
-                            ),
-                        ),
-                        Err(e) => write_response(
-                            &mut stream,
-                            "500 Internal Server Error",
-                            "application/json",
-                            &json_error(500, &format!("durability failure: {e}")),
-                        ),
-                    },
-                    Err(e) => write_query_error(&mut stream, &e),
-                }
-            }
-        },
+        ("POST", "/v1/update") | ("POST", "/update") => {
+            let extra = legacy_headers(path, "/update", "/v1/update");
+            serve_update(&mut stream, store, &body, extra)
+        }
         _ => write_response(
             &mut stream,
             "404 Not Found",
@@ -545,22 +487,145 @@ fn handle_connection(
     }
 }
 
+/// Extra response headers for a legacy route alias: a `Deprecation` marker
+/// plus a `Link` to the versioned successor. Empty for the `/v1` routes.
+fn legacy_headers(path: &str, legacy: &'static str, successor: &'static str) -> &'static [String] {
+    use std::sync::OnceLock;
+    static NONE: Vec<String> = Vec::new();
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<&'static str, &'static [String]>>> =
+        OnceLock::new();
+    if path != legacy {
+        return &NONE;
+    }
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    cache.entry(legacy).or_insert_with(|| {
+        let headers = vec![
+            "Deprecation: true".to_owned(),
+            format!("Link: <{successor}>; rel=\"successor-version\""),
+        ];
+        Box::leak(headers.into_boxed_slice())
+    })
+}
+
+/// Evaluate a query under the server's limits and serialize per `Accept`.
+fn serve_query(
+    stream: &mut TcpStream,
+    store: &Arc<SharedStore>,
+    config: &ServerConfig,
+    accept: &str,
+    query: &str,
+    extra: &[String],
+) -> std::io::Result<()> {
+    let guard = store.read();
+    match Engine::builder(&guard).limits(config.limits).build().run(query) {
+        Ok(QueryResults::Solutions(sols)) => {
+            if accept.contains("text/csv") {
+                write_response_headed(stream, "200 OK", "text/csv", extra, &sols.to_csv())
+            } else if accept.contains("text/plain") {
+                write_response_headed(stream, "200 OK", "text/plain", extra, &sols.to_table())
+            } else {
+                write_response_headed(
+                    stream,
+                    "200 OK",
+                    "application/sparql-results+json",
+                    extra,
+                    &sols.to_json(),
+                )
+            }
+        }
+        Ok(QueryResults::Graph(g)) => write_response_headed(
+            stream,
+            "200 OK",
+            "application/n-triples",
+            extra,
+            &rdfa_model::ntriples::serialize(&g),
+        ),
+        Ok(QueryResults::Boolean(b)) => write_response_headed(
+            stream,
+            "200 OK",
+            "application/sparql-results+json",
+            extra,
+            &format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+        ),
+        Err(e) => write_query_error_headed(stream, &e, extra),
+    }
+}
+
+/// Apply an update against either store flavour and acknowledge with the
+/// insert/delete counts (WAL-logged first on the durable path).
+fn serve_update(
+    stream: &mut TcpStream,
+    store: &Arc<SharedStore>,
+    body: &str,
+    extra: &[String],
+) -> std::io::Result<()> {
+    match &**store {
+        SharedStore::Plain(lock) => {
+            let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+            match execute_update(&mut guard, body) {
+                Ok(stats) => write_response_headed(
+                    stream,
+                    "200 OK",
+                    "application/json",
+                    extra,
+                    &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
+                ),
+                Err(e) => write_query_error_headed(stream, &e, extra),
+            }
+        }
+        SharedStore::Durable(lock) => {
+            let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+            // apply, recording the concrete triple changes, then log
+            // them as ONE atomic WAL record before acknowledging
+            match execute_update_recording(guard.store_mut_unlogged(), body) {
+                Ok((stats, changes)) => match guard.log_mutations(&changes) {
+                    Ok(()) => write_response_headed(
+                        stream,
+                        "200 OK",
+                        "application/json",
+                        extra,
+                        &format!(
+                            "{{\"inserted\":{},\"deleted\":{}}}",
+                            stats.inserted, stats.deleted
+                        ),
+                    ),
+                    Err(e) => write_response_headed(
+                        stream,
+                        "500 Internal Server Error",
+                        "application/json",
+                        extra,
+                        &json_error(500, &format!("durability failure: {e}")),
+                    ),
+                },
+                Err(e) => write_query_error_headed(stream, &e, extra),
+            }
+        }
+    }
+}
+
 /// A query/update error: resource exhaustion is `503` (the request was fine,
 /// the server declined to spend more on it); anything else is the client's
 /// `400`.
-fn write_query_error(stream: &mut TcpStream, e: &rdfa_sparql::SparqlError) -> std::io::Result<()> {
+fn write_query_error_headed(
+    stream: &mut TcpStream,
+    e: &rdfa_sparql::SparqlError,
+    extra: &[String],
+) -> std::io::Result<()> {
     if e.is_resource_limit() {
-        write_response(
+        write_response_headed(
             stream,
             "503 Service Unavailable",
             "application/json",
+            extra,
             &json_error(503, &e.message()),
         )
     } else {
-        write_response(
+        write_response_headed(
             stream,
             "400 Bad Request",
             "application/json",
+            extra,
             &json_error(400, &e.message()),
         )
     }
@@ -572,10 +637,25 @@ fn write_response(
     ctype: &str,
     payload: &str,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_headed(stream, status, ctype, &[], payload)
+}
+
+fn write_response_headed(
+    stream: &mut TcpStream,
+    status: &str,
+    ctype: &str,
+    extra: &[String],
+    payload: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n",
         payload.len()
     );
+    for h in extra {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())
 }
@@ -759,6 +839,77 @@ mod tests {
         );
         let resp = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
         assert!(resp.contains("\"value\":\"3\""), "{resp}");
+    }
+
+    #[test]
+    fn v1_query_serves_json_csv_and_plain() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . } ORDER BY ?x",
+        );
+        let json = get(server.addr(), &format!("/v1/query?query={q}"), "*/*");
+        assert!(json.starts_with("HTTP/1.1 200"), "{json}");
+        assert!(json.contains("sparql-results+json"), "{json}");
+        let csv = get(server.addr(), &format!("/v1/query?query={q}"), "text/csv");
+        assert!(csv.contains("text/csv"), "{csv}");
+        assert!(csv.contains("http://example.org/l1"), "{csv}");
+        let table = get(server.addr(), &format!("/v1/query?query={q}"), "text/plain");
+        assert!(table.contains("text/plain"), "{table}");
+        // POST body is the query verbatim, same as the legacy route
+        let body = "SELECT ?x WHERE { ?x ?p ?o . }";
+        let resp = http(
+            server.addr(),
+            &format!(
+                "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    }
+
+    #[test]
+    fn v1_update_mutates_store() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = post(
+            server.addr(),
+            "/v1/update",
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:l9 a ex:Laptop . }",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"inserted\":1"), "{resp}");
+        assert!(!resp.contains("Deprecation"), "{resp}");
+    }
+
+    #[test]
+    fn legacy_routes_carry_deprecation_header_v1_does_not() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let q = percent_encode("SELECT ?x WHERE { ?x ?p ?o . }");
+        let legacy = get(server.addr(), &format!("/sparql?query={q}"), "*/*");
+        assert!(legacy.contains("Deprecation: true"), "{legacy}");
+        assert!(
+            legacy.contains("Link: </v1/query>; rel=\"successor-version\""),
+            "{legacy}"
+        );
+        let v1 = get(server.addr(), &format!("/v1/query?query={q}"), "*/*");
+        assert!(!v1.contains("Deprecation"), "{v1}");
+        let upd = post(server.addr(), "/update", "INSERT DATA { <urn:a> <urn:b> <urn:c> . }");
+        assert!(upd.contains("Deprecation: true"), "{upd}");
+        assert!(
+            upd.contains("Link: </v1/update>; rel=\"successor-version\""),
+            "{upd}"
+        );
+        // errors on legacy routes are marked too
+        let err = get(server.addr(), "/sparql?query=NOT+SPARQL", "*/*");
+        assert!(err.starts_with("HTTP/1.1 400"), "{err}");
+        assert!(err.contains("Deprecation: true"), "{err}");
+    }
+
+    #[test]
+    fn v1_query_without_query_param_is_400() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = get(server.addr(), "/v1/query", "*/*");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("missing ?query="), "{resp}");
     }
 
     #[test]

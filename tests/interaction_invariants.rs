@@ -54,7 +54,7 @@ fn random_walk(store: &Store, clicks: &[usize]) -> bool {
     }
     // invariant 4: intention evaluates back to the extension
     let sparql = session.intent_sparql();
-    let sols = Engine::new(store).query(&sparql).unwrap();
+    let sols = Engine::builder(store).build().run(&sparql).unwrap();
     let got: BTreeSet<TermId> = sols
         .solutions()
         .unwrap()

@@ -142,13 +142,13 @@ fn fig_1_3_flagship_query_runs_verbatim() {
           FILTER ( ?rd >= "2021-01-01"^^xsd:date &&
                    ?rd <= "2021-12-31"^^xsd:date)
         } GROUP BY ?m"#;
-    let results = Engine::new(&store).query(q).unwrap();
+    let results = Engine::builder(&store).build().run(q).unwrap();
     let sols = results.solutions().unwrap();
     // laptop1 (SSD1 by Maxtor/Singapore/Asia, DELL/USA, 2 ports, 2021) and
     // laptop2 (SSD2 by AVDElectronics/USA — not Asia) → only laptop1 counts
-    assert_eq!(sols.rows.len(), 1);
-    assert_eq!(sols.rows[0][0].as_ref().unwrap().display_name(), "DELL");
-    assert!(Value::from_term(sols.rows[0][1].as_ref().unwrap()).value_eq(&Value::Float(900.0)));
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.rows()[0][0].as_ref().unwrap().display_name(), "DELL");
+    assert!(Value::from_term(sols.rows()[0][1].as_ref().unwrap()).value_eq(&Value::Float(900.0)));
 }
 
 /// The same information need, formulated through the interaction model

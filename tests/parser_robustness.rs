@@ -86,7 +86,7 @@ fn engine_never_panics_on_arbitrary_select() {
             b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789?<>:/{}.;, ",
             80,
         );
-        let _ = Engine::new(&store).query(&format!("SELECT ?{v1} ?{v2} WHERE {{ {body} }}"));
+        let _ = Engine::builder(&store).build().run(&format!("SELECT ?{v1} ?{v2} WHERE {{ {body} }}"));
     }
 }
 

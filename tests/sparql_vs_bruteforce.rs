@@ -4,7 +4,6 @@
 //! join-order heuristic) independently of the hand-written unit tests.
 
 use rdf_analytics::model::{Term, Value};
-use rdf_analytics::sparql::eval::EvalOptions;
 use rdf_analytics::sparql::Engine;
 use rdf_analytics::store::Store;
 use rdfa_prng::StdRng;
@@ -247,16 +246,13 @@ fn engine_agrees_with_bruteforce() {
         let expected = brute_force(&dedup, &pats);
 
         for reorder in [true, false] {
-            let engine = Engine::with_options(
-                &store,
-                EvalOptions { reorder_bgp: reorder, ..Default::default() },
-            );
+            let engine = Engine::builder(&store).reorder_bgp(reorder).build();
             let sols = engine
-                .query(&sparql)
+                .run(&sparql)
                 .unwrap_or_else(|e| panic!("{e}\n{sparql}"))
                 .into_solutions()
                 .unwrap();
-            let got = canonicalize(&sols.rows);
+            let got = canonicalize(sols.rows());
             assert_eq!(got, expected, "case {case} reorder={reorder} query: {sparql}");
         }
     }
@@ -276,8 +272,8 @@ fn regression_repeated_variable() {
     let store = build_store(&g);
     let pats = [RandPattern { s: Slot::Var(0), p: 0, o: Slot::Var(0) }];
     let sparql = to_sparql(&pats);
-    let engine = Engine::new(&store);
-    let sols = engine.query(&sparql).unwrap().into_solutions().unwrap();
-    assert_eq!(canonicalize(&sols.rows), brute_force(&g, &pats));
-    assert_eq!(sols.rows.len(), 1); // only the self-loop
+    let engine = Engine::builder(&store).build();
+    let sols = engine.run(&sparql).unwrap().into_solutions().unwrap();
+    assert_eq!(canonicalize(sols.rows()), brute_force(&g, &pats));
+    assert_eq!(sols.len(), 1); // only the self-loop
 }

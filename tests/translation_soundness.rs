@@ -154,14 +154,14 @@ fn direct_eval_equals_translated_sparql() {
         let q = build_query(&spec);
         let direct = hifun::direct::evaluate(&store, &q).unwrap();
         let sparql = hifun::translate::to_sparql(&q);
-        let translated = Engine::new(&store)
-            .query(&sparql)
+        let translated = Engine::builder(&store).build()
+            .run(&sparql)
             .unwrap_or_else(|e| panic!("{e}\n{sparql}"))
             .into_solutions()
             .unwrap();
         assert_eq!(
-            canonical(&direct.rows),
-            canonical(&translated.rows),
+            canonical(direct.rows()),
+            canonical(translated.rows()),
             "case {case}: query {q} translated to:\n{sparql}"
         );
     }
@@ -183,12 +183,12 @@ fn regression_empty_grouping_with_unmatched_root_condition() {
     let store = build_store(&d);
     let q = build_query(&spec);
     let direct = hifun::direct::evaluate(&store, &q).unwrap();
-    let translated = Engine::new(&store)
-        .query(&hifun::translate::to_sparql(&q))
+    let translated = Engine::builder(&store).build()
+        .run(&hifun::translate::to_sparql(&q))
         .unwrap()
         .into_solutions()
         .unwrap();
-    assert_eq!(canonical(&direct.rows), canonical(&translated.rows));
+    assert_eq!(canonical(direct.rows()), canonical(translated.rows()));
 }
 
 #[test]
@@ -200,13 +200,13 @@ fn regression_identity_count_with_having() {
         .group_by(AttrPath::prop(p("cat")))
         .having(0, CondOp::Ge, Term::integer(2));
     let direct = hifun::direct::evaluate(&store, &q).unwrap();
-    let translated = Engine::new(&store)
-        .query(&hifun::translate::to_sparql(&q))
+    let translated = Engine::builder(&store).build()
+        .run(&hifun::translate::to_sparql(&q))
         .unwrap()
         .into_solutions()
         .unwrap();
-    assert_eq!(canonical(&direct.rows), canonical(&translated.rows));
-    assert_eq!(direct.rows.len(), 1); // only cat0 has ≥ 2 items
+    assert_eq!(canonical(direct.rows()), canonical(translated.rows()));
+    assert_eq!(direct.len(), 1); // only cat0 has ≥ 2 items
 }
 
 #[test]
@@ -220,10 +220,10 @@ fn regression_avg_with_measure_restriction() {
                 .restricted(Restriction::cmp(CondOp::Ge, Term::integer(20))),
         );
     let direct = hifun::direct::evaluate(&store, &q).unwrap();
-    let translated = Engine::new(&store)
-        .query(&hifun::translate::to_sparql(&q))
+    let translated = Engine::builder(&store).build()
+        .run(&hifun::translate::to_sparql(&q))
         .unwrap()
         .into_solutions()
         .unwrap();
-    assert_eq!(canonical(&direct.rows), canonical(&translated.rows));
+    assert_eq!(canonical(direct.rows()), canonical(translated.rows()));
 }
