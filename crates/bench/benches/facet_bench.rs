@@ -1,94 +1,117 @@
-//! Faceted-search state-computation benchmarks (E10, §6.4): the cost of
-//! building the left frame — class markers, property facets with counts,
-//! path expansion — as the KG grows.
+//! Interactive-facet latency benchmark (E10, §6.4): the cost of building
+//! the left frame — class markers plus property facets with counts — for
+//! one state, comparing
+//!
+//! 1. the seed `BTreeSet` path (`markers::reference`),
+//! 2. the sorted-dense merge-join path with parallel marker computation,
+//! 3. the same path answered from a warm generation-keyed [`FacetCache`].
+//!
+//! Asserts the new path reproduces the seed output byte-identically at each
+//! scale, then writes `BENCH_4.json` with timings and speedups so CI can
+//! archive the artifact.
+//!
+//! Run with `cargo bench --bench facet_bench`.
 
-use rdfa_bench::microbench::{black_box, BenchmarkId, Criterion};
-use rdfa_bench::{criterion_group, criterion_main};
 use rdfa_datagen::{ProductsGenerator, EX};
-use rdfa_facets::{class_markers, expand_path, property_facets, PathStep};
+use rdfa_facets::{markers, FacetCache, FacetOptions};
 use rdfa_store::Store;
+use std::time::Instant;
 
-fn store(n: usize) -> Store {
-    let mut s = Store::new();
-    s.load_graph(&ProductsGenerator::new(n, 1).generate());
-    s
+/// Median wall-clock seconds over `reps` runs of `f`.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-fn bench_state_computation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("facet_state");
-    group.sample_size(20);
-    for n in [500usize, 2_000, 8_000] {
-        let s = store(n);
-        let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
-        let ext = s.instances(laptop);
-        group.bench_with_input(BenchmarkId::new("class_markers", n), &s, |b, s| {
-            b.iter(|| black_box(class_markers(s, &ext).len()))
-        });
-        group.bench_with_input(BenchmarkId::new("property_facets", n), &s, |b, s| {
-            b.iter(|| black_box(property_facets(s, &ext).len()))
-        });
-        let path = [
-            PathStep::fwd(s.lookup_iri(&format!("{EX}manufacturer")).unwrap()),
-            PathStep::fwd(s.lookup_iri(&format!("{EX}origin")).unwrap()),
-        ];
-        group.bench_with_input(BenchmarkId::new("expand_path", n), &s, |b, s| {
-            b.iter(|| black_box(expand_path(s, &ext, &path).len()))
-        });
+struct ScaleResult {
+    triples: usize,
+    ext_len: usize,
+    reps: usize,
+    reference_secs: f64,
+    merge_join_secs: f64,
+    cached_secs: f64,
+}
+
+fn bench_scale(n_products: usize, reps: usize, threads: usize) -> ScaleResult {
+    let mut store = Store::new();
+    store.load_graph(&ProductsGenerator::new(n_products, 1).generate());
+    let laptop = store.lookup_iri(&format!("{EX}Laptop")).unwrap();
+    let ext_ref = store.instances(laptop);
+    let ext = store.instances_set(laptop);
+    assert_eq!(ext.to_btree_set(), ext_ref);
+    let opts = FacetOptions { threads, deadline: None };
+
+    // correctness gate: the merge-join/parallel path must reproduce the
+    // seed implementation byte-identically
+    let classes_ref = markers::reference::class_markers(&store, &ext_ref);
+    let facets_ref = markers::reference::property_facets(&store, &ext_ref);
+    let classes_new = markers::class_markers_opts(&store, &ext, opts).unwrap();
+    let facets_new = markers::property_facets_opts(&store, &ext, opts).unwrap();
+    assert_eq!(classes_ref, classes_new, "class markers diverged from seed");
+    assert_eq!(facets_ref, facets_new, "property facets diverged from seed");
+
+    let reference_secs = median_secs(reps, || {
+        markers::reference::class_markers(&store, &ext_ref);
+        markers::reference::property_facets(&store, &ext_ref);
+    });
+    let merge_join_secs = median_secs(reps, || {
+        markers::class_markers_opts(&store, &ext, opts).unwrap();
+        markers::property_facets_opts(&store, &ext, opts).unwrap();
+    });
+    let cache = FacetCache::new(16);
+    cache.class_markers(&store, &ext, opts).unwrap(); // warm
+    cache.property_facets(&store, &ext, opts).unwrap();
+    let cached_secs = median_secs(reps, || {
+        cache.class_markers(&store, &ext, opts).unwrap();
+        cache.property_facets(&store, &ext, opts).unwrap();
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2, "cache warmed exactly once per kind");
+
+    ScaleResult {
+        triples: store.len(),
+        ext_len: ext.len(),
+        reps,
+        reference_secs,
+        merge_join_secs,
+        cached_secs,
     }
-    group.finish();
 }
 
-/// Ablation: memoized session facets vs recomputation — the efficiency
-/// iteration of the dissertation's system (3).
-fn bench_session_cache(c: &mut Criterion) {
-    use rdfa_facets::FacetedSession;
-    let s = store(4_000);
-    let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
-    let mut group = c.benchmark_group("session_cache");
-    group.sample_size(20);
-    group.bench_function("cached_facets", |b| {
-        let mut session = FacetedSession::start(&s);
-        session.select_class(laptop).unwrap();
-        let _ = session.facets(); // warm the cache
-        b.iter(|| black_box(session.facets().len()))
-    });
-    group.bench_function("fresh_facets", |b| {
-        let session = FacetedSession::start(&s);
-        let ext = s.instances(laptop);
-        let _ = session;
-        b.iter(|| black_box(property_facets(&s, &ext).len()))
-    });
-    group.finish();
-}
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // ~9 triples per product: 6,300 → ~57k triples, 55,400 → ~500k triples
+    let small = bench_scale(7_100, 9, threads);
+    let large = bench_scale(62_400, 5, threads);
 
-fn bench_keyword_index(c: &mut Criterion) {
-    use rdfa_store::KeywordIndex;
-    let s = store(4_000);
-    c.bench_function("keyword_index_build_4k", |b| {
-        b.iter(|| black_box(KeywordIndex::build(&s).len()))
-    });
-    let idx = KeywordIndex::build(&s);
-    c.bench_function("keyword_search", |b| {
-        b.iter(|| black_box(idx.search("laptop company usa").len()))
-    });
+    let scale_json = |s: &ScaleResult| {
+        format!(
+            "{{\n    \"triples\": {},\n    \"extension\": {},\n    \"reps\": {},\n    \"reference_secs\": {:.6},\n    \"merge_join_parallel_secs\": {:.6},\n    \"cached_secs\": {:.6},\n    \"speedup_merge_join_vs_reference\": {:.3},\n    \"speedup_cached_vs_reference\": {:.1}\n  }}",
+            s.triples,
+            s.ext_len,
+            s.reps,
+            s.reference_secs,
+            s.merge_join_secs,
+            s.cached_secs,
+            s.reference_secs / s.merge_join_secs,
+            s.reference_secs / s.cached_secs,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"facet_markers_merge_join_parallel_cache\",\n  \"threads\": {threads},\n  \"small\": {},\n  \"large\": {}\n}}\n",
+        scale_json(&small),
+        scale_json(&large)
+    );
+    // repo root when run via cargo, current dir otherwise
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_4.json");
+    std::fs::write(&out, &json).expect("write BENCH_4.json");
+    println!("{json}");
+    println!("wrote {}", out.display());
 }
-
-fn bench_buckets(c: &mut Criterion) {
-    use rdfa_facets::{bucket_values, PathStep as PS};
-    let s = store(4_000);
-    let laptop = s.lookup_iri(&format!("{EX}Laptop")).unwrap();
-    let ext = s.instances(laptop);
-    let path = [PS::fwd(s.lookup_iri(&format!("{EX}price")).unwrap())];
-    c.bench_function("bucket_values_4k", |b| {
-        b.iter(|| black_box(bucket_values(&s, &ext, &path, 6).len()))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_state_computation,
-    bench_session_cache,
-    bench_keyword_index,
-    bench_buckets
-);
-criterion_main!(benches);

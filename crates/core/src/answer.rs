@@ -296,7 +296,7 @@ mod tests {
         // Fig 5.2: each column becomes a facet with the column values
         let f = frame();
         let store = f.load_as_dataset();
-        let rows = store.instances(store.lookup_iri(AF_ROW_CLASS).unwrap());
+        let rows = store.instances_set(store.lookup_iri(AF_ROW_CLASS).unwrap());
         let facets = rdfa_facets::property_facets(&store, &rows);
         assert_eq!(facets.len(), 3);
         let man = facets

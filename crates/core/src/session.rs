@@ -119,6 +119,13 @@ impl<'s> AnalyticsSession<'s> {
         self
     }
 
+    /// Share a marker cache with other sessions over the same store; makes
+    /// revisited states (back button, repeated requests) O(1).
+    pub fn with_facet_cache(mut self, cache: std::sync::Arc<rdfa_facets::FacetCache>) -> Self {
+        self.facets.set_cache(cache);
+        self
+    }
+
     /// Bound the resources [`run`](Self::run) may spend on the SPARQL
     /// strategy. When a limit trips, the session degrades to direct HIFUN
     /// evaluation and records the fallback in the answer's provenance.
@@ -330,7 +337,7 @@ impl<'s> AnalyticsSession<'s> {
             .map(str::to_owned)
             .unwrap_or_default();
         let ctx = rdfa_hifun::AnalysisContext::over_set(
-            self.facets.extension().clone(),
+            self.facets.extension().to_btree_set(),
             vec![AttrPath::prop(iri)],
         );
         ctx.check_applicability(store)
@@ -396,7 +403,7 @@ impl<'s> AnalyticsSession<'s> {
                 self.facets
                     .extension()
                     .iter()
-                    .map(|&id| store.term(id).clone())
+                    .map(|id| store.term(id).clone())
                     .collect(),
             );
         }

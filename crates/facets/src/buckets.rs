@@ -8,7 +8,7 @@
 use crate::ops::restrict_range;
 use crate::state::PathStep;
 use rdfa_model::Value;
-use rdfa_store::{Store, TermId};
+use rdfa_store::{ExtSet, Store};
 use std::collections::BTreeSet;
 
 /// One value bucket: a closed interval with its member count.
@@ -33,7 +33,7 @@ impl Bucket {
 /// exist (a flat list is better then).
 pub fn bucket_values(
     store: &Store,
-    ext: &BTreeSet<TermId>,
+    ext: &ExtSet,
     path: &[PathStep],
     n_buckets: usize,
 ) -> Vec<Bucket> {
@@ -100,8 +100,8 @@ mod tests {
         s
     }
 
-    fn laptops(s: &Store) -> BTreeSet<TermId> {
-        s.instances(s.lookup_iri(&format!("{EX}Laptop")).unwrap())
+    fn laptops(s: &Store) -> ExtSet {
+        s.instances_set(s.lookup_iri(&format!("{EX}Laptop")).unwrap())
     }
 
     fn price_path(s: &Store) -> [PathStep; 1] {
@@ -136,7 +136,7 @@ mod tests {
         let n = buckets.len();
         for (i, b) in buckets.iter().enumerate() {
             let (min, max) = bucket_bounds(b, i + 1 == n);
-            let mut session = FacetedSession::start_from(&s, ext.clone());
+            let mut session = FacetedSession::start_from(&s, ext.to_btree_set());
             session.select_range(&path, min, max).unwrap();
             assert_eq!(session.extension().len(), b.count);
         }
@@ -149,7 +149,7 @@ mod tests {
             "@prefix ex: <{EX}> . ex:a a ex:T ; ex:p 5 . ex:b a ex:T ; ex:p 5 ."
         ))
         .unwrap();
-        let ext = s.instances(s.lookup_iri(&format!("{EX}T")).unwrap());
+        let ext = s.instances_set(s.lookup_iri(&format!("{EX}T")).unwrap());
         let path = [PathStep::fwd(s.lookup_iri(&format!("{EX}p")).unwrap())];
         assert!(bucket_values(&s, &ext, &path, 3).is_empty());
     }

@@ -1,0 +1,337 @@
+//! Generation-keyed facet cache.
+//!
+//! Interactive sessions revisit states constantly — the back button, the
+//! breadcrumb trail, two users exploring the same class. Marker computation
+//! is pure: its output depends only on the store contents and the extension.
+//! The cache therefore keys entries by `(store generation, extension
+//! fingerprint, extension length, marker kind)`; the store bumps its
+//! [`rdfa_store::Store::generation`] counter on every effective mutation, so
+//! entries from a stale store can never be served — no explicit
+//! invalidation hooks, updates just stop matching.
+//!
+//! The cache is `Sync` (a mutexed map plus atomic counters) and intended to
+//! be shared via `Arc` across sessions and server worker threads.
+
+use crate::markers::{class_markers_opts, property_facets_opts, ClassMarker, FacetOptions, PropertyFacet};
+use crate::FacetError;
+use rdfa_store::{ExtSet, Store};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    Classes,
+    Facets,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kind: Kind,
+    generation: u64,
+    ext_len: usize,
+    fingerprint: u64,
+}
+
+impl Key {
+    fn new(kind: Kind, store: &Store, ext: &ExtSet) -> Self {
+        Key {
+            kind,
+            generation: store.generation(),
+            ext_len: ext.len(),
+            fingerprint: ext.fingerprint(),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum CachedValue {
+    Classes(Arc<Vec<ClassMarker>>),
+    Facets(Arc<Vec<PropertyFacet>>),
+}
+
+struct Entry {
+    value: CachedValue,
+    /// Last-access tick, for LRU eviction.
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FacetCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// An LRU cache of computed markers, keyed by store generation and
+/// extension fingerprint. See the module docs for the invalidation story.
+pub struct FacetCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default number of cached marker sets (two entries per distinct state).
+pub const DEFAULT_FACET_CACHE_ENTRIES: usize = 128;
+
+impl Default for FacetCache {
+    fn default() -> Self {
+        FacetCache::new(DEFAULT_FACET_CACHE_ENTRIES)
+    }
+}
+
+impl FacetCache {
+    /// A cache holding at most `capacity` marker sets (class trees and
+    /// property-facet lists count separately). A capacity of `0` disables
+    /// caching: every lookup is a miss and nothing is stored.
+    pub fn new(capacity: usize) -> Self {
+        FacetCache {
+            capacity,
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Class markers for `ext`, served from cache when the store generation
+    /// and extension fingerprint match, computed (and cached) otherwise.
+    /// Deadline errors are returned without caching.
+    pub fn class_markers(
+        &self,
+        store: &Store,
+        ext: &ExtSet,
+        opts: FacetOptions,
+    ) -> Result<Arc<Vec<ClassMarker>>, FacetError> {
+        let key = Key::new(Kind::Classes, store, ext);
+        if let Some(CachedValue::Classes(v)) = self.lookup(key) {
+            return Ok(v);
+        }
+        let computed = Arc::new(class_markers_opts(store, ext, opts)?);
+        self.store_entry(key, CachedValue::Classes(Arc::clone(&computed)));
+        Ok(computed)
+    }
+
+    /// Property facets for `ext`; caching behaves as for
+    /// [`FacetCache::class_markers`].
+    pub fn property_facets(
+        &self,
+        store: &Store,
+        ext: &ExtSet,
+        opts: FacetOptions,
+    ) -> Result<Arc<Vec<PropertyFacet>>, FacetError> {
+        let key = Key::new(Kind::Facets, store, ext);
+        if let Some(CachedValue::Facets(v)) = self.lookup(key) {
+            return Ok(v);
+        }
+        let computed = Arc::new(property_facets_opts(store, ext, opts)?);
+        self.store_entry(key, CachedValue::Facets(Arc::clone(&computed)));
+        Ok(computed)
+    }
+
+    fn lookup(&self, key: Key) -> Option<CachedValue> {
+        let mut inner = self.inner.lock().expect("facet cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let value = entry.value.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store_entry(&self, key: Key, value: CachedValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("facet cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // evict the least-recently-used entry (linear scan: capacities
+            // are small and eviction is off the hot hit path)
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, Entry { value, tick });
+    }
+
+    /// Hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> FacetCacheStats {
+        let entries = self.inner.lock().expect("facet cache poisoned").map.len();
+        FacetCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("facet cache poisoned").map.clear();
+    }
+}
+
+impl std::fmt::Debug for FacetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FacetCache")
+            .field("capacity", &s.capacity)
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfa_store::TermId;
+
+    const EX: &str = "http://e/";
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_turtle(&format!(
+            r#"@prefix ex: <{EX}> .
+               ex:l1 a ex:Laptop ; ex:manufacturer ex:DELL .
+               ex:l2 a ex:Laptop ; ex:manufacturer ex:Lenovo .
+            "#
+        ))
+        .unwrap();
+        s
+    }
+
+    fn ext(s: &Store) -> ExtSet {
+        s.instances_set(s.lookup_iri(&format!("{EX}Laptop")).unwrap())
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let s = store();
+        let cache = FacetCache::new(8);
+        let opts = FacetOptions::default();
+        let a = cache.class_markers(&s, &ext(&s), opts).unwrap();
+        let b = cache.class_markers(&s, &ext(&s), opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn store_mutation_invalidates() {
+        let mut s = store();
+        let cache = FacetCache::new(8);
+        let opts = FacetOptions::default();
+        let e = ext(&s);
+        let a = cache.class_markers(&s, &e, opts).unwrap();
+        s.load_turtle(&format!("@prefix ex: <{EX}> . ex:l3 a ex:Laptop ."))
+            .unwrap();
+        // same extension value, new generation: must recompute
+        let b = cache.class_markers(&s, &e, opts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn distinct_extensions_do_not_collide() {
+        let s = store();
+        let cache = FacetCache::new(8);
+        let opts = FacetOptions::default();
+        let full = ext(&s);
+        let one: ExtSet = full.iter().take(1).collect();
+        let a = cache.property_facets(&s, &full, opts).unwrap();
+        let b = cache.property_facets(&s, &one, opts).unwrap();
+        assert_ne!(*a, *b);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let s = store();
+        let cache = FacetCache::new(2);
+        let opts = FacetOptions::default();
+        let full = ext(&s);
+        let singles: Vec<ExtSet> = full.iter().map(|id| [id].into_iter().collect::<ExtSet>()).collect();
+        cache.class_markers(&s, &full, opts).unwrap();
+        cache.class_markers(&s, &singles[0], opts).unwrap();
+        // touch `full` so `singles[0]` is the LRU victim
+        cache.class_markers(&s, &full, opts).unwrap();
+        cache.class_markers(&s, &singles[1], opts).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.entries, 2);
+        // `full` survived the eviction
+        cache.class_markers(&s, &full, opts).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let s = store();
+        let cache = FacetCache::new(0);
+        let opts = FacetOptions::default();
+        cache.class_markers(&s, &ext(&s), opts).unwrap();
+        cache.class_markers(&s, &ext(&s), opts).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.entries, 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = store();
+        let cache = Arc::new(FacetCache::new(8));
+        let e = ext(&s);
+        // warm the entry, then hit it from four threads concurrently
+        cache.class_markers(&s, &e, FacetOptions::default()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (cache, s, e) = (Arc::clone(&cache), &s, &e);
+                scope.spawn(move || {
+                    cache.class_markers(s, e, FacetOptions::default()).unwrap();
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (4, 1), "{st:?}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_same_len() {
+        // same length, different members: keys must differ
+        let a: ExtSet = [TermId(1), TermId(2)].into_iter().collect();
+        let b: ExtSet = [TermId(1), TermId(3)].into_iter().collect();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod buckets;
+pub mod cache;
 pub mod markers;
 pub mod notation;
 pub mod ops;
@@ -42,11 +43,14 @@ pub mod session;
 pub mod state;
 
 pub use buckets::{bucket_values, Bucket};
+pub use cache::{FacetCache, FacetCacheStats, DEFAULT_FACET_CACHE_ENTRIES};
 pub use markers::{
-    class_markers, expand_path, grouped_values, inverse_property_facets, property_facets,
-    ClassMarker, GroupedValues, PropertyFacet,
+    class_markers, class_markers_opts, expand_path, grouped_values, inverse_property_facets,
+    property_facets, property_facets_opts, ClassMarker, FacetOptions, GroupedValues,
+    PropertyFacet,
 };
 pub use ops::{joins, joins_path, restrict_class, restrict_path, restrict_value};
+pub use rdfa_store::ExtSet;
 pub use session::FacetedSession;
 pub use state::{Condition, Constraint, Intent, PathStep, State};
 

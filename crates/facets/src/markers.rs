@@ -1,10 +1,124 @@
 //! Transition-marker computation — the algorithms of §5.4 that build the
 //! left frame of the GUI (Fig 5.4, Fig 5.5).
+//!
+//! The per-state cost is dominated by one independent unit of work per
+//! maximal class (the class-marker subtree) and per maximal property (the
+//! facet's value counts + subproperty subtree). [`class_markers_opts`] and
+//! [`property_facets_opts`] fan those units out across scoped threads —
+//! work-stealing over a shared unit index, results merged back **by unit
+//! slot** and then sorted by display name, so output is byte-identical to
+//! the sequential computation regardless of thread count. A deadline can be
+//! attached (like the SPARQL engine's evaluation limits); expiry aborts all
+//! workers and surfaces as a [`FacetError`].
 
 use crate::ops::{joins_path, joins_with_counts};
 use crate::state::PathStep;
-use rdfa_store::{Store, TermId};
+use crate::FacetError;
+use rdfa_store::{ExtSet, Store, TermId};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Below this many triples the auto thread mode stays sequential — spawning
+/// threads costs more than the whole computation.
+const PAR_MIN_TRIPLES: usize = 4096;
+
+/// Tuning knobs for marker computation, configured like the engine builder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FacetOptions {
+    /// Worker threads; `0` = available parallelism.
+    pub threads: usize,
+    /// Abort marker computation when it runs longer than this.
+    pub deadline: Option<Duration>,
+}
+
+impl FacetOptions {
+    /// Worker-thread count for `n_units` independent units over a store of
+    /// `store_len` triples. Auto mode (`threads == 0`) stays sequential on
+    /// small stores; an explicit count is always honored (tests force the
+    /// parallel path on tiny fixtures this way).
+    fn effective_threads(&self, n_units: usize, store_len: usize) -> usize {
+        let t = match self.threads {
+            0 if store_len < PAR_MIN_TRIPLES => 1,
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            t => t,
+        };
+        t.min(n_units.max(1))
+    }
+
+    fn expiry(&self) -> Option<Instant> {
+        self.deadline.map(|d| Instant::now() + d)
+    }
+}
+
+fn deadline_error() -> FacetError {
+    FacetError::new("marker computation exceeded the configured deadline")
+}
+
+fn expired(expiry: Option<Instant>) -> bool {
+    expiry.is_some_and(|d| Instant::now() > d)
+}
+
+/// Run `n` independent units, possibly across scoped worker threads, and
+/// return their results in unit order (deterministic merge). The first
+/// failing unit stops all workers and its error is returned.
+fn run_units<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<Option<T>>, FacetError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<Option<T>, FacetError> + Sync,
+{
+    /// Each worker's share: `(unit index, unit result)` pairs.
+    type Partial<T> = Vec<(usize, Option<T>)>;
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let workers = threads.min(n);
+    let partials: Vec<Result<Partial<T>, FacetError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, stop, f) = (&next, &stop, &f);
+                    scope.spawn(move || {
+                        let mut mine: Partial<T> = Vec::new();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            match f(i) {
+                                Ok(v) => mine.push((i, v)),
+                                Err(e) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        Ok(mine)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("marker worker panicked"))
+                .collect()
+        });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for partial in partials {
+        for (i, v) in partial? {
+            slots[i] = v;
+        }
+    }
+    Ok(slots)
+}
 
 /// A class-based transition marker: a class, its instance count restricted
 /// to the current extension, and its direct subclasses (the hierarchical
@@ -18,38 +132,63 @@ pub struct ClassMarker {
 
 /// Compute the class-marker tree for an extension: maximal classes at the
 /// top, subclasses nested, **zero-count classes pruned** (the never-empty
-/// guarantee).
-pub fn class_markers(store: &Store, ext: &BTreeSet<TermId>) -> Vec<ClassMarker> {
-    let mut roots: Vec<ClassMarker> = store
-        .maximal_classes()
-        .into_iter()
-        .filter_map(|c| build_class_marker(store, ext, c, &mut BTreeSet::new()))
-        .collect();
-    roots.sort_by_key(|m| store.term(m.class).display_name());
-    roots
+/// guarantee). Sequential, no deadline — see [`class_markers_opts`].
+pub fn class_markers(store: &Store, ext: &ExtSet) -> Vec<ClassMarker> {
+    class_markers_opts(store, ext, FacetOptions { threads: 1, deadline: None })
+        .expect("no deadline configured")
+}
+
+/// [`class_markers`] with thread/deadline options; one unit of work per
+/// maximal class.
+pub fn class_markers_opts(
+    store: &Store,
+    ext: &ExtSet,
+    opts: FacetOptions,
+) -> Result<Vec<ClassMarker>, FacetError> {
+    let expiry = opts.expiry();
+    let roots = store.maximal_classes();
+    let threads = opts.effective_threads(roots.len(), store.len());
+    let mut dense = ext.clone();
+    dense.densify(store.term_count());
+    let slots = run_units(roots.len(), threads, |i| {
+        build_class_marker(store, &dense, roots[i], &mut BTreeSet::new(), expiry)
+    })?;
+    let mut out: Vec<ClassMarker> = slots.into_iter().flatten().collect();
+    out.sort_by_key(|m| store.term(m.class).display_name());
+    Ok(out)
 }
 
 fn build_class_marker(
     store: &Store,
-    ext: &BTreeSet<TermId>,
+    ext: &ExtSet,
     class: TermId,
     seen: &mut BTreeSet<TermId>,
-) -> Option<ClassMarker> {
-    if !seen.insert(class) {
-        return None; // cycle guard
+    expiry: Option<Instant>,
+) -> Result<Option<ClassMarker>, FacetError> {
+    if expired(expiry) {
+        return Err(deadline_error());
     }
-    let count = store.instances(class).intersection(ext).count();
-    let mut children: Vec<ClassMarker> = store
-        .direct_subclasses(class)
-        .into_iter()
-        .filter_map(|sub| build_class_marker(store, ext, sub, seen))
-        .collect();
+    if !seen.insert(class) {
+        return Ok(None); // cycle guard
+    }
+    // merge-count the class's sorted instance run against the extension
+    let wk = store.well_known();
+    let count = store
+        .subjects_for_po(wk.rdf_type, class)
+        .filter(|&s| ext.contains(s))
+        .count();
+    let mut children: Vec<ClassMarker> = Vec::new();
+    for sub in store.direct_subclasses(class) {
+        if let Some(m) = build_class_marker(store, ext, sub, seen, expiry)? {
+            children.push(m);
+        }
+    }
     children.sort_by_key(|m| store.term(m.class).display_name());
     seen.remove(&class);
     if count == 0 {
-        return None;
+        return Ok(None);
     }
-    Some(ClassMarker { class, count, children })
+    Ok(Some(ClassMarker { class, count, children }))
 }
 
 /// A property facet: the property, its value markers (value, count), and
@@ -72,45 +211,65 @@ impl PropertyFacet {
 
 /// Compute the property facets for an extension: one facet per maximal
 /// property applicable to `E` (i.e. `Joins(E, p) ≠ ∅`), with per-value
-/// counts (Fig 5.4 c) and the subproperty hierarchy.
-pub fn property_facets(store: &Store, ext: &BTreeSet<TermId>) -> Vec<PropertyFacet> {
-    let mut out: Vec<PropertyFacet> = store
-        .maximal_properties()
-        .into_iter()
-        .filter_map(|p| build_property_facet(store, ext, p, &mut BTreeSet::new()))
-        .collect();
+/// counts (Fig 5.4 c) and the subproperty hierarchy. Sequential — see
+/// [`property_facets_opts`].
+pub fn property_facets(store: &Store, ext: &ExtSet) -> Vec<PropertyFacet> {
+    property_facets_opts(store, ext, FacetOptions { threads: 1, deadline: None })
+        .expect("no deadline configured")
+}
+
+/// [`property_facets`] with thread/deadline options; one unit of work per
+/// maximal property.
+pub fn property_facets_opts(
+    store: &Store,
+    ext: &ExtSet,
+    opts: FacetOptions,
+) -> Result<Vec<PropertyFacet>, FacetError> {
+    let expiry = opts.expiry();
+    let roots = store.maximal_properties();
+    let threads = opts.effective_threads(roots.len(), store.len());
+    let mut dense = ext.clone();
+    dense.densify(store.term_count());
+    let slots = run_units(roots.len(), threads, |i| {
+        build_property_facet(store, &dense, roots[i], &mut BTreeSet::new(), expiry)
+    })?;
+    let mut out: Vec<PropertyFacet> = slots.into_iter().flatten().collect();
     out.sort_by_key(|f| store.term(f.property).display_name());
-    out
+    Ok(out)
 }
 
 fn build_property_facet(
     store: &Store,
-    ext: &BTreeSet<TermId>,
+    ext: &ExtSet,
     property: TermId,
     seen: &mut BTreeSet<TermId>,
-) -> Option<PropertyFacet> {
+    expiry: Option<Instant>,
+) -> Result<Option<PropertyFacet>, FacetError> {
+    if expired(expiry) {
+        return Err(deadline_error());
+    }
     if !seen.insert(property) {
-        return None;
+        return Ok(None);
     }
     let step = PathStep::fwd(property);
-    let mut values: Vec<(TermId, usize)> =
-        joins_with_counts(store, ext, step).into_iter().collect();
+    let mut values = joins_with_counts(store, ext, step);
     values.sort_by(|a, b| {
         store
             .term(a.0)
             .display_name()
             .cmp(&store.term(b.0).display_name())
     });
-    let children: Vec<PropertyFacet> = store
-        .direct_subproperties(property)
-        .into_iter()
-        .filter_map(|sub| build_property_facet(store, ext, sub, seen))
-        .collect();
+    let mut children: Vec<PropertyFacet> = Vec::new();
+    for sub in store.direct_subproperties(property) {
+        if let Some(f) = build_property_facet(store, ext, sub, seen, expiry)? {
+            children.push(f);
+        }
+    }
     seen.remove(&property);
     if values.is_empty() && children.is_empty() {
-        return None;
+        return Ok(None);
     }
-    Some(PropertyFacet { property, values, children })
+    Ok(Some(PropertyFacet { property, values, children }))
 }
 
 /// One class group of a grouped facet: `(class, total count, members)`.
@@ -130,10 +289,9 @@ pub struct GroupedValues {
 
 /// Group a facet's value markers by the values' most specific classes
 /// (Fig 5.4 d). Counts are `|Restrict(E, p : v)|` as in the flat facet.
-pub fn grouped_values(store: &Store, ext: &BTreeSet<TermId>, property: TermId) -> GroupedValues {
+pub fn grouped_values(store: &Store, ext: &ExtSet, property: TermId) -> GroupedValues {
     let step = PathStep::fwd(property);
-    let values: Vec<(TermId, usize)> =
-        joins_with_counts(store, ext, step).into_iter().collect();
+    let values = joins_with_counts(store, ext, step);
     let mut groups: Vec<ValueGroup> = Vec::new();
     let mut ungrouped = Vec::new();
     for (v, n) in values {
@@ -173,14 +331,15 @@ pub fn grouped_values(store: &Store, ext: &BTreeSet<TermId>, property: TermId) -
 /// with values *pointing at* the extension, the subjects linking in, with
 /// counts. These power the entity-type switch (e.g. from companies to the
 /// laptops they manufacture).
-pub fn inverse_property_facets(store: &Store, ext: &BTreeSet<TermId>) -> Vec<PropertyFacet> {
+pub fn inverse_property_facets(store: &Store, ext: &ExtSet) -> Vec<PropertyFacet> {
+    let mut dense = ext.clone();
+    dense.densify(store.term_count());
     let mut out: Vec<PropertyFacet> = store
         .properties()
         .into_iter()
         .filter_map(|p| {
             let step = PathStep::inv(p);
-            let mut values: Vec<(TermId, usize)> =
-                joins_with_counts(store, ext, step).into_iter().collect();
+            let mut values = joins_with_counts(store, &dense, step);
             if values.is_empty() {
                 return None;
             }
@@ -198,13 +357,12 @@ pub fn inverse_property_facets(store: &Store, ext: &BTreeSet<TermId>) -> Vec<Pro
 /// property path, with the count of extension elements reaching each value.
 pub fn expand_path(
     store: &Store,
-    ext: &BTreeSet<TermId>,
+    ext: &ExtSet,
     path: &[PathStep],
 ) -> Vec<(TermId, usize)> {
     if path.len() == 1 {
         // single-step facet: one pass suffices
-        let mut out: Vec<(TermId, usize)> =
-            joins_with_counts(store, ext, path[0]).into_iter().collect();
+        let mut out = joins_with_counts(store, ext, path[0]);
         out.sort_by(|a, b| {
             store
                 .term(a.0)
@@ -215,14 +373,12 @@ pub fn expand_path(
     }
     let terminals = joins_path(store, ext, path);
     let mut out: Vec<(TermId, usize)> = terminals
-        .into_iter()
+        .iter()
         .map(|v| {
-            let vset: BTreeSet<TermId> = [v].into_iter().collect();
-            let reachers = if path.len() == 1 {
-                crate::ops::restrict_value(store, ext, path[0], v).len()
-            } else {
-                crate::ops::restrict_path(store, ext, path, &vset).len()
-            };
+            let vset: ExtSet = [v].into_iter().collect();
+            // the path is non-empty here, so restrict_path cannot fail
+            let reachers = crate::ops::restrict_path(store, ext, path, &vset)
+                .map_or(0, |e| e.len());
             (v, reachers)
         })
         .filter(|&(_, n)| n > 0)
@@ -292,6 +448,92 @@ pub fn render_property_facets(store: &Store, facets: &[PropertyFacet], indent: u
     out
 }
 
+/// The seed `BTreeSet` marker computation, kept verbatim as the baseline for
+/// differential tests and `facet_bench` (built on [`crate::ops::reference`]).
+pub mod reference {
+    use super::{ClassMarker, PropertyFacet};
+    use crate::ops::reference::joins_with_counts;
+    use crate::state::PathStep;
+    use rdfa_store::{Store, TermId};
+    use std::collections::BTreeSet;
+
+    /// Seed class-marker computation: per-root recursion with
+    /// `instances().intersection(ext)` counting.
+    pub fn class_markers(store: &Store, ext: &BTreeSet<TermId>) -> Vec<ClassMarker> {
+        let mut roots: Vec<ClassMarker> = store
+            .maximal_classes()
+            .into_iter()
+            .filter_map(|c| build_class_marker(store, ext, c, &mut BTreeSet::new()))
+            .collect();
+        roots.sort_by_key(|m| store.term(m.class).display_name());
+        roots
+    }
+
+    fn build_class_marker(
+        store: &Store,
+        ext: &BTreeSet<TermId>,
+        class: TermId,
+        seen: &mut BTreeSet<TermId>,
+    ) -> Option<ClassMarker> {
+        if !seen.insert(class) {
+            return None;
+        }
+        let count = store.instances(class).intersection(ext).count();
+        let mut children: Vec<ClassMarker> = store
+            .direct_subclasses(class)
+            .into_iter()
+            .filter_map(|sub| build_class_marker(store, ext, sub, seen))
+            .collect();
+        children.sort_by_key(|m| store.term(m.class).display_name());
+        seen.remove(&class);
+        if count == 0 {
+            return None;
+        }
+        Some(ClassMarker { class, count, children })
+    }
+
+    /// Seed property-facet computation over `BTreeMap` counting.
+    pub fn property_facets(store: &Store, ext: &BTreeSet<TermId>) -> Vec<PropertyFacet> {
+        let mut out: Vec<PropertyFacet> = store
+            .maximal_properties()
+            .into_iter()
+            .filter_map(|p| build_property_facet(store, ext, p, &mut BTreeSet::new()))
+            .collect();
+        out.sort_by_key(|f| store.term(f.property).display_name());
+        out
+    }
+
+    fn build_property_facet(
+        store: &Store,
+        ext: &BTreeSet<TermId>,
+        property: TermId,
+        seen: &mut BTreeSet<TermId>,
+    ) -> Option<PropertyFacet> {
+        if !seen.insert(property) {
+            return None;
+        }
+        let step = PathStep::fwd(property);
+        let mut values: Vec<(TermId, usize)> =
+            joins_with_counts(store, ext, step).into_iter().collect();
+        values.sort_by(|a, b| {
+            store
+                .term(a.0)
+                .display_name()
+                .cmp(&store.term(b.0).display_name())
+        });
+        let children: Vec<PropertyFacet> = store
+            .direct_subproperties(property)
+            .into_iter()
+            .filter_map(|sub| build_property_facet(store, ext, sub, seen))
+            .collect();
+        seen.remove(&property);
+        if values.is_empty() && children.is_empty() {
+            return None;
+        }
+        Some(PropertyFacet { property, values, children })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,8 +565,12 @@ mod tests {
         s.lookup_iri(&format!("{EX}{local}")).unwrap()
     }
 
-    fn all(s: &Store) -> BTreeSet<TermId> {
-        s.iter_explicit().map(|[x, _, _]| x).collect()
+    fn all(s: &Store) -> ExtSet {
+        ExtSet::from_sorted_iter(s.iter_explicit().map(|[x, _, _]| x))
+    }
+
+    fn laptops(s: &Store) -> ExtSet {
+        s.instances_set(id(s, "Laptop"))
     }
 
     #[test]
@@ -347,8 +593,7 @@ mod tests {
     #[test]
     fn zero_count_classes_pruned() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
-        let markers = class_markers(&s, &laptops);
+        let markers = class_markers(&s, &laptops(&s));
         // within the laptop extension, HDType has no instances
         let product = markers.iter().find(|m| m.class == id(&s, "Product")).unwrap();
         assert!(product.children.iter().all(|c| c.class != id(&s, "HDType")));
@@ -357,8 +602,7 @@ mod tests {
     #[test]
     fn property_facets_with_counts() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
-        let facets = property_facets(&s, &laptops);
+        let facets = property_facets(&s, &laptops(&s));
         let man = facets
             .iter()
             .find(|f| f.property == id(&s, "manufacturer"))
@@ -374,20 +618,51 @@ mod tests {
     #[test]
     fn never_empty_guarantee() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
-        for f in property_facets(&s, &laptops) {
+        for f in property_facets(&s, &laptops(&s)) {
             for (_, n) in &f.values {
                 assert!(*n > 0);
             }
         }
     }
 
+    /// Parallel computation (explicit thread count forces the threaded path
+    /// even on this tiny fixture) yields byte-identical output, and both
+    /// agree with the seed reference implementation.
+    #[test]
+    fn parallel_matches_sequential_and_reference() {
+        let s = store();
+        let ext = all(&s);
+        let ext_ref = ext.to_btree_set();
+        let seq_c = class_markers(&s, &ext);
+        let seq_f = property_facets(&s, &ext);
+        for threads in [2, 4, 8] {
+            let opts = FacetOptions { threads, deadline: None };
+            assert_eq!(class_markers_opts(&s, &ext, opts).unwrap(), seq_c, "{threads} threads");
+            assert_eq!(property_facets_opts(&s, &ext, opts).unwrap(), seq_f, "{threads} threads");
+        }
+        assert_eq!(reference::class_markers(&s, &ext_ref), seq_c);
+        assert_eq!(reference::property_facets(&s, &ext_ref), seq_f);
+    }
+
+    /// An already-expired deadline aborts with an error, sequentially and in
+    /// parallel.
+    #[test]
+    fn deadline_expiry_errors() {
+        let s = store();
+        let ext = all(&s);
+        for threads in [1, 4] {
+            let opts = FacetOptions { threads, deadline: Some(Duration::ZERO) };
+            let err = class_markers_opts(&s, &ext, opts).unwrap_err();
+            assert!(err.message.contains("deadline"), "{err}");
+            assert!(property_facets_opts(&s, &ext, opts).is_err());
+        }
+    }
+
     #[test]
     fn path_expansion_markers_fig_5_5() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
         let path = [PathStep::fwd(id(&s, "manufacturer")), PathStep::fwd(id(&s, "origin"))];
-        let markers = expand_path(&s, &laptops, &path);
+        let markers = expand_path(&s, &laptops(&s), &path);
         assert_eq!(markers.len(), 2);
         let usa = markers.iter().find(|(v, _)| *v == id(&s, "USA")).unwrap();
         assert_eq!(usa.1, 2); // two DELL laptops reach USA
@@ -396,8 +671,7 @@ mod tests {
     #[test]
     fn grouped_values_match_fig_5_4_d() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
-        let gv = grouped_values(&s, &laptops, id(&s, "hardDrive"));
+        let gv = grouped_values(&s, &laptops(&s), id(&s, "hardDrive"));
         // Fig 5.4 (d): SSD group with 2 members, NVMe group with 1
         assert_eq!(gv.groups.len(), 2);
         let ssd = gv
@@ -419,9 +693,8 @@ mod tests {
     #[test]
     fn grouped_values_handles_untyped() {
         let s = store();
-        let laptops = s.instances(id(&s, "Laptop"));
         // manufacturer values DELL/Lenovo have no classes in this fixture
-        let gv = grouped_values(&s, &laptops, id(&s, "manufacturer"));
+        let gv = grouped_values(&s, &laptops(&s), id(&s, "manufacturer"));
         assert!(gv.groups.is_empty());
         assert_eq!(gv.ungrouped.len(), 2);
     }
@@ -431,7 +704,7 @@ mod tests {
         let s = store();
         // focus on companies; the inverse manufacturer facet exposes the
         // products made by each
-        let companies: BTreeSet<TermId> = [id(&s, "DELL"), id(&s, "Lenovo")].into_iter().collect();
+        let companies: ExtSet = [id(&s, "DELL"), id(&s, "Lenovo")].into_iter().collect();
         let inv = inverse_property_facets(&s, &companies);
         let man = inv
             .iter()
@@ -450,7 +723,7 @@ mod tests {
         let text = render_class_markers(&s, &class_markers(&s, &all(&s)), 0);
         assert!(text.contains("Product (6)"), "{text}");
         assert!(text.contains("SSD (2)"), "{text}");
-        let ftext = render_property_facets(&s, &property_facets(&s, &s.instances(id(&s, "Laptop"))), 0);
+        let ftext = render_property_facets(&s, &property_facets(&s, &laptops(&s)), 0);
         assert!(ftext.contains("by manufacturer"), "{ftext}");
         assert!(ftext.contains("DELL (2)"), "{ftext}");
     }

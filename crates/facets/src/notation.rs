@@ -8,21 +8,55 @@
 //! the interaction (the alternative architecture the dissertation contrasts
 //! with the in-memory algorithms of §5.4), and a store helper that
 //! materializes the temp class.
+//!
+//! The builders splice caller-supplied IRIs into `<…>` IRIREF tokens, so
+//! every IRI is validated first: an embedded `>` (or a space, quote, or
+//! control character) would otherwise terminate the token early and let the
+//! remainder be parsed as query syntax — the SPARQL analogue of SQL
+//! injection. Invalid IRIs are rejected with a [`FacetError`].
 
+use crate::FacetError;
 use rdfa_model::Term;
-use rdfa_store::{Store, TermId};
-use std::collections::BTreeSet;
+use rdfa_store::{ExtSet, Store};
 
 /// The temporary class IRI holding the current extension (Table 5.1).
 pub const TEMP_CLASS: &str = "urn:rdfa:temp";
 
+/// Check that `iri` can be safely embedded in a SPARQL `<…>` IRIREF token:
+/// non-empty and free of the characters the IRIREF production forbids
+/// (`< > " { } | ^ \` + backtick, spaces, and control characters).
+pub fn validate_iri(iri: &str) -> Result<(), FacetError> {
+    if iri.is_empty() {
+        return Err(FacetError::new("empty IRI in query builder"));
+    }
+    if let Some(bad) = iri
+        .chars()
+        .find(|c| matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' | ' ') || c.is_control())
+    {
+        return Err(FacetError::new(format!(
+            "IRI {iri:?} contains {bad:?}, which is not allowed inside a SPARQL IRIREF"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate a term that will be rendered into a query: IRI terms go through
+/// [`validate_iri`]; literals and blank nodes render through the model's
+/// own escaping and need no check here.
+fn validate_term(term: &Term) -> Result<(), FacetError> {
+    match term.as_iri() {
+        Some(iri) => validate_iri(iri),
+        None => Ok(()),
+    }
+}
+
 /// Materialize the extension as `?x rdf:type <temp>` triples in a copy of
 /// the store — the storage convention of Table 5.1.
-pub fn store_with_temp(store: &Store, extension: &BTreeSet<TermId>) -> Store {
+pub fn store_with_temp(store: &Store, extension: &ExtSet) -> Store {
     let mut out = store.clone();
     let temp = out.intern(&Term::iri(TEMP_CLASS));
     let wk = out.well_known();
-    for &e in extension {
+    for e in extension {
         out.insert_ids([e, wk.rdf_type, temp]);
     }
     out.materialize_inference();
@@ -30,53 +64,59 @@ pub fn store_with_temp(store: &Store, extension: &BTreeSet<TermId>) -> Store {
 }
 
 /// `inst(c)` — the instances of a class.
-pub fn q_instances(class_iri: &str) -> String {
-    format!(
+pub fn q_instances(class_iri: &str) -> Result<String, FacetError> {
+    validate_iri(class_iri)?;
+    Ok(format!(
         "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{class_iri}> . }}",
         t = rdfa_model::vocab::rdf::TYPE
-    )
+    ))
 }
 
 /// `E` — the current extension (the temp class contents).
 pub fn q_extension() -> String {
-    q_instances(TEMP_CLASS)
+    q_instances(TEMP_CLASS).expect("TEMP_CLASS is a valid IRI")
 }
 
 /// `Joins(E, p)` — the values linked to the extension by `p`.
-pub fn q_joins(property_iri: &str) -> String {
-    format!(
+pub fn q_joins(property_iri: &str) -> Result<String, FacetError> {
+    validate_iri(property_iri)?;
+    Ok(format!(
         "SELECT DISTINCT ?v WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> ?v . }}",
         t = rdfa_model::vocab::rdf::TYPE,
         temp = TEMP_CLASS
-    )
+    ))
 }
 
 /// `Joins(E, p)` with count information — the value markers of the facet
 /// (the `count(E, p, v)` column of Table 5.1).
-pub fn q_joins_with_counts(property_iri: &str) -> String {
-    format!(
+pub fn q_joins_with_counts(property_iri: &str) -> Result<String, FacetError> {
+    validate_iri(property_iri)?;
+    Ok(format!(
         "SELECT ?v (COUNT(DISTINCT ?x) AS ?count) WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> ?v . }} GROUP BY ?v",
         t = rdfa_model::vocab::rdf::TYPE,
         temp = TEMP_CLASS
-    )
+    ))
 }
 
 /// `Restrict(E, p : v)` — the extension restricted by a value click.
-pub fn q_restrict_value(property_iri: &str, value: &Term) -> String {
-    format!(
+pub fn q_restrict_value(property_iri: &str, value: &Term) -> Result<String, FacetError> {
+    validate_iri(property_iri)?;
+    validate_term(value)?;
+    Ok(format!(
         "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{temp}> . ?x <{property_iri}> {value} . }}",
         t = rdfa_model::vocab::rdf::TYPE,
         temp = TEMP_CLASS
-    )
+    ))
 }
 
 /// `Restrict(E, c)` — the extension restricted to instances of a class.
-pub fn q_restrict_class(class_iri: &str) -> String {
-    format!(
+pub fn q_restrict_class(class_iri: &str) -> Result<String, FacetError> {
+    validate_iri(class_iri)?;
+    Ok(format!(
         "SELECT DISTINCT ?x WHERE {{ ?x <{t}> <{temp}> . ?x <{t}> <{class_iri}> . }}",
         t = rdfa_model::vocab::rdf::TYPE,
         temp = TEMP_CLASS
-    )
+    ))
 }
 
 /// The applicable classes with counts over the extension (the class facet of
@@ -91,17 +131,23 @@ pub fn q_classes_with_counts() -> String {
 
 /// Path expansion markers `Joins(Joins(E, p1), p2)` with counts (Fig 5.5 via
 /// a SPARQL property path).
-pub fn q_path_markers(path_iris: &[&str]) -> String {
+pub fn q_path_markers(path_iris: &[&str]) -> Result<String, FacetError> {
+    if path_iris.is_empty() {
+        return Err(FacetError::new("empty property path in query builder"));
+    }
+    for iri in path_iris {
+        validate_iri(iri)?;
+    }
     let path = path_iris
         .iter()
         .map(|p| format!("<{p}>"))
         .collect::<Vec<_>>()
         .join("/");
-    format!(
+    Ok(format!(
         "SELECT ?v (COUNT(DISTINCT ?x) AS ?count) WHERE {{ ?x <{t}> <{temp}> . ?x {path} ?v . }} GROUP BY ?v",
         t = rdfa_model::vocab::rdf::TYPE,
         temp = TEMP_CLASS
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -110,10 +156,11 @@ mod tests {
     use crate::ops;
     use crate::state::PathStep;
     use rdfa_sparql::Engine;
+    use std::collections::BTreeSet;
 
     const EX: &str = "http://e/";
 
-    fn store() -> (Store, BTreeSet<TermId>) {
+    fn store() -> (Store, ExtSet) {
         let mut s = Store::new();
         s.load_turtle(&format!(
             r#"@prefix ex: <{EX}> .
@@ -124,7 +171,7 @@ mod tests {
             "#
         ))
         .unwrap();
-        let laptops = s.instances(s.lookup_iri(&format!("{EX}Laptop")).unwrap());
+        let laptops = s.instances_set(s.lookup_iri(&format!("{EX}Laptop")).unwrap());
         (s, laptops)
     }
 
@@ -136,7 +183,7 @@ mod tests {
         let temp_store = store_with_temp(&s, &ext);
         let engine = Engine::builder(&temp_store).build();
         let man = format!("{EX}manufacturer");
-        let sols = engine.run(&q_joins(&man)).unwrap();
+        let sols = engine.run(&q_joins(&man).unwrap()).unwrap();
         let via_sparql: BTreeSet<String> = sols
             .solutions()
             .unwrap()
@@ -145,7 +192,7 @@ mod tests {
             .collect();
         let step = PathStep::fwd(s.lookup_iri(&man).unwrap());
         let via_ops: BTreeSet<String> = ops::joins(&s, &ext, step)
-            .into_iter()
+            .iter()
             .map(|id| s.term(id).display_name())
             .collect();
         assert_eq!(via_sparql, via_ops);
@@ -157,7 +204,7 @@ mod tests {
         let temp_store = store_with_temp(&s, &ext);
         let engine = Engine::builder(&temp_store).build();
         let sols = engine
-            .run(&q_joins_with_counts(&format!("{EX}manufacturer")))
+            .run(&q_joins_with_counts(&format!("{EX}manufacturer")).unwrap())
             .unwrap();
         let rows = sols.into_solutions().unwrap();
         let get = |name: &str| -> i64 {
@@ -177,7 +224,8 @@ mod tests {
         let (s, ext) = store();
         let temp_store = store_with_temp(&s, &ext);
         let engine = Engine::builder(&temp_store).build();
-        let q = q_restrict_value(&format!("{EX}manufacturer"), &Term::iri(format!("{EX}DELL")));
+        let q = q_restrict_value(&format!("{EX}manufacturer"), &Term::iri(format!("{EX}DELL")))
+            .unwrap();
         let n = engine.run(&q).unwrap().solutions().unwrap().len();
         assert_eq!(n, 2);
     }
@@ -189,7 +237,7 @@ mod tests {
         let engine = Engine::builder(&temp_store).build();
         let man = format!("{EX}manufacturer");
         let origin = format!("{EX}origin");
-        let sols = engine.run(&q_path_markers(&[&man, &origin])).unwrap();
+        let sols = engine.run(&q_path_markers(&[&man, &origin]).unwrap()).unwrap();
         let rows = sols.into_solutions().unwrap();
         assert_eq!(rows.len(), 2);
         // agree with the in-memory expansion
@@ -207,5 +255,24 @@ mod tests {
         let n_before = s.len();
         let _ = store_with_temp(&s, &ext);
         assert_eq!(s.len(), n_before);
+    }
+
+    /// The injection the validation exists to stop: an IRI with an embedded
+    /// `>` would close the IRIREF token and smuggle arbitrary query text.
+    #[test]
+    fn builders_reject_malformed_iris() {
+        let attack = "http://e/x> ?y . } UNION { ?a ?b ?c";
+        assert!(q_instances(attack).is_err());
+        assert!(q_joins(attack).is_err());
+        assert!(q_joins_with_counts(attack).is_err());
+        assert!(q_restrict_class(attack).is_err());
+        assert!(q_restrict_value(attack, &Term::iri("http://e/v")).is_err());
+        assert!(q_restrict_value("http://e/p", &Term::iri(attack)).is_err());
+        assert!(q_path_markers(&["http://e/p", attack]).is_err());
+        assert!(q_path_markers(&[]).is_err());
+        for bad in ["", "http://e/a b", "http://e/a\"b", "http://e/a\nb", "http://e/a\u{7f}b"] {
+            assert!(validate_iri(bad).is_err(), "{bad:?} accepted");
+        }
+        assert!(validate_iri("http://e/ok#frag?q=1").is_ok());
     }
 }

@@ -1,36 +1,54 @@
 //! A faceted-exploration session: the state stack plus the click actions of
 //! the GUI (§5.4's Startup / ComputeNewState loop).
 
-use crate::markers::{class_markers, expand_path, property_facets, ClassMarker, PropertyFacet};
+use crate::cache::FacetCache;
+use crate::markers::{
+    class_markers_opts, expand_path, property_facets_opts, ClassMarker, FacetOptions,
+    PropertyFacet,
+};
 use crate::ops::{restrict_class, restrict_path, restrict_range, restrict_value};
 use crate::state::{Condition, Constraint, Intent, PathStep, State};
 use crate::FacetError;
 use rdfa_model::Value;
-use rdfa_store::{Store, TermId};
+use rdfa_store::{ExtSet, Store, TermId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Memoized left-frame computations for the current state — the
 /// user-friendliness/efficiency iteration the dissertation lists as
 /// system (3): markers are recomputed only when the state changes.
 #[derive(Default)]
 struct FrameCache {
-    class_markers: Option<Vec<ClassMarker>>,
-    facets: Option<Vec<PropertyFacet>>,
+    class_markers: Option<Arc<Vec<ClassMarker>>>,
+    facets: Option<Arc<Vec<PropertyFacet>>>,
 }
 
 /// A session over a store: a history of states, the last being current.
 pub struct FacetedSession<'s> {
     store: &'s Store,
     states: Vec<State>,
+    opts: FacetOptions,
+    /// Cross-state (and cross-session, when shared) marker cache; makes the
+    /// back button O(1).
+    shared: Option<Arc<FacetCache>>,
+    /// Per-state memo, used when no shared cache is attached.
     cache: std::cell::RefCell<FrameCache>,
 }
 
 impl<'s> FacetedSession<'s> {
     /// Start from scratch: the initial state `s0` over all individuals.
     pub fn start(store: &'s Store) -> Self {
+        FacetedSession::start_with(store, FacetOptions::default())
+    }
+
+    /// [`FacetedSession::start`] with explicit marker-computation options
+    /// (thread count, deadline).
+    pub fn start_with(store: &'s Store, opts: FacetOptions) -> Self {
         FacetedSession {
             store,
             states: vec![State::initial(store)],
+            opts,
+            shared: None,
             cache: Default::default(),
         }
     }
@@ -38,12 +56,27 @@ impl<'s> FacetedSession<'s> {
     /// Start by exploring an externally obtained result set (e.g. a keyword
     /// query's answer — the second starting point of §5.4.1).
     pub fn start_from(store: &'s Store, results: BTreeSet<TermId>) -> Self {
-        let intent = Intent { seed: Some(results.clone()), ..Intent::default() };
+        let ext = ExtSet::from(&results);
+        let intent = Intent { seed: Some(results), ..Intent::default() };
         FacetedSession {
             store,
-            states: vec![State { ext: results, intent }],
+            states: vec![State { ext, intent }],
+            opts: FacetOptions::default(),
+            shared: None,
             cache: Default::default(),
         }
+    }
+
+    /// Attach a shared marker cache; repeated states (back button, other
+    /// sessions over the same store) are then served without recomputation.
+    pub fn with_cache(mut self, cache: Arc<FacetCache>) -> Self {
+        self.set_cache(cache);
+        self
+    }
+
+    /// See [`FacetedSession::with_cache`].
+    pub fn set_cache(&mut self, cache: Arc<FacetCache>) {
+        self.shared = Some(cache);
     }
 
     /// The backing store.
@@ -57,7 +90,7 @@ impl<'s> FacetedSession<'s> {
     }
 
     /// The current extension (right frame).
-    pub fn extension(&self) -> &BTreeSet<TermId> {
+    pub fn extension(&self) -> &ExtSet {
         &self.state().ext
     }
 
@@ -74,25 +107,55 @@ impl<'s> FacetedSession<'s> {
     // ---- left frame -------------------------------------------------------
 
     /// Class-based transition markers for the current state (Fig 5.4 a/b).
-    /// Memoized per state.
+    /// Memoized per state; served from the shared cache when one is set.
+    /// Ignores any configured deadline — use
+    /// [`FacetedSession::try_class_markers`] to enforce it.
     pub fn class_markers(&self) -> Vec<ClassMarker> {
-        if let Some(cached) = &self.cache.borrow().class_markers {
-            return cached.clone();
+        let opts = FacetOptions { deadline: None, ..self.opts };
+        (*self.class_markers_arc(opts).expect("no deadline configured")).clone()
+    }
+
+    /// Class markers with the session's deadline enforced.
+    pub fn try_class_markers(&self) -> Result<Arc<Vec<ClassMarker>>, FacetError> {
+        self.class_markers_arc(self.opts)
+    }
+
+    fn class_markers_arc(&self, opts: FacetOptions) -> Result<Arc<Vec<ClassMarker>>, FacetError> {
+        if let Some(shared) = &self.shared {
+            return shared.class_markers(self.store, self.extension(), opts);
         }
-        let computed = class_markers(self.store, self.extension());
-        self.cache.borrow_mut().class_markers = Some(computed.clone());
-        computed
+        if let Some(cached) = &self.cache.borrow().class_markers {
+            return Ok(Arc::clone(cached));
+        }
+        let computed = Arc::new(class_markers_opts(self.store, self.extension(), opts)?);
+        self.cache.borrow_mut().class_markers = Some(Arc::clone(&computed));
+        Ok(computed)
     }
 
     /// Property facets with value counts for the current state (Fig 5.4 c).
-    /// Memoized per state.
+    /// Memoized per state; served from the shared cache when one is set.
+    /// Ignores any configured deadline — use [`FacetedSession::try_facets`]
+    /// to enforce it.
     pub fn facets(&self) -> Vec<PropertyFacet> {
-        if let Some(cached) = &self.cache.borrow().facets {
-            return cached.clone();
+        let opts = FacetOptions { deadline: None, ..self.opts };
+        (*self.facets_arc(opts).expect("no deadline configured")).clone()
+    }
+
+    /// Property facets with the session's deadline enforced.
+    pub fn try_facets(&self) -> Result<Arc<Vec<PropertyFacet>>, FacetError> {
+        self.facets_arc(self.opts)
+    }
+
+    fn facets_arc(&self, opts: FacetOptions) -> Result<Arc<Vec<PropertyFacet>>, FacetError> {
+        if let Some(shared) = &self.shared {
+            return shared.property_facets(self.store, self.extension(), opts);
         }
-        let computed = property_facets(self.store, self.extension());
-        self.cache.borrow_mut().facets = Some(computed.clone());
-        computed
+        if let Some(cached) = &self.cache.borrow().facets {
+            return Ok(Arc::clone(cached));
+        }
+        let computed = Arc::new(property_facets_opts(self.store, self.extension(), opts)?);
+        self.cache.borrow_mut().facets = Some(Arc::clone(&computed));
+        Ok(computed)
     }
 
     /// Path-expansion markers for a property path (Fig 5.5).
@@ -102,7 +165,7 @@ impl<'s> FacetedSession<'s> {
 
     // ---- transitions ------------------------------------------------------
 
-    fn push(&mut self, ext: BTreeSet<TermId>, intent: Intent) -> Result<(), FacetError> {
+    fn push(&mut self, ext: ExtSet, intent: Intent) -> Result<(), FacetError> {
         if ext.is_empty() {
             return Err(FacetError::new(
                 "transition would produce an empty extension (never offered by the UI)",
@@ -145,7 +208,8 @@ impl<'s> FacetedSession<'s> {
             return Err(FacetError::new("empty value selection"));
         }
         let step = PathStep::fwd(prop);
-        let ext = crate::ops::restrict_value_set(self.store, self.extension(), step, values);
+        let vset = ExtSet::from(values);
+        let ext = crate::ops::restrict_value_set(self.store, self.extension(), step, &vset);
         let mut intent = self.intent().clone();
         intent.conditions.push(Condition {
             path: vec![step],
@@ -163,11 +227,11 @@ impl<'s> FacetedSession<'s> {
         if path.is_empty() {
             return Err(FacetError::new("empty property path"));
         }
-        let vset: BTreeSet<TermId> = [value].into_iter().collect();
         let ext = if path.len() == 1 {
             restrict_value(self.store, self.extension(), path[0], value)
         } else {
-            restrict_path(self.store, self.extension(), path, &vset)
+            let vset: ExtSet = [value].into_iter().collect();
+            restrict_path(self.store, self.extension(), path, &vset)?
         };
         let mut intent = self.intent().clone();
         intent.conditions.push(Condition {
@@ -197,7 +261,9 @@ impl<'s> FacetedSession<'s> {
         self.push(ext, intent)
     }
 
-    /// Undo the last transition. Returns `false` at the initial state.
+    /// Undo the last transition. Returns `false` at the initial state. With
+    /// a shared cache attached, the previous state's markers are still
+    /// cached, so this is effectively O(1).
     pub fn back(&mut self) -> bool {
         if self.states.len() > 1 {
             self.states.pop();
@@ -223,6 +289,7 @@ impl<'s> FacetedSession<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     const EX: &str = "http://e/";
 
@@ -312,7 +379,7 @@ mod tests {
         let expect: BTreeSet<String> = session
             .extension()
             .iter()
-            .map(|&i| s.term(i).display_name())
+            .map(|i| s.term(i).display_name())
             .collect();
         assert_eq!(got, expect);
     }
@@ -374,10 +441,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_serves_back_button() {
+        let s = store();
+        let cache = Arc::new(FacetCache::new(16));
+        let mut session = FacetedSession::start(&s).with_cache(Arc::clone(&cache));
+        let initial = session.facets();
+        session.select_class(id(&s, "Laptop")).unwrap();
+        session.facets();
+        session.back();
+        // the initial state's facets come straight from the cache
+        assert_eq!(session.facets(), initial);
+        let st = cache.stats();
+        assert_eq!(st.hits, 1, "{st:?}");
+        assert_eq!(st.misses, 2);
+        // a second session over the same store shares the entries
+        let other = FacetedSession::start(&s).with_cache(Arc::clone(&cache));
+        assert_eq!(other.facets(), initial);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn deadline_surfaces_through_try_apis() {
+        let s = store();
+        let opts = FacetOptions { threads: 1, deadline: Some(Duration::ZERO) };
+        let session = FacetedSession::start_with(&s, opts);
+        assert!(session.try_facets().is_err());
+        assert!(session.try_class_markers().is_err());
+    }
+
+    #[test]
     fn start_from_external_results() {
         let s = store();
         let two: BTreeSet<TermId> = [id(&s, "l1"), id(&s, "l3")].into_iter().collect();
         let session = FacetedSession::start_from(&s, two.clone());
-        assert_eq!(session.extension(), &two);
+        assert_eq!(session.extension().to_btree_set(), two);
     }
 }

@@ -1,7 +1,7 @@
 //! Interaction states: extension + intention (§5.3.2, §5.5).
 
 use rdfa_model::{Term, Value};
-use rdfa_store::{Store, TermId};
+use rdfa_store::{ExtSet, Store, TermId};
 use std::collections::BTreeSet;
 
 /// One step of a property path: a property, possibly traversed inversely
@@ -192,7 +192,7 @@ impl Intent {
 /// A state of the interaction: extension (focus resources) + intention.
 #[derive(Debug, Clone, PartialEq)]
 pub struct State {
-    pub ext: BTreeSet<TermId>,
+    pub ext: ExtSet,
     pub intent: Intent,
 }
 
@@ -202,10 +202,11 @@ impl State {
     pub fn initial(store: &Store) -> Self {
         let named = store
             .lookup_iri(rdfa_model::vocab::owl::NAMED_INDIVIDUAL)
-            .map(|ni| store.instances(ni))
+            .map(|ni| store.instances_set(ni))
             .unwrap_or_default();
-        let ext: BTreeSet<TermId> = if named.is_empty() {
-            store.iter_explicit().map(|[s, _, _]| s).collect()
+        let ext = if named.is_empty() {
+            // SPO iteration is ascending by subject, so adjacent dedup suffices
+            ExtSet::from_sorted_iter(store.iter_explicit().map(|[s, _, _]| s))
         } else {
             named
         };
@@ -214,7 +215,7 @@ impl State {
 
     /// Objects of the right frame, as terms.
     pub fn resources<'a>(&'a self, store: &'a Store) -> impl Iterator<Item = &'a Term> + 'a {
-        self.ext.iter().map(|&id| store.term(id))
+        self.ext.iter().map(|id| store.term(id))
     }
 }
 

@@ -113,6 +113,24 @@ impl TripleIndex {
     pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         self.matching(s, p, o).count()
     }
+
+    // ---- sorted posting runs (merge-join building blocks) -----------------
+
+    /// The `(object, subject)` pairs of predicate `p`, ascending by
+    /// `(object, subject)` — a contiguous scan of the POS permutation.
+    pub fn pairs_for_p(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        range3(&self.pos, p, None).map(|[_, o, s]| (o, s))
+    }
+
+    /// Subjects with a `p`-edge to `o`, ascending.
+    pub fn subjects_for_po(&self, p: TermId, o: TermId) -> impl Iterator<Item = TermId> + '_ {
+        range3(&self.pos, p, Some(o)).map(|[_, _, s]| s)
+    }
+
+    /// Objects of `s`'s `p`-edges, ascending.
+    pub fn objects_for_sp(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        range3(&self.spo, s, Some(p)).map(|[_, _, o]| o)
+    }
 }
 
 /// Range-scan a permutation on its first one or two components.

@@ -27,6 +27,7 @@
 //! assert_eq!(store.instances(product).len(), 1); // via subClassOf inference
 //! ```
 
+pub mod extset;
 pub mod index;
 pub mod inference;
 pub mod interner;
@@ -35,6 +36,7 @@ pub mod persist;
 pub mod stats;
 pub mod store;
 
+pub use extset::ExtSet;
 pub use index::{IdTriple, TripleIndex};
 pub use interner::{Interner, TermId};
 pub use keyword::KeywordIndex;
@@ -43,4 +45,4 @@ pub use persist::{
     RecoveryReport, WalTruncation, CRASH_POINTS,
 };
 pub use stats::StoreStats;
-pub use store::{Pattern, Store};
+pub use store::{CountKey, Pattern, Store};

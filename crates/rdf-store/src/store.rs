@@ -1,6 +1,7 @@
 //! The [`Store`]: interner + explicit and inferred triple layers + schema
 //! helper queries used by the faceted-search model.
 
+use crate::extset::{merge_sorted, ExtSet};
 use crate::index::{IdTriple, TripleIndex};
 use crate::inference;
 use crate::interner::{Interner, TermId};
@@ -20,6 +21,33 @@ impl Pattern {
     pub fn any() -> Self {
         Pattern::default()
     }
+}
+
+/// Which side of a `p`-edge [`Store::edge_counts`] keys its counts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountKey {
+    /// Count edges per subject.
+    Subject,
+    /// Count edges per object.
+    Object,
+}
+
+/// A posting run at least this many times larger than the extension makes
+/// per-element seeks cheaper than a full scan.
+const SEEK_FACTOR: usize = 32;
+
+/// Sort id occurrences and run-length encode them into `(id, count)` pairs,
+/// ascending. Each occurrence is one distinct edge, so counts are exact.
+fn sort_and_count(mut occurrences: Vec<TermId>) -> Vec<(TermId, usize)> {
+    occurrences.sort_unstable();
+    let mut out: Vec<(TermId, usize)> = Vec::new();
+    for id in occurrences {
+        match out.last_mut() {
+            Some((last, n)) if *last == id => *n += 1,
+            _ => out.push((id, 1)),
+        }
+    }
+    out
 }
 
 /// Ids of the vocabulary terms the store interprets, interned eagerly so hot
@@ -45,6 +73,10 @@ pub struct Store {
     inferred: TripleIndex,
     /// True when the inferred layer is stale w.r.t. the explicit layer.
     dirty: bool,
+    /// Monotonic change counter: bumped on every effective insert/remove and
+    /// on rematerialization. Cache keys derived from query results over this
+    /// store include the generation, so stale entries die automatically.
+    generation: u64,
     wk: WellKnown,
 }
 
@@ -73,6 +105,7 @@ impl Store {
             explicit: TripleIndex::new(),
             inferred: TripleIndex::new(),
             dirty: false,
+            generation: 0,
             wk,
         }
     }
@@ -93,7 +126,7 @@ impl Store {
             rdf_property: interner.get_or_intern(&Term::iri(vocab::rdf::PROPERTY)),
             owl_functional: interner.get_or_intern(&Term::iri(vocab::owl::FUNCTIONAL_PROPERTY)),
         };
-        Store { interner, explicit, inferred: TripleIndex::new(), dirty: true, wk }
+        Store { interner, explicit, inferred: TripleIndex::new(), dirty: true, generation: 0, wk }
     }
 
     /// Open a durable store rooted at `dir` with default persistence
@@ -162,6 +195,7 @@ impl Store {
         let added = self.explicit.insert(t);
         if added {
             self.dirty = true;
+            self.generation += 1;
         }
         added
     }
@@ -171,6 +205,7 @@ impl Store {
         let removed = self.explicit.remove(t);
         if removed {
             self.dirty = true;
+            self.generation += 1;
         }
         removed
     }
@@ -206,6 +241,16 @@ impl Store {
     pub fn materialize_inference(&mut self) {
         self.inferred = inference::compute_closure(&self.explicit, self.wk);
         self.dirty = false;
+        // the entailed view changed, not just the explicit layer
+        self.generation += 1;
+    }
+
+    /// Monotonic change counter over the store's contents. Bumped on every
+    /// effective insert/remove and on [`Store::materialize_inference`], so
+    /// two equal generations guarantee identical entailed query results.
+    /// Cheap enough to read per request; used to key the facet cache.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// True when the inferred layer is stale (insertions since the last
@@ -274,6 +319,134 @@ impl Store {
     /// Iterate every explicit triple.
     pub fn iter_explicit(&self) -> impl Iterator<Item = IdTriple> + '_ {
         self.explicit.iter()
+    }
+
+    // ---- sorted posting runs (merge-join building blocks, §5.4) -----------
+    //
+    // Each accessor fuses the explicit and inferred permutation ranges into
+    // one ascending stream (the two layers are disjoint by construction, but
+    // the merge dedups defensively), so facet operators can merge-join
+    // against a sorted extension instead of probing per element.
+
+    /// Subjects with an entailed `p`-edge to `o`, ascending.
+    pub fn subjects_for_po(&self, p: TermId, o: TermId) -> impl Iterator<Item = TermId> + '_ {
+        merge_sorted(
+            self.explicit.subjects_for_po(p, o),
+            self.inferred.subjects_for_po(p, o),
+        )
+    }
+
+    /// Objects of `s`'s entailed `p`-edges, ascending.
+    pub fn objects_for_sp(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        merge_sorted(
+            self.explicit.objects_for_sp(s, p),
+            self.inferred.objects_for_sp(s, p),
+        )
+    }
+
+    /// All entailed `(object, subject)` pairs of predicate `p`, ascending by
+    /// `(object, subject)` — the full posting run behind facet counting.
+    pub fn predicate_pairs(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        merge_sorted(self.explicit.pairs_for_p(p), self.inferred.pairs_for_p(p))
+    }
+
+    /// Entailed instances of a class as an [`ExtSet`] — the sorted-run
+    /// counterpart of [`Store::instances`].
+    pub fn instances_set(&self, class: TermId) -> ExtSet {
+        ExtSet::from_sorted_iter(self.subjects_for_po(self.wk.rdf_type, class))
+    }
+
+    /// Number of entailed `p`-triples, counting at most `cap` (cheap
+    /// selectivity probe for the seek-vs-scan decision in [`Store::edge_counts`]).
+    pub fn predicate_len_capped(&self, p: TermId, cap: usize) -> usize {
+        self.predicate_pairs(p).take(cap).count()
+    }
+
+    // ---- the counting kernel ---------------------------------------------
+
+    /// For each distinct term on the `key` side of an entailed `p`-edge,
+    /// the number of edges whose *opposite* side lies in `within` (all edges
+    /// when `within` is `None`). Returned ascending by term id.
+    ///
+    /// This is the one counting kernel behind both facet directions and the
+    /// per-subject statistics:
+    /// - `key = Object`, `within = ext` → forward facet value markers
+    ///   `(v, |Restrict(E, p : v)|)`;
+    /// - `key = Subject`, `within = ext` → inverse facet markers
+    ///   `(s, |Restrict(E, p⁻¹ : s)|)`;
+    /// - `key = Subject`, `within = None` → per-subject value counts
+    ///   (the old [`Store::value_counts`]).
+    ///
+    /// Strategy is adaptive: when the extension is small relative to the
+    /// predicate's posting run, it seeks per extension element; otherwise it
+    /// scans the run once, testing membership against the (densified) set.
+    pub fn edge_counts(
+        &self,
+        p: TermId,
+        key: CountKey,
+        within: Option<&ExtSet>,
+    ) -> Vec<(TermId, usize)> {
+        match (key, within) {
+            (CountKey::Object, Some(ext)) => {
+                if self.prefer_seek(p, ext) {
+                    // seek: objects of each extension element, then aggregate
+                    let mut occurrences: Vec<TermId> = Vec::new();
+                    for e in ext.iter() {
+                        occurrences.extend(self.objects_for_sp(e, p));
+                    }
+                    sort_and_count(occurrences)
+                } else {
+                    // scan: the POS run groups by object, so counts stream out
+                    // already ascending — one pass, no hashing
+                    let mut out: Vec<(TermId, usize)> = Vec::new();
+                    for (o, s) in self.predicate_pairs(p) {
+                        if !ext.contains(s) {
+                            continue;
+                        }
+                        match out.last_mut() {
+                            Some((last, n)) if *last == o => *n += 1,
+                            _ => out.push((o, 1)),
+                        }
+                    }
+                    out
+                }
+            }
+            (CountKey::Subject, Some(ext)) => {
+                let occurrences: Vec<TermId> = if self.prefer_seek(p, ext) {
+                    let mut subs = Vec::new();
+                    for e in ext.iter() {
+                        subs.extend(self.subjects_for_po(p, e));
+                    }
+                    subs
+                } else {
+                    self.predicate_pairs(p)
+                        .filter(|&(o, _)| ext.contains(o))
+                        .map(|(_, s)| s)
+                        .collect()
+                };
+                sort_and_count(occurrences)
+            }
+            (CountKey::Object, None) => {
+                let mut out: Vec<(TermId, usize)> = Vec::new();
+                for (o, _) in self.predicate_pairs(p) {
+                    match out.last_mut() {
+                        Some((last, n)) if *last == o => *n += 1,
+                        _ => out.push((o, 1)),
+                    }
+                }
+                out
+            }
+            (CountKey::Subject, None) => {
+                sort_and_count(self.predicate_pairs(p).map(|(_, s)| s).collect())
+            }
+        }
+    }
+
+    /// True when per-element seeks beat a full posting-run scan: the run is
+    /// (at least) [`SEEK_FACTOR`]× larger than the extension.
+    fn prefer_seek(&self, p: TermId, ext: &ExtSet) -> bool {
+        let budget = ext.len().saturating_mul(SEEK_FACTOR).saturating_add(1);
+        self.predicate_len_capped(p, budget) >= budget
     }
 
     // ---- schema helpers (used by the faceted-search model, §5.3) ----------
@@ -431,12 +604,14 @@ impl Store {
     }
 
     /// Per-subject value counts for a property (used by feature operators).
+    #[deprecated(note = "use `edge_counts(p, CountKey::Subject, None)` — the unified counting kernel")]
     pub fn value_counts(&self, p: TermId) -> HashMap<TermId, usize> {
-        let mut counts = HashMap::new();
-        for [s, _, _] in self.matching_explicit(None, Some(p), None) {
-            *counts.entry(s).or_insert(0) += 1;
-        }
-        counts
+        // kept as a thin shim over the kernel; note the kernel counts
+        // *entailed* edges, which for plain data predicates equals the old
+        // explicit-only behaviour (inference adds no data triples for them,
+        // except via subPropertyOf — where the entailed count is the more
+        // correct answer anyway)
+        self.edge_counts(p, CountKey::Subject, None).into_iter().collect()
     }
 
     /// Export the explicit triples as a [`Graph`] of owned terms.
@@ -567,6 +742,136 @@ mod tests {
         let mut store2 = Store::new();
         store2.load_graph(&g);
         assert_eq!(store.len(), store2.len());
+    }
+
+    #[test]
+    fn generation_bumps_on_change_only() {
+        let mut store = Store::new();
+        let g0 = store.generation();
+        let t = Triple::new(Term::iri("http://s"), Term::iri("http://p"), Term::integer(1));
+        store.insert(&t);
+        let g1 = store.generation();
+        assert!(g1 > g0, "insert must bump");
+        // re-inserting the same triple is a no-op
+        store.insert(&t);
+        assert_eq!(store.generation(), g1);
+        store.materialize_inference();
+        let g2 = store.generation();
+        assert!(g2 > g1, "materialization must bump");
+        let s = store.lookup_iri("http://s").unwrap();
+        let p = store.lookup_iri("http://p").unwrap();
+        let o = store.matching_explicit(Some(s), Some(p), None).next().unwrap()[2];
+        store.remove_ids([s, p, o]);
+        assert!(store.generation() > g2, "remove must bump");
+        assert!(!store.remove_ids([s, p, o]));
+        let g3 = store.generation();
+        store.remove_ids([s, p, o]); // absent: no bump
+        assert_eq!(store.generation(), g3);
+    }
+
+    #[test]
+    fn posting_runs_are_sorted_and_entailed() {
+        let store = products_store();
+        let laptop1 = iri(&store, "laptop1");
+        let dell = iri(&store, "DELL");
+        let producer = iri(&store, "producer");
+        // producer edges exist only in the inferred layer
+        let subs: Vec<TermId> = store.subjects_for_po(producer, dell).collect();
+        assert_eq!(subs, vec![laptop1]);
+        let objs: Vec<TermId> = store.objects_for_sp(laptop1, producer).collect();
+        assert_eq!(objs, vec![dell]);
+        let pairs: Vec<(TermId, TermId)> = store.predicate_pairs(producer).collect();
+        assert_eq!(pairs, vec![(dell, laptop1)]);
+        // runs are ascending
+        let t = store.well_known().rdf_type;
+        let run: Vec<(TermId, TermId)> = store.predicate_pairs(t).collect();
+        assert!(run.windows(2).all(|w| w[0] < w[1]), "{run:?}");
+        // instances_set agrees with instances
+        let product = iri(&store, "Product");
+        assert_eq!(store.instances_set(product).to_btree_set(), store.instances(product));
+    }
+
+    #[test]
+    fn edge_counts_unifies_both_directions() {
+        let mut store = Store::new();
+        store
+            .load_turtle(&format!(
+                r#"@prefix ex: <{EX}> .
+                   ex:l1 ex:man ex:DELL . ex:l2 ex:man ex:DELL . ex:l3 ex:man ex:Lenovo .
+                   ex:l1 ex:usb 2 . ex:l1 ex:ram 8 ."#
+            ))
+            .unwrap();
+        let man = iri(&store, "man");
+        let dell = iri(&store, "DELL");
+        let lenovo = iri(&store, "Lenovo");
+        let l1 = iri(&store, "l1");
+        let l3 = iri(&store, "l3");
+        let ext: ExtSet = [l1, l3].into_iter().collect();
+        // forward: values of `man` over {l1, l3}
+        let fwd = store.edge_counts(man, CountKey::Object, Some(&ext));
+        let expect: Vec<(TermId, usize)> =
+            [(dell, 1), (lenovo, 1)].into_iter().collect::<BTreeSet<_>>().into_iter().collect();
+        assert_eq!(fwd, expect);
+        // inverse: subjects pointing at {DELL}
+        let companies: ExtSet = [dell].into_iter().collect();
+        let inv = store.edge_counts(man, CountKey::Subject, Some(&companies));
+        assert_eq!(inv.len(), 2);
+        assert!(inv.iter().all(|&(_, n)| n == 1));
+        // unrestricted per-subject counts match the deprecated API
+        let all = store.edge_counts(man, CountKey::Subject, None);
+        #[allow(deprecated)]
+        let old = store.value_counts(man);
+        assert_eq!(all.len(), old.len());
+        for (s, n) in all {
+            assert_eq!(old.get(&s), Some(&n));
+        }
+    }
+
+    /// Property: seek and scan strategies agree — forced by extensions on
+    /// both sides of the [`SEEK_FACTOR`] threshold.
+    #[test]
+    fn edge_counts_strategies_agree() {
+        use rdfa_prng::StdRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = Store::new();
+        let p = store.intern_iri("http://e/p");
+        let mut nodes = Vec::new();
+        for i in 0..200 {
+            nodes.push(store.intern_iri(&format!("http://e/n{i}")));
+        }
+        for _ in 0..600 {
+            let s = nodes[rng.gen_range(0..nodes.len())];
+            let o = nodes[rng.gen_range(0..nodes.len())];
+            store.insert_ids([s, p, o]);
+        }
+        store.materialize_inference();
+        // brute-force oracle over `matching`
+        let oracle = |key: CountKey, ext: Option<&ExtSet>| -> Vec<(TermId, usize)> {
+            let mut m: std::collections::BTreeMap<TermId, usize> = Default::default();
+            for [s, _, o] in store.matching(None, Some(p), None) {
+                let (k, other) = match key {
+                    CountKey::Object => (o, s),
+                    CountKey::Subject => (s, o),
+                };
+                if ext.is_none_or(|e| e.contains(other)) {
+                    *m.entry(k).or_insert(0) += 1;
+                }
+            }
+            m.into_iter().collect()
+        };
+        // tiny extension → seek path; large extension → scan path
+        for size in [2usize, 150] {
+            let ext: ExtSet = (0..size).map(|i| nodes[i]).collect();
+            for key in [CountKey::Object, CountKey::Subject] {
+                assert_eq!(
+                    store.edge_counts(p, key, Some(&ext)),
+                    oracle(key, Some(&ext)),
+                    "size {size}, key {key:?}"
+                );
+            }
+        }
+        assert_eq!(store.edge_counts(p, CountKey::Object, None), oracle(CountKey::Object, None));
+        assert_eq!(store.edge_counts(p, CountKey::Subject, None), oracle(CountKey::Subject, None));
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn main() {
         "reloaded the Answer Frame as a dataset: {} triples, columns become facets:",
         derived.len()
     );
-    let rows = derived.instances(derived.lookup_iri("urn:rdfa:af:Row").unwrap());
+    let rows = derived.instances_set(derived.lookup_iri("urn:rdfa:af:Row").unwrap());
     let facets = rdf_analytics::facets::property_facets(&derived, &rows);
     for f in &facets {
         println!(

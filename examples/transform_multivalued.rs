@@ -40,13 +40,10 @@ fn main() {
 
     // 2. the ƒ menu suggests a repair; FCO3 (p.count) derives a functional
     //    feature
-    let suggestion = transform::suggest(&store, session.facets().extension(), &format!("{EX}founder"));
+    let ext = session.facets().extension().to_btree_set();
+    let suggestion = transform::suggest(&store, &ext, &format!("{EX}founder"));
     println!("suggested transform: {suggestion:?}");
-    let transformed = transform::apply(
-        &store,
-        session.facets().extension(),
-        &suggestion.expect("a repair is suggested"),
-    );
+    let transformed = transform::apply(&store, &ext, &suggestion.expect("a repair is suggested"));
     println!(
         "derived feature {:?} (+{} triples)",
         transformed.features, transformed.added
@@ -68,7 +65,7 @@ fn main() {
     // 4. FCO9 (path.maxFreq): the dominant founder nationality per company
     let t = transform::apply(
         &store,
-        session.facets().extension(),
+        &ext,
         &transform::Transform::PathMaxFreq {
             p1: format!("{EX}founder"),
             p2: format!("{EX}nationality"),

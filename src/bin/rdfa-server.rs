@@ -2,7 +2,7 @@
 //! backend of the paper's client–server architecture, Fig 6.1).
 //!
 //! ```text
-//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port] [--persist DIR]
+//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port] [--persist DIR] [--facet-cache N]
 //! curl 'http://127.0.0.1:3030/sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D+LIMIT+3'
 //! curl -X POST --data 'PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p 1 . }' http://127.0.0.1:3030/update
 //! curl http://127.0.0.1:3030/void
@@ -14,6 +14,10 @@
 //! acknowledged, and SIGTERM/SIGINT trigger a graceful shutdown — stop
 //! accepting, drain in-flight requests, checkpoint, exit. The WAL fsync
 //! policy comes from `RDFA_FSYNC` (`always` | `never` | `every:N`).
+//!
+//! `--facet-cache N` sizes the generation-keyed marker cache behind
+//! `GET /v1/facets` (N cached marker sets; 0 disables caching; default 128).
+//! Cache counters are served at `GET /v1/facets/stats`.
 //!
 //! Without a file argument (and an empty/absent persist dir) the demo
 //! products KG is served.
@@ -52,6 +56,7 @@ fn main() {
     let mut port = 3030u16;
     let mut persist_dir: Option<String> = None;
     let mut input: Option<String> = None;
+    let mut config = ServerConfig::default();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -61,6 +66,15 @@ fn main() {
                 Some(dir) => persist_dir = Some(dir.clone()),
                 None => {
                     eprintln!("--persist needs a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--facet-cache" {
+            i += 1;
+            match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => config.facet_cache_entries = n,
+                None => {
+                    eprintln!("--facet-cache needs a numeric entry count");
                     std::process::exit(2);
                 }
             }
@@ -107,7 +121,7 @@ fn main() {
                     eprintln!("ignoring {path}: store already holds {} triples", pstore.len());
                 }
             }
-            Server::start_durable(pstore, port, ServerConfig::default())
+            Server::start_durable(pstore, port, config)
         }
         None => {
             let mut store = Store::new();
@@ -131,7 +145,7 @@ fn main() {
                     store.len()
                 );
             }
-            Server::start(store, port)
+            Server::start_with(store, port, config)
         }
     };
     let server = server.unwrap_or_else(|e| {
@@ -139,7 +153,7 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!(
-        "SPARQL endpoint at http://{}/sparql (POST /update, GET /void, GET /healthz) — Ctrl-C or SIGTERM to stop",
+        "SPARQL endpoint at http://{}/sparql (POST /update, GET /void, GET /healthz, GET /v1/facets) — Ctrl-C or SIGTERM to stop",
         server.addr()
     );
     while !SHUTDOWN.load(Ordering::SeqCst) {

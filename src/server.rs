@@ -39,6 +39,7 @@
 //! queue, join them, and only then checkpoint — so no request is dropped
 //! mid-flight and the checkpoint sees the final state.
 
+use rdfa_facets::{notation, ClassMarker, FacetCache, FacetOptions, PropertyFacet, State as FacetState};
 use rdfa_sparql::{execute_update, execute_update_recording, Engine, EvalLimits, QueryResults};
 use rdfa_store::{PersistError, PersistentStore, Store, StoreStats};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
@@ -61,7 +62,11 @@ pub struct ServerConfig {
     /// Largest `Content-Length` accepted; larger requests → `413`.
     pub max_body_bytes: usize,
     /// Resource limits applied to every query evaluation (`503` when hit).
+    /// Its `deadline` also bounds `/v1/facets` marker computation.
     pub limits: EvalLimits,
+    /// Capacity of the generation-keyed facet cache behind `/v1/facets`
+    /// (marker sets, not bytes); `0` disables caching.
+    pub facet_cache_entries: usize,
     /// Enable test-only routes (`/panic`). Off by default.
     pub debug_routes: bool,
 }
@@ -75,6 +80,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 1 << 20, // 1 MiB
             limits: EvalLimits::interactive(),
+            facet_cache_entries: rdfa_facets::DEFAULT_FACET_CACHE_ENTRIES,
             debug_routes: false,
         }
     }
@@ -160,6 +166,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let config = Arc::new(config);
+        let facet_cache = Arc::new(FacetCache::new(config.facet_cache_entries));
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
@@ -168,13 +175,14 @@ impl Server {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
             let config = Arc::clone(&config);
+            let facet_cache = Arc::clone(&facet_cache);
             let handle = std::thread::Builder::new()
                 .name(format!("rdfa-worker-{i}"))
                 .spawn(move || loop {
                     // hold the lock only while receiving, not while serving
                     let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match next {
-                        Ok(stream) => serve_connection(stream, &shared, &config),
+                        Ok(stream) => serve_connection(stream, &shared, &facet_cache, &config),
                         Err(_) => break, // acceptor gone and queue drained: shutdown
                     }
                 })?;
@@ -275,10 +283,15 @@ impl Drop for Server {
 
 /// Run one connection to completion; a panic inside the handler is answered
 /// with a `500` on a pre-cloned stream and does not take the worker down.
-fn serve_connection(stream: TcpStream, store: &Arc<SharedStore>, config: &ServerConfig) {
+fn serve_connection(
+    stream: TcpStream,
+    store: &Arc<SharedStore>,
+    facet_cache: &Arc<FacetCache>,
+    config: &ServerConfig,
+) {
     let spare = stream.try_clone().ok();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handle_connection(stream, store, config)
+        handle_connection(stream, store, facet_cache, config)
     }));
     if outcome.is_err() {
         if let Some(mut out) = spare {
@@ -299,6 +312,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 fn handle_connection(
     stream: TcpStream,
     store: &Arc<SharedStore>,
+    facet_cache: &Arc<FacetCache>,
     config: &ServerConfig,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
@@ -478,6 +492,21 @@ fn handle_connection(
             let extra = legacy_headers(path, "/update", "/v1/update");
             serve_update(&mut stream, store, &body, extra)
         }
+        ("GET", "/v1/facets") => {
+            serve_facets(&mut stream, store, facet_cache, config, query_string)
+        }
+        ("GET", "/v1/facets/stats") => {
+            let st = facet_cache.stats();
+            write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &format!(
+                    "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
+                    st.hits, st.misses, st.evictions, st.entries, st.capacity
+                ),
+            )
+        }
         _ => write_response(
             &mut stream,
             "404 Not Found",
@@ -550,6 +579,120 @@ fn serve_query(
         ),
         Err(e) => write_query_error_headed(stream, &e, extra),
     }
+}
+
+/// Serve `/v1/facets`: the left frame (class markers + property facets with
+/// counts) for the extension named by `?class=<iri>`, or for the initial
+/// state when no class is given. Answered from the generation-keyed
+/// [`FacetCache`] when the store hasn't changed since the markers were last
+/// computed; the `X-Facet-Cache` header says which way it went.
+fn serve_facets(
+    stream: &mut TcpStream,
+    store: &Arc<SharedStore>,
+    facet_cache: &Arc<FacetCache>,
+    config: &ServerConfig,
+    query_string: &str,
+) -> std::io::Result<()> {
+    let guard = store.read();
+    let ext = match form_value(query_string, "class") {
+        Some(iri) => {
+            if let Err(e) = notation::validate_iri(&iri) {
+                return write_response(
+                    stream,
+                    "400 Bad Request",
+                    "application/json",
+                    &json_error(400, &e.message),
+                );
+            }
+            match guard.lookup_iri(&iri) {
+                Some(c) => guard.instances_set(c),
+                None => {
+                    return write_response(
+                        stream,
+                        "404 Not Found",
+                        "application/json",
+                        &json_error(404, &format!("unknown class <{iri}>")),
+                    );
+                }
+            }
+        }
+        None => FacetState::initial(&guard).ext,
+    };
+    if ext.is_empty() {
+        return write_response(
+            stream,
+            "404 Not Found",
+            "application/json",
+            &json_error(404, "the class has no instances"),
+        );
+    }
+    let opts = FacetOptions { threads: 0, deadline: config.limits.deadline };
+    let misses_before = facet_cache.stats().misses;
+    let classes = match facet_cache.class_markers(&guard, &ext, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            return write_response(
+                stream,
+                "503 Service Unavailable",
+                "application/json",
+                &json_error(503, &e.message),
+            );
+        }
+    };
+    let facets = match facet_cache.property_facets(&guard, &ext, opts) {
+        Ok(f) => f,
+        Err(e) => {
+            return write_response(
+                stream,
+                "503 Service Unavailable",
+                "application/json",
+                &json_error(503, &e.message),
+            );
+        }
+    };
+    let cache_header = if facet_cache.stats().misses > misses_before {
+        "X-Facet-Cache: miss".to_owned()
+    } else {
+        "X-Facet-Cache: hit".to_owned()
+    };
+    let payload = format!(
+        "{{\"generation\":{},\"extension\":{},\"classes\":[{}],\"facets\":[{}]}}",
+        guard.generation(),
+        ext.len(),
+        classes.iter().map(|m| class_marker_json(&guard, m)).collect::<Vec<_>>().join(","),
+        facets.iter().map(|f| facet_json(&guard, f)).collect::<Vec<_>>().join(","),
+    );
+    write_response_headed(stream, "200 OK", "application/json", &[cache_header], &payload)
+}
+
+fn term_json(store: &Store, id: rdfa_store::TermId) -> String {
+    let term = store.term(id);
+    match term.as_iri() {
+        Some(iri) => format!("\"{}\"", json_escape(iri)),
+        None => format!("\"{}\"", json_escape(&term.display_name())),
+    }
+}
+
+fn class_marker_json(store: &Store, m: &ClassMarker) -> String {
+    format!(
+        "{{\"class\":{},\"count\":{},\"children\":[{}]}}",
+        term_json(store, m.class),
+        m.count,
+        m.children.iter().map(|c| class_marker_json(store, c)).collect::<Vec<_>>().join(","),
+    )
+}
+
+fn facet_json(store: &Store, f: &PropertyFacet) -> String {
+    format!(
+        "{{\"property\":{},\"values\":[{}],\"children\":[{}]}}",
+        term_json(store, f.property),
+        f.values
+            .iter()
+            .map(|(v, n)| format!("{{\"value\":{},\"count\":{n}}}", term_json(store, *v)))
+            .collect::<Vec<_>>()
+            .join(","),
+        f.children.iter().map(|c| facet_json(store, c)).collect::<Vec<_>>().join(","),
+    )
 }
 
 /// Apply an update against either store flavour and acknowledge with the
@@ -1110,6 +1253,55 @@ mod tests {
         assert!(resp.contains("\"value\":\"2\""), "{resp}");
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn facets_route_serves_markers_and_caches_repeats() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let class = percent_encode("http://example.org/Laptop");
+        let first = get(server.addr(), &format!("/v1/facets?class={class}"), "*/*");
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        assert!(first.contains("X-Facet-Cache: miss"), "{first}");
+        assert!(first.contains("\"extension\":2"), "{first}");
+        assert!(first.contains("\"property\":\"http://example.org/price\""), "{first}");
+        assert!(first.contains("\"count\":1"), "{first}");
+        // the same state again is a cache hit
+        let second = get(server.addr(), &format!("/v1/facets?class={class}"), "*/*");
+        assert!(second.contains("X-Facet-Cache: hit"), "{second}");
+        let stats = get(server.addr(), "/v1/facets/stats", "*/*");
+        assert!(stats.contains("\"hits\":2"), "{stats}"); // classes + facets
+        assert!(stats.contains("\"misses\":2"), "{stats}");
+        // an update bumps the store generation: the state must recompute
+        let resp = post(
+            server.addr(),
+            "/v1/update",
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:l3 a ex:Laptop ; ex:price 1100 . }",
+        );
+        assert!(resp.contains("\"inserted\":2"), "{resp}");
+        let third = get(server.addr(), &format!("/v1/facets?class={class}"), "*/*");
+        assert!(third.contains("X-Facet-Cache: miss"), "{third}");
+        assert!(third.contains("\"extension\":3"), "{third}");
+    }
+
+    #[test]
+    fn facets_route_without_class_uses_initial_state() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let resp = get(server.addr(), "/v1/facets", "*/*");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"classes\":["), "{resp}");
+        assert!(resp.contains("http://example.org/Laptop"), "{resp}");
+    }
+
+    #[test]
+    fn facets_route_rejects_bad_and_unknown_classes() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        // embedded '>' = SPARQL-injection shape: rejected before lookup
+        let attack = percent_encode("http://e/x> ?y . } UNION { ?a ?b ?c");
+        let resp = get(server.addr(), &format!("/v1/facets?class={attack}"), "*/*");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let unknown = percent_encode("http://example.org/NoSuchClass");
+        let resp = get(server.addr(), &format!("/v1/facets?class={unknown}"), "*/*");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Differential property tests for the merge-join facet path (§5.3–5.5):
+//! the sorted-dense `ExtSet` and every algebra operation built on it must
+//! agree, byte for byte, with the seed's `BTreeSet` implementations on
+//! randomly generated graphs — and the generation-keyed `FacetCache` must
+//! recompute after any SPARQL update mutates the store.
+
+use rdf_analytics::facets::markers::{self, FacetOptions};
+use rdf_analytics::facets::{ops, ExtSet, FacetCache, PathStep};
+use rdf_analytics::sparql::execute_update;
+use rdf_analytics::store::{Store, TermId};
+use rdfa_prng::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// random inputs
+// ---------------------------------------------------------------------------
+
+/// A random id set with duplicates and wild spread, as both representations.
+fn random_ids(rng: &mut StdRng, max_len: usize, max_id: u32) -> (ExtSet, BTreeSet<TermId>) {
+    let len = rng.gen_range(0..max_len);
+    let oracle: BTreeSet<TermId> =
+        (0..len).map(|_| TermId(rng.gen_range(0u32..max_id))).collect();
+    (ExtSet::from(&oracle), oracle)
+}
+
+/// A random RDF graph: a small class hierarchy, entities typed into random
+/// classes, and a handful of object/data properties with random (possibly
+/// multi-valued) edges. Exercises fan-out, fan-in, and shared values.
+fn random_store(rng: &mut StdRng) -> Store {
+    let n_classes = rng.gen_range(2usize..6);
+    let n_entities = rng.gen_range(10usize..60);
+    let n_props = rng.gen_range(2usize..5);
+    let n_values = rng.gen_range(3usize..10);
+    let mut ttl = String::from("@prefix ex: <http://e/> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n");
+    // a chance of subclass edges between consecutive classes
+    for c in 1..n_classes {
+        if rng.gen_bool(0.5) {
+            ttl.push_str(&format!("ex:C{c} rdfs:subClassOf ex:C{} .\n", rng.gen_range(0..c)));
+        }
+    }
+    for e in 0..n_entities {
+        let c = rng.gen_range(0..n_classes);
+        ttl.push_str(&format!("ex:e{e} a ex:C{c} .\n"));
+        for p in 0..n_props {
+            // 0–2 edges per property per entity: absent, functional, multi-valued
+            for _ in 0..rng.gen_range(0usize..3) {
+                if rng.gen_bool(0.5) {
+                    ttl.push_str(&format!(
+                        "ex:e{e} ex:p{p} ex:v{} .\n",
+                        rng.gen_range(0..n_values)
+                    ));
+                } else {
+                    // entity-to-entity edges give the inverse direction teeth
+                    ttl.push_str(&format!(
+                        "ex:e{e} ex:p{p} ex:e{} .\n",
+                        rng.gen_range(0..n_entities)
+                    ));
+                }
+            }
+        }
+    }
+    let mut store = Store::new();
+    store.load_turtle(&ttl).expect("generated turtle parses");
+    store
+}
+
+/// A random extension drawn from the store's subjects.
+fn random_ext(rng: &mut StdRng, store: &Store) -> (ExtSet, BTreeSet<TermId>) {
+    let subjects: Vec<TermId> = {
+        let all: BTreeSet<TermId> = store.iter_explicit().map(|[s, _, _]| s).collect();
+        all.into_iter().collect()
+    };
+    let oracle: BTreeSet<TermId> = subjects
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.6))
+        .collect();
+    (ExtSet::from(&oracle), oracle)
+}
+
+fn props_of(store: &Store) -> Vec<TermId> {
+    (0..4).filter_map(|p| store.lookup_iri(&format!("http://e/p{p}"))).collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. ExtSet vs the BTreeSet oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn extset_ops_match_btreeset_oracle() {
+    for case in 0u64..200 {
+        let mut rng = StdRng::seed_from_u64(case);
+        // small ids force the dense/bitmap representation into play after
+        // densify; large ids keep the sorted representation
+        let max_id = if case % 2 == 0 { 64 } else { 100_000 };
+        let (a, oa) = random_ids(&mut rng, 80, max_id);
+        let (b, ob) = random_ids(&mut rng, 80, max_id);
+        // optionally densify one side so mixed-representation paths run
+        let mut a = a;
+        if case % 3 == 0 {
+            a.densify(max_id as usize);
+        }
+
+        assert_eq!(a.len(), oa.len(), "case {case}: len");
+        assert_eq!(a.to_btree_set(), oa, "case {case}: roundtrip");
+        assert_eq!(
+            a.intersect(&b).to_btree_set(),
+            oa.intersection(&ob).copied().collect::<BTreeSet<_>>(),
+            "case {case}: intersect"
+        );
+        assert_eq!(
+            a.union(&b).to_btree_set(),
+            oa.union(&ob).copied().collect::<BTreeSet<_>>(),
+            "case {case}: union"
+        );
+        assert_eq!(
+            a.difference(&b).to_btree_set(),
+            oa.difference(&ob).copied().collect::<BTreeSet<_>>(),
+            "case {case}: difference"
+        );
+        assert_eq!(a.is_subset(&b), oa.is_subset(&ob), "case {case}: is_subset");
+        for probe in [0u32, 1, max_id / 2, max_id - 1] {
+            let id = TermId(probe);
+            assert_eq!(a.contains(id), oa.contains(&id), "case {case}: contains {probe}");
+        }
+        // iteration is sorted and duplicate-free in both representations
+        let items: Vec<TermId> = a.iter().collect();
+        assert!(items.windows(2).all(|w| w[0] < w[1]), "case {case}: sorted unique");
+        // fingerprints agree across representations of the same set
+        assert_eq!(
+            a.fingerprint(),
+            ExtSet::from(&oa).fingerprint(),
+            "case {case}: fingerprint is representation-independent"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. facet algebra vs ops::reference on random graphs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn facet_ops_match_reference_on_random_graphs() {
+    for case in 0u64..20 {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let store = random_store(&mut rng);
+        let (ext, oracle) = random_ext(&mut rng, &store);
+        for p in props_of(&store) {
+            for step in [PathStep::fwd(p), PathStep::inv(p)] {
+                let joined = ops::joins(&store, &ext, step);
+                let joined_ref = ops::reference::joins(&store, &oracle, step);
+                assert_eq!(joined.to_btree_set(), joined_ref, "case {case}: joins");
+
+                let counts: BTreeMap<TermId, usize> =
+                    ops::joins_with_counts(&store, &ext, step).into_iter().collect();
+                assert_eq!(
+                    counts,
+                    ops::reference::joins_with_counts(&store, &oracle, step),
+                    "case {case}: joins_with_counts"
+                );
+
+                // restrict back through every joined value
+                for v in joined.iter().take(5) {
+                    assert_eq!(
+                        ops::restrict_value(&store, &ext, step, v).to_btree_set(),
+                        ops::reference::restrict_value(&store, &oracle, step, v),
+                        "case {case}: restrict_value"
+                    );
+                }
+                let vset = joined;
+                assert_eq!(
+                    ops::restrict_value_set(&store, &ext, step, &vset).to_btree_set(),
+                    ops::reference::restrict_value_set(
+                        &store,
+                        &oracle,
+                        step,
+                        &vset.to_btree_set()
+                    ),
+                    "case {case}: restrict_value_set"
+                );
+            }
+        }
+        // class restriction over every class in the graph
+        for c in 0..6 {
+            if let Some(class) = store.lookup_iri(&format!("http://e/C{c}")) {
+                assert_eq!(
+                    ops::restrict_class(&store, &ext, class).to_btree_set(),
+                    ops::reference::restrict_class(&store, &oracle, class),
+                    "case {case}: restrict_class"
+                );
+            }
+        }
+        // two-step paths: joins_path and back-propagating restrict_path
+        let props = props_of(&store);
+        if props.len() >= 2 {
+            let path = [PathStep::fwd(props[0]), PathStep::fwd(props[1])];
+            assert_eq!(
+                ops::joins_path(&store, &ext, &path).to_btree_set(),
+                ops::reference::joins_path(&store, &oracle, &path),
+                "case {case}: joins_path"
+            );
+            let terminal = ops::joins_path(&store, &ext, &path);
+            if !terminal.is_empty() {
+                let one = ExtSet::from_sorted_vec(vec![terminal.iter().next().unwrap()]);
+                assert_eq!(
+                    ops::restrict_path(&store, &ext, &path, &one)
+                        .expect("non-empty path")
+                        .to_btree_set(),
+                    ops::reference::restrict_path(
+                        &store,
+                        &oracle,
+                        &path,
+                        &one.to_btree_set()
+                    ),
+                    "case {case}: restrict_path"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. markers: parallel and sequential byte-identical to the seed
+// ---------------------------------------------------------------------------
+
+#[test]
+fn markers_match_reference_sequential_and_parallel() {
+    for case in 0u64..12 {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let store = random_store(&mut rng);
+        let (ext, oracle) = random_ext(&mut rng, &store);
+        let classes_ref = markers::reference::class_markers(&store, &oracle);
+        let facets_ref = markers::reference::property_facets(&store, &oracle);
+        for threads in [1usize, 4] {
+            let opts = FacetOptions { threads, ..FacetOptions::default() };
+            let classes = markers::class_markers_opts(&store, &ext, opts).unwrap();
+            let facets = markers::property_facets_opts(&store, &ext, opts).unwrap();
+            assert_eq!(classes, classes_ref, "case {case} threads {threads}: class markers");
+            assert_eq!(facets, facets_ref, "case {case} threads {threads}: property facets");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. cache invalidation through SPARQL updates
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_recomputes_after_insert_and_delete_data() {
+    let mut store = Store::new();
+    store
+        .load_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:a a ex:C . ex:b a ex:C .\n\
+             ex:a ex:p ex:v1 . ex:b ex:p ex:v2 .\n",
+        )
+        .unwrap();
+    let cache = FacetCache::new(8);
+    let opts = FacetOptions::default();
+    let class = store.lookup_iri("http://e/C").unwrap();
+
+    let g0 = store.generation();
+    let ext = store.instances_set(class);
+    let before = cache.class_markers(&store, &ext, opts).unwrap();
+    let again = cache.class_markers(&store, &ext, opts).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&before, &again), "warm lookup must hit");
+    assert_eq!(cache.stats().hits, 1);
+    assert_eq!(before[0].count, 2);
+
+    // INSERT DATA bumps the generation; the same logical query recomputes
+    execute_update(&mut store, "PREFIX ex: <http://e/> INSERT DATA { ex:c a ex:C . }").unwrap();
+    let g1 = store.generation();
+    assert!(g1 > g0, "insert must advance the generation");
+    let ext = store.instances_set(class);
+    let after_insert = cache.class_markers(&store, &ext, opts).unwrap();
+    assert_eq!(after_insert[0].count, 3, "cache must see the inserted instance");
+
+    // DELETE DATA likewise
+    execute_update(&mut store, "PREFIX ex: <http://e/> DELETE DATA { ex:b a ex:C . }").unwrap();
+    let g2 = store.generation();
+    assert!(g2 > g1, "delete must advance the generation");
+    let ext = store.instances_set(class);
+    let after_delete = cache.class_markers(&store, &ext, opts).unwrap();
+    assert_eq!(after_delete[0].count, 2, "cache must see the deleted instance");
+
+    // property facets go stale-proof the same way
+    let facets = cache.property_facets(&store, &ext, opts).unwrap();
+    let total: usize = facets.iter().flat_map(|f| f.values.iter().map(|&(_, c)| c)).sum();
+    assert_eq!(total, 1, "ex:b's edge is gone; only ex:a ex:p ex:v1 counts");
+
+    // a no-op update (deleting an absent triple) may still bump the
+    // generation — correctness only requires monotonicity, never reuse of a
+    // stale entry
+    execute_update(&mut store, "PREFIX ex: <http://e/> DELETE DATA { ex:zz a ex:C . }").unwrap();
+    assert!(store.generation() >= g2, "generation is monotone");
+}

@@ -61,7 +61,7 @@ fn random_walk(store: &Store, clicks: &[usize]) -> bool {
         .column("x")
         .filter_map(|t| store.lookup(t))
         .collect();
-    assert_eq!(&got, session.extension(), "intention must reproduce the extension");
+    assert_eq!(got, session.extension().to_btree_set(), "intention must reproduce the extension");
     true
 }
 

@@ -97,7 +97,7 @@ fn reload_shape_invariants() {
     // n rows × (k columns + type triple)
     assert_eq!(derived.len(), frame.len() * (frame.headers.len() + 1));
     // one facet per column over the Row class
-    let rows = derived.instances(derived.lookup_iri("urn:rdfa:af:Row").unwrap());
+    let rows = derived.instances_set(derived.lookup_iri("urn:rdfa:af:Row").unwrap());
     assert_eq!(rows.len(), frame.len());
     let facets = rdf_analytics::facets::property_facets(&derived, &rows);
     assert_eq!(facets.len(), frame.headers.len());
