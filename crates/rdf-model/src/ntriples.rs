@@ -7,9 +7,10 @@
 //! truncated terms are rejected with a typed error carrying the line number
 //! and the offending lexeme rather than silently repaired.
 
-use crate::term::{unescape_literal_checked, Literal, Term};
+use crate::term::{unescape_literal_checked_cow, Literal, Term};
 use crate::triple::{Graph, Triple};
-use crate::vocab::xsd;
+use crate::vocab::{rdf, xsd};
+use std::borrow::Cow;
 use std::fmt;
 
 /// What went wrong on an N-Triples line.
@@ -69,14 +70,19 @@ impl fmt::Display for NtriplesError {
 
 impl std::error::Error for NtriplesError {}
 
-/// A line-local error, upgraded to [`NtriplesError`] once the line number
-/// is known.
-struct LineError {
-    lexeme: String,
-    kind: NtriplesErrorKind,
+/// A line-local error from the zero-copy lexer, upgraded to
+/// [`NtriplesError`] once the caller knows the document line number —
+/// chunked parsers lex lines whose absolute position is only known after
+/// per-chunk line counts are summed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending fragment, truncated for display.
+    pub lexeme: String,
+    /// What went wrong.
+    pub kind: NtriplesErrorKind,
 }
 
-impl LineError {
+impl LexError {
     fn new(lexeme: &str, kind: NtriplesErrorKind) -> Self {
         // keep error lexemes bounded so a pathological line cannot balloon
         // error messages (and WAL recovery reports) without limit
@@ -84,7 +90,65 @@ impl LineError {
         if short.len() < lexeme.len() {
             short.push('…');
         }
-        LineError { lexeme: short, kind }
+        LexError { lexeme: short, kind }
+    }
+
+    /// Attach the 1-based document line number.
+    pub fn at_line(self, line: usize) -> NtriplesError {
+        NtriplesError { line, lexeme: self.lexeme, kind: self.kind }
+    }
+}
+
+/// A borrowed view of one term as lexed from an N-Triples line: IRIs and
+/// blank-node labels are slices of the input, and literal lexical forms
+/// borrow unless unescaping had to rewrite bytes. No `String` is allocated
+/// per term until interning decides the term is new.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermRef<'a> {
+    /// An IRI, without the surrounding `<` `>`.
+    Iri(&'a str),
+    /// A blank node label, without the `_:` prefix.
+    Blank(&'a str),
+    /// A literal; `datatype` defaults to `xsd:string` and is
+    /// `rdf:langString` when `lang` is set, mirroring [`Literal`].
+    Literal {
+        lexical: Cow<'a, str>,
+        datatype: &'a str,
+        lang: Option<&'a str>,
+    },
+}
+
+impl TermRef<'_> {
+    /// Allocate an owned [`Term`] equal to this view.
+    pub fn to_term(&self) -> Term {
+        match self {
+            TermRef::Iri(s) => Term::iri(*s),
+            TermRef::Blank(s) => Term::blank(*s),
+            TermRef::Literal { lexical, datatype, lang } => Term::Literal(Literal {
+                lexical: lexical.clone().into_owned(),
+                datatype: (*datatype).to_owned(),
+                lang: lang.map(str::to_owned),
+            }),
+        }
+    }
+}
+
+impl PartialEq<Term> for TermRef<'_> {
+    fn eq(&self, other: &Term) -> bool {
+        match (self, other) {
+            (TermRef::Iri(a), Term::Iri(b)) => *a == b,
+            (TermRef::Blank(a), Term::Blank(b)) => *a == b,
+            (TermRef::Literal { lexical, datatype, lang }, Term::Literal(l)) => {
+                *lexical == l.lexical && *datatype == l.datatype && *lang == l.lang.as_deref()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<TermRef<'_>> for Term {
+    fn eq(&self, other: &TermRef<'_>) -> bool {
+        other == self
     }
 }
 
@@ -102,88 +166,138 @@ pub fn serialize(graph: &Graph) -> String {
 /// endings, blank lines and `#` comments are accepted. Malformed lines are
 /// reported with their 1-based line number and offending lexeme.
 pub fn parse(input: &str) -> Result<Graph, NtriplesError> {
-    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let input = strip_bom(input);
     let mut graph = Graph::new();
     for (i, line) in input.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        match lex_line(line).map_err(|e| e.at_line(i + 1))? {
+            Some([s, p, o]) => graph.push(Triple::new(s.to_term(), p.to_term(), o.to_term())),
+            None => continue,
         }
-        let triple = parse_line(line)
-            .map_err(|e| NtriplesError { line: i + 1, lexeme: e.lexeme, kind: e.kind })?;
-        graph.push(triple);
     }
     Ok(graph)
 }
 
-fn parse_line(line: &str) -> Result<Triple, LineError> {
-    let mut rest = line;
-    let subject = take_term(&mut rest)?;
-    let predicate = take_term(&mut rest)?;
-    let object = take_term(&mut rest)?;
-    let rest = rest.trim();
-    if rest != "." {
-        return Err(LineError::new(rest, NtriplesErrorKind::MissingDot));
-    }
-    Ok(Triple::new(subject, predicate, object))
+/// Strip a leading UTF-8 byte-order mark.
+pub fn strip_bom(input: &str) -> &str {
+    input.strip_prefix('\u{feff}').unwrap_or(input)
 }
 
-fn take_term(rest: &mut &str) -> Result<Term, LineError> {
+/// Split a document into at most `n` chunks at newline boundaries, so each
+/// chunk is a whole number of lines and chunks concatenate back to the
+/// input. Safe for N-Triples because a raw `\n` byte can never occur
+/// *inside* a well-formed term — newlines in literals are escaped as the
+/// two-character sequence `\n` — so every `\n` byte is a line terminator.
+/// (A raw newline inside a literal is malformed input; the line-based
+/// parser rejects each half exactly as the sequential path would.)
+pub fn split_chunks(input: &str, n: usize) -> Vec<&str> {
+    let mut out = Vec::with_capacity(n.max(1));
+    let bytes = input.as_bytes();
+    let mut start = 0usize;
+    for i in 1..n {
+        let target = input.len() * i / n;
+        if target <= start {
+            continue;
+        }
+        match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let end = target + off + 1;
+                out.push(&input[start..end]);
+                start = end;
+            }
+            None => break,
+        }
+    }
+    if start < input.len() || out.is_empty() {
+        out.push(&input[start..]);
+    }
+    out
+}
+
+/// Lex one N-Triples line with the zero-copy lexer. Returns `Ok(None)` for
+/// blank lines and `#` comments, and borrowed `[subject, predicate,
+/// object]` views otherwise. A trailing `\r` (CRLF input split by a chunker
+/// rather than [`str::lines`]) is tolerated.
+pub fn lex_line(line: &str) -> Result<Option<[TermRef<'_>; 3]>, LexError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut rest = line;
+    let subject = take_term_ref(&mut rest)?;
+    let predicate = take_term_ref(&mut rest)?;
+    let object = take_term_ref(&mut rest)?;
+    let rest = rest.trim();
+    if rest != "." {
+        return Err(LexError::new(rest, NtriplesErrorKind::MissingDot));
+    }
+    Ok(Some([subject, predicate, object]))
+}
+
+fn take_term_ref<'a>(rest: &mut &'a str) -> Result<TermRef<'a>, LexError> {
     *rest = rest.trim_start();
     let s = *rest;
     if let Some(body) = s.strip_prefix('<') {
         let end = body
             .find('>')
-            .ok_or_else(|| LineError::new(s, NtriplesErrorKind::UnterminatedIri))?;
+            .ok_or_else(|| LexError::new(s, NtriplesErrorKind::UnterminatedIri))?;
         *rest = &body[end + 1..];
-        Ok(Term::iri(&body[..end]))
+        Ok(TermRef::Iri(&body[..end]))
     } else if let Some(body) = s.strip_prefix("_:") {
         let end = body
             .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
             .unwrap_or(body.len());
         *rest = &body[end..];
-        Ok(Term::blank(&body[..end]))
+        Ok(TermRef::Blank(&body[..end]))
     } else if let Some(body) = s.strip_prefix('"') {
-        // scan for closing quote honouring backslash escapes
-        let mut escaped = false;
-        let mut end = None;
-        for (i, c) in body.char_indices() {
-            if escaped {
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                end = Some(i);
-                break;
+        // closing-quote scan: in the common escape-free case the first quote
+        // closes the literal and a pair of substring searches finds it;
+        // literals containing backslashes fall back to the per-char scan
+        let end = match (body.find('"'), body.find('\\')) {
+            (Some(q), None) => Some(q),
+            (Some(q), Some(b)) if q < b => Some(q),
+            _ => {
+                let mut escaped = false;
+                let mut end = None;
+                for (i, c) in body.char_indices() {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                end
             }
-        }
-        let end = end.ok_or_else(|| LineError::new(s, NtriplesErrorKind::UnterminatedLiteral))?;
+        };
+        let end = end.ok_or_else(|| LexError::new(s, NtriplesErrorKind::UnterminatedLiteral))?;
         let raw = &body[..end];
-        let lexical = unescape_literal_checked(raw).map_err(|e| {
-            LineError::new(&e.lexeme, NtriplesErrorKind::BadEscape { reason: e.reason })
+        let lexical = unescape_literal_checked_cow(raw).map_err(|e| {
+            LexError::new(&e.lexeme, NtriplesErrorKind::BadEscape { reason: e.reason })
         })?;
         let mut tail = &body[end + 1..];
         let term = if let Some(t) = tail.strip_prefix("^^<") {
             let close = t
                 .find('>')
-                .ok_or_else(|| LineError::new(tail, NtriplesErrorKind::UnterminatedDatatype))?;
+                .ok_or_else(|| LexError::new(tail, NtriplesErrorKind::UnterminatedDatatype))?;
             let dt = &t[..close];
             tail = &t[close + 1..];
-            Term::Literal(Literal::typed(lexical, dt))
+            TermRef::Literal { lexical, datatype: dt, lang: None }
         } else if let Some(t) = tail.strip_prefix('@') {
             let end = t
                 .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
                 .unwrap_or(t.len());
             let lang = &t[..end];
             tail = &t[end..];
-            Term::Literal(Literal::lang_string(lexical, lang))
+            TermRef::Literal { lexical, datatype: rdf::LANG_STRING, lang: Some(lang) }
         } else {
-            Term::Literal(Literal::typed(lexical, xsd::STRING))
+            TermRef::Literal { lexical, datatype: xsd::STRING, lang: None }
         };
         *rest = tail;
         Ok(term)
     } else {
-        Err(LineError::new(s, NtriplesErrorKind::UnparsableTerm))
+        Err(LexError::new(s, NtriplesErrorKind::UnparsableTerm))
     }
 }
 
@@ -237,6 +351,53 @@ mod tests {
             "{err:?}"
         );
         assert_eq!(err.lexeme, "\\uD83D");
+    }
+
+    #[test]
+    fn lexer_borrows_unless_escapes_rewrite() {
+        let line = r#"<http://s> <http://p> "plain value" ."#;
+        let [_, _, o] = lex_line(line).unwrap().unwrap();
+        match &o {
+            TermRef::Literal { lexical: Cow::Borrowed(_), .. } => {}
+            other => panic!("expected borrowed lexical, got {other:?}"),
+        }
+        let line = r#"<http://s> <http://p> "two\nlines" ."#;
+        let [_, _, o] = lex_line(line).unwrap().unwrap();
+        match &o {
+            TermRef::Literal { lexical: Cow::Owned(s), .. } => assert_eq!(s, "two\nlines"),
+            other => panic!("expected owned lexical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn term_ref_matches_owned_term() {
+        let line = r#"<http://s> <http://p> "bonjour"@fr ."#;
+        let [s, p, o] = lex_line(line).unwrap().unwrap();
+        assert_eq!(s, Term::iri("http://s"));
+        assert_eq!(p.to_term(), Term::iri("http://p"));
+        assert_eq!(o, Term::Literal(Literal::lang_string("bonjour", "fr")));
+        assert_ne!(s, Term::blank("http://s"));
+        assert!(lex_line("# comment").unwrap().is_none());
+        assert!(lex_line("   ").unwrap().is_none());
+    }
+
+    #[test]
+    fn chunks_concatenate_and_split_on_newlines() {
+        let doc = "<http://s> <http://p> \"a\\nb\" .\n<http://s> <http://p> \"c\" .\r\n\
+                   # comment\n<http://s2> <http://p> \"d\" .";
+        for n in 1..=8 {
+            let chunks = split_chunks(doc, n);
+            assert_eq!(chunks.concat(), doc, "n={n}");
+            for c in &chunks[..chunks.len() - 1] {
+                assert!(c.ends_with('\n'), "mid chunk must end at a line break: {c:?}");
+            }
+            let total: usize = chunks
+                .iter()
+                .map(|c| c.lines().flat_map(lex_line).flatten().count())
+                .sum();
+            assert_eq!(total, 3, "n={n}");
+        }
+        assert_eq!(split_chunks("", 4), vec![""]);
     }
 
     #[test]

@@ -261,6 +261,27 @@ pub fn unescape_literal_checked(s: &str) -> Result<String, EscapeError> {
     unescape_inner(s, true)
 }
 
+/// Zero-copy variant of [`unescape_literal`]: borrows the input when it
+/// contains no backslash (the common case in bulk ingest) and allocates
+/// only when unescaping actually rewrites bytes.
+pub fn unescape_literal_cow(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains('\\') {
+        std::borrow::Cow::Owned(unescape_literal(s))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
+/// Zero-copy variant of [`unescape_literal_checked`]; same borrowing rule
+/// as [`unescape_literal_cow`].
+pub fn unescape_literal_checked_cow(s: &str) -> Result<std::borrow::Cow<'_, str>, EscapeError> {
+    if s.contains('\\') {
+        unescape_inner(s, true).map(std::borrow::Cow::Owned)
+    } else {
+        Ok(std::borrow::Cow::Borrowed(s))
+    }
+}
+
 fn unescape_inner(s: &str, strict: bool) -> Result<String, EscapeError> {
     let mut out = String::with_capacity(s.len());
     let mut iter = s.char_indices().peekable();
@@ -422,6 +443,17 @@ mod tests {
         assert_eq!(unescape_literal_checked("\\q").unwrap_err().reason, "unknown escape");
         assert_eq!(unescape_literal_checked("tail\\").unwrap_err().reason, "trailing backslash");
         assert_eq!(unescape_literal_checked("\\u0041\\U0001F980").unwrap(), "A🦀");
+    }
+
+    #[test]
+    fn cow_unescape_borrows_when_clean() {
+        use std::borrow::Cow;
+        assert!(matches!(unescape_literal_cow("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(unescape_literal_cow("a\\nb"), Cow::Owned(_)));
+        assert_eq!(unescape_literal_cow("a\\nb"), unescape_literal("a\\nb"));
+        assert!(matches!(unescape_literal_checked_cow("plain").unwrap(), Cow::Borrowed(_)));
+        assert_eq!(unescape_literal_checked_cow("a\\tb").unwrap(), "a\tb");
+        assert!(unescape_literal_checked_cow("\\uD800").is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Not supported (not needed by the system): collections `( )`, anonymous
 //! blank nodes `[ ]`, multi-line strings.
 
-use crate::term::{unescape_literal, Literal, Term};
+use crate::term::{unescape_literal_cow, Literal, Term};
 use crate::triple::{Graph, Triple};
 use crate::vocab::{rdf, xsd};
 use std::collections::HashMap;
@@ -33,52 +33,65 @@ pub fn parse(input: &str) -> Result<Graph, TurtleError> {
     Parser::new(input).parse_document()
 }
 
+/// A lexed token borrowing slices of the input document (the same
+/// zero-copy discipline as the N-Triples lexer): raw literal bodies keep
+/// their escapes and are only unescaped — and only allocated — when a
+/// token is resolved into an owned [`Term`].
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
-    Iri(String),
-    Prefixed(String, String),
-    Blank(String),
-    Literal { lexical: String, datatype: Option<Box<Tok>>, lang: Option<String> },
-    Number(String),
-    Keyword(String), // a, true, false, @prefix, PREFIX
-    Punct(char),     // . ; ,
+enum Tok<'a> {
+    Iri(&'a str),
+    Prefixed(&'a str, &'a str),
+    Blank(&'a str),
+    Literal { raw: &'a str, datatype: Option<Box<Tok<'a>>>, lang: Option<&'a str> },
+    Number(&'a str),
+    Keyword(&'a str), // a, true, false, @prefix, PREFIX
+    Punct(char),      // . ; ,
 }
 
 struct Parser<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    input: &'a str,
+    /// Byte offset of the scanner cursor.
+    pos: usize,
     line: usize,
-    prefixes: HashMap<String, String>,
-    lookahead: Option<Tok>,
+    prefixes: HashMap<&'a str, &'a str>,
+    lookahead: Option<Tok<'a>>,
 }
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser {
-            chars: input.chars().peekable(),
-            line: 1,
-            prefixes: HashMap::new(),
-            lookahead: None,
-        }
+        Parser { input, pos: 0, line: 1, prefixes: HashMap::new(), lookahead: None }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, TurtleError> {
         Err(TurtleError { line: self.line, message: msg.into() })
     }
 
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
     fn skip_ws(&mut self) {
         loop {
-            match self.chars.peek() {
-                Some('\n') => {
-                    self.line += 1;
-                    self.chars.next();
-                }
+            match self.peek() {
                 Some(c) if c.is_whitespace() => {
-                    self.chars.next();
+                    self.bump();
                 }
                 Some('#') => {
-                    for c in self.chars.by_ref() {
+                    while let Some(c) = self.bump() {
                         if c == '\n' {
-                            self.line += 1;
                             break;
                         }
                     }
@@ -88,120 +101,107 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn next_tok(&mut self) -> Result<Option<Tok>, TurtleError> {
+    fn next_tok(&mut self) -> Result<Option<Tok<'a>>, TurtleError> {
         if let Some(t) = self.lookahead.take() {
             return Ok(Some(t));
         }
         self.skip_ws();
-        let Some(&c) = self.chars.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else { return Ok(None) };
         match c {
             '<' => {
-                self.chars.next();
-                let mut s = String::new();
-                for c in self.chars.by_ref() {
-                    if c == '>' {
-                        return Ok(Some(Tok::Iri(s)));
+                self.bump();
+                let body = self.rest();
+                match body.find('>') {
+                    Some(end) => {
+                        self.advance_over(&body[..end]);
+                        self.pos += 1; // '>'
+                        Ok(Some(Tok::Iri(&body[..end])))
                     }
-                    s.push(c);
+                    None => {
+                        self.advance_over(body);
+                        self.err("unterminated IRI")
+                    }
                 }
-                self.err("unterminated IRI")
             }
             '"' => {
-                self.chars.next();
-                let mut s = String::new();
+                self.bump();
+                let body = self.rest();
                 let mut escaped = false;
-                loop {
-                    match self.chars.next() {
-                        None => return self.err("unterminated string literal"),
-                        Some('\\') if !escaped => {
-                            escaped = true;
-                            s.push('\\');
-                        }
-                        Some('"') if !escaped => break,
-                        Some('\n') => return self.err("newline inside string literal"),
-                        Some(c) => {
-                            escaped = false;
-                            s.push(c);
-                        }
+                let mut end = None;
+                for (i, c) in body.char_indices() {
+                    if c == '\n' {
+                        return self.err("newline inside string literal");
+                    }
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        end = Some(i);
+                        break;
                     }
                 }
-                let lexical = unescape_literal(&s);
+                let Some(end) = end else {
+                    self.advance_over(body);
+                    return self.err("unterminated string literal");
+                };
+                let raw = &body[..end];
+                self.pos += end + 1; // body + closing '"' (no newlines inside)
                 // optional @lang or ^^datatype suffix
-                match self.chars.peek() {
+                match self.peek() {
                     Some('@') => {
-                        self.chars.next();
-                        let mut lang = String::new();
-                        while let Some(&c) = self.chars.peek() {
-                            if c.is_ascii_alphanumeric() || c == '-' {
-                                lang.push(c);
-                                self.chars.next();
-                            } else {
-                                break;
-                            }
-                        }
-                        Ok(Some(Tok::Literal { lexical, datatype: None, lang: Some(lang) }))
+                        self.bump();
+                        let lang = self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
+                        Ok(Some(Tok::Literal { raw, datatype: None, lang: Some(lang) }))
                     }
                     Some('^') => {
-                        self.chars.next();
-                        if self.chars.next() != Some('^') {
+                        self.bump();
+                        if self.bump() != Some('^') {
                             return self.err("expected ^^ before datatype");
                         }
                         let dt = self
                             .next_tok()?
                             .ok_or(TurtleError { line: self.line, message: "eof after ^^".into() })?;
-                        Ok(Some(Tok::Literal { lexical, datatype: Some(Box::new(dt)), lang: None }))
+                        Ok(Some(Tok::Literal { raw, datatype: Some(Box::new(dt)), lang: None }))
                     }
-                    _ => Ok(Some(Tok::Literal { lexical, datatype: None, lang: None })),
+                    _ => Ok(Some(Tok::Literal { raw, datatype: None, lang: None })),
                 }
             }
             '_' => {
-                self.chars.next();
-                if self.chars.next() != Some(':') {
+                self.bump();
+                if self.bump() != Some(':') {
                     return self.err("expected ':' after '_' in blank node");
                 }
-                let mut s = String::new();
-                while let Some(&c) = self.chars.peek() {
-                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
-                        s.push(c);
-                        self.chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                Ok(Some(Tok::Blank(s)))
+                let label = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+                Ok(Some(Tok::Blank(label)))
             }
             '.' | ';' | ',' => {
-                self.chars.next();
+                self.bump();
                 Ok(Some(Tok::Punct(c)))
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' => {
-                let mut s = String::new();
-                while let Some(&c) = self.chars.peek() {
-                    if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
-                        s.push(c);
-                        self.chars.next();
-                    } else {
-                        break;
-                    }
-                }
+                let mut s = self.take_while(|c| {
+                    c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+                });
                 // a trailing '.' is the statement terminator, not part of the number
                 if s.ends_with('.') && !s[..s.len() - 1].contains('.') {
-                    s.pop();
+                    s = &s[..s.len() - 1];
                     self.lookahead = Some(Tok::Punct('.'));
                 }
                 Ok(Some(Tok::Number(s)))
             }
             '@' => {
-                self.chars.next();
-                let word = self.read_word();
-                Ok(Some(Tok::Keyword(format!("@{word}"))))
+                let start = self.pos;
+                self.bump();
+                self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+                Ok(Some(Tok::Keyword(&self.input[start..self.pos])))
             }
             _ => {
                 // prefixed name, keyword, or bare prefix declaration
                 let word = self.read_pname();
                 if let Some(idx) = word.find(':') {
                     let (p, local) = word.split_at(idx);
-                    Ok(Some(Tok::Prefixed(p.to_owned(), local[1..].to_owned())))
+                    Ok(Some(Tok::Prefixed(p, &local[1..])))
                 } else {
                     Ok(Some(Tok::Keyword(word)))
                 }
@@ -209,45 +209,41 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn read_word(&mut self) -> String {
-        let mut s = String::new();
-        while let Some(&c) = self.chars.peek() {
-            if c.is_ascii_alphanumeric() || c == '_' {
-                s.push(c);
-                self.chars.next();
-            } else {
-                break;
-            }
-        }
-        s
+    /// Advance the cursor over `s` (a prefix of the remaining input),
+    /// keeping the line counter in sync with any newlines it contains.
+    fn advance_over(&mut self, s: &str) {
+        self.line += s.bytes().filter(|&b| b == b'\n').count();
+        self.pos += s.len();
     }
 
-    fn read_pname(&mut self) -> String {
-        let mut s = String::new();
-        while let Some(&c) = self.chars.peek() {
-            if c.is_whitespace() || matches!(c, '.' | ';' | ',' | '<' | '"' | '#') {
-                // '.' inside a local name is allowed in full Turtle; our subset
-                // treats it as a terminator, which all generated data respects.
-                break;
-            }
-            s.push(c);
-            self.chars.next();
-        }
-        s
+    /// The longest prefix of the remaining input whose chars satisfy `f`;
+    /// the cursor advances past it.
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> &'a str {
+        let body = self.rest();
+        let end = body.find(|c| !f(c)).unwrap_or(body.len());
+        self.advance_over(&body[..end]);
+        &body[..end]
     }
 
-    fn resolve(&self, tok: Tok) -> Result<Term, TurtleError> {
+    fn read_pname(&mut self) -> &'a str {
+        // '.' inside a local name is allowed in full Turtle; our subset
+        // treats it as a terminator, which all generated data respects.
+        self.take_while(|c| !(c.is_whitespace() || matches!(c, '.' | ';' | ',' | '<' | '"' | '#')))
+    }
+
+    fn resolve(&self, tok: Tok<'a>) -> Result<Term, TurtleError> {
         match tok {
-            Tok::Iri(s) => Ok(Term::Iri(s)),
-            Tok::Prefixed(p, local) => match self.prefixes.get(&p) {
+            Tok::Iri(s) => Ok(Term::iri(s)),
+            Tok::Prefixed(p, local) => match self.prefixes.get(p) {
                 Some(ns) => Ok(Term::Iri(format!("{ns}{local}"))),
                 None => Err(TurtleError {
                     line: self.line,
                     message: format!("undeclared prefix '{p}:'"),
                 }),
             },
-            Tok::Blank(b) => Ok(Term::Blank(b)),
-            Tok::Literal { lexical, datatype, lang } => {
+            Tok::Blank(b) => Ok(Term::blank(b)),
+            Tok::Literal { raw, datatype, lang } => {
+                let lexical = unescape_literal_cow(raw).into_owned();
                 if let Some(lang) = lang {
                     Ok(Term::Literal(Literal::lang_string(lexical, lang)))
                 } else if let Some(dt) = datatype {
@@ -273,7 +269,7 @@ impl<'a> Parser<'a> {
             Tok::Keyword(k) if k == "true" || k == "false" => {
                 Ok(Term::Literal(Literal::typed(k, xsd::BOOLEAN)))
             }
-            Tok::Keyword(k) if k == "a" => Ok(Term::iri(rdf::TYPE)),
+            Tok::Keyword("a") => Ok(Term::iri(rdf::TYPE)),
             Tok::Keyword(k) => Err(TurtleError {
                 line: self.line,
                 message: format!("unexpected keyword '{k}'"),
@@ -289,10 +285,10 @@ impl<'a> Parser<'a> {
         let mut graph = Graph::new();
         while let Some(tok) = self.next_tok()? {
             match &tok {
-                Tok::Keyword(k) if k == "@prefix" || k.eq_ignore_ascii_case("prefix") => {
+                Tok::Keyword(k) if *k == "@prefix" || k.eq_ignore_ascii_case("prefix") => {
                     self.parse_prefix_decl(k.starts_with('@'))?;
                 }
-                Tok::Keyword(k) if k == "@base" || k.eq_ignore_ascii_case("base") => {
+                Tok::Keyword(k) if *k == "@base" || k.eq_ignore_ascii_case("base") => {
                     // consume and ignore the base IRI (all data uses absolute IRIs)
                     let _ = self.next_tok()?;
                     if k.starts_with('@') {
@@ -309,7 +305,7 @@ impl<'a> Parser<'a> {
 
     fn parse_prefix_decl(&mut self, at_form: bool) -> Result<(), TurtleError> {
         let name = match self.next_tok()? {
-            Some(Tok::Prefixed(p, local)) if local.is_empty() => p,
+            Some(Tok::Prefixed(p, "")) => p,
             Some(Tok::Keyword(k)) => k, // e.g. `prefix ex <...>` is tolerated
             other => return self.err(format!("expected prefix name, got {other:?}")),
         };

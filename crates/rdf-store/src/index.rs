@@ -78,6 +78,24 @@ impl TripleIndex {
         self.spo.iter().copied()
     }
 
+    /// Bulk-build from pre-sorted, deduplicated permutation runs. The three
+    /// runs must hold the same triple set in `[s,p,o]`, `[p,o,s]` and
+    /// `[o,s,p]` element order respectively; `BTreeSet`'s `FromIterator`
+    /// then bulk-loads each tree from its sorted input instead of paying a
+    /// per-triple tree insertion — the ingest-path replacement for calling
+    /// [`insert`](TripleIndex::insert) once per triple.
+    pub(crate) fn from_sorted_runs(spo: Vec<IdTriple>, pos: Vec<IdTriple>, osp: Vec<IdTriple>) -> Self {
+        debug_assert!(spo.windows(2).all(|w| w[0] < w[1]), "spo run must be sorted+distinct");
+        debug_assert!(pos.windows(2).all(|w| w[0] < w[1]), "pos run must be sorted+distinct");
+        debug_assert!(osp.windows(2).all(|w| w[0] < w[1]), "osp run must be sorted+distinct");
+        debug_assert!(spo.len() == pos.len() && pos.len() == osp.len());
+        TripleIndex {
+            spo: spo.into_iter().collect(),
+            pos: pos.into_iter().collect(),
+            osp: osp.into_iter().collect(),
+        }
+    }
+
     /// All triples matching the pattern, where `None` is a wildcard.
     /// Results are yielded in `[s, p, o]` order regardless of the index used.
     pub fn matching<'a>(

@@ -1,7 +1,117 @@
 //! Term interning: bijective mapping between [`Term`]s and dense u32 ids.
+//!
+//! The id map is keyed by a 64-bit FNV content hash instead of the term
+//! itself: buckets hold term *ids* and equality checks go against the term
+//! table, so the map never owns a second copy of any term. Interning an
+//! owned term therefore costs zero clones, and map growth rehashes plain
+//! `u64`s rather than re-walking string keys. The same hash (and bucket
+//! layout) is shared with the bulk-ingest worker dictionaries in
+//! [`crate::bulk`], which guarantees a lexed borrowed view and the owned
+//! term it becomes always agree.
 
+use rdfa_model::ntriples::TermRef;
 use rdfa_model::Term;
+use std::borrow::Cow;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+// ---- content hashing shared by the interner and bulk ingest --------------
+//
+// The hash is a pure function of term *content*, so the borrowed and owned
+// views of one term always agree; nothing else is required of it — a
+// collision merely lengthens a probe list, it can never change results.
+// Strings are mixed a 64-bit word at a time (byte-serial hashes such as FNV
+// cost ~3 cycles/byte on the multiply dependency chain and dominate the
+// parse phase); each field's length is mixed in, which keeps field
+// boundaries unambiguous without separator bytes.
+
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const HASH_MULT: u64 = 0x517c_c1b7_2722_0a95;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(HASH_MULT)
+}
+
+#[inline]
+fn hash_str(mut h: u64, s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(tail));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// Hash of a borrowed term view. Kind tags keep `<x>`, `_:x` and `"x"`
+/// apart; the hash depends only on term content, never on whether a field
+/// happens to be borrowed or owned.
+pub(crate) fn hash64(t: &TermRef<'_>) -> u64 {
+    match t {
+        TermRef::Iri(s) => hash_str(mix(HASH_SEED, 1), s),
+        TermRef::Blank(s) => hash_str(mix(HASH_SEED, 2), s),
+        TermRef::Literal { lexical, datatype, lang } => {
+            let mut h = hash_str(mix(HASH_SEED, 3), lexical);
+            h = hash_str(h, datatype);
+            match lang {
+                Some(l) => hash_str(mix(h, 1), l),
+                None => mix(h, 0),
+            }
+        }
+    }
+}
+
+/// A borrowed view of an owned [`Term`], so owned terms flow through the
+/// same hashing as zero-copy lexed views.
+pub(crate) fn term_ref_of(term: &Term) -> TermRef<'_> {
+    match term {
+        Term::Iri(s) => TermRef::Iri(s),
+        Term::Blank(s) => TermRef::Blank(s),
+        Term::Literal(l) => TermRef::Literal {
+            lexical: Cow::Borrowed(&l.lexical),
+            datatype: &l.datatype,
+            lang: l.lang.as_deref(),
+        },
+    }
+}
+
+/// Keys are already FNV-mixed 64-bit hashes; rehashing them through SipHash
+/// would only burn cycles.
+#[derive(Default, Clone, Debug)]
+pub(crate) struct Passthrough(u64);
+
+impl std::hash::Hasher for Passthrough {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = mix(self.0, u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+pub(crate) type U64Map<V> = HashMap<u64, V, BuildHasherDefault<Passthrough>>;
+
+/// Hash-bucket occupancy: almost always one id per 64-bit hash; true
+/// collisions fall back to a probe list compared term-by-term.
+#[derive(Clone, Debug)]
+pub(crate) enum Slot {
+    One(u32),
+    Many(Vec<u32>),
+}
 
 /// A dense identifier for an interned term. Ids are assigned sequentially
 /// from 0 and never reused, so they index directly into the interner's
@@ -25,7 +135,7 @@ impl TermId {
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    ids: U64Map<Slot>,
 }
 
 impl Interner {
@@ -34,20 +144,69 @@ impl Interner {
         Interner::default()
     }
 
+    fn find(&self, h: u64, term: &Term) -> Option<TermId> {
+        match self.ids.get(&h)? {
+            Slot::One(i) => (self.terms[*i as usize] == *term).then_some(TermId(*i)),
+            Slot::Many(is) => is
+                .iter()
+                .find(|&&i| self.terms[i as usize] == *term)
+                .map(|&i| TermId(i)),
+        }
+    }
+
+    fn insert_id(&mut self, h: u64, id: u32) {
+        match self.ids.entry(h) {
+            Entry::Occupied(mut e) => match e.get_mut() {
+                Slot::One(first) => {
+                    let first = *first;
+                    *e.get_mut() = Slot::Many(vec![first, id]);
+                }
+                Slot::Many(is) => is.push(id),
+            },
+            Entry::Vacant(e) => {
+                e.insert(Slot::One(id));
+            }
+        }
+    }
+
     /// Intern a term, returning its id (existing or fresh).
     pub fn get_or_intern(&mut self, term: &Term) -> TermId {
-        if let Some(&id) = self.ids.get(term) {
+        let h = hash64(&term_ref_of(term));
+        if let Some(id) = self.find(h, term) {
             return id;
         }
         let id = TermId(self.terms.len() as u32);
         self.terms.push(term.clone());
-        self.ids.insert(term.clone(), id);
+        self.insert_id(h, id.0);
+        id
+    }
+
+    /// Intern an owned term, returning its id. Equivalent to
+    /// [`get_or_intern`](Interner::get_or_intern) but allocates nothing when
+    /// the term is new — the bulk-ingest merge phase calls this for every
+    /// first occurrence.
+    pub fn get_or_intern_owned(&mut self, term: Term) -> TermId {
+        let h = hash64(&term_ref_of(&term));
+        self.get_or_intern_owned_hashed(h, term)
+    }
+
+    /// [`get_or_intern_owned`](Interner::get_or_intern_owned) with the
+    /// content hash already in hand — bulk ingest hashed every term when it
+    /// entered a worker dictionary and carries the hash through the merge.
+    pub(crate) fn get_or_intern_owned_hashed(&mut self, h: u64, term: Term) -> TermId {
+        debug_assert_eq!(h, hash64(&term_ref_of(&term)), "stale content hash");
+        if let Some(id) = self.find(h, &term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term);
+        self.insert_id(h, id.0);
         id
     }
 
     /// Look up the id of a term without interning it.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.ids.get(term).copied()
+        self.find(hash64(&term_ref_of(term)), term)
     }
 
     /// Resolve an id back to its term.

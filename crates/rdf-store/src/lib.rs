@@ -27,6 +27,7 @@
 //! assert_eq!(store.instances(product).len(), 1); // via subClassOf inference
 //! ```
 
+pub mod bulk;
 pub mod extset;
 pub mod index;
 pub mod inference;
@@ -36,6 +37,7 @@ pub mod persist;
 pub mod stats;
 pub mod store;
 
+pub use bulk::{LoadError, LoadOptions, LoadStats};
 pub use extset::ExtSet;
 pub use index::{IdTriple, TripleIndex};
 pub use interner::{Interner, TermId};

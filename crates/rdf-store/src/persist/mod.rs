@@ -38,6 +38,7 @@ mod wal;
 pub use crash::{CrashInjector, CRASH_POINTS};
 pub use wal::WalTruncation;
 
+use crate::bulk::{BlockReader, BulkLoader, LoadOptions, LoadStats};
 use crate::store::Store;
 use rdfa_model::{ntriples, turtle, Graph, NtriplesError, Triple};
 use std::fmt;
@@ -334,7 +335,7 @@ impl PersistentStore {
             }
             inner.wal.append_load(&ntriples::serialize(graph))?;
         }
-        self.store.load_graph(graph);
+        self.store.bulk_load_graph(graph, LoadOptions::default());
         Ok(graph.len())
     }
 
@@ -346,8 +347,58 @@ impl PersistentStore {
 
     /// Parse and load an N-Triples document.
     pub fn load_ntriples(&mut self, text: &str) -> Result<usize, PersistError> {
-        let graph = ntriples::parse(text).map_err(PersistError::Ntriples)?;
-        self.load_graph(&graph)
+        Ok(self.bulk_load_ntriples(text, LoadOptions::default())?.triples)
+    }
+
+    /// Bulk-load an N-Triples document through the parallel ingest pipeline
+    /// as one atomic WAL record. The payload is fully parsed *before* it is
+    /// logged, so the WAL never records an unparsable document.
+    pub fn bulk_load_ntriples(
+        &mut self,
+        text: &str,
+        opts: LoadOptions,
+    ) -> Result<LoadStats, PersistError> {
+        let mut loader = BulkLoader::new(&mut self.store, opts);
+        let batch = loader.parse(text).map_err(PersistError::Ntriples)?;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.dead {
+                return Err(PersistError::Dead);
+            }
+            inner.wal.append_load(text)?;
+        }
+        loader.apply(batch);
+        Ok(loader.finish(true))
+    }
+
+    /// Stream-load an N-Triples file in newline-aligned blocks, logging one
+    /// WAL record per block. Each block is parsed before it is logged, and
+    /// blocks hold whole lines, so a crash mid-file recovers to a store
+    /// holding a valid prefix of the file.
+    pub fn load_ntriples_path(
+        &mut self,
+        path: impl AsRef<Path>,
+        opts: LoadOptions,
+    ) -> Result<LoadStats, PersistError> {
+        let file = fs::File::open(path)
+            .map_err(|e| PersistError::Io { context: "open ntriples file", source: e })?;
+        let mut blocks = BlockReader::new(file);
+        let mut loader = BulkLoader::new(&mut self.store, opts);
+        while let Some(block) = blocks
+            .next_block()
+            .map_err(|e| PersistError::Io { context: "read ntriples file", source: e })?
+        {
+            let batch = loader.parse(&block).map_err(PersistError::Ntriples)?;
+            {
+                let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                if inner.dead {
+                    return Err(PersistError::Dead);
+                }
+                inner.wal.append_load(&block)?;
+            }
+            loader.apply(batch);
+        }
+        Ok(loader.finish(true))
     }
 
     /// Recompute the inferred layer (not logged — it is derived state).

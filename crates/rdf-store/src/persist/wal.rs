@@ -267,10 +267,11 @@ fn apply_record(store: &mut Store, payload: &[u8]) -> Result<(), PersistError> {
         OP_INSERT => apply_line(store, &as_text(data)?, true),
         OP_REMOVE => apply_line(store, &as_text(data)?, false),
         OP_LOAD => {
-            let graph = ntriples::parse(&as_text(data)?).map_err(PersistError::Ntriples)?;
-            for t in graph.iter() {
-                store.insert(t);
-            }
+            // bulk replay: parses in parallel and rebuilds indexes in one
+            // sorted pass, with generation accounting identical to the
+            // per-triple inserts it replaces; inference stays unmaterialized
+            // until the end of recovery, as before
+            store.bulk_replay_ntriples(&as_text(data)?).map_err(PersistError::Ntriples)?;
             Ok(())
         }
         OP_BATCH => {

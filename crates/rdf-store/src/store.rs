@@ -67,16 +67,16 @@ pub struct WellKnown {
 /// In-memory RDF store: explicit triples plus a materialized RDFS closure.
 #[derive(Debug, Clone)]
 pub struct Store {
-    interner: Interner,
-    explicit: TripleIndex,
+    pub(crate) interner: Interner,
+    pub(crate) explicit: TripleIndex,
     /// Inferred triples **not** present in the explicit layer.
     inferred: TripleIndex,
     /// True when the inferred layer is stale w.r.t. the explicit layer.
-    dirty: bool,
+    pub(crate) dirty: bool,
     /// Monotonic change counter: bumped on every effective insert/remove and
     /// on rematerialization. Cache keys derived from query results over this
     /// store include the generation, so stale entries die automatically.
-    generation: u64,
+    pub(crate) generation: u64,
     wk: WellKnown,
 }
 

@@ -23,7 +23,7 @@
 //! products KG is served.
 
 use rdf_analytics::server::{Server, ServerConfig};
-use rdf_analytics::store::{PersistConfig, PersistentStore, Store};
+use rdf_analytics::store::{LoadOptions, PersistConfig, PersistentStore, Store};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -137,9 +137,8 @@ fn main() {
                 loaded = true;
             }
             if !loaded {
-                store.load_graph(
-                    &rdf_analytics::datagen::ProductsGenerator::new(300, 7).generate(),
-                );
+                rdf_analytics::datagen::ProductsGenerator::new(300, 7)
+                    .generate_into(&mut store, LoadOptions::default());
                 eprintln!(
                     "no input file given — serving the demo products KG ({} triples)",
                     store.len()
@@ -167,19 +166,25 @@ fn main() {
 }
 
 fn load_into_plain(store: &mut Store, path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    // streamed, parallel bulk ingest — N-Triples files are never read into
+    // memory whole
     if path.ends_with(".nt") {
-        store.load_ntriples(&text).map_err(|e| e.to_string())
+        store.load_ntriples_path(path, LoadOptions::default())
     } else {
-        store.load_turtle(&text).map_err(|e| e.to_string())
+        store.load_turtle_path(path, LoadOptions::default())
     }
+    .map(|stats| stats.triples)
+    .map_err(|e| e.to_string())
 }
 
 fn load_into_durable(store: &mut PersistentStore, path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     if path.ends_with(".nt") {
-        store.load_ntriples(&text).map_err(|e| e.to_string())
+        store
+            .load_ntriples_path(path, LoadOptions::default())
+            .map(|stats| stats.triples)
+            .map_err(|e| e.to_string())
     } else {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         store.load_turtle(&text).map_err(|e| e.to_string())
     }
 }

@@ -24,7 +24,9 @@ use rdf_analytics::facets::{markers, PathStep};
 use rdf_analytics::hifun::{AggOp, CondOp, DerivedFn};
 use rdf_analytics::model::{Term, Value};
 use rdf_analytics::sparql::Engine;
-use rdf_analytics::store::{PersistConfig, PersistentStore, Store, StoreStats, TermId};
+use rdf_analytics::store::{
+    LoadOptions, PersistConfig, PersistentStore, Store, StoreStats, TermId,
+};
 use rdf_analytics::viz::{BarChart, BarDatum};
 use std::io::{BufRead, Write};
 
@@ -46,10 +48,20 @@ impl Backing {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut open_dir: Option<String> = None;
+    let mut load_opts = LoadOptions::default();
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--open" {
+        if args[i] == "--threads" {
+            i += 1;
+            match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => load_opts.threads = n,
+                None => {
+                    eprintln!("--threads needs a numeric argument (0 = auto)");
+                    std::process::exit(2);
+                }
+            }
+        } else if args[i] == "--open" {
             i += 1;
             match args.get(i) {
                 Some(dir) => open_dir = Some(dir.clone()),
@@ -78,7 +90,7 @@ fn main() {
             );
             // seed only an empty store; a populated one keeps its state
             if pstore.is_empty() {
-                if let Err(e) = seed_durable(&mut pstore, positional.first()) {
+                if let Err(e) = seed_durable(&mut pstore, positional.first(), load_opts) {
                     eprintln!("cannot load: {e}");
                     std::process::exit(2);
                 }
@@ -90,21 +102,30 @@ fn main() {
         None => {
             let mut store = Store::new();
             match positional.first().map(String::as_str) {
-                Some("invoices") => store.load_graph(
-                    &rdf_analytics::datagen::InvoicesGenerator::new(300, 7).generate(),
-                ),
-                Some(path) if std::path::Path::new(path).exists() => {
-                    let text = std::fs::read_to_string(path).expect("readable file");
-                    let n = if path.ends_with(".nt") {
-                        store.load_ntriples(&text).expect("valid N-Triples")
-                    } else {
-                        store.load_turtle(&text).expect("valid Turtle")
-                    };
-                    eprintln!("loaded {n} triples from {path}");
+                Some("invoices") => {
+                    rdf_analytics::datagen::InvoicesGenerator::new(300, 7)
+                        .generate_into(&mut store, load_opts);
                 }
-                _ => store.load_graph(
-                    &rdf_analytics::datagen::ProductsGenerator::new(200, 7).generate(),
-                ),
+                Some(path) if std::path::Path::new(path).exists() => {
+                    // streamed + parallel bulk ingest; malformed input is a
+                    // diagnosed exit, not a panic
+                    let loaded = if path.ends_with(".nt") {
+                        store.load_ntriples_path(path, load_opts)
+                    } else {
+                        store.load_turtle_path(path, load_opts)
+                    };
+                    match loaded {
+                        Ok(stats) => eprintln!("loaded {} triples from {path}", stats.triples),
+                        Err(e) => {
+                            eprintln!("cannot load {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                _ => {
+                    rdf_analytics::datagen::ProductsGenerator::new(200, 7)
+                        .generate_into(&mut store, load_opts);
+                }
             }
             Backing::Plain(store)
         }
@@ -140,17 +161,25 @@ fn main() {
 
 /// Seed an empty durable store from a file (or the demo KG), logging the
 /// load through the WAL so it survives a crash before the first checkpoint.
-fn seed_durable(pstore: &mut PersistentStore, path: Option<&String>) -> Result<(), String> {
+fn seed_durable(
+    pstore: &mut PersistentStore,
+    path: Option<&String>,
+    opts: LoadOptions,
+) -> Result<(), String> {
     match path.map(String::as_str) {
         Some("invoices") => {
             let g = rdf_analytics::datagen::InvoicesGenerator::new(300, 7).generate();
             pstore.load_graph(&g).map_err(|e| e.to_string())?;
         }
         Some(path) if std::path::Path::new(path).exists() => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let n = if path.ends_with(".nt") {
-                pstore.load_ntriples(&text).map_err(|e| e.to_string())?
+                pstore
+                    .load_ntriples_path(path, opts)
+                    .map_err(|e| format!("{path}: {e}"))?
+                    .triples
             } else {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 pstore.load_turtle(&text).map_err(|e| e.to_string())?
             };
             eprintln!("loaded {n} triples from {path}");
