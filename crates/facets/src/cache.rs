@@ -67,6 +67,9 @@ pub struct FacetCacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Lookups answered from a superseded generation (graceful degradation
+    /// under deadline pressure; see the `*_stale` methods).
+    pub stale_hits: u64,
     pub entries: usize,
     pub capacity: usize,
 }
@@ -79,6 +82,7 @@ pub struct FacetCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_hits: AtomicU64,
 }
 
 /// Default number of cached marker sets (two entries per distinct state).
@@ -101,6 +105,7 @@ impl FacetCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +142,47 @@ impl FacetCache {
         let computed = Arc::new(property_facets_opts(store, ext, opts)?);
         self.store_entry(key, CachedValue::Facets(Arc::clone(&computed)));
         Ok(computed)
+    }
+
+    /// Best stale class markers for `ext`: the newest cached entry for this
+    /// extension at **any** generation. Returns the value and the
+    /// generation it was computed at. Used for graceful degradation — when
+    /// a fresh computation would blow its deadline, a recent answer with an
+    /// honest staleness label beats a 504.
+    pub fn class_markers_stale(&self, ext: &ExtSet) -> Option<(Arc<Vec<ClassMarker>>, u64)> {
+        match self.lookup_stale(Kind::Classes, ext) {
+            Some((CachedValue::Classes(v), generation)) => Some((v, generation)),
+            _ => None,
+        }
+    }
+
+    /// Best stale property facets for `ext`; see
+    /// [`FacetCache::class_markers_stale`].
+    pub fn property_facets_stale(&self, ext: &ExtSet) -> Option<(Arc<Vec<PropertyFacet>>, u64)> {
+        match self.lookup_stale(Kind::Facets, ext) {
+            Some((CachedValue::Facets(v), generation)) => Some((v, generation)),
+            _ => None,
+        }
+    }
+
+    fn lookup_stale(&self, kind: Kind, ext: &ExtSet) -> Option<(CachedValue, u64)> {
+        let (ext_len, fingerprint) = (ext.len(), ext.fingerprint());
+        let mut inner = self.inner.lock().expect("facet cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // linear scan over ≤ capacity entries, off the fresh-hit fast path
+        let best = inner
+            .map
+            .keys()
+            .filter(|k| k.kind == kind && k.ext_len == ext_len && k.fingerprint == fingerprint)
+            .max_by_key(|k| k.generation)
+            .copied()?;
+        let entry = inner.map.get_mut(&best).expect("key just found");
+        entry.tick = tick;
+        let value = entry.value.clone();
+        drop(inner);
+        self.stale_hits.fetch_add(1, Ordering::Relaxed);
+        Some((value, best.generation))
     }
 
     fn lookup(&self, key: Key) -> Option<CachedValue> {
@@ -189,6 +235,7 @@ impl FacetCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
             entries,
             capacity: self.capacity,
         }
@@ -325,6 +372,33 @@ mod tests {
         });
         let st = cache.stats();
         assert_eq!((st.hits, st.misses), (4, 1), "{st:?}");
+    }
+
+    #[test]
+    fn stale_lookup_serves_newest_superseded_generation() {
+        let mut s = store();
+        let cache = FacetCache::new(8);
+        let opts = FacetOptions::default();
+        let e = ext(&s);
+        let old = cache.class_markers(&s, &e, opts).unwrap();
+        let old_gen = s.generation();
+        // mutate: the cached entry is now stale for fresh lookups...
+        s.load_turtle(&format!("@prefix ex: <{EX}> . ex:x1 a ex:Desktop ."))
+            .unwrap();
+        assert!(s.generation() > old_gen);
+        // ...but the stale path still finds it, labeled with its generation
+        let (v, g) = cache.class_markers_stale(&e).expect("stale entry available");
+        assert!(Arc::ptr_eq(&old, &v));
+        assert_eq!(g, old_gen);
+        assert_eq!(cache.stats().stale_hits, 1);
+        // newest generation wins once a fresher entry exists
+        let newer = cache.class_markers(&s, &e, opts).unwrap();
+        let (v2, g2) = cache.class_markers_stale(&e).unwrap();
+        assert!(Arc::ptr_eq(&newer, &v2));
+        assert_eq!(g2, s.generation());
+        // unknown extension: no stale answer
+        let other: ExtSet = [TermId(9999)].into_iter().collect();
+        assert!(cache.class_markers_stale(&other).is_none());
     }
 
     #[test]

@@ -41,16 +41,30 @@ use std::path::Path;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LoadOptions {
     /// Worker threads for parsing, interning and index builds. `0` (the
-    /// default) uses the machine's available parallelism, scaled down for
-    /// small inputs. A positive value is used as-is — the store contents
-    /// never depend on it, only the wall-clock does.
+    /// default) uses the machine's available parallelism. Both `0` and
+    /// explicit values are scaled down when the input is too small for the
+    /// requested fan-out to pay for itself (see [`LoadOptions::exact`] to
+    /// override) — the store contents never depend on the thread count,
+    /// only the wall-clock does.
     pub threads: usize,
+    /// Honour `threads` exactly, bypassing the small-input and
+    /// available-parallelism caps. For tests that must force many chunks
+    /// onto tiny documents; production callers should leave this off —
+    /// BENCH_5 measured 8 requested threads *slower* than 1 at 509k
+    /// triples once the box had fewer cores than the request.
+    pub exact: bool,
 }
 
 impl LoadOptions {
-    /// Options pinning an exact worker-thread count.
+    /// Options requesting a worker-thread count, still subject to the
+    /// small-input and available-parallelism caps.
     pub fn with_threads(threads: usize) -> Self {
-        LoadOptions { threads }
+        LoadOptions { threads, exact: false }
+    }
+
+    /// Options pinning an exact worker-thread count, caps bypassed.
+    pub fn exact(threads: usize) -> Self {
+        LoadOptions { threads, exact: true }
     }
 }
 
@@ -64,8 +78,11 @@ pub struct LoadStats {
     pub added: usize,
     /// Terms newly interned.
     pub terms_added: usize,
-    /// Worker threads used for the parse phase.
+    /// Worker threads actually used (after the small-input and
+    /// available-parallelism caps).
     pub threads: usize,
+    /// Worker threads requested via [`LoadOptions::threads`] (`0` = auto).
+    pub requested: usize,
 }
 
 /// Why a streaming load failed.
@@ -203,17 +220,22 @@ pub(crate) struct Batch<'a> {
 const MIN_BYTES_PER_CHUNK: usize = 64 * 1024;
 const MIN_TRIPLES_PER_CHUNK: usize = 4096;
 
-/// Resolve a requested thread count: `0` means auto (available parallelism,
-/// scaled down so tiny inputs stay sequential); explicit values are
-/// honoured as-is so tests can force many chunks onto small documents.
-fn effective_threads(requested: usize, work_units: usize, min_per_chunk: usize) -> usize {
-    match requested {
-        0 => {
-            let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            avail.min((work_units / min_per_chunk).max(1))
-        }
-        t => t,
+/// Resolve a requested thread count: `0` means auto (available
+/// parallelism); explicit values are honoured up to the same two caps —
+/// available parallelism (BENCH_5: 8 threads on a smaller box ran *slower*
+/// than 1 at 509k triples, pure oversubscription overhead) and one thread
+/// per `min_per_chunk` of work (chunks below that floor cost more in
+/// spawn/merge than their parse saves). [`LoadOptions::exact`] bypasses
+/// both, so differential tests can still force many chunks onto tiny
+/// documents.
+fn effective_threads(opts: LoadOptions, work_units: usize, min_per_chunk: usize) -> usize {
+    if opts.exact && opts.threads > 0 {
+        return opts.threads;
     }
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let work_cap = (work_units / min_per_chunk).max(1);
+    let requested = if opts.threads == 0 { avail } else { opts.threads };
+    requested.min(avail).min(work_cap)
 }
 
 /// Map `f` over `items` on scoped worker threads (sequentially when
@@ -238,13 +260,13 @@ where
     })
 }
 
-/// Parse an N-Triples document into a [`Batch`] with `requested` worker
+/// Parse an N-Triples document into a [`Batch`] with the requested worker
 /// threads. Errors carry the 1-based line number *within this text*; the
 /// first malformed line in document order wins, matching the sequential
 /// parser.
-pub(crate) fn parse_batch(text: &str, requested: usize) -> Result<Batch<'_>, NtriplesError> {
+pub(crate) fn parse_batch(text: &str, opts: LoadOptions) -> Result<Batch<'_>, NtriplesError> {
     let text = ntriples::strip_bom(text);
-    let threads = effective_threads(requested, text.len(), MIN_BYTES_PER_CHUNK);
+    let threads = effective_threads(opts, text.len(), MIN_BYTES_PER_CHUNK);
     let chunks = ntriples::split_chunks(text, threads);
     let results = scoped_map(chunks, threads, |_, chunk| parse_chunk(chunk));
     let mut parts = Vec::with_capacity(results.len());
@@ -324,9 +346,9 @@ const PRED_MEMO: usize = 16;
 /// Locally intern an already-parsed graph (the Turtle and datagen path):
 /// the parse happened sequentially, but interning, deduplication and the
 /// index build still fan out.
-pub(crate) fn graph_batch(graph: &Graph, requested: usize) -> Batch<'_> {
+pub(crate) fn graph_batch(graph: &Graph, opts: LoadOptions) -> Batch<'_> {
     let triples: Vec<&Triple> = graph.iter().collect();
-    let threads = effective_threads(requested, triples.len(), MIN_TRIPLES_PER_CHUNK);
+    let threads = effective_threads(opts, triples.len(), MIN_TRIPLES_PER_CHUNK);
     let chunk_size = triples.len().div_ceil(threads.max(1)).max(1);
     let chunks: Vec<&[&Triple]> = triples.chunks(chunk_size).collect();
     let parts = scoped_map(chunks, threads, |_, chunk| {
@@ -582,7 +604,7 @@ fn extend_index(explicit: &mut TripleIndex, new_run: Vec<IdTriple>, threads: usi
 /// block reads between batches.
 pub(crate) struct BulkLoader<'s> {
     store: &'s mut Store,
-    requested: usize,
+    opts: LoadOptions,
     threads_used: usize,
     runs: Vec<Vec<IdTriple>>,
     line_base: usize,
@@ -595,7 +617,7 @@ impl<'s> BulkLoader<'s> {
         let terms_before = store.term_count();
         BulkLoader {
             store,
-            requested: opts.threads,
+            opts,
             threads_used: 1,
             runs: Vec::new(),
             line_base: 0,
@@ -607,7 +629,7 @@ impl<'s> BulkLoader<'s> {
     /// Parse a text block. Error line numbers are absolute across all
     /// blocks ingested through this loader so far.
     pub(crate) fn parse<'t>(&self, text: &'t str) -> Result<Batch<'t>, NtriplesError> {
-        parse_batch(text, self.requested).map_err(|mut e| {
+        parse_batch(text, self.opts).map_err(|mut e| {
             e.line += self.line_base;
             e
         })
@@ -625,7 +647,7 @@ impl<'s> BulkLoader<'s> {
         self.line_base += lines;
         self.triples_seen += triples;
         let local_terms: usize = parts.iter().map(|p| p.dict.len()).sum();
-        let threads = effective_threads(self.requested, local_terms, MIN_TRIPLES_PER_CHUNK);
+        let threads = effective_threads(self.opts, local_terms, MIN_TRIPLES_PER_CHUNK);
         self.threads_used = self.threads_used.max(threads).max(parts.len());
 
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -659,7 +681,7 @@ impl<'s> BulkLoader<'s> {
     /// replay defers it to the end of recovery).
     pub(crate) fn finish(self, materialize: bool) -> LoadStats {
         let threads = effective_threads(
-            self.requested,
+            self.opts,
             self.runs.iter().map(Vec::len).sum(),
             MIN_TRIPLES_PER_CHUNK,
         );
@@ -677,6 +699,7 @@ impl<'s> BulkLoader<'s> {
             added,
             terms_added: self.store.term_count() - self.terms_before,
             threads: self.threads_used,
+            requested: self.opts.threads,
         }
     }
 }
@@ -774,7 +797,7 @@ impl Store {
     /// result to [`Store::load_graph`].
     pub fn bulk_load_graph(&mut self, graph: &Graph, opts: LoadOptions) -> LoadStats {
         let mut loader = BulkLoader::new(self, opts);
-        let batch = graph_batch(graph, opts.threads);
+        let batch = graph_batch(graph, opts);
         loader.apply(batch);
         loader.finish(true)
     }
@@ -840,6 +863,42 @@ mod tests {
     }
 
     #[test]
+    fn effective_threads_caps_small_inputs_and_oversubscription() {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // tiny input: even an explicit request collapses to 1
+        assert_eq!(effective_threads(LoadOptions::with_threads(8), 100, 64 * 1024), 1);
+        // explicit requests never exceed available parallelism
+        assert!(effective_threads(LoadOptions::with_threads(64), usize::MAX, 1) <= avail);
+        // auto follows the same caps
+        assert_eq!(effective_threads(LoadOptions::default(), 100, 64 * 1024), 1);
+        assert!(effective_threads(LoadOptions::default(), usize::MAX, 1) <= avail);
+        // big-enough input: request honoured up to availability
+        assert_eq!(
+            effective_threads(LoadOptions::with_threads(2), 10 * 64 * 1024, 64 * 1024),
+            2.min(avail)
+        );
+        // the exact knob bypasses both caps
+        assert_eq!(effective_threads(LoadOptions::exact(8), 100, 64 * 1024), 8);
+    }
+
+    #[test]
+    fn load_stats_record_requested_and_used_parallelism() {
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("<http://s{i}> <http://p> \"{i}\" .\n"));
+        }
+        let mut s = Store::new();
+        let stats = s.bulk_load_ntriples(&text, LoadOptions::with_threads(8)).unwrap();
+        assert_eq!(stats.requested, 8);
+        assert_eq!(stats.threads, 1, "tiny input must not fan out");
+        let mut s2 = Store::new();
+        let stats2 = s2.bulk_load_ntriples(&text, LoadOptions::exact(4)).unwrap();
+        assert_eq!(stats2.requested, 4);
+        assert_eq!(stats2.threads, 4, "exact bypasses the caps");
+        assert_eq!(s.len(), s2.len());
+    }
+
+    #[test]
     fn merge_dedup_unions_sorted_runs() {
         let a = vec![t(1, 1, 1), t(2, 2, 2), t(5, 5, 5)];
         let b = vec![t(2, 2, 2), t(3, 3, 3)];
@@ -900,8 +959,8 @@ mod tests {
             text.push_str(&format!("<http://s{s}> <http://p{p}> <http://s{}> .\n", (i + 7) % 23));
         }
         for threads in [2usize, 4, 8] {
-            let batch_a = parse_batch(&text, threads).unwrap();
-            let batch_b = parse_batch(&text, threads).unwrap();
+            let batch_a = parse_batch(&text, LoadOptions::exact(threads)).unwrap();
+            let batch_b = parse_batch(&text, LoadOptions::exact(threads)).unwrap();
             assert!(batch_a.parts.len() > 1, "chunking must engage");
             // pre-seed both interners identically: the non-empty-store case
             let mut int_a = Interner::new();

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod bulk;
+pub mod concurrent;
 pub mod extset;
 pub mod index;
 pub mod inference;
@@ -38,13 +39,14 @@ pub mod stats;
 pub mod store;
 
 pub use bulk::{LoadError, LoadOptions, LoadStats};
+pub use concurrent::{Snapshot, SnapshotStore, WriteTxn};
 pub use extset::ExtSet;
 pub use index::{IdTriple, TripleIndex};
 pub use interner::{Interner, TermId};
 pub use keyword::KeywordIndex;
 pub use persist::{
-    CrashInjector, FsyncPolicy, Mutation, PersistConfig, PersistError, PersistentStore,
-    RecoveryReport, WalTruncation, CRASH_POINTS,
+    CrashInjector, FsyncPolicy, Journal, Mutation, PersistConfig, PersistError,
+    PersistentStore, RecoveryReport, WalTruncation, CRASH_POINTS,
 };
 pub use stats::StoreStats;
 pub use store::{CountKey, Pattern, Store};

@@ -188,14 +188,197 @@ struct Inner {
     dead: bool,
 }
 
+/// The durability half of a [`PersistentStore`], separable from the store
+/// itself: the WAL handle, checkpoint machinery and generation counter
+/// behind one mutex, with `&self` methods throughout.
+///
+/// [`PersistentStore::into_parts`] splits a recovered store into its
+/// [`Store`] and its `Journal` so a concurrent server can put the store
+/// behind an MVCC [`crate::SnapshotStore`] (readers never touch the
+/// journal) while updates log through the journal and checkpoints run from
+/// an immutable snapshot, entirely off the write path.
+///
+/// Ordering contract for concurrent use: a WAL append and the in-memory
+/// publication of the same batch must happen under **one** journal lock
+/// hold ([`Journal::log_mutations_then`]), and a checkpoint captures its
+/// store view under that same lock ([`Journal::checkpoint_with`]). Then
+/// every checkpointed snapshot contains exactly the batches whose WAL
+/// records it supersedes — a batch is never both compacted away and lost.
+pub struct Journal {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current checkpoint generation (bumped by every checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Records in the current WAL — the replay work a crash would cost now.
+    pub fn wal_records(&self) -> u64 {
+        self.lock().wal.records
+    }
+
+    /// True once a durability failure (or injected crash) poisoned the
+    /// handle; all further mutations fail until the directory is reopened.
+    pub fn is_dead(&self) -> bool {
+        let inner = self.lock();
+        inner.dead || inner.wal.is_dead()
+    }
+
+    /// Flush the WAL to disk regardless of fsync policy.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        self.lock().wal.sync()
+    }
+
+    /// Append already-applied mutations as one atomic WAL batch record.
+    pub fn log_mutations(&self, mutations: &[Mutation]) -> Result<(), PersistError> {
+        self.log_mutations_then(mutations, || ())
+    }
+
+    /// Append a mutation batch, then run `publish` **before releasing the
+    /// journal lock**. The concurrent server passes the snapshot-publish
+    /// swap as `publish`, making "logged" and "visible" atomic with respect
+    /// to [`Journal::checkpoint_with`]. On append failure `publish` never
+    /// runs — the batch must not become visible, or a crash would forget an
+    /// acknowledged update.
+    pub fn log_mutations_then<R>(
+        &self,
+        mutations: &[Mutation],
+        publish: impl FnOnce() -> R,
+    ) -> Result<R, PersistError> {
+        let mut inner = self.lock();
+        if inner.dead {
+            return Err(PersistError::Dead);
+        }
+        if !mutations.is_empty() {
+            inner.wal.append_batch(mutations)?;
+        }
+        Ok(publish())
+    }
+
+    /// Append a bulk-load payload, then run `publish` under the same lock
+    /// hold (see [`Journal::log_mutations_then`]).
+    pub fn log_load_then<R>(
+        &self,
+        text: &str,
+        publish: impl FnOnce() -> R,
+    ) -> Result<R, PersistError> {
+        let mut inner = self.lock();
+        if inner.dead {
+            return Err(PersistError::Dead);
+        }
+        inner.wal.append_load(text)?;
+        Ok(publish())
+    }
+
+    /// Checkpoint from a store view captured *under the journal lock*:
+    /// `snap` runs after the lock is taken, so the snapshot it returns
+    /// contains every batch whose WAL record the checkpoint supersedes.
+    /// Readers proceed throughout; updates queue on the journal only.
+    pub fn checkpoint_with<S: std::ops::Deref<Target = Store>>(
+        &self,
+        snap: impl FnOnce() -> S,
+    ) -> Result<u64, PersistError> {
+        let mut inner = self.lock();
+        if inner.dead || inner.wal.is_dead() {
+            return Err(PersistError::Dead);
+        }
+        let view = snap();
+        let result = self.checkpoint_locked(&mut inner, &view);
+        if result.is_err() {
+            inner.dead = true;
+        }
+        result
+    }
+
+    /// Checkpoint from a directly-borrowed store (the single-writer path).
+    pub fn checkpoint_from(&self, store: &Store) -> Result<u64, PersistError> {
+        self.checkpoint_with(|| store)
+    }
+
+    fn checkpoint_locked(&self, inner: &mut Inner, store: &Store) -> Result<u64, PersistError> {
+        let crash = Arc::clone(&inner.config.crash);
+        let io = |context: &'static str| {
+            move |e: std::io::Error| PersistError::Io { context, source: e }
+        };
+        crash.check("checkpoint.begin")?;
+        let next = inner.generation + 1;
+
+        // 1. snapshot to a temp file, fsync, atomic rename into place
+        let tmp = self.dir.join(format!("snapshot.{next}.tmp"));
+        let snap = self.dir.join(format!("snapshot.{next}.bin"));
+        {
+            let mut file = File::create(&tmp).map_err(io("snapshot create"))?;
+            snapshot::write_snapshot(store, &mut file, &crash)?;
+            file.sync_all().map_err(io("snapshot fsync"))?;
+        }
+        crash.check("snapshot.fsync")?;
+        fs::rename(&tmp, &snap).map_err(io("snapshot rename"))?;
+        sync_dir(&self.dir)?;
+        crash.check("snapshot.rename")?;
+
+        // 2. the next WAL starts empty
+        let wal_path = self.dir.join(format!("wal.{next}.log"));
+        File::create(&wal_path)
+            .and_then(|f| f.sync_all())
+            .map_err(io("wal create"))?;
+        sync_dir(&self.dir)?;
+        crash.check("checkpoint.wal-created")?;
+
+        // 3. flip CURRENT — the commit point of the checkpoint
+        let cur_tmp = self.dir.join("CURRENT.tmp");
+        let cur = self.dir.join("CURRENT");
+        {
+            let mut file = File::create(&cur_tmp).map_err(io("CURRENT create"))?;
+            file.write_all(format!("{next}\n").as_bytes()).map_err(io("CURRENT write"))?;
+            file.sync_all().map_err(io("CURRENT fsync"))?;
+        }
+        fs::rename(&cur_tmp, &cur).map_err(io("CURRENT rename"))?;
+        sync_dir(&self.dir)?;
+        crash.check("checkpoint.current")?;
+
+        // 4. swap in-memory state to the new generation
+        inner.wal =
+            Wal::open_append(&wal_path, inner.config.fsync, Arc::clone(&crash), 0)?;
+        inner.generation = next;
+
+        // 5. best-effort cleanup of superseded generations and stray temps
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale = name.ends_with(".tmp")
+                    || parse_generation(&name, "snapshot.", ".bin")
+                        .is_some_and(|g| g != next)
+                    || parse_generation(&name, "wal.", ".log").is_some_and(|g| g != next);
+                if stale {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        crash.check("checkpoint.cleanup")?;
+        Ok(next)
+    }
+}
+
 /// A [`Store`] bound to a directory: every mutation is WAL-logged before it
 /// is applied, [`checkpoint`](PersistentStore::checkpoint) compacts the log
 /// into a checksummed snapshot, and reopening the directory recovers to the
 /// last consistent state. Dereferences to [`Store`] for the whole read API.
 pub struct PersistentStore {
     store: Store,
-    dir: PathBuf,
-    inner: Mutex<Inner>,
+    journal: Journal,
     recovery: RecoveryReport,
 }
 
@@ -210,7 +393,7 @@ impl std::ops::Deref for PersistentStore {
 impl fmt::Debug for PersistentStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PersistentStore")
-            .field("dir", &self.dir)
+            .field("dir", &self.journal.dir)
             .field("generation", &self.generation())
             .field("triples", &self.store.len())
             .finish()
@@ -245,10 +428,25 @@ impl PersistentStore {
         };
         Ok(PersistentStore {
             store,
-            dir,
-            inner: Mutex::new(Inner { wal, generation, config, dead: false }),
+            journal: Journal {
+                dir,
+                inner: Mutex::new(Inner { wal, generation, config, dead: false }),
+            },
             recovery,
         })
+    }
+
+    /// Split this handle into its in-memory [`Store`], its [`Journal`], and
+    /// the recovery report. The concurrent server uses this to put the
+    /// store behind a [`crate::SnapshotStore`] while sharing the journal
+    /// (`&self` API) across writer and checkpoint paths.
+    pub fn into_parts(self) -> (Store, Journal, RecoveryReport) {
+        (self.store, self.journal, self.recovery)
+    }
+
+    /// The durability half of this handle.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// What recovery found when this handle was opened.
@@ -258,7 +456,7 @@ impl PersistentStore {
 
     /// The backing directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.journal.dir()
     }
 
     /// Read access to the underlying store (also available via `Deref`).
@@ -268,23 +466,22 @@ impl PersistentStore {
 
     /// The current generation (bumped by every checkpoint).
     pub fn generation(&self) -> u64 {
-        self.lock().generation
+        self.journal.generation()
     }
 
     /// Records in the current WAL — the replay work a crash would cost now.
     pub fn wal_records(&self) -> u64 {
-        self.lock().wal.records
+        self.journal.wal_records()
     }
 
     /// True once a durability failure (or injected crash) poisoned the
     /// handle; all further mutations fail until the directory is reopened.
     pub fn is_dead(&self) -> bool {
-        let inner = self.lock();
-        inner.dead || inner.wal.is_dead()
+        self.journal.is_dead()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.journal.lock()
     }
 
     // ---- logged mutations -------------------------------------------------
@@ -361,7 +558,7 @@ impl PersistentStore {
         let mut loader = BulkLoader::new(&mut self.store, opts);
         let batch = loader.parse(text).map_err(PersistError::Ntriples)?;
         {
-            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.journal.lock();
             if inner.dead {
                 return Err(PersistError::Dead);
             }
@@ -390,7 +587,7 @@ impl PersistentStore {
         {
             let batch = loader.parse(&block).map_err(PersistError::Ntriples)?;
             {
-                let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                let mut inner = self.journal.lock();
                 if inner.dead {
                     return Err(PersistError::Dead);
                 }
@@ -417,14 +614,7 @@ impl PersistentStore {
 
     /// Append already-applied mutations as one atomic WAL batch record.
     pub fn log_mutations(&mut self, mutations: &[Mutation]) -> Result<(), PersistError> {
-        if mutations.is_empty() {
-            return Ok(());
-        }
-        let mut inner = self.lock();
-        if inner.dead {
-            return Err(PersistError::Dead);
-        }
-        inner.wal.append_batch(mutations)
+        self.journal.log_mutations(mutations)
     }
 
     // ---- checkpoint / compaction -----------------------------------------
@@ -435,79 +625,7 @@ impl PersistentStore {
     /// new generation. Takes `&self`: readers holding the store can keep
     /// going while a checkpoint runs.
     pub fn checkpoint(&self) -> Result<u64, PersistError> {
-        let mut inner = self.lock();
-        if inner.dead || inner.wal.is_dead() {
-            return Err(PersistError::Dead);
-        }
-        let result = self.checkpoint_inner(&mut inner);
-        if result.is_err() {
-            inner.dead = true;
-        }
-        result
-    }
-
-    fn checkpoint_inner(&self, inner: &mut Inner) -> Result<u64, PersistError> {
-        let crash = Arc::clone(&inner.config.crash);
-        let io = |context: &'static str| {
-            move |e: std::io::Error| PersistError::Io { context, source: e }
-        };
-        crash.check("checkpoint.begin")?;
-        let next = inner.generation + 1;
-
-        // 1. snapshot to a temp file, fsync, atomic rename into place
-        let tmp = self.dir.join(format!("snapshot.{next}.tmp"));
-        let snap = self.dir.join(format!("snapshot.{next}.bin"));
-        {
-            let mut file = File::create(&tmp).map_err(io("snapshot create"))?;
-            snapshot::write_snapshot(&self.store, &mut file, &crash)?;
-            file.sync_all().map_err(io("snapshot fsync"))?;
-        }
-        crash.check("snapshot.fsync")?;
-        fs::rename(&tmp, &snap).map_err(io("snapshot rename"))?;
-        sync_dir(&self.dir)?;
-        crash.check("snapshot.rename")?;
-
-        // 2. the next WAL starts empty
-        let wal_path = self.dir.join(format!("wal.{next}.log"));
-        File::create(&wal_path)
-            .and_then(|f| f.sync_all())
-            .map_err(io("wal create"))?;
-        sync_dir(&self.dir)?;
-        crash.check("checkpoint.wal-created")?;
-
-        // 3. flip CURRENT — the commit point of the checkpoint
-        let cur_tmp = self.dir.join("CURRENT.tmp");
-        let cur = self.dir.join("CURRENT");
-        {
-            let mut file = File::create(&cur_tmp).map_err(io("CURRENT create"))?;
-            file.write_all(format!("{next}\n").as_bytes()).map_err(io("CURRENT write"))?;
-            file.sync_all().map_err(io("CURRENT fsync"))?;
-        }
-        fs::rename(&cur_tmp, &cur).map_err(io("CURRENT rename"))?;
-        sync_dir(&self.dir)?;
-        crash.check("checkpoint.current")?;
-
-        // 4. swap in-memory state to the new generation
-        inner.wal =
-            Wal::open_append(&wal_path, inner.config.fsync, Arc::clone(&crash), 0)?;
-        inner.generation = next;
-
-        // 5. best-effort cleanup of superseded generations and stray temps
-        if let Ok(entries) = fs::read_dir(&self.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
-                let stale = name.ends_with(".tmp")
-                    || parse_generation(&name, "snapshot.", ".bin")
-                        .is_some_and(|g| g != next)
-                    || parse_generation(&name, "wal.", ".log").is_some_and(|g| g != next);
-                if stale {
-                    let _ = fs::remove_file(entry.path());
-                }
-            }
-        }
-        crash.check("checkpoint.cleanup")?;
-        Ok(next)
+        self.journal.checkpoint_from(&self.store)
     }
 
     /// Write the N-Triples fallback export (human-readable durability

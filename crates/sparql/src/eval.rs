@@ -26,6 +26,14 @@ pub enum Bound {
 /// One solution row: a slot per frame variable.
 pub type Row = Vec<Option<Bound>>;
 
+/// Estimated materialization cost of one row, charged against
+/// [`EvalLimits::max_memory_bytes`]. Slot-count based (owned `Term`s in
+/// computed bindings are not measured) — cheap, and proportional to what a
+/// cartesian blow-up actually allocates.
+pub(crate) fn row_cost(width: usize) -> u64 {
+    (std::mem::size_of::<Row>() + width * std::mem::size_of::<Option<Bound>>()) as u64
+}
+
 /// The variable frame of one (sub)query scope.
 #[derive(Debug, Clone, Default)]
 pub struct Frame {
@@ -358,7 +366,7 @@ impl<'s> Evaluator<'s> {
                                     }
                                 }
                             }
-                            self.guard.count_row()?;
+                            self.guard.count_row_bytes(row_cost(candidate.len()))?;
                             next.push(candidate);
                         }
                     }
@@ -443,7 +451,7 @@ impl<'s> Evaluator<'s> {
                     }
                 }
                 if ok {
-                    self.guard.count_row()?;
+                    self.guard.count_row_bytes(row_cost(candidate.len()))?;
                     out.push(candidate);
                 }
             }
@@ -641,7 +649,7 @@ impl<'s> Evaluator<'s> {
                     if same_var(&s_anchor, &o_anchor) && s != o {
                         continue;
                     }
-                    self.guard.count_row()?;
+                    self.guard.count_row_bytes(row_cost(new.len()))?;
                     out.push(new);
                 }
             }
@@ -653,7 +661,7 @@ impl<'s> Evaluator<'s> {
                     }
                     let mut new = row.clone();
                     if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
-                        self.guard.count_row()?;
+                        self.guard.count_row_bytes(row_cost(new.len()))?;
                         out.push(new);
                     }
                 }
@@ -667,7 +675,7 @@ impl<'s> Evaluator<'s> {
                     }
                     let mut new = row.clone();
                     if bind(&mut new, &s_anchor, s) && bind(&mut new, &o_anchor, o) {
-                        self.guard.count_row()?;
+                        self.guard.count_row_bytes(row_cost(new.len()))?;
                         out.push(new);
                     }
                 }

@@ -32,6 +32,8 @@ pub enum LimitKind {
     PathVisits,
     /// Nesting depth of group patterns and subqueries.
     RecursionDepth,
+    /// Estimated bytes of materialized intermediate state.
+    MemoryBytes,
 }
 
 impl fmt::Display for LimitKind {
@@ -41,6 +43,7 @@ impl fmt::Display for LimitKind {
             LimitKind::SolutionRows => "solution rows",
             LimitKind::PathVisits => "path visits",
             LimitKind::RecursionDepth => "recursion depth",
+            LimitKind::MemoryBytes => "memory bytes",
         })
     }
 }
@@ -56,6 +59,11 @@ pub struct EvalLimits {
     pub max_path_visits: Option<u64>,
     /// Maximum nesting depth of groups/subqueries.
     pub max_depth: Option<u32>,
+    /// Maximum estimated bytes of materialized intermediate state
+    /// (solution rows and ID-space batch columns). An estimate, not an
+    /// allocator measurement: it exists to stop one query from growing a
+    /// multi-gigabyte join under a shared server, not to meter the heap.
+    pub max_memory_bytes: Option<u64>,
 }
 
 impl EvalLimits {
@@ -73,6 +81,7 @@ impl EvalLimits {
             max_rows: Some(1_000_000),
             max_path_visits: Some(5_000_000),
             max_depth: Some(32),
+            max_memory_bytes: Some(256 * 1024 * 1024),
         }
     }
 
@@ -96,12 +105,18 @@ impl EvalLimits {
         self
     }
 
+    pub fn with_max_memory_bytes(mut self, n: u64) -> Self {
+        self.max_memory_bytes = Some(n);
+        self
+    }
+
     /// True when no limit is set on any axis.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
             && self.max_rows.is_none()
             && self.max_path_visits.is_none()
             && self.max_depth.is_none()
+            && self.max_memory_bytes.is_none()
     }
 }
 
@@ -123,6 +138,9 @@ impl fmt::Display for EvalLimits {
         if let Some(n) = self.max_depth {
             parts.push(format!("depth <= {n}"));
         }
+        if let Some(n) = self.max_memory_bytes {
+            parts.push(format!("memory <= {n} bytes"));
+        }
         f.write_str(&parts.join(", "))
     }
 }
@@ -139,6 +157,7 @@ pub struct LimitGuard {
     start: Instant,
     rows: Cell<u64>,
     path_visits: Cell<u64>,
+    mem_bytes: Cell<u64>,
     depth: Cell<u32>,
     ticks: Cell<u32>,
     tripped: Cell<Option<(LimitKind, u64)>>,
@@ -152,6 +171,7 @@ impl LimitGuard {
             start: Instant::now(),
             rows: Cell::new(0),
             path_visits: Cell::new(0),
+            mem_bytes: Cell::new(0),
             depth: Cell::new(0),
             ticks: Cell::new(0),
             tripped: Cell::new(None),
@@ -181,6 +201,34 @@ impl LimitGuard {
     /// Path expansions so far.
     pub fn path_visits(&self) -> u64 {
         self.path_visits.get()
+    }
+
+    /// Estimated bytes of materialized state charged so far.
+    pub fn memory_bytes(&self) -> u64 {
+        self.mem_bytes.get()
+    }
+
+    /// Charge `n` estimated bytes of materialized state against the memory
+    /// budget. Monotonic: evaluation charges what it materializes and never
+    /// refunds — the budget bounds the *high-water* estimate, which is what
+    /// protects a shared server.
+    pub fn charge_bytes(&self, n: u64) -> Result<(), SparqlError> {
+        let total = self.mem_bytes.get().saturating_add(n);
+        self.mem_bytes.set(total);
+        if let Some(max) = self.limits.max_memory_bytes {
+            if total > max {
+                return Err(self.trip(LimitKind::MemoryBytes, max));
+            }
+        }
+        Ok(())
+    }
+
+    /// Count one materialized row of estimated size `bytes` — the fused
+    /// check hot materialization loops call (row budget + memory budget +
+    /// amortized deadline probe in one).
+    pub fn count_row_bytes(&self, bytes: u64) -> Result<(), SparqlError> {
+        self.charge_bytes(bytes)?;
+        self.count_row()
     }
 
     fn trip(&self, kind: LimitKind, limit: u64) -> SparqlError {
@@ -378,6 +426,35 @@ mod tests {
         }
         // sibling scope at the same level is fine
         assert!(g.enter().is_ok());
+    }
+
+    #[test]
+    fn memory_limit_trips_and_sticks() {
+        let g = LimitGuard::new(EvalLimits::default().with_max_memory_bytes(1000));
+        for _ in 0..10 {
+            g.charge_bytes(100).unwrap();
+        }
+        assert_eq!(g.memory_bytes(), 1000);
+        let err = g.charge_bytes(1).unwrap_err();
+        assert_eq!(
+            err,
+            SparqlError::ResourceLimit { kind: LimitKind::MemoryBytes, limit: 1000 }
+        );
+        assert!(g.surface().is_err());
+        assert!(g.soft_tripped());
+    }
+
+    #[test]
+    fn count_row_bytes_draws_from_both_budgets() {
+        let g = LimitGuard::new(
+            EvalLimits::default().with_max_rows(100).with_max_memory_bytes(250),
+        );
+        g.count_row_bytes(100).unwrap();
+        g.count_row_bytes(100).unwrap();
+        assert!(matches!(
+            g.count_row_bytes(100),
+            Err(SparqlError::ResourceLimit { kind: LimitKind::MemoryBytes, limit: 250 })
+        ));
     }
 
     #[test]

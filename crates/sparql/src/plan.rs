@@ -29,6 +29,12 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
+/// Estimated materialization cost of one batch row (one `EId` per column),
+/// charged against [`crate::EvalLimits::max_memory_bytes`].
+fn batch_row_cost(width: usize) -> u64 {
+    (width * std::mem::size_of::<EId>() + std::mem::size_of::<u32>()) as u64
+}
+
 /// Minimum input rows before hash aggregation fans out to worker threads.
 const PARALLEL_MIN_ROWS: usize = 4096;
 /// Rows between cooperative deadline probes inside a worker.
@@ -992,7 +998,7 @@ impl Executor<'_> {
                     // the term-space evaluator's overwrite order
                     overrides.push((ps, pack_store(pv)));
                 }
-                self.guard.count_row()?;
+                self.guard.count_row_bytes(batch_row_cost(out.width()))?;
                 out.push_row_from(input, r, &overrides);
             }
         }
@@ -1082,7 +1088,7 @@ impl Executor<'_> {
                         }
                     }
                 }
-                self.guard.count_row()?;
+                self.guard.count_row_bytes(batch_row_cost(out.width()))?;
                 out.push_row_from(input, r, &overrides);
             }
         }

@@ -2,7 +2,7 @@
 //! backend of the paper's client–server architecture, Fig 6.1).
 //!
 //! ```text
-//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port] [--persist DIR] [--facet-cache N]
+//! cargo run --bin rdfa-server -- [file.ttl|file.nt] [port] [--persist DIR] [--facet-cache N] [--max-in-flight N]
 //! curl 'http://127.0.0.1:3030/sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D+LIMIT+3'
 //! curl -X POST --data 'PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p 1 . }' http://127.0.0.1:3030/update
 //! curl http://127.0.0.1:3030/void
@@ -18,6 +18,10 @@
 //! `--facet-cache N` sizes the generation-keyed marker cache behind
 //! `GET /v1/facets` (N cached marker sets; 0 disables caching; default 128).
 //! Cache counters are served at `GET /v1/facets/stats`.
+//!
+//! `--max-in-flight N` caps concurrently-served work-route requests; the
+//! excess is shed with `503` + `Retry-After` (0 = unlimited; default 64).
+//! Shed counts and the current snapshot generation are in `GET /healthz`.
 //!
 //! Without a file argument (and an empty/absent persist dir) the demo
 //! products KG is served.
@@ -75,6 +79,15 @@ fn main() {
                 Some(n) => config.facet_cache_entries = n,
                 None => {
                     eprintln!("--facet-cache needs a numeric entry count");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--max-in-flight" {
+            i += 1;
+            match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => config.max_in_flight = n,
+                None => {
+                    eprintln!("--max-in-flight needs a numeric request budget (0 = unlimited)");
                     std::process::exit(2);
                 }
             }

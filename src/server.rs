@@ -9,43 +9,80 @@
 //! | `/v1/query` | POST | the query verbatim | same |
 //! | `/v1/update` | POST | an update request | `{"inserted":n,"deleted":m}` |
 //! | `/sparql`, `/update` | GET/POST | legacy aliases of the `/v1` routes | same, plus a `Deprecation` header |
+//! | `/v1/facets?class=…&budget_ms=…` | GET | facet markers for a class extension | JSON, possibly stale (see below) |
 //! | `/void` | GET | — | the dataset's VoID description (N-Triples) |
 //! | `/health` | GET | — | `ok` |
-//! | `/healthz` | GET | — | JSON: store generation, WAL lag, triple count |
+//! | `/healthz` | GET | — | JSON: snapshot generation, in-flight count, shed counter, WAL lag, triple count |
 //!
 //! Content negotiation on `/v1/query`: `Accept: text/csv` → SPARQL CSV
 //! results, `Accept: text/plain` → an aligned text table, anything else →
 //! `application/sparql-results+json` (the default).
 //!
-//! The store lives behind an `RwLock`: queries share it, updates take the
-//! write lock. `Server::start` binds an ephemeral port and serves until the
-//! handle is dropped. [`Server::start_durable`] serves a
-//! [`PersistentStore`] instead: updates are WAL-logged before they are
-//! acknowledged, and shutdown checkpoints the store after the last
-//! in-flight request has drained.
+//! # Snapshot-isolated reads
 //!
-//! Robustness ([`ServerConfig`]): a fixed pool of worker threads drains a
-//! bounded accept queue (overflow → `503`), every connection gets read/write
+//! Every read request (`/v1/query`, `/v1/facets`, `/void`, `/healthz`)
+//! starts by taking a [`Snapshot`] — an atomic `Arc` clone of the current
+//! published store, after which **no lock is held** for the rest of the
+//! request. A reader can never block behind an update, never observe a
+//! half-applied batch, and never be poisoned by a panicking writer.
+//!
+//! Updates run inside a [`SnapshotStore`] write transaction: the handler
+//! mutates a private copy-on-write working store (writers are serialized
+//! by a mutex readers never touch) and publishes the whole batch with one
+//! pointer swap on success. A failed or panicking update publishes
+//! nothing — concurrent readers keep the previous generation throughout.
+//!
+//! On the durable path the WAL append and the publish happen under one
+//! [`Journal`] lock hold ([`Journal::log_mutations_then`]), and shutdown /
+//! [`Server::checkpoint`] capture their store view under that same lock
+//! ([`Journal::checkpoint_with`]) — so an acknowledged batch is always in
+//! the checkpoint or in the WAL, never compacted away *and* forgotten.
+//! Checkpoints read a snapshot: they no longer pause queries at all.
+//!
+//! # Admission control
+//!
+//! Overload is shed at two gates, outermost first: the bounded accept
+//! queue (overflow → immediate `503`), and a per-server in-flight budget
+//! ([`ServerConfig::max_in_flight`]) on the work routes — a request over
+//! budget is answered `503` with `Retry-After` instead of queueing behind
+//! work the server cannot finish in time. Health and stats routes bypass
+//! the budget so orchestrators can always probe a saturated server. Shed
+//! requests are counted and reported by `/healthz`.
+//!
+//! `/v1/facets` degrades before it sheds: when the marker computation
+//! would exceed its deadline (tunable per request with `?budget_ms=`), a
+//! cached marker set from a superseded store generation is served instead,
+//! flagged with `X-Facet-Stale: <generation>`. `?budget_ms=0` means
+//! "cached only": serve any cached generation immediately, never compute.
+//!
+//! Other robustness ([`ServerConfig`]): a fixed pool of worker threads
+//! drains the bounded accept queue, every connection gets read/write
 //! timeouts (stalled clients → `408` instead of a wedged worker),
 //! `Content-Length` is capped *before* the body buffer is allocated
-//! (oversized → `413`), queries run under [`EvalLimits`] (exhausted → `503`),
-//! a panicking handler is caught and answered with a `500` without taking
-//! the worker down, and a poisoned store lock is recovered rather than
-//! propagated. Errors are JSON bodies: `{"error":{"code":…,"message":…}}`.
+//! (oversized → `413`), queries run under [`EvalLimits`] — rows, time,
+//! *and bytes*: per-request memory accounting trips a `503` before a
+//! runaway join can take the process down — and a panicking handler is
+//! caught and answered with a `500` without taking the worker down.
+//! Errors are JSON bodies: `{"error":{"code":…,"message":…}}`.
 //!
-//! Shutdown ordering (the part that used to be subtly wrong): stop
-//! accepting first, join the acceptor (dropping the queue sender), let the
-//! workers drain every already-accepted connection out of the bounded
-//! queue, join them, and only then checkpoint — so no request is dropped
-//! mid-flight and the checkpoint sees the final state.
+//! Shutdown ordering: stop accepting first, join the acceptor (dropping
+//! the queue sender), let the workers drain every already-accepted
+//! connection out of the bounded queue, join them, and only then
+//! checkpoint — so no request is dropped mid-flight and the checkpoint
+//! sees the final state.
 
-use rdfa_facets::{notation, ClassMarker, FacetCache, FacetOptions, PropertyFacet, State as FacetState};
+use rdfa_facets::{
+    notation, ClassMarker, FacetCache, FacetError, FacetOptions, PropertyFacet,
+    State as FacetState,
+};
 use rdfa_sparql::{execute_update, execute_update_recording, Engine, EvalLimits, QueryResults};
-use rdfa_store::{PersistError, PersistentStore, Store, StoreStats};
+use rdfa_store::{
+    Journal, PersistError, PersistentStore, Snapshot, SnapshotStore, Store, StoreStats,
+};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Tunables for the endpoint's robustness behaviour.
@@ -62,12 +99,17 @@ pub struct ServerConfig {
     /// Largest `Content-Length` accepted; larger requests → `413`.
     pub max_body_bytes: usize,
     /// Resource limits applied to every query evaluation (`503` when hit).
-    /// Its `deadline` also bounds `/v1/facets` marker computation.
+    /// Its `deadline` also bounds `/v1/facets` marker computation, and its
+    /// `max_memory_bytes` caps what a single evaluation may materialize.
     pub limits: EvalLimits,
     /// Capacity of the generation-keyed facet cache behind `/v1/facets`
     /// (marker sets, not bytes); `0` disables caching.
     pub facet_cache_entries: usize,
-    /// Enable test-only routes (`/panic`). Off by default.
+    /// Most requests served simultaneously on the work routes; the excess
+    /// is shed with `503` + `Retry-After`. Health/stats routes are exempt.
+    /// `0` disables the budget (in-flight is still counted for `/healthz`).
+    pub max_in_flight: usize,
+    /// Enable test-only routes (`/panic`, `/slow`). Off by default.
     pub debug_routes: bool,
 }
 
@@ -81,46 +123,108 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20, // 1 MiB
             limits: EvalLimits::interactive(),
             facet_cache_entries: rdfa_facets::DEFAULT_FACET_CACHE_ENTRIES,
+            max_in_flight: 64,
             debug_routes: false,
         }
     }
 }
 
-/// The store behind the endpoint: a plain in-memory store, or a durable one
-/// whose mutations are WAL-logged and checkpointed on shutdown.
-pub enum SharedStore {
-    Plain(RwLock<Store>),
-    Durable(RwLock<PersistentStore>),
-}
-
-/// A read guard over either store flavour, usable wherever `&Store` is.
-enum StoreReadGuard<'a> {
-    Plain(RwLockReadGuard<'a, Store>),
-    Durable(RwLockReadGuard<'a, PersistentStore>),
-}
-
-impl std::ops::Deref for StoreReadGuard<'_> {
-    type Target = Store;
-
-    fn deref(&self) -> &Store {
-        match self {
-            StoreReadGuard::Plain(g) => g,
-            StoreReadGuard::Durable(g) => g,
-        }
-    }
+/// The store behind the endpoint: a lock-free-for-readers [`SnapshotStore`],
+/// plus a [`Journal`] when the endpoint is durable (mutations WAL-logged
+/// under the same lock hold that publishes them).
+pub struct SharedStore {
+    store: SnapshotStore,
+    journal: Option<Journal>,
 }
 
 impl SharedStore {
-    fn read(&self) -> StoreReadGuard<'_> {
-        match self {
-            SharedStore::Plain(lock) => {
-                StoreReadGuard::Plain(lock.read().unwrap_or_else(|e| e.into_inner()))
-            }
-            SharedStore::Durable(lock) => {
-                StoreReadGuard::Durable(lock.read().unwrap_or_else(|e| e.into_inner()))
-            }
+    /// An in-memory store with no durability.
+    pub fn plain(store: Store) -> SharedStore {
+        SharedStore { store: SnapshotStore::new(store), journal: None }
+    }
+
+    /// A durable store, split into its snapshot half (published state) and
+    /// its journal half (WAL + checkpoints), so readers never queue behind
+    /// an fsync.
+    pub fn durable(store: PersistentStore) -> SharedStore {
+        let (store, journal, _recovery) = store.into_parts();
+        SharedStore { store: SnapshotStore::new(store), journal: Some(journal) }
+    }
+
+    /// The current published snapshot — an atomic `Arc` clone; no lock is
+    /// held after this returns.
+    pub fn snapshot(&self) -> Snapshot {
+        self.store.snapshot()
+    }
+
+    /// The snapshot store itself (for write transactions in tests/tools).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The journal, when durable.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Checkpoint the durable store (`Ok(None)` for a plain one). The store
+    /// view is captured under the journal lock, so no acknowledged batch
+    /// can be both compacted away and lost; readers proceed throughout.
+    pub fn checkpoint(&self) -> Result<Option<u64>, PersistError> {
+        match &self.journal {
+            None => Ok(None),
+            Some(j) => j.checkpoint_with(|| self.store.snapshot()).map(Some),
         }
     }
+}
+
+/// Everything a worker needs to serve a request.
+struct Ctx {
+    shared: Arc<SharedStore>,
+    facet_cache: FacetCache,
+    config: ServerConfig,
+    /// Requests currently being served on the work routes.
+    in_flight: AtomicUsize,
+    /// Requests turned away by the in-flight budget since startup.
+    shed: AtomicU64,
+}
+
+/// An admitted work-route request; releases its in-flight slot on drop —
+/// including when the handler panics.
+struct Admitted<'a>(&'a Ctx);
+
+impl Drop for Admitted<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Claim an in-flight slot, or `None` when the budget is exhausted (the
+/// caller sheds the request). With the budget disabled (`max_in_flight: 0`)
+/// admission always succeeds but the gauge still moves for `/healthz`.
+fn admit(ctx: &Ctx) -> Option<Admitted<'_>> {
+    let budget = ctx.config.max_in_flight;
+    let prev = ctx.in_flight.fetch_add(1, Ordering::Relaxed);
+    if budget != 0 && prev >= budget {
+        ctx.in_flight.fetch_sub(1, Ordering::Relaxed);
+        ctx.shed.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    Some(Admitted(ctx))
+}
+
+/// The shed response: `503` + `Retry-After`, so well-behaved clients back
+/// off instead of hammering a saturated server.
+fn write_shed(stream: &mut TcpStream, extra: &[String]) -> std::io::Result<()> {
+    let mut headers = vec!["Retry-After: 1".to_owned()];
+    headers.extend(extra.iter().cloned());
+    write_response_headed(
+        stream,
+        "503 Service Unavailable",
+        "application/json",
+        &headers,
+        &json_error(503, "server at capacity: in-flight request budget exhausted"),
+    )
 }
 
 /// A running endpoint: drop it (or call [`Server::stop`]) to shut down.
@@ -131,7 +235,7 @@ pub struct Server {
     /// enter the queue while the workers drain it.
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    shared: Arc<SharedStore>,
+    ctx: Arc<Ctx>,
 }
 
 impl Server {
@@ -142,7 +246,7 @@ impl Server {
 
     /// Bind and serve with an explicit [`ServerConfig`].
     pub fn start_with(store: Store, port: u16, config: ServerConfig) -> std::io::Result<Server> {
-        Server::serve(Arc::new(SharedStore::Plain(RwLock::new(store))), port, config)
+        Server::serve(Arc::new(SharedStore::plain(store)), port, config)
     }
 
     /// Serve a durable store: `/update` is WAL-logged before it is
@@ -153,7 +257,7 @@ impl Server {
         port: u16,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
-        Server::serve(Arc::new(SharedStore::Durable(RwLock::new(store))), port, config)
+        Server::serve(Arc::new(SharedStore::durable(store)), port, config)
     }
 
     fn serve(
@@ -165,24 +269,30 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let config = Arc::new(config);
-        let facet_cache = Arc::new(FacetCache::new(config.facet_cache_entries));
+        let ctx = Arc::new(Ctx {
+            shared,
+            facet_cache: FacetCache::new(config.facet_cache_entries),
+            config,
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::new();
         for i in 0..config.workers.max(1) {
             let rx = Arc::clone(&rx);
-            let shared = Arc::clone(&shared);
-            let config = Arc::clone(&config);
-            let facet_cache = Arc::clone(&facet_cache);
+            let ctx = Arc::clone(&ctx);
             let handle = std::thread::Builder::new()
                 .name(format!("rdfa-worker-{i}"))
                 .spawn(move || loop {
-                    // hold the lock only while receiving, not while serving
+                    // hold the lock only while receiving, not while serving;
+                    // this Mutex CAN be poisoned by a panicking sibling and
+                    // the queue is still valid then, so recover — unlike the
+                    // store, which no longer has a lock to poison at all
                     let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match next {
-                        Ok(stream) => serve_connection(stream, &shared, &facet_cache, &config),
+                        Ok(stream) => serve_connection(stream, &ctx),
                         Err(_) => break, // acceptor gone and queue drained: shutdown
                     }
                 })?;
@@ -201,10 +311,11 @@ impl Server {
                             match tx.try_send(stream) {
                                 Ok(()) => {}
                                 Err(mpsc::TrySendError::Full(mut rejected)) => {
-                                    let _ = write_response(
+                                    let _ = write_response_headed(
                                         &mut rejected,
                                         "503 Service Unavailable",
                                         "application/json",
+                                        &["Retry-After: 1".to_owned()],
                                         &json_error(503, "server busy: connection queue full"),
                                     );
                                 }
@@ -221,7 +332,7 @@ impl Server {
                 // exit — but only after draining every queued connection
             },
         )?;
-        Ok(Server { addr, stop, acceptor: Some(acceptor), workers, shared })
+        Ok(Server { addr, stop, acceptor: Some(acceptor), workers, ctx })
     }
 
     /// The bound address.
@@ -231,18 +342,24 @@ impl Server {
 
     /// The store behind the endpoint.
     pub fn shared(&self) -> &Arc<SharedStore> {
-        &self.shared
+        &self.ctx.shared
+    }
+
+    /// Requests currently being served on the work routes.
+    pub fn in_flight(&self) -> usize {
+        self.ctx.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by the in-flight budget since startup.
+    pub fn shed_requests(&self) -> u64 {
+        self.ctx.shed.load(Ordering::Relaxed)
     }
 
     /// Checkpoint the durable store now (no-op for a plain store). Safe to
-    /// call while serving: readers proceed, updates briefly queue.
+    /// call while serving: readers proceed, updates briefly queue on the
+    /// journal.
     pub fn checkpoint(&self) -> Result<Option<u64>, PersistError> {
-        match &*self.shared {
-            SharedStore::Plain(_) => Ok(None),
-            SharedStore::Durable(lock) => {
-                lock.read().unwrap_or_else(|e| e.into_inner()).checkpoint().map(Some)
-            }
-        }
+        self.ctx.shared.checkpoint()
     }
 
     /// Request shutdown and join the serving threads.
@@ -266,11 +383,8 @@ impl Server {
             let _ = h.join();
         }
         // 3. no request can be running: checkpoint the final state
-        if let SharedStore::Durable(lock) = &*self.shared {
-            let guard = lock.read().unwrap_or_else(|e| e.into_inner());
-            if let Err(e) = guard.checkpoint() {
-                eprintln!("rdfa-server: checkpoint on shutdown failed: {e}");
-            }
+        if let Err(e) = self.ctx.shared.checkpoint() {
+            eprintln!("rdfa-server: checkpoint on shutdown failed: {e}");
         }
     }
 }
@@ -283,15 +397,13 @@ impl Drop for Server {
 
 /// Run one connection to completion; a panic inside the handler is answered
 /// with a `500` on a pre-cloned stream and does not take the worker down.
-fn serve_connection(
-    stream: TcpStream,
-    store: &Arc<SharedStore>,
-    facet_cache: &Arc<FacetCache>,
-    config: &ServerConfig,
-) {
+/// The panic also cannot corrupt shared state: an uncommitted write
+/// transaction rolls back on unwind, and the admission slot releases on
+/// drop.
+fn serve_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
     let spare = stream.try_clone().ok();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handle_connection(stream, store, facet_cache, config)
+        handle_connection(stream, ctx)
     }));
     if outcome.is_err() {
         if let Some(mut out) = spare {
@@ -309,12 +421,8 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    store: &Arc<SharedStore>,
-    facet_cache: &Arc<FacetCache>,
-    config: &ServerConfig,
-) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+    let config = &ctx.config;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     match reader.read_line(&mut request_line) {
@@ -429,24 +537,26 @@ fn handle_connection(
     match (method.as_str(), path) {
         ("GET", "/health") => write_response(&mut stream, "200 OK", "text/plain", "ok"),
         ("GET", "/healthz") => {
-            let payload = match &**store {
-                SharedStore::Plain(lock) => {
-                    let guard = lock.read().unwrap_or_else(|e| e.into_inner());
+            // exempt from admission: a saturated server must stay probeable
+            let snap = ctx.shared.snapshot();
+            let in_flight = ctx.in_flight.load(Ordering::Relaxed);
+            let shed = ctx.shed.load(Ordering::Relaxed);
+            let payload = match ctx.shared.journal() {
+                None => format!(
+                    "{{\"status\":\"ok\",\"durable\":false,\"snapshot_generation\":{},\"in_flight\":{in_flight},\"shed\":{shed},\"triples\":{},\"dirty\":{}}}",
+                    snap.generation(),
+                    snap.len(),
+                    snap.is_dirty()
+                ),
+                Some(journal) => {
+                    let status = if journal.is_dead() { "degraded" } else { "ok" };
                     format!(
-                        "{{\"status\":\"ok\",\"durable\":false,\"triples\":{},\"dirty\":{}}}",
-                        guard.len(),
-                        guard.is_dirty()
-                    )
-                }
-                SharedStore::Durable(lock) => {
-                    let guard = lock.read().unwrap_or_else(|e| e.into_inner());
-                    let status = if guard.is_dead() { "degraded" } else { "ok" };
-                    format!(
-                        "{{\"status\":\"{status}\",\"durable\":true,\"generation\":{},\"wal_records\":{},\"triples\":{},\"dirty\":{}}}",
-                        guard.generation(),
-                        guard.wal_records(),
-                        guard.len(),
-                        guard.is_dirty()
+                        "{{\"status\":\"{status}\",\"durable\":true,\"generation\":{},\"wal_records\":{},\"snapshot_generation\":{},\"in_flight\":{in_flight},\"shed\":{shed},\"triples\":{},\"dirty\":{}}}",
+                        journal.generation(),
+                        journal.wal_records(),
+                        snap.generation(),
+                        snap.len(),
+                        snap.is_dirty()
                     )
                 }
             };
@@ -455,10 +565,27 @@ fn handle_connection(
         ("GET", "/panic") if config.debug_routes => {
             panic!("deliberate panic for robustness testing")
         }
+        ("GET", "/slow") if config.debug_routes => {
+            // an admission-controlled request that just holds its slot —
+            // deterministic saturation for tests and the concurrent bench
+            let _slot = match admit(ctx) {
+                Some(slot) => slot,
+                None => return write_shed(&mut stream, &[]),
+            };
+            let ms = form_value(query_string, "ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(100);
+            std::thread::sleep(Duration::from_millis(ms));
+            write_response(&mut stream, "200 OK", "text/plain", "ok")
+        }
         ("GET", "/void") => {
-            let guard = store.read();
-            let stats = StoreStats::gather(&guard);
-            let void = stats.to_void_graph(&guard, "urn:rdfa:dataset");
+            let _slot = match admit(ctx) {
+                Some(slot) => slot,
+                None => return write_shed(&mut stream, &[]),
+            };
+            let snap = ctx.shared.snapshot();
+            let stats = StoreStats::gather(&snap);
+            let void = stats.to_void_graph(&snap, "urn:rdfa:dataset");
             write_response(
                 &mut stream,
                 "200 OK",
@@ -470,6 +597,10 @@ fn handle_connection(
             // `/sparql` is the pre-v1 alias: same behaviour, plus headers
             // steering clients to the versioned route
             let extra = legacy_headers(path, "/sparql", "/v1/query");
+            let _slot = match admit(ctx) {
+                Some(slot) => slot,
+                None => return write_shed(&mut stream, extra),
+            };
             let query = if method == "POST" {
                 body
             } else {
@@ -486,24 +617,32 @@ fn handle_connection(
                     }
                 }
             };
-            serve_query(&mut stream, store, config, &accept, &query, extra)
+            serve_query(&mut stream, ctx, &accept, &query, extra)
         }
         ("POST", "/v1/update") | ("POST", "/update") => {
             let extra = legacy_headers(path, "/update", "/v1/update");
-            serve_update(&mut stream, store, &body, extra)
+            let _slot = match admit(ctx) {
+                Some(slot) => slot,
+                None => return write_shed(&mut stream, extra),
+            };
+            serve_update(&mut stream, &ctx.shared, &body, extra)
         }
         ("GET", "/v1/facets") => {
-            serve_facets(&mut stream, store, facet_cache, config, query_string)
+            let _slot = match admit(ctx) {
+                Some(slot) => slot,
+                None => return write_shed(&mut stream, &[]),
+            };
+            serve_facets(&mut stream, ctx, query_string)
         }
         ("GET", "/v1/facets/stats") => {
-            let st = facet_cache.stats();
+            let st = ctx.facet_cache.stats();
             write_response(
                 &mut stream,
                 "200 OK",
                 "application/json",
                 &format!(
-                    "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
-                    st.hits, st.misses, st.evictions, st.entries, st.capacity
+                    "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"stale_hits\":{},\"entries\":{},\"capacity\":{}}}",
+                    st.hits, st.misses, st.evictions, st.stale_hits, st.entries, st.capacity
                 ),
             )
         }
@@ -537,17 +676,19 @@ fn legacy_headers(path: &str, legacy: &'static str, successor: &'static str) -> 
     })
 }
 
-/// Evaluate a query under the server's limits and serialize per `Accept`.
+/// Evaluate a query against the current snapshot under the server's limits
+/// and serialize per `Accept`. The snapshot is pinned for the duration of
+/// evaluation: concurrent updates publish new generations without touching
+/// this one.
 fn serve_query(
     stream: &mut TcpStream,
-    store: &Arc<SharedStore>,
-    config: &ServerConfig,
+    ctx: &Ctx,
     accept: &str,
     query: &str,
     extra: &[String],
 ) -> std::io::Result<()> {
-    let guard = store.read();
-    match Engine::builder(&guard).limits(config.limits).build().run(query) {
+    let snap = ctx.shared.snapshot();
+    match Engine::builder(&snap).limits(ctx.config.limits).build().run(query) {
         Ok(QueryResults::Solutions(sols)) => {
             if accept.contains("text/csv") {
                 write_response_headed(stream, "200 OK", "text/csv", extra, &sols.to_csv())
@@ -583,17 +724,23 @@ fn serve_query(
 
 /// Serve `/v1/facets`: the left frame (class markers + property facets with
 /// counts) for the extension named by `?class=<iri>`, or for the initial
-/// state when no class is given. Answered from the generation-keyed
-/// [`FacetCache`] when the store hasn't changed since the markers were last
-/// computed; the `X-Facet-Cache` header says which way it went.
+/// state when no class is given.
+///
+/// Answered from the generation-keyed [`FacetCache`] when the snapshot
+/// hasn't changed since the markers were last computed (`X-Facet-Cache:
+/// hit`/`miss`). When fresh computation exceeds its deadline — the server
+/// default, or a per-request `?budget_ms=` override (`0` = cached only,
+/// never compute) — the newest cached marker set for the *same extension*
+/// at a superseded generation is served instead, with `X-Facet-Cache:
+/// stale` and `X-Facet-Stale: <generation>`; only when no cached set
+/// exists either does the request fail `503`.
 fn serve_facets(
     stream: &mut TcpStream,
-    store: &Arc<SharedStore>,
-    facet_cache: &Arc<FacetCache>,
-    config: &ServerConfig,
+    ctx: &Ctx,
     query_string: &str,
 ) -> std::io::Result<()> {
-    let guard = store.read();
+    let snap = ctx.shared.snapshot();
+    let facet_cache = &ctx.facet_cache;
     let ext = match form_value(query_string, "class") {
         Some(iri) => {
             if let Err(e) = notation::validate_iri(&iri) {
@@ -604,8 +751,8 @@ fn serve_facets(
                     &json_error(400, &e.message),
                 );
             }
-            match guard.lookup_iri(&iri) {
-                Some(c) => guard.instances_set(c),
+            match snap.lookup_iri(&iri) {
+                Some(c) => snap.instances_set(c),
                 None => {
                     return write_response(
                         stream,
@@ -616,7 +763,7 @@ fn serve_facets(
                 }
             }
         }
-        None => FacetState::initial(&guard).ext,
+        None => FacetState::initial(&snap).ext,
     };
     if ext.is_empty() {
         return write_response(
@@ -626,43 +773,108 @@ fn serve_facets(
             &json_error(404, "the class has no instances"),
         );
     }
-    let opts = FacetOptions { threads: 0, deadline: config.limits.deadline };
+    let deadline = match form_value(query_string, "budget_ms") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                return write_response(
+                    stream,
+                    "400 Bad Request",
+                    "application/json",
+                    &json_error(400, "invalid ?budget_ms= (expected milliseconds)"),
+                );
+            }
+        },
+        None => ctx.config.limits.deadline,
+    };
+    let cached_only = deadline == Some(Duration::ZERO);
+    let opts = FacetOptions { threads: 0, deadline };
     let misses_before = facet_cache.stats().misses;
-    let classes = match facet_cache.class_markers(&guard, &ext, opts) {
-        Ok(c) => c,
-        Err(e) => {
-            return write_response(
-                stream,
-                "503 Service Unavailable",
-                "application/json",
-                &json_error(503, &e.message),
-            );
+    let mut stale_generation: Option<u64> = None;
+    let mut last_err: Option<FacetError> = None;
+
+    let fresh_classes = if cached_only {
+        None
+    } else {
+        match facet_cache.class_markers(&snap, &ext, opts) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                last_err = Some(e);
+                None
+            }
         }
     };
-    let facets = match facet_cache.property_facets(&guard, &ext, opts) {
-        Ok(f) => f,
-        Err(e) => {
-            return write_response(
-                stream,
-                "503 Service Unavailable",
-                "application/json",
-                &json_error(503, &e.message),
-            );
+    let classes = match fresh_classes {
+        Some(c) => c,
+        None => match facet_cache.class_markers_stale(&ext) {
+            Some((c, generation)) => {
+                stale_generation =
+                    Some(stale_generation.map_or(generation, |g| g.min(generation)));
+                c
+            }
+            None => return write_facet_unavailable(stream, last_err.as_ref()),
+        },
+    };
+    let fresh_facets = if cached_only {
+        None
+    } else {
+        match facet_cache.property_facets(&snap, &ext, opts) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                last_err = Some(e);
+                None
+            }
         }
     };
-    let cache_header = if facet_cache.stats().misses > misses_before {
+    let facets = match fresh_facets {
+        Some(f) => f,
+        None => match facet_cache.property_facets_stale(&ext) {
+            Some((f, generation)) => {
+                stale_generation =
+                    Some(stale_generation.map_or(generation, |g| g.min(generation)));
+                f
+            }
+            None => return write_facet_unavailable(stream, last_err.as_ref()),
+        },
+    };
+
+    let mut headers = vec![if stale_generation.is_some() {
+        "X-Facet-Cache: stale".to_owned()
+    } else if facet_cache.stats().misses > misses_before {
         "X-Facet-Cache: miss".to_owned()
     } else {
         "X-Facet-Cache: hit".to_owned()
-    };
+    }];
+    if let Some(generation) = stale_generation {
+        headers.push(format!("X-Facet-Stale: {generation}"));
+    }
     let payload = format!(
         "{{\"generation\":{},\"extension\":{},\"classes\":[{}],\"facets\":[{}]}}",
-        guard.generation(),
+        snap.generation(),
         ext.len(),
-        classes.iter().map(|m| class_marker_json(&guard, m)).collect::<Vec<_>>().join(","),
-        facets.iter().map(|f| facet_json(&guard, f)).collect::<Vec<_>>().join(","),
+        classes.iter().map(|m| class_marker_json(&snap, m)).collect::<Vec<_>>().join(","),
+        facets.iter().map(|f| facet_json(&snap, f)).collect::<Vec<_>>().join(","),
     );
-    write_response_headed(stream, "200 OK", "application/json", &[cache_header], &payload)
+    write_response_headed(stream, "200 OK", "application/json", &headers, &payload)
+}
+
+/// Facet markers could not be computed within budget and no stale set was
+/// cached: shed the request rather than blocking the worker.
+fn write_facet_unavailable(
+    stream: &mut TcpStream,
+    err: Option<&FacetError>,
+) -> std::io::Result<()> {
+    let message = match err {
+        Some(e) => e.message.clone(),
+        None => "no cached facet markers within budget".to_owned(),
+    };
+    write_response_headed(
+        stream,
+        "503 Service Unavailable",
+        "application/json",
+        &["Retry-After: 1".to_owned()],
+        &json_error(503, &message),
+    )
 }
 
 fn term_json(store: &Store, id: rdfa_store::TermId) -> String {
@@ -695,52 +907,66 @@ fn facet_json(store: &Store, f: &PropertyFacet) -> String {
     )
 }
 
-/// Apply an update against either store flavour and acknowledge with the
-/// insert/delete counts (WAL-logged first on the durable path).
+/// Apply an update as one atomic write transaction: mutate a private
+/// working store, then publish the whole batch with a single pointer swap.
+/// Readers never see a half-applied update, and a failed update (parse
+/// error, resource limit, WAL failure, or panic) publishes nothing — the
+/// transaction rolls back on drop.
+///
+/// On the durable path the WAL append and the publish happen under one
+/// journal lock hold: a batch is acknowledged only after it is both logged
+/// and visible, and a concurrent checkpoint can never compact away a
+/// record for a batch that is not in its store view.
 fn serve_update(
     stream: &mut TcpStream,
-    store: &Arc<SharedStore>,
+    shared: &SharedStore,
     body: &str,
     extra: &[String],
 ) -> std::io::Result<()> {
-    match &**store {
-        SharedStore::Plain(lock) => {
-            let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
-            match execute_update(&mut guard, body) {
-                Ok(stats) => write_response_headed(
+    let mut txn = shared.store.begin_write();
+    match &shared.journal {
+        None => match execute_update(txn.store_mut(), body) {
+            Ok(stats) => {
+                txn.commit();
+                write_response_headed(
                     stream,
                     "200 OK",
                     "application/json",
                     extra,
                     &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
-                ),
-                Err(e) => write_query_error_headed(stream, &e, extra),
+                )
             }
-        }
-        SharedStore::Durable(lock) => {
-            let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
-            // apply, recording the concrete triple changes, then log
-            // them as ONE atomic WAL record before acknowledging
-            match execute_update_recording(guard.store_mut_unlogged(), body) {
-                Ok((stats, changes)) => match guard.log_mutations(&changes) {
-                    Ok(()) => write_response_headed(
-                        stream,
-                        "200 OK",
-                        "application/json",
-                        extra,
-                        &format!(
-                            "{{\"inserted\":{},\"deleted\":{}}}",
-                            stats.inserted, stats.deleted
+            Err(e) => write_query_error_headed(stream, &e, extra), // txn rolls back on drop
+        },
+        Some(journal) => {
+            // apply to the working store, recording the concrete triple
+            // changes, then log them as ONE atomic WAL record and publish
+            // under the same journal lock hold
+            match execute_update_recording(txn.store_mut(), body) {
+                Ok((stats, changes)) => {
+                    match journal.log_mutations_then(&changes, move || txn.commit()) {
+                        Ok(()) => write_response_headed(
+                            stream,
+                            "200 OK",
+                            "application/json",
+                            extra,
+                            &format!(
+                                "{{\"inserted\":{},\"deleted\":{}}}",
+                                stats.inserted, stats.deleted
+                            ),
                         ),
-                    ),
-                    Err(e) => write_response_headed(
-                        stream,
-                        "500 Internal Server Error",
-                        "application/json",
-                        extra,
-                        &json_error(500, &format!("durability failure: {e}")),
-                    ),
-                },
+                        // the WAL append failed before publish: the batch
+                        // rolled back in memory too, so the store and the
+                        // log still agree
+                        Err(e) => write_response_headed(
+                            stream,
+                            "500 Internal Server Error",
+                            "application/json",
+                            extra,
+                            &json_error(500, &format!("durability failure: {e}")),
+                        ),
+                    }
+                }
                 Err(e) => write_query_error_headed(stream, &e, extra),
             }
         }
@@ -1176,7 +1402,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_overflow_returns_503() {
+    fn queue_overflow_returns_503_with_retry_after() {
         let config = ServerConfig {
             workers: 1,
             queue_capacity: 1,
@@ -1199,6 +1425,39 @@ mod tests {
         let _ = overflow.read_to_string(&mut resp);
         assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
         assert!(resp.contains("queue full"), "{resp}");
+        assert!(resp.contains("Retry-After: 1"), "{resp}");
+    }
+
+    #[test]
+    fn admission_budget_sheds_with_retry_after_then_recovers() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            debug_routes: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let addr = server.addr();
+        // saturate the one-slot budget with a request that holds it
+        let slow = std::thread::spawn(move || get(addr, "/slow?ms=1200", "*/*"));
+        std::thread::sleep(Duration::from_millis(300));
+        // work routes are shed immediately instead of queueing
+        let q = percent_encode("SELECT ?x WHERE { ?x ?p ?o . }");
+        let shed = get(addr, &format!("/v1/query?query={q}"), "*/*");
+        assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
+        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        assert!(shed.contains("budget exhausted"), "{shed}");
+        // health and healthz bypass the budget: the saturated server is
+        // still probeable, and reports the held slot and the shed request
+        assert!(get(addr, "/health", "*/*").contains("ok"));
+        let hz = get(addr, "/healthz", "*/*");
+        assert!(hz.contains("\"in_flight\":1"), "{hz}");
+        assert!(hz.contains("\"shed\":1"), "{hz}");
+        // once the slot frees, the same query succeeds
+        assert!(slow.join().unwrap().starts_with("HTTP/1.1 200"));
+        let ok = get(addr, &format!("/v1/query?query={q}"), "*/*");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert_eq!(server.shed_requests(), 1);
+        assert_eq!(server.in_flight(), 0);
     }
 
     #[test]
@@ -1208,6 +1467,10 @@ mod tests {
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         assert!(resp.contains("\"durable\":false"), "{resp}");
         assert!(resp.contains("\"triples\":4"), "{resp}");
+        // the admission and snapshot gauges are always present
+        assert!(resp.contains("\"snapshot_generation\":"), "{resp}");
+        assert!(resp.contains("\"in_flight\":0"), "{resp}");
+        assert!(resp.contains("\"shed\":0"), "{resp}");
     }
 
     #[test]
@@ -1302,6 +1565,43 @@ mod tests {
         let unknown = percent_encode("http://example.org/NoSuchClass");
         let resp = get(server.addr(), &format!("/v1/facets?class={unknown}"), "*/*");
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+    }
+
+    #[test]
+    fn facets_budget_zero_serves_stale_generation() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let class = percent_encode("http://example.org/Laptop");
+        // cached-only before anything is cached: degradation has nothing
+        // to fall back to, so the request is shed
+        let nothing =
+            get(server.addr(), &format!("/v1/facets?class={class}&budget_ms=0"), "*/*");
+        assert!(nothing.starts_with("HTTP/1.1 503"), "{nothing}");
+        assert!(nothing.contains("Retry-After: 1"), "{nothing}");
+        // warm the cache at the current generation
+        let fresh = get(server.addr(), &format!("/v1/facets?class={class}"), "*/*");
+        assert!(fresh.contains("X-Facet-Cache: miss"), "{fresh}");
+        assert!(!fresh.contains("X-Facet-Stale"), "{fresh}");
+        // an update elsewhere in the graph bumps the generation without
+        // changing the Laptop extension
+        let resp = post(
+            server.addr(),
+            "/v1/update",
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:l1 ex:weight 2 . }",
+        );
+        assert!(resp.contains("\"inserted\":1"), "{resp}");
+        // cached-only now serves the superseded generation's markers,
+        // flagged stale, instead of computing or failing
+        let stale =
+            get(server.addr(), &format!("/v1/facets?class={class}&budget_ms=0"), "*/*");
+        assert!(stale.starts_with("HTTP/1.1 200"), "{stale}");
+        assert!(stale.contains("X-Facet-Cache: stale"), "{stale}");
+        assert!(stale.contains("X-Facet-Stale: "), "{stale}");
+        assert!(stale.contains("\"property\":\"http://example.org/price\""), "{stale}");
+        let stats = get(server.addr(), "/v1/facets/stats", "*/*");
+        assert!(stats.contains("\"stale_hits\":2"), "{stats}"); // classes + facets
+        // garbage budget is the client's error
+        let bad = get(server.addr(), &format!("/v1/facets?class={class}&budget_ms=soon"), "*/*");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
     }
 
     #[test]

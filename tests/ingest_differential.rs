@@ -113,7 +113,7 @@ fn bulk_load_matches_seed_across_thread_counts() {
         for threads in THREADS {
             let mut bulk = Store::new();
             let stats = bulk
-                .bulk_load_ntriples(&doc, LoadOptions::with_threads(threads))
+                .bulk_load_ntriples(&doc, LoadOptions::exact(threads))
                 .expect("bulk parse");
             assert_eq!(stats.triples, n, "case {case} threads {threads}: triple count");
             assert_eq!(stats.threads, threads, "case {case}: reported threads");
@@ -137,7 +137,7 @@ fn bulk_load_into_non_empty_store_matches_seed() {
         for threads in THREADS {
             let mut bulk = Store::new();
             bulk.load_ntriples(preload).unwrap();
-            bulk.bulk_load_ntriples(&doc, LoadOptions::with_threads(threads)).unwrap();
+            bulk.bulk_load_ntriples(&doc, LoadOptions::exact(threads)).unwrap();
             assert_same_store(&reference, &bulk, &format!("case {case} threads {threads}"));
         }
     }
@@ -161,7 +161,7 @@ fn chunk_boundary_hazards() {
     for threads in THREADS {
         let mut bulk = Store::new();
         let stats =
-            bulk.bulk_load_ntriples(doc, LoadOptions::with_threads(threads)).expect("bulk parse");
+            bulk.bulk_load_ntriples(doc, LoadOptions::exact(threads)).expect("bulk parse");
         assert_eq!(stats.triples, 5);
         assert_eq!(stats.added, 4, "duplicate triple must collapse");
         assert_same_store(&reference, &bulk, &format!("hazards threads {threads}"));
@@ -188,7 +188,7 @@ fn parse_errors_agree_with_seed_including_line_numbers() {
         for threads in THREADS {
             let mut bulk = Store::new();
             let bulk_err = bulk
-                .bulk_load_ntriples(&doc, LoadOptions::with_threads(threads))
+                .bulk_load_ntriples(&doc, LoadOptions::exact(threads))
                 .expect_err("bulk must reject");
             assert_eq!(seed_err, bulk_err, "case {case} threads {threads}");
             assert_eq!(bulk.len(), 0, "failed load must leave the store empty");
@@ -206,7 +206,7 @@ fn reader_and_path_loaders_match_in_memory_load() {
 
     let mut via_reader = Store::new();
     let stats = via_reader
-        .load_ntriples_reader(doc.as_bytes(), LoadOptions::with_threads(4))
+        .load_ntriples_reader(doc.as_bytes(), LoadOptions::exact(4))
         .expect("reader load");
     assert_same_store(&reference, &via_reader, "reader loader");
 
@@ -214,7 +214,7 @@ fn reader_and_path_loaders_match_in_memory_load() {
     std::fs::write(&path, &doc).unwrap();
     let mut via_path = Store::new();
     let path_stats =
-        via_path.load_ntriples_path(&path, LoadOptions::with_threads(4)).expect("path load");
+        via_path.load_ntriples_path(&path, LoadOptions::exact(4)).expect("path load");
     std::fs::remove_file(&path).ok();
     assert_eq!(stats, path_stats, "reader and path loads must report identically");
     assert_same_store(&reference, &via_path, "path loader");
@@ -227,7 +227,7 @@ fn path_loader_reports_absolute_error_lines() {
     let path = std::env::temp_dir().join(format!("rdfa-ingest-bad-{}.nt", std::process::id()));
     std::fs::write(&path, &doc).unwrap();
     let err = Store::new()
-        .load_ntriples_path(&path, LoadOptions::with_threads(4))
+        .load_ntriples_path(&path, LoadOptions::exact(4))
         .expect_err("malformed file must be rejected");
     std::fs::remove_file(&path).ok();
     let msg = err.to_string();
@@ -261,7 +261,7 @@ fn durable_bulk_load_and_wal_recovery_match_sequential_replay() {
         let mut pstore = PersistentStore::open(&dir, config.clone()).unwrap();
         for (i, doc) in docs.iter().enumerate() {
             let stats = pstore
-                .bulk_load_ntriples(doc, LoadOptions::with_threads(1 + i))
+                .bulk_load_ntriples(doc, LoadOptions::exact(1 + i))
                 .expect("durable bulk load");
             assert!(stats.triples > 0, "doc {i} should hold triples");
         }
@@ -292,7 +292,7 @@ fn durable_path_load_survives_reopen() {
     let config = PersistConfig { fsync: FsyncPolicy::Always, ..PersistConfig::default() };
     {
         let mut pstore = PersistentStore::open(&dir, config.clone()).unwrap();
-        let stats = pstore.load_ntriples_path(&path, LoadOptions::with_threads(2)).unwrap();
+        let stats = pstore.load_ntriples_path(&path, LoadOptions::exact(2)).unwrap();
         let a: Vec<_> = reference.iter_explicit().collect();
         let b: Vec<_> = pstore.iter_explicit().collect();
         assert_eq!(a, b, "live path-loaded store contents");
@@ -317,8 +317,8 @@ fn bulk_graph_load_matches_seed_load_graph() {
     reference.load_graph(&invoices);
     for threads in THREADS {
         let mut bulk = Store::new();
-        bulk.bulk_load_graph(&products, LoadOptions::with_threads(threads));
-        bulk.bulk_load_graph(&invoices, LoadOptions::with_threads(threads));
+        bulk.bulk_load_graph(&products, LoadOptions::exact(threads));
+        bulk.bulk_load_graph(&invoices, LoadOptions::exact(threads));
         assert_same_store(&reference, &bulk, &format!("graph load threads {threads}"));
     }
 }
