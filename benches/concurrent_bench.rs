@@ -108,7 +108,11 @@ fn http(addr: std::net::SocketAddr, request: &str) -> String {
 }
 
 fn get(addr: std::net::SocketAddr, path: &str) -> String {
-    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n"))
+    // read_to_string only returns on server close: opt out of keep-alive
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: x\r\nAccept: */*\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 /// Saturate a 2-slot server with `waves` × 8 concurrent slow requests;

@@ -7,13 +7,16 @@
 //! - [`queries`] — the query workload Q1–Q10 over the products KG;
 //! - [`userstudy`] — the simulated task-based evaluation (Figs 8.1/8.2);
 //! - [`experiments`] — the printers for Tables 6.1/6.2 and Figs 8.1–8.3;
-//! - [`durability`] — load/replay/checkpoint throughput per WAL fsync policy.
+//! - [`durability`] — load/replay/checkpoint throughput per WAL fsync policy;
+//! - [`load`] — open-loop (Poisson-arrival) sustained-load driver for the
+//!   HTTP endpoint, with client-side chaos injection.
 //!
 //! Run `cargo run -p rdfa-bench --bin experiments -- all` to regenerate
 //! everything.
 
 pub mod durability;
 pub mod experiments;
+pub mod load;
 pub mod microbench;
 pub mod queries;
 pub mod userstudy;

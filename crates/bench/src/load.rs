@@ -1,0 +1,478 @@
+//! Open-loop sustained-load driver for an HTTP endpoint.
+//!
+//! Closed-loop load generators (N workers in a request → response → repeat
+//! loop) suffer *coordinated omission*: when the server stalls, the
+//! generator stalls with it, so the offered load silently drops exactly
+//! when the system is slowest and tail latencies come out flattering. This
+//! driver is open-loop: request start times are drawn from a Poisson
+//! process (exponential inter-arrival at a configured target rate) fixed
+//! *before* any response is seen, and every arrival gets its own client
+//! thread. A slow server faces a growing backlog, exactly like production.
+//!
+//! The driver mixes three traffic classes (query / update / facet) by
+//! weight and can inject client-side chaos through the same
+//! [`FaultModel`] the simulated-endpoint harness uses:
+//!
+//! - `error_prob` → the client disconnects mid-stream after reading a few
+//!   bytes of the response (the server must cancel the query and release
+//!   its admission slot);
+//! - `timeout_prob` → the client is a slow reader (1 byte per
+//!   `slow_read_delay`), which the server must shed via its write timeout
+//!   rather than letting it pin a worker.
+//!
+//! Results aggregate into a [`LoadReport`]: p50/p99/p999 latency over
+//! completed requests, shed rate, and per-outcome counts.
+
+use rdfa_datagen::FaultModel;
+use rdfa_prng::StdRng;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Relative weights for the three traffic classes. They need not sum to 1;
+/// a zero weight disables the class.
+#[derive(Debug, Clone, Copy)]
+pub struct MixWeights {
+    pub query: f64,
+    pub update: f64,
+    pub facet: f64,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        // read-mostly interactive traffic: mostly queries, some facet
+        // navigation, occasional updates
+        MixWeights { query: 0.7, update: 0.1, facet: 0.2 }
+    }
+}
+
+/// The request templates the driver cycles through, one pool per class.
+/// Queries and facets are `GET` paths (already percent-encoded); updates
+/// are SPARQL Update bodies `POST`ed to `/v1/update`.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub query_paths: Vec<String>,
+    pub update_bodies: Vec<String>,
+    pub facet_paths: Vec<String>,
+}
+
+/// Open-loop driver configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target arrival rate (requests/second) of the Poisson process.
+    pub target_rps: f64,
+    /// How long to keep generating arrivals.
+    pub duration: Duration,
+    /// Traffic-class mix.
+    pub mix: MixWeights,
+    /// Client-side chaos: `error_prob` → mid-stream disconnect,
+    /// `timeout_prob` → slow reader.
+    pub faults: FaultModel,
+    /// Pause between 1-byte reads for the slow-reader chaos client.
+    pub slow_read_delay: Duration,
+    /// Sips a slow reader takes before giving up and disconnecting; bounds
+    /// how long a chaos client can outlive the schedule when the server's
+    /// response fits in kernel socket buffers (nothing left to shed).
+    pub slow_read_max_sips: usize,
+    /// Per-request client socket timeout (a request slower than this is
+    /// counted as a client-side timeout, not left hanging).
+    pub client_timeout: Duration,
+    /// Seed for arrivals, mix selection, and fault injection: the same
+    /// seed offers the same request sequence.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            target_rps: 50.0,
+            duration: Duration::from_secs(5),
+            mix: MixWeights::default(),
+            faults: FaultModel::none(),
+            slow_read_delay: Duration::from_millis(250),
+            slow_read_max_sips: 40,
+            client_timeout: Duration::from_secs(30),
+            seed: 0x10ad,
+        }
+    }
+}
+
+/// How a single request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// `200` and the body fully drained.
+    Ok,
+    /// `503` — shed by admission control (or the accept-queue overflow).
+    Shed,
+    /// Any other HTTP status.
+    HttpError,
+    /// Chaos client hung up mid-stream on purpose.
+    InjectedDisconnect,
+    /// Chaos slow-read session ended early: the server cut the connection
+    /// (write-timeout shed — the desired behaviour) or the sip budget ran
+    /// out with the body still incomplete.
+    SlowReaderCut,
+    /// Transport-level failure: connect refused/reset, client timeout.
+    Transport,
+}
+
+/// One request's record: what it was, how it ended, how long it took from
+/// scheduled start (queueing delay included — that is the point of
+/// open-loop measurement) to last byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    pub outcome: Outcome,
+    pub latency: Duration,
+}
+
+/// Aggregated results of one sustained-load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Arrivals the Poisson schedule offered.
+    pub offered: u64,
+    /// Requests that completed with `200` + full body.
+    pub completed: u64,
+    pub shed: u64,
+    pub http_errors: u64,
+    pub injected_disconnects: u64,
+    pub slow_reader_cuts: u64,
+    pub transport_errors: u64,
+    /// Wall-clock of the whole run (last response, not last arrival).
+    pub elapsed: Duration,
+    /// Achieved arrival rate (offered / schedule window).
+    pub achieved_rps: f64,
+    /// Latency percentiles over *completed* requests, in milliseconds.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    /// shed / offered.
+    pub shed_rate: f64,
+}
+
+impl LoadReport {
+    /// Render as a JSON object (no trailing newline) for bench artifacts.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"offered\": {},\n    \"completed\": {},\n    \"shed\": {},\n    \"http_errors\": {},\n    \"injected_disconnects\": {},\n    \"slow_reader_cuts\": {},\n    \"transport_errors\": {},\n    \"elapsed_ms\": {},\n    \"achieved_rps\": {:.1},\n    \"p50_ms\": {:.2},\n    \"p99_ms\": {:.2},\n    \"p999_ms\": {:.2},\n    \"shed_rate\": {:.4}\n  }}",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.http_errors,
+            self.injected_disconnects,
+            self.slow_reader_cuts,
+            self.transport_errors,
+            self.elapsed.as_millis(),
+            self.achieved_rps,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.shed_rate,
+        )
+    }
+}
+
+/// Draw one exponential inter-arrival gap for rate `rps`.
+fn interarrival(rng: &mut StdRng, rps: f64) -> Duration {
+    // u ∈ [0,1): clamp away from 1 so ln never sees 0
+    let u = rng.next_f64().min(1.0 - 1e-12);
+    Duration::from_secs_f64((-(1.0 - u).ln() / rps).min(10.0))
+}
+
+/// Nearest-rank percentile (q in [0,1]) of a sorted slice.
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Query,
+    Update,
+    Facet,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chaos {
+    None,
+    Disconnect,
+    SlowRead,
+}
+
+/// Pick a traffic class by weight, skipping classes with an empty pool.
+fn pick_class(rng: &mut StdRng, mix: MixWeights, wl: &Workload) -> Option<Class> {
+    let w = [
+        (Class::Query, if wl.query_paths.is_empty() { 0.0 } else { mix.query }),
+        (Class::Update, if wl.update_bodies.is_empty() { 0.0 } else { mix.update }),
+        (Class::Facet, if wl.facet_paths.is_empty() { 0.0 } else { mix.facet }),
+    ];
+    let total: f64 = w.iter().map(|(_, x)| x.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.next_f64() * total;
+    for (class, weight) in w {
+        let weight = weight.max(0.0);
+        if x < weight {
+            return Some(class);
+        }
+        x -= weight;
+    }
+    Some(Class::Facet)
+}
+
+/// Execute one request against `addr` and classify the outcome. `started`
+/// is the *scheduled* arrival time, so queueing behind a saturated server
+/// is charged to latency (open-loop semantics).
+fn run_request(
+    addr: SocketAddr,
+    request: &[u8],
+    chaos: Chaos,
+    slow_read_delay: Duration,
+    slow_read_max_sips: usize,
+    client_timeout: Duration,
+    started: Instant,
+) -> Sample {
+    let finish = |outcome: Outcome| Sample { outcome, latency: started.elapsed() };
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return finish(Outcome::Transport),
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(client_timeout));
+    let _ = stream.set_write_timeout(Some(client_timeout));
+    if stream.write_all(request).is_err() {
+        return finish(Outcome::Transport);
+    }
+
+    match chaos {
+        Chaos::Disconnect => {
+            // read a few bytes so the response has started, then vanish
+            let mut head = [0u8; 64];
+            let _ = stream.read(&mut head);
+            drop(stream);
+            finish(Outcome::InjectedDisconnect)
+        }
+        Chaos::SlowRead => {
+            // sip one byte at a time until the server cuts us off (write
+            // timeout), the body ends, or the sip budget runs out
+            let mut byte = [0u8; 1];
+            for _ in 0..slow_read_max_sips {
+                match stream.read(&mut byte) {
+                    Ok(0) => return finish(Outcome::SlowReaderCut),
+                    Ok(_) => std::thread::sleep(slow_read_delay),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                        return finish(Outcome::Transport)
+                    }
+                    Err(_) => return finish(Outcome::SlowReaderCut),
+                }
+            }
+            finish(Outcome::SlowReaderCut)
+        }
+        Chaos::None => {
+            let mut body = Vec::new();
+            match stream.read_to_end(&mut body) {
+                Ok(_) if !body.is_empty() => {
+                    let status = body
+                        .split(|&b| b == b' ')
+                        .nth(1)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .unwrap_or("");
+                    match status {
+                        "200" => finish(Outcome::Ok),
+                        "503" => finish(Outcome::Shed),
+                        _ => finish(Outcome::HttpError),
+                    }
+                }
+                _ => finish(Outcome::Transport),
+            }
+        }
+    }
+}
+
+/// Run the open-loop workload against `addr` and aggregate a
+/// [`LoadReport`]. Arrival times are scheduled up front from the seeded
+/// Poisson process; each arrival gets its own thread so a stalled server
+/// cannot slow the offered load down.
+pub fn run(addr: SocketAddr, workload: &Workload, config: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    let mut counters = [0usize; 3];
+    let mut next_at = Duration::ZERO;
+    let mut offered = 0u64;
+
+    while next_at < config.duration {
+        let class = match pick_class(&mut rng, config.mix, workload) {
+            Some(c) => c,
+            None => break,
+        };
+        let chaos = if rng.gen_bool(config.faults.error_prob.clamp(0.0, 1.0)) {
+            Chaos::Disconnect
+        } else if rng.gen_bool(config.faults.timeout_prob.clamp(0.0, 1.0)) {
+            Chaos::SlowRead
+        } else {
+            Chaos::None
+        };
+        let request = match class {
+            Class::Query => {
+                let i = counters[0];
+                counters[0] += 1;
+                let path = &workload.query_paths[i % workload.query_paths.len()];
+                format!(
+                    "GET {path} HTTP/1.1\r\nHost: bench\r\nAccept: text/csv\r\nConnection: close\r\n\r\n"
+                )
+                .into_bytes()
+            }
+            Class::Update => {
+                let i = counters[1];
+                counters[1] += 1;
+                let body = &workload.update_bodies[i % workload.update_bodies.len()];
+                format!(
+                    "POST /v1/update HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .into_bytes()
+            }
+            Class::Facet => {
+                let i = counters[2];
+                counters[2] += 1;
+                let path = &workload.facet_paths[i % workload.facet_paths.len()];
+                format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+                    .into_bytes()
+            }
+        };
+
+        // open-loop: wait for the scheduled arrival, then fire and forget
+        let wait = next_at.saturating_sub(started.elapsed());
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        offered += 1;
+        let samples = Arc::clone(&samples);
+        let slow_read_delay = config.slow_read_delay;
+        let slow_read_max_sips = config.slow_read_max_sips;
+        let client_timeout = config.client_timeout;
+        handles.push(std::thread::spawn(move || {
+            let sample = run_request(
+                addr,
+                &request,
+                chaos,
+                slow_read_delay,
+                slow_read_max_sips,
+                client_timeout,
+                Instant::now(),
+            );
+            samples.lock().unwrap_or_else(|e| e.into_inner()).push(sample);
+        }));
+        next_at += interarrival(&mut rng, config.target_rps.max(0.1));
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed();
+    let samples = samples.lock().unwrap_or_else(|e| e.into_inner());
+
+    let count = |o: Outcome| samples.iter().filter(|s| s.outcome == o).count() as u64;
+    let completed = count(Outcome::Ok);
+    let shed = count(Outcome::Shed);
+    let http_errors = count(Outcome::HttpError);
+    let injected_disconnects = count(Outcome::InjectedDisconnect);
+    let slow_reader_cuts = count(Outcome::SlowReaderCut);
+    let transport_errors = count(Outcome::Transport);
+
+    let mut latencies: Vec<Duration> = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Ok)
+        .map(|s| s.latency)
+        .collect();
+    latencies.sort();
+
+    LoadReport {
+        offered,
+        completed,
+        shed,
+        http_errors,
+        injected_disconnects,
+        slow_reader_cuts,
+        transport_errors,
+        elapsed,
+        achieved_rps: offered as f64 / config.duration.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        p999_ms: percentile(&latencies, 0.999),
+        shed_rate: shed as f64 / (offered.max(1)) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_mean_approximates_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let rps = 200.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| interarrival(&mut rng, rps).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        // exponential(λ=200) has mean 5ms; a 20k sample lands within 5%
+        assert!((mean - 1.0 / rps).abs() < 0.05 / rps, "mean gap {mean}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), 50.0);
+        assert_eq!(percentile(&ms, 0.99), 99.0);
+        assert_eq!(percentile(&ms, 0.999), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[Duration::from_millis(7)], 0.999), 7.0);
+    }
+
+    #[test]
+    fn mix_respects_empty_pools_and_weights() {
+        let wl = Workload {
+            query_paths: vec!["/v1/query?query=x".into()],
+            update_bodies: vec![],
+            facet_paths: vec!["/v1/facets".into()],
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mix = MixWeights { query: 1.0, update: 1.0, facet: 1.0 };
+        for _ in 0..200 {
+            // updates have weight but no pool: never selected
+            assert_ne!(pick_class(&mut rng, mix, &wl), Some(Class::Update));
+        }
+        let none = Workload::default();
+        assert_eq!(pick_class(&mut rng, mix, &none), None);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = LoadReport {
+            offered: 10,
+            completed: 8,
+            shed: 1,
+            http_errors: 0,
+            injected_disconnects: 1,
+            slow_reader_cuts: 0,
+            transport_errors: 0,
+            elapsed: Duration::from_millis(1234),
+            achieved_rps: 9.9,
+            p50_ms: 3.0,
+            p99_ms: 9.5,
+            p999_ms: 9.9,
+            shed_rate: 0.1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"offered\": 10"));
+        assert!(json.contains("\"p999_ms\": 9.90"));
+        assert!(json.contains("\"shed_rate\": 0.1000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

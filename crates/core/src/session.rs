@@ -436,7 +436,7 @@ impl<'s> AnalyticsSession<'s> {
         match self.strategy {
             EvalStrategy::TranslatedSparql => {
                 let text = translate::to_sparql(&q);
-                match Engine::builder(store).limits(self.limits).build().run(&text) {
+                match Engine::builder(store).limits(self.limits.clone()).build().run(&text) {
                     Ok(results) => {
                         let sols = results.into_solutions().ok_or_else(|| {
                             AnalyticsError::new("translated query was not a SELECT")

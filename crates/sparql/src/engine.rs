@@ -115,7 +115,7 @@ impl<'s> Engine<'s> {
         };
         Ok(PreparedQuery {
             store: self.store,
-            options: self.options,
+            options: self.options.clone(),
             text: text.to_owned(),
             query,
             plan,
@@ -175,16 +175,16 @@ impl<'s> PreparedQuery<'s> {
                     *self.stats.borrow_mut() = Some(stats);
                     Ok(QueryResults::Solutions(solutions))
                 } else {
-                    let ev = Evaluator::with_options(self.store, self.options);
+                    let ev = Evaluator::with_options(self.store, self.options.clone());
                     Ok(QueryResults::Solutions(ev.eval_select(q)?))
                 }
             }
             QueryForm::Construct { template, where_ } => {
-                let ev = Evaluator::with_options(self.store, self.options);
+                let ev = Evaluator::with_options(self.store, self.options.clone());
                 Ok(QueryResults::Graph(ev.eval_construct(template, where_)?))
             }
             QueryForm::Ask(where_) => {
-                let ev = Evaluator::with_options(self.store, self.options);
+                let ev = Evaluator::with_options(self.store, self.options.clone());
                 Ok(QueryResults::Boolean(ev.eval_ask(where_)?))
             }
             QueryForm::Describe(resources) => {
@@ -214,7 +214,7 @@ impl<'s> PreparedQuery<'s> {
             }
             out
         } else {
-            match crate::explain::explain(self.store, &self.text, self.options) {
+            match crate::explain::explain(self.store, &self.text, self.options.clone()) {
                 Ok(plan) => plan.to_text(),
                 Err(e) => format!("explain unavailable: {e}\n"),
             }

@@ -85,7 +85,7 @@ pub enum ExecMode {
 }
 
 /// Evaluation options (the ablation switches plus resource budgets).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// Reorder BGP patterns by estimated selectivity (default true).
     pub reorder_bgp: bool,
@@ -127,7 +127,7 @@ impl<'s> Evaluator<'s> {
     /// Create an evaluator with explicit options. The limit clock starts
     /// here, so construct the evaluator right before running the query.
     pub fn with_options(store: &'s Store, options: EvalOptions) -> Self {
-        let guard = Rc::new(LimitGuard::new(options.limits));
+        let guard = Rc::new(LimitGuard::new(options.limits.clone()));
         Evaluator { store, options, guard }
     }
 

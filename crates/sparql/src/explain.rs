@@ -61,7 +61,7 @@ pub fn explain(store: &Store, text: &str, options: EvalOptions) -> Result<Plan, 
     };
     let mut frame = Frame::default();
     Evaluator::collect_vars(where_, &mut frame);
-    let ev = Evaluator::with_options(store, options);
+    let ev = Evaluator::with_options(store, options.clone());
 
     let mut plan = Plan::default();
     // gather the first maximal BGP run, as eval_group does

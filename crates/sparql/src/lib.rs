@@ -49,7 +49,7 @@ pub use ast::{Query, QueryForm, SelectQuery};
 pub use engine::{Engine, EngineBuilder, PreparedQuery};
 pub use eval::{EvalOptions, ExecMode};
 pub use explain::{explain, Plan};
-pub use limits::{EvalLimits, LimitKind};
+pub use limits::{CancelFlag, EvalLimits, LimitKind};
 pub use parser::parse_query;
 pub use plan::{ExecStats, OpStats};
 pub use results::{QueryResults, Solutions};
@@ -76,10 +76,19 @@ impl SparqlError {
     pub fn message(&self) -> String {
         match self {
             SparqlError::Query(m) => m.clone(),
+            SparqlError::ResourceLimit { kind: LimitKind::Cancelled, .. } => {
+                "query cancelled: client disconnected or server draining".to_owned()
+            }
             SparqlError::ResourceLimit { kind, limit } => {
                 format!("resource limit exceeded: {kind} (limit {limit})")
             }
         }
+    }
+
+    /// True when evaluation stopped because its [`CancelFlag`] was set
+    /// (client gone or server draining) rather than a budget being exceeded.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SparqlError::ResourceLimit { kind: LimitKind::Cancelled, .. })
     }
 
     /// True for the structured resource-limit variant. Callers use this to

@@ -19,6 +19,8 @@
 use crate::SparqlError;
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which budget a query exhausted.
@@ -34,6 +36,9 @@ pub enum LimitKind {
     RecursionDepth,
     /// Estimated bytes of materialized intermediate state.
     MemoryBytes,
+    /// Evaluation was cancelled from outside (client disconnect, server
+    /// drain) via a [`CancelFlag`].
+    Cancelled,
 }
 
 impl fmt::Display for LimitKind {
@@ -44,12 +49,52 @@ impl fmt::Display for LimitKind {
             LimitKind::PathVisits => "path visits",
             LimitKind::RecursionDepth => "recursion depth",
             LimitKind::MemoryBytes => "memory bytes",
+            LimitKind::Cancelled => "cancelled",
         })
     }
 }
 
+/// A cooperative cancellation token: a shared flag the owner (typically the
+/// server's connection handler) raises to make an in-flight evaluation stop
+/// at its next limit probe. Clones share the flag; raising it is one relaxed
+/// atomic store, so it is safe to call from any thread — a disconnect
+/// watcher, a drain loop, a signal handler.
+///
+/// Cancellation is observed at exactly the points the deadline is probed
+/// (row/visit counters in both engines, aggregation worker loops), so a
+/// cancelled query stops within the same latency bound as an expired one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag: evaluations carrying this flag stop at their next
+    /// probe with [`LimitKind::Cancelled`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Two flags are equal when they are the *same* flag (clones of one token).
+impl PartialEq for CancelFlag {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelFlag {}
+
 /// Declarative evaluation budget; `None` means unlimited for that axis.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvalLimits {
     /// Wall-clock deadline for the whole evaluation.
     pub deadline: Option<Duration>,
@@ -64,6 +109,9 @@ pub struct EvalLimits {
     /// allocator measurement: it exists to stop one query from growing a
     /// multi-gigabyte join under a shared server, not to meter the heap.
     pub max_memory_bytes: Option<u64>,
+    /// External cancellation token, probed at the same points as the
+    /// deadline. `None` means the evaluation cannot be cancelled.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl EvalLimits {
@@ -82,6 +130,7 @@ impl EvalLimits {
             max_path_visits: Some(5_000_000),
             max_depth: Some(32),
             max_memory_bytes: Some(256 * 1024 * 1024),
+            cancel: None,
         }
     }
 
@@ -110,7 +159,15 @@ impl EvalLimits {
         self
     }
 
-    /// True when no limit is set on any axis.
+    /// Attach a cancellation token: raising the (shared) flag makes the
+    /// evaluation stop at its next probe with [`LimitKind::Cancelled`].
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when no limit is set on any axis (a cancel flag alone does not
+    /// count: it bounds *who may stop* the query, not what it may spend).
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
             && self.max_rows.is_none()
@@ -140,6 +197,9 @@ impl fmt::Display for EvalLimits {
         }
         if let Some(n) = self.max_memory_bytes {
             parts.push(format!("memory <= {n} bytes"));
+        }
+        if self.cancel.is_some() {
+            parts.push("cancellable".to_owned());
         }
         f.write_str(&parts.join(", "))
     }
@@ -185,7 +245,12 @@ impl LimitGuard {
 
     /// The budget in force.
     pub fn limits(&self) -> EvalLimits {
-        self.limits
+        self.limits.clone()
+    }
+
+    /// True once the attached [`CancelFlag`] (if any) has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.limits.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// Time since the guard was created.
@@ -236,11 +301,16 @@ impl LimitGuard {
         SparqlError::ResourceLimit { kind, limit }
     }
 
-    /// The guard's start instant and deadline, for worker threads that
-    /// cannot share the (non-`Sync`) guard itself: they probe the clock
-    /// against these and report back via [`LimitGuard::note_trip`].
-    pub(crate) fn deadline_info(&self) -> (Instant, Option<Duration>) {
-        (self.start, self.limits.deadline)
+    /// A `Send + Sync` snapshot of the guard's interrupt sources (start
+    /// instant, deadline, cancel flag), for worker threads that cannot share
+    /// the (non-`Sync`) guard itself: they probe against this and report
+    /// back via [`LimitGuard::note_trip`].
+    pub(crate) fn probe_info(&self) -> ProbeInfo {
+        ProbeInfo {
+            start: self.start,
+            deadline: self.limits.deadline,
+            cancel: self.limits.cancel.clone(),
+        }
     }
 
     /// Record a trip observed outside the guard (e.g. by an aggregation
@@ -260,15 +330,24 @@ impl LimitGuard {
         }
     }
 
-    /// Probe the wall-clock deadline. Amortised: `Instant::now` runs once
-    /// per `DEADLINE_PROBE_INTERVAL` calls.
+    /// Probe the wall-clock deadline and the cancellation flag. Amortised:
+    /// `Instant::now` and the atomic load run once per
+    /// `DEADLINE_PROBE_INTERVAL` calls, so a cancelled query stops within
+    /// the same latency bound as an expired one.
     pub fn check_deadline(&self) -> Result<(), SparqlError> {
         self.surface()?;
-        if let Some(d) = self.limits.deadline {
+        if self.limits.deadline.is_some() || self.limits.cancel.is_some() {
             let t = self.ticks.get().wrapping_add(1);
             self.ticks.set(t);
-            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) && self.start.elapsed() > d {
-                return Err(self.trip(LimitKind::Deadline, d.as_millis() as u64));
+            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) {
+                if self.is_cancelled() {
+                    return Err(self.trip(LimitKind::Cancelled, 0));
+                }
+                if let Some(d) = self.limits.deadline {
+                    if self.start.elapsed() > d {
+                        return Err(self.trip(LimitKind::Deadline, d.as_millis() as u64));
+                    }
+                }
             }
         }
         Ok(())
@@ -320,15 +399,44 @@ impl LimitGuard {
         if self.tripped.get().is_some() {
             return true;
         }
-        if let Some(d) = self.limits.deadline {
+        if self.limits.deadline.is_some() || self.limits.cancel.is_some() {
             let t = self.ticks.get().wrapping_add(1);
             self.ticks.set(t);
-            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) && self.start.elapsed() > d {
-                self.tripped.set(Some((LimitKind::Deadline, d.as_millis() as u64)));
-                return true;
+            if t.is_multiple_of(DEADLINE_PROBE_INTERVAL) {
+                if self.is_cancelled() {
+                    self.tripped.set(Some((LimitKind::Cancelled, 0)));
+                    return true;
+                }
+                if let Some(d) = self.limits.deadline {
+                    if self.start.elapsed() > d {
+                        self.tripped.set(Some((LimitKind::Deadline, d.as_millis() as u64)));
+                        return true;
+                    }
+                }
             }
         }
         false
+    }
+}
+
+/// [`LimitGuard::probe_info`]: the interrupt sources a worker thread probes
+/// (the guard itself is interior-mutable and not `Sync`).
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeInfo {
+    start: Instant,
+    deadline: Option<Duration>,
+    cancel: Option<CancelFlag>,
+}
+
+impl ProbeInfo {
+    /// True once the deadline has passed.
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| self.start.elapsed() > d)
+    }
+
+    /// True once the cancel flag has been raised.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 }
 
@@ -455,6 +563,51 @@ mod tests {
             g.count_row_bytes(100),
             Err(SparqlError::ResourceLimit { kind: LimitKind::MemoryBytes, limit: 250 })
         ));
+    }
+
+    #[test]
+    fn cancel_flag_trips_within_probe_interval_and_sticks() {
+        let flag = CancelFlag::new();
+        let g = LimitGuard::new(EvalLimits::default().with_cancel(flag.clone()));
+        for _ in 0..1_000 {
+            g.check_deadline().unwrap();
+        }
+        flag.cancel();
+        let mut err = None;
+        for _ in 0..=DEADLINE_PROBE_INTERVAL {
+            if let Err(e) = g.check_deadline() {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(
+            err,
+            Some(SparqlError::ResourceLimit { kind: LimitKind::Cancelled, limit: 0 })
+        ));
+        // sticky like every other trip
+        assert!(g.surface().is_err());
+        assert!(g.soft_tripped());
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let flag = CancelFlag::new();
+        let clone = flag.clone();
+        assert_eq!(flag, clone);
+        assert_ne!(flag, CancelFlag::new());
+        clone.cancel();
+        assert!(flag.is_cancelled());
+        let g = LimitGuard::new(EvalLimits::default().with_cancel(flag));
+        assert!(g.is_cancelled());
+        // soft probe records the trip too (FILTER / ORDER BY contexts)
+        let mut tripped = false;
+        for _ in 0..=DEADLINE_PROBE_INTERVAL {
+            if g.soft_tripped() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::ast::*;
 use crate::batch::{as_store, pack_store, Batch, EId, TermArena, UNBOUND};
 use crate::eval::{finalize_rows, Bound, EvalOptions, Evaluator, Frame, Row};
 use crate::expr::eval_expr_limited;
-use crate::limits::{LimitGuard, LimitKind};
+use crate::limits::{LimitGuard, LimitKind, ProbeInfo};
 use crate::results::Solutions;
 use crate::SparqlError;
 use rdfa_model::{Term, Value};
@@ -808,11 +808,11 @@ pub(crate) fn execute_plan(
     options: &EvalOptions,
 ) -> Result<(Solutions, ExecStats), SparqlError> {
     let t0 = Instant::now();
-    let guard = Rc::new(LimitGuard::new(options.limits));
+    let guard = Rc::new(LimitGuard::new(options.limits.clone()));
     let mut ex = Executor {
         store,
         frame: &plan.frame,
-        options: *options,
+        options: options.clone(),
         guard: Rc::clone(&guard),
         arena: TermArena::new(),
         op_rows: vec![0; plan.ops.len()],
@@ -1286,13 +1286,22 @@ impl Executor<'_> {
                 specs: &specs,
                 simple: &simple,
             };
-            match parallel_group(&ctx, workers, self.guard.deadline_info()) {
+            match parallel_group(&ctx, workers, self.guard.probe_info()) {
                 Some(groups) => groups,
                 None => {
-                    // a worker saw the deadline expire: record and surface
-                    let ms =
-                        self.guard.limits().deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
-                    self.guard.note_trip(LimitKind::Deadline, ms);
+                    // a worker saw the deadline expire (or the query was
+                    // cancelled): record the right trip kind and surface
+                    if self.guard.is_cancelled() {
+                        self.guard.note_trip(LimitKind::Cancelled, 0);
+                    } else {
+                        let ms = self
+                            .guard
+                            .limits()
+                            .deadline
+                            .map(|d| d.as_millis() as u64)
+                            .unwrap_or(0);
+                        self.guard.note_trip(LimitKind::Deadline, ms);
+                    }
                     self.guard.surface()?;
                     unreachable!("surface must fail after a recorded trip");
                 }
@@ -1537,11 +1546,11 @@ struct ParCtx<'a> {
 /// Hash-aggregate `ctx.batch` across `workers` scoped threads over
 /// contiguous row chunks, then merge the per-worker partial maps in chunk
 /// order (preserving global first-seen group order). Returns `None` when a
-/// worker observed the deadline expire.
+/// worker observed the deadline expire or the query's cancellation flag.
 fn parallel_group(
     ctx: &ParCtx<'_>,
     workers: usize,
-    deadline: (Instant, Option<Duration>),
+    probe: ProbeInfo,
 ) -> Option<Vec<GroupAcc>> {
     let rows = ctx.batch.len();
     let chunk = rows.div_ceil(workers);
@@ -1552,7 +1561,8 @@ fn parallel_group(
                 let start = w * chunk;
                 let end = ((w + 1) * chunk).min(rows);
                 let stop = &stop;
-                scope.spawn(move || worker_group(ctx, start, end, stop, deadline))
+                let probe = probe.clone();
+                scope.spawn(move || worker_group(ctx, start, end, stop, probe))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("aggregation worker panicked")).collect()
@@ -1584,13 +1594,14 @@ fn parallel_group(
 }
 
 /// One worker: sequential hash aggregation over `[start, end)`, probing the
-/// shared stop flag and the deadline every [`WORKER_PROBE_INTERVAL`] rows.
+/// shared stop flag, the deadline, and the cancellation flag every
+/// [`WORKER_PROBE_INTERVAL`] rows.
 fn worker_group(
     ctx: &ParCtx<'_>,
     start: usize,
     end: usize,
     stop: &AtomicBool,
-    (t0, deadline): (Instant, Option<Duration>),
+    probe: ProbeInfo,
 ) -> Option<Vec<GroupAcc>> {
     let mut groups: Vec<GroupAcc> = Vec::new();
     let mut index: HashMap<Vec<EId>, usize> = HashMap::new();
@@ -1600,11 +1611,9 @@ fn worker_group(
             if stop.load(AtomicOrdering::Relaxed) {
                 return None;
             }
-            if let Some(d) = deadline {
-                if t0.elapsed() > d {
-                    stop.store(true, AtomicOrdering::Relaxed);
-                    return None;
-                }
+            if probe.cancelled() || probe.deadline_expired() {
+                stop.store(true, AtomicOrdering::Relaxed);
+                return None;
             }
         }
         let key: Vec<EId> = ctx.canon.iter().map(|col| col[r]).collect();

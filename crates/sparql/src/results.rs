@@ -105,100 +105,125 @@ impl Solutions {
     }
 }
 
+/// RFC-4180 field quoting for the SPARQL CSV results format.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// JSON string escaping (quotes included in the output).
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One term in the W3C SPARQL-JSON binding shape.
+fn term_json(t: &Term) -> String {
+    match t {
+        Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":{}}}", js(iri)),
+        Term::Blank(b) => format!("{{\"type\":\"bnode\",\"value\":{}}}", js(b)),
+        Term::Literal(Literal { lexical, datatype, lang: Some(lang) }) => {
+            let _ = datatype;
+            format!("{{\"type\":\"literal\",\"xml:lang\":{},\"value\":{}}}", js(lang), js(lexical))
+        }
+        Term::Literal(Literal { lexical, datatype, lang: None }) => {
+            if datatype == xsd::STRING {
+                format!("{{\"type\":\"literal\",\"value\":{}}}", js(lexical))
+            } else {
+                format!(
+                    "{{\"type\":\"literal\",\"datatype\":{},\"value\":{}}}",
+                    js(datatype),
+                    js(lexical)
+                )
+            }
+        }
+    }
+}
+
 #[allow(deprecated)]
 impl Solutions {
     /// Serialize per the SPARQL 1.1 CSV results format: a header of bare
     /// variable names, then value rows (IRIs bare, literal lexical forms,
-    /// RFC-4180 quoting).
+    /// RFC-4180 quoting, CRLF line endings).
     pub fn to_csv(&self) -> String {
-        fn field(s: &str) -> String {
-            if s.contains([',', '"', '\n', '\r']) {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_owned()
-            }
-        }
-        let mut out = self.vars.iter().map(|v| field(v)).collect::<Vec<_>>().join(",");
-        out.push('\n');
+        let mut out = Vec::with_capacity(64 * self.rows.len().max(1));
+        self.write_csv(&mut out).expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("CSV serialization is UTF-8")
+    }
+
+    /// Stream the SPARQL 1.1 CSV serialization row by row into `out`.
+    /// Memory stays bounded by one row regardless of result size — this is
+    /// what the server's chunked-transfer path calls, so a `LIMIT`-less
+    /// SELECT never builds a whole-body `String`.
+    pub fn write_csv(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let header = self.vars.iter().map(|v| csv_field(v)).collect::<Vec<_>>().join(",");
+        out.write_all(header.as_bytes())?;
+        out.write_all(b"\r\n")?;
         for row in &self.rows {
-            let line = row
-                .iter()
-                .map(|c| match c {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.write_all(b",")?;
+                }
+                let cell = match c {
                     None => String::new(),
-                    Some(Term::Iri(iri)) => field(iri),
-                    Some(Term::Blank(b)) => field(&format!("_:{b}")),
-                    Some(Term::Literal(l)) => field(&l.lexical),
-                })
-                .collect::<Vec<_>>()
-                .join(",");
-            out.push_str(&line);
-            out.push('\n');
+                    Some(Term::Iri(iri)) => csv_field(iri),
+                    Some(Term::Blank(b)) => csv_field(&format!("_:{b}")),
+                    Some(Term::Literal(l)) => csv_field(&l.lexical),
+                };
+                out.write_all(cell.as_bytes())?;
+            }
+            out.write_all(b"\r\n")?;
         }
-        out
+        Ok(())
     }
 
     /// Serialize per the W3C "SPARQL 1.1 Query Results JSON Format":
     /// `{"head":{"vars":[…]},"results":{"bindings":[…]}}`.
     pub fn to_json(&self) -> String {
-        fn js(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        fn term_json(t: &Term) -> String {
-            match t {
-                Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":{}}}", js(iri)),
-                Term::Blank(b) => format!("{{\"type\":\"bnode\",\"value\":{}}}", js(b)),
-                Term::Literal(Literal { lexical, datatype, lang: Some(lang) }) => {
-                    let _ = datatype;
-                    format!(
-                        "{{\"type\":\"literal\",\"xml:lang\":{},\"value\":{}}}",
-                        js(lang),
-                        js(lexical)
-                    )
-                }
-                Term::Literal(Literal { lexical, datatype, lang: None }) => {
-                    if datatype == xsd::STRING {
-                        format!("{{\"type\":\"literal\",\"value\":{}}}", js(lexical))
-                    } else {
-                        format!(
-                            "{{\"type\":\"literal\",\"datatype\":{},\"value\":{}}}",
-                            js(datatype),
-                            js(lexical)
-                        )
-                    }
-                }
-            }
-        }
+        let mut out = Vec::with_capacity(128 * self.rows.len().max(1));
+        self.write_json(&mut out).expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("JSON serialization is UTF-8")
+    }
+
+    /// Stream the W3C SPARQL-JSON serialization binding by binding into
+    /// `out`; the streaming counterpart of [`Solutions::to_json`].
+    pub fn write_json(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
         let head = self.vars.iter().map(|v| js(v)).collect::<Vec<_>>().join(",");
-        let bindings = self
-            .rows
-            .iter()
-            .map(|row| {
-                let cells = self
-                    .vars
-                    .iter()
-                    .zip(row)
-                    .filter_map(|(v, c)| c.as_ref().map(|t| format!("{}:{}", js(v), term_json(t))))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                format!("{{{cells}}}")
-            })
-            .collect::<Vec<_>>()
-            .join(",");
-        format!("{{\"head\":{{\"vars\":[{head}]}},\"results\":{{\"bindings\":[{bindings}]}}}}")
+        write!(out, "{{\"head\":{{\"vars\":[{head}]}},\"results\":{{\"bindings\":[")?;
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(b"{")?;
+            let mut first = true;
+            for (v, c) in self.vars.iter().zip(row) {
+                if let Some(t) = c {
+                    if !first {
+                        out.write_all(b",")?;
+                    }
+                    first = false;
+                    write!(out, "{}:{}", js(v), term_json(t))?;
+                }
+            }
+            out.write_all(b"}")?;
+        }
+        out.write_all(b"]}}")
     }
 }
 
@@ -258,7 +283,36 @@ mod tests {
             ],
         );
         let csv = s.to_csv();
-        assert_eq!(csv, "m,n\nhttp://e/DELL,2\n\"a,b\",\n");
+        // SPARQL 1.1 CSV results require CRLF line endings (header and rows)
+        assert_eq!(csv, "m,n\r\nhttp://e/DELL,2\r\n\"a,b\",\r\n");
+    }
+
+    #[test]
+    fn csv_quoting_survives_embedded_newlines() {
+        let s = Solutions::new(
+            vec!["x".into()],
+            vec![vec![Some(Term::string("line1\nline2"))], vec![Some(Term::string("say \"hi\""))]],
+        );
+        let csv = s.to_csv();
+        assert_eq!(csv, "x\r\n\"line1\nline2\"\r\n\"say \"\"hi\"\"\"\r\n");
+    }
+
+    #[test]
+    fn streaming_writers_match_string_serializers() {
+        let s = Solutions::new(
+            vec!["m".into(), "n".into()],
+            vec![
+                vec![Some(Term::iri("http://e/DELL")), Some(Term::integer(2))],
+                vec![Some(Term::string("a,b")), None],
+                vec![Some(Term::Literal(Literal::lang_string("héllo", "en"))), None],
+            ],
+        );
+        let mut csv = Vec::new();
+        s.write_csv(&mut csv).unwrap();
+        assert_eq!(String::from_utf8(csv).unwrap(), s.to_csv());
+        let mut json = Vec::new();
+        s.write_json(&mut json).unwrap();
+        assert_eq!(String::from_utf8(json).unwrap(), s.to_json());
     }
 
     #[test]

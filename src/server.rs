@@ -75,7 +75,9 @@ use rdfa_facets::{
     notation, ClassMarker, FacetCache, FacetError, FacetOptions, PropertyFacet,
     State as FacetState,
 };
-use rdfa_sparql::{execute_update, execute_update_recording, Engine, EvalLimits, QueryResults};
+use rdfa_sparql::{
+    execute_update, execute_update_recording, CancelFlag, Engine, EvalLimits, QueryResults,
+};
 use rdfa_store::{
     Journal, PersistError, PersistentStore, Snapshot, SnapshotStore, Store, StoreStats,
 };
@@ -86,7 +88,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Tunables for the endpoint's robustness behaviour.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads draining the accept queue.
     pub workers: usize,
@@ -94,8 +96,19 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-connection socket read timeout (stalled request → `408`).
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// Per-connection socket write timeout: a reader draining a streamed
+    /// response slower than this is disconnected (shed), not waited on.
     pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`Connection: close` on the last response); bounds how long a
+    /// single client can monopolize a worker. `0` means 1.
+    pub max_requests_per_conn: usize,
+    /// Target chunk size for streamed (chunked transfer-encoding) query
+    /// results — the serialization buffer never grows past roughly this.
+    pub stream_chunk_bytes: usize,
     /// Largest `Content-Length` accepted; larger requests → `413`.
     pub max_body_bytes: usize,
     /// Resource limits applied to every query evaluation (`503` when hit).
@@ -120,7 +133,10 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
-            max_body_bytes: 1 << 20, // 1 MiB
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 100,
+            stream_chunk_bytes: 64 << 10, // 64 KiB
+            max_body_bytes: 1 << 20,      // 1 MiB
             limits: EvalLimits::interactive(),
             facet_cache_entries: rdfa_facets::DEFAULT_FACET_CACHE_ENTRIES,
             max_in_flight: 64,
@@ -187,6 +203,23 @@ struct Ctx {
     in_flight: AtomicUsize,
     /// Requests turned away by the in-flight budget since startup.
     shed: AtomicU64,
+    /// Set at the start of shutdown: in-flight evaluations observe it via
+    /// their [`CancelFlag`] watcher and stop promptly instead of running
+    /// to completion against a server that will discard the answer.
+    draining: Arc<AtomicBool>,
+    /// State for the jittered `Retry-After` values (splitmix-style hash of
+    /// an advancing counter — no locking, no external RNG dependency).
+    retry_seed: AtomicU64,
+}
+
+/// A jittered `Retry-After` header (1–3 s) so that a fleet of clients shed
+/// at the same instant does not re-stampede the server on the same tick.
+fn retry_after_header(ctx: &Ctx) -> String {
+    let mut x = ctx.retry_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    format!("Retry-After: {}", 1 + x % 3)
 }
 
 /// An admitted work-route request; releases its in-flight slot on drop —
@@ -213,13 +246,14 @@ fn admit(ctx: &Ctx) -> Option<Admitted<'_>> {
     Some(Admitted(ctx))
 }
 
-/// The shed response: `503` + `Retry-After`, so well-behaved clients back
-/// off instead of hammering a saturated server.
-fn write_shed(stream: &mut TcpStream, extra: &[String]) -> std::io::Result<()> {
-    let mut headers = vec!["Retry-After: 1".to_owned()];
+/// The shed response: `503` with a JSON error body and a jittered
+/// `Retry-After`, so well-behaved clients back off instead of hammering a
+/// saturated server — and don't all come back on the same second.
+fn write_shed(wire: &mut Wire<'_>, ctx: &Ctx, extra: &[String]) -> std::io::Result<()> {
+    let mut headers = vec![retry_after_header(ctx)];
     headers.extend(extra.iter().cloned());
     write_response_headed(
-        stream,
+        wire,
         "503 Service Unavailable",
         "application/json",
         &headers,
@@ -269,18 +303,24 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let queue_capacity = config.queue_capacity;
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        let worker_count = config.workers;
         let ctx = Arc::new(Ctx {
             shared,
             facet_cache: FacetCache::new(config.facet_cache_entries),
             config,
             in_flight: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
+            draining: Arc::new(AtomicBool::new(false)),
+            retry_seed: AtomicU64::new(0x243F_6A88_85A3_08D3),
         });
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::new();
-        for i in 0..config.workers.max(1) {
+        for i in 0..worker_count.max(1) {
             let rx = Arc::clone(&rx);
             let ctx = Arc::clone(&ctx);
             let handle = std::thread::Builder::new()
@@ -300,22 +340,23 @@ impl Server {
         }
 
         let stop2 = Arc::clone(&stop);
+        let accept_ctx = Arc::clone(&ctx);
         let acceptor = std::thread::Builder::new().name("rdfa-accept".to_owned()).spawn(
             move || {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let _ = stream.set_nonblocking(false);
-                            let _ = stream.set_read_timeout(Some(config.read_timeout));
-                            let _ = stream.set_write_timeout(Some(config.write_timeout));
+                            let _ = stream.set_read_timeout(Some(read_timeout));
+                            let _ = stream.set_write_timeout(Some(write_timeout));
                             match tx.try_send(stream) {
                                 Ok(()) => {}
                                 Err(mpsc::TrySendError::Full(mut rejected)) => {
-                                    let _ = write_response_headed(
+                                    let _ = write_response_raw(
                                         &mut rejected,
                                         "503 Service Unavailable",
                                         "application/json",
-                                        &["Retry-After: 1".to_owned()],
+                                        &[retry_after_header(&accept_ctx)],
                                         &json_error(503, "server busy: connection queue full"),
                                     );
                                 }
@@ -371,6 +412,11 @@ impl Server {
         if self.acceptor.is_none() && self.workers.is_empty() {
             return; // already shut down (stop() followed by Drop)
         }
+        // 0. signal drain: in-flight query evaluations observe this via
+        //    their CancelFlag watcher and stop early, so step 2's joins
+        //    don't wait out long-running queries whose answers nobody
+        //    will receive
+        self.ctx.draining.store(true, Ordering::Relaxed);
         // 1. stop accepting: joining the acceptor first guarantees nothing
         //    new enters the queue after this point, and drops the sender
         self.stop.store(true, Ordering::Relaxed);
@@ -407,10 +453,11 @@ fn serve_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
     }));
     if outcome.is_err() {
         if let Some(mut out) = spare {
-            let _ = write_response(
+            let _ = write_response_raw(
                 &mut out,
                 "500 Internal Server Error",
                 "application/json",
+                &[],
                 &json_error(500, "internal server error: handler panicked"),
             );
         }
@@ -421,54 +468,105 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
+/// Per-response connection state: where to write, what framing the request
+/// allows, and whether the connection survives the response.
+struct Wire<'a> {
+    stream: &'a mut TcpStream,
+    /// The request was HTTP/1.1, so chunked transfer-encoding is allowed.
+    http11: bool,
+    /// Keep the connection open after this response. Cleared by error
+    /// responses and `Connection: close` requests; the response's
+    /// `Connection` header always reflects the final value.
+    keep_alive: bool,
+    /// Target chunk size for streamed bodies.
+    chunk_bytes: usize,
+}
+
+/// Serve requests off one connection until the client closes, asks to
+/// close, errors, idles past [`ServerConfig::keep_alive_timeout`], or hits
+/// the [`ServerConfig::max_requests_per_conn`] cap.
 fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
-    let config = &ctx.config;
     let mut reader = BufReader::new(stream);
+    let max_requests = ctx.config.max_requests_per_conn.max(1);
+    for served in 0..max_requests {
+        let last = served + 1 == max_requests;
+        if !handle_request(&mut reader, ctx, served, last)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Read, dispatch, and answer one request. Returns whether the connection
+/// stays open for another.
+fn handle_request(
+    reader: &mut BufReader<TcpStream>,
+    ctx: &Ctx,
+    served: usize,
+    last: bool,
+) -> std::io::Result<bool> {
+    let config = &ctx.config;
+    // Re-arm the read timeout every request: between keep-alive requests
+    // the idle budget applies, and a query's DisconnectWatcher may have
+    // shortened SO_RCVTIMEO on the shared socket in the meantime.
+    let idle = if served == 0 { config.read_timeout } else { config.keep_alive_timeout };
+    let _ = reader.get_ref().set_read_timeout(Some(idle));
     let mut request_line = String::new();
     match reader.read_line(&mut request_line) {
-        Ok(0) => return Ok(()), // client closed without sending anything
+        Ok(0) => return Ok(false), // client closed between requests
         Ok(_) => {}
         Err(e) if is_timeout(&e) => {
-            return write_response(
-                reader.get_mut(),
-                "408 Request Timeout",
-                "application/json",
-                &json_error(408, "timed out reading the request"),
-            );
+            if served == 0 {
+                // never sent a request at all: say so before hanging up
+                write_response_raw(
+                    reader.get_mut(),
+                    "408 Request Timeout",
+                    "application/json",
+                    &[],
+                    &json_error(408, "timed out reading the request"),
+                )?;
+            }
+            return Ok(false); // idle keep-alive expiry: close silently
         }
         Err(e) => return Err(e),
     }
+    let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
     let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => {
-            (m.to_owned(), t.to_owned(), v)
+            (m.to_owned(), t.to_owned(), v.to_owned())
         }
         _ => {
-            return write_response(
+            write_response_raw(
                 reader.get_mut(),
                 "400 Bad Request",
                 "application/json",
+                &[],
                 &json_error(400, "malformed request line"),
-            );
+            )?;
+            return Ok(false);
         }
     };
-    let _ = version;
+    let http11 = version != "HTTP/1.0";
 
     // headers
     let mut content_length = 0usize;
     let mut accept = String::new();
+    let mut connection = String::new();
     loop {
         let mut line = String::new();
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {}
             Err(e) if is_timeout(&e) => {
-                return write_response(
+                write_response_raw(
                     reader.get_mut(),
                     "408 Request Timeout",
                     "application/json",
+                    &[],
                     &json_error(408, "timed out reading request headers"),
-                );
+                )?;
+                return Ok(false);
             }
             Err(e) => return Err(e),
         }
@@ -481,15 +579,18 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                 "content-length" => match value.trim().parse::<usize>() {
                     Ok(n) => content_length = n,
                     Err(_) => {
-                        return write_response(
+                        write_response_raw(
                             reader.get_mut(),
                             "400 Bad Request",
                             "application/json",
+                            &[],
                             &json_error(400, "invalid Content-Length"),
-                        );
+                        )?;
+                        return Ok(false);
                     }
                 },
                 "accept" => accept = value.trim().to_owned(),
+                "connection" => connection = value.trim().to_ascii_lowercase(),
                 _ => {}
             }
         }
@@ -498,10 +599,11 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
     // cap the declared body size BEFORE allocating the buffer: a client
     // claiming Content-Length: 999999999 must not make us reserve a gig
     if content_length > config.max_body_bytes {
-        return write_response(
+        write_response_raw(
             reader.get_mut(),
             "413 Payload Too Large",
             "application/json",
+            &[],
             &json_error(
                 413,
                 &format!(
@@ -509,18 +611,21 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                     config.max_body_bytes
                 ),
             ),
-        );
+        )?;
+        return Ok(false);
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         if let Err(e) = reader.read_exact(&mut body) {
             if is_timeout(&e) {
-                return write_response(
+                write_response_raw(
                     reader.get_mut(),
                     "408 Request Timeout",
                     "application/json",
+                    &[],
                     &json_error(408, "timed out reading the request body"),
-                );
+                )?;
+                return Ok(false);
             }
             return Err(e);
         }
@@ -532,10 +637,18 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
         None => (target.as_str(), ""),
     };
 
-    let mut stream = reader.into_inner();
+    // HTTP/1.1 defaults to keep-alive unless the client opts out;
+    // HTTP/1.0 always closes (we don't honour 1.0 keep-alive extensions)
+    let keep_alive = http11 && !connection.contains("close") && !last;
+    let mut wire = Wire {
+        stream: reader.get_mut(),
+        http11,
+        keep_alive,
+        chunk_bytes: config.stream_chunk_bytes,
+    };
 
-    match (method.as_str(), path) {
-        ("GET", "/health") => write_response(&mut stream, "200 OK", "text/plain", "ok"),
+    let outcome = match (method.as_str(), path) {
+        ("GET", "/health") => write_response(&mut wire, "200 OK", "text/plain", "ok"),
         ("GET", "/healthz") => {
             // exempt from admission: a saturated server must stay probeable
             let snap = ctx.shared.snapshot();
@@ -560,7 +673,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                     )
                 }
             };
-            write_response(&mut stream, "200 OK", "application/json", &payload)
+            write_response(&mut wire, "200 OK", "application/json", &payload)
         }
         ("GET", "/panic") if config.debug_routes => {
             panic!("deliberate panic for robustness testing")
@@ -568,76 +681,71 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
         ("GET", "/slow") if config.debug_routes => {
             // an admission-controlled request that just holds its slot —
             // deterministic saturation for tests and the concurrent bench
-            let _slot = match admit(ctx) {
-                Some(slot) => slot,
-                None => return write_shed(&mut stream, &[]),
-            };
-            let ms = form_value(query_string, "ms")
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(100);
-            std::thread::sleep(Duration::from_millis(ms));
-            write_response(&mut stream, "200 OK", "text/plain", "ok")
+            match admit(ctx) {
+                None => write_shed(&mut wire, ctx, &[]),
+                Some(_slot) => {
+                    let ms = form_value(query_string, "ms")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(100);
+                    std::thread::sleep(Duration::from_millis(ms));
+                    write_response(&mut wire, "200 OK", "text/plain", "ok")
+                }
+            }
         }
-        ("GET", "/void") => {
-            let _slot = match admit(ctx) {
-                Some(slot) => slot,
-                None => return write_shed(&mut stream, &[]),
-            };
-            let snap = ctx.shared.snapshot();
-            let stats = StoreStats::gather(&snap);
-            let void = stats.to_void_graph(&snap, "urn:rdfa:dataset");
-            write_response(
-                &mut stream,
-                "200 OK",
-                "application/n-triples",
-                &rdfa_model::ntriples::serialize(&void),
-            )
-        }
+        ("GET", "/void") => match admit(ctx) {
+            None => write_shed(&mut wire, ctx, &[]),
+            Some(_slot) => {
+                let snap = ctx.shared.snapshot();
+                let stats = StoreStats::gather(&snap);
+                let void = stats.to_void_graph(&snap, "urn:rdfa:dataset");
+                write_response(
+                    &mut wire,
+                    "200 OK",
+                    "application/n-triples",
+                    &rdfa_model::ntriples::serialize(&void),
+                )
+            }
+        },
         ("GET", "/v1/query") | ("POST", "/v1/query") | ("GET", "/sparql") | ("POST", "/sparql") => {
             // `/sparql` is the pre-v1 alias: same behaviour, plus headers
             // steering clients to the versioned route
             let extra = legacy_headers(path, "/sparql", "/v1/query");
-            let _slot = match admit(ctx) {
-                Some(slot) => slot,
-                None => return write_shed(&mut stream, extra),
-            };
-            let query = if method == "POST" {
-                body
-            } else {
-                match form_value(query_string, "query") {
-                    Some(q) => q,
-                    None => {
-                        return write_response_headed(
-                            &mut stream,
+            match admit(ctx) {
+                None => write_shed(&mut wire, ctx, extra),
+                Some(_slot) => {
+                    let query = if method == "POST" {
+                        Some(body)
+                    } else {
+                        form_value(query_string, "query")
+                    };
+                    match query {
+                        Some(q) => serve_query(&mut wire, ctx, &accept, &q, extra),
+                        None => write_response_headed(
+                            &mut wire,
                             "400 Bad Request",
                             "application/json",
                             extra,
                             &json_error(400, "missing ?query="),
-                        )
+                        ),
                     }
                 }
-            };
-            serve_query(&mut stream, ctx, &accept, &query, extra)
+            }
         }
         ("POST", "/v1/update") | ("POST", "/update") => {
             let extra = legacy_headers(path, "/update", "/v1/update");
-            let _slot = match admit(ctx) {
-                Some(slot) => slot,
-                None => return write_shed(&mut stream, extra),
-            };
-            serve_update(&mut stream, &ctx.shared, &body, extra)
+            match admit(ctx) {
+                None => write_shed(&mut wire, ctx, extra),
+                Some(_slot) => serve_update(&mut wire, &ctx.shared, &body, extra),
+            }
         }
-        ("GET", "/v1/facets") => {
-            let _slot = match admit(ctx) {
-                Some(slot) => slot,
-                None => return write_shed(&mut stream, &[]),
-            };
-            serve_facets(&mut stream, ctx, query_string)
-        }
+        ("GET", "/v1/facets") => match admit(ctx) {
+            None => write_shed(&mut wire, ctx, &[]),
+            Some(_slot) => serve_facets(&mut wire, ctx, query_string),
+        },
         ("GET", "/v1/facets/stats") => {
             let st = ctx.facet_cache.stats();
             write_response(
-                &mut stream,
+                &mut wire,
                 "200 OK",
                 "application/json",
                 &format!(
@@ -647,12 +755,15 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
             )
         }
         _ => write_response(
-            &mut stream,
+            &mut wire,
             "404 Not Found",
             "application/json",
             &json_error(404, "no such route"),
         ),
-    }
+    };
+    let keep = wire.keep_alive;
+    outcome?;
+    Ok(keep)
 }
 
 /// Extra response headers for a legacy route alias: a `Deprecation` marker
@@ -676,49 +787,214 @@ fn legacy_headers(path: &str, legacy: &'static str, successor: &'static str) -> 
     })
 }
 
+/// Watches a connection while its query evaluates: a detached thread peeks
+/// the socket every ~25 ms and sets the query's [`CancelFlag`] when the
+/// client is gone (EOF / hard error) or the server starts draining.
+/// Dropping the watcher stops it; the thread exits within one poll.
+struct DisconnectWatcher {
+    done: Arc<AtomicBool>,
+}
+
+impl DisconnectWatcher {
+    const POLL: Duration = Duration::from_millis(25);
+
+    fn spawn(
+        stream: &TcpStream,
+        cancel: CancelFlag,
+        draining: Arc<AtomicBool>,
+    ) -> DisconnectWatcher {
+        let done = Arc::new(AtomicBool::new(false));
+        if let Ok(peer) = stream.try_clone() {
+            // SO_RCVTIMEO lives on the socket shared with the request
+            // stream, so this short poll timeout leaks onto it; the
+            // keep-alive loop re-arms the proper timeout before every
+            // request read, so the worst case is one early idle close
+            let _ = peer.set_read_timeout(Some(Self::POLL));
+            let done2 = Arc::clone(&done);
+            let _ = std::thread::Builder::new().name("rdfa-cancel-watch".to_owned()).spawn(
+                move || {
+                    let mut byte = [0u8; 1];
+                    while !done2.load(Ordering::Relaxed) {
+                        if draining.load(Ordering::Relaxed) {
+                            cancel.cancel();
+                            return;
+                        }
+                        match peer.peek(&mut byte) {
+                            // EOF: the client hung up — stop the query
+                            Ok(0) => {
+                                cancel.cancel();
+                                return;
+                            }
+                            // buffered bytes (a pipelined request): alive
+                            Ok(_) => std::thread::sleep(Self::POLL),
+                            // poll timeout: alive, nothing buffered
+                            Err(e) if is_timeout(&e) => {}
+                            // connection reset or worse
+                            Err(_) => {
+                                cancel.cancel();
+                                return;
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        DisconnectWatcher { done }
+    }
+}
+
+impl Drop for DisconnectWatcher {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Which streaming serialization a solutions response uses.
+enum StreamFormat {
+    Json,
+    Csv,
+}
+
+/// Stream a solution table as a chunked HTTP/1.1 response: rows are
+/// serialized straight into a bounded chunk buffer, so peak serialization
+/// memory is O(chunk), not O(body) — a `LIMIT`-less SELECT over millions
+/// of rows never builds a whole-body `String`. HTTP/1.0 clients (no
+/// chunked support) get a buffered `Content-Length` body instead.
+fn stream_solutions(
+    wire: &mut Wire<'_>,
+    ctype: &str,
+    extra: &[String],
+    sols: &rdfa_sparql::Solutions,
+    format: StreamFormat,
+) -> std::io::Result<()> {
+    if !wire.http11 {
+        let body = match format {
+            StreamFormat::Json => sols.to_json(),
+            StreamFormat::Csv => sols.to_csv(),
+        };
+        return write_response_headed(wire, "200 OK", ctype, extra, &body);
+    }
+    let conn = if wire.keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {ctype}\r\nTransfer-Encoding: chunked\r\nConnection: {conn}\r\n"
+    );
+    for h in extra {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    wire.stream.write_all(head.as_bytes())?;
+    let mut out = ChunkedWriter::new(wire.stream, wire.chunk_bytes);
+    match format {
+        StreamFormat::Json => sols.write_json(&mut out)?,
+        StreamFormat::Csv => sols.write_csv(&mut out)?,
+    }
+    out.finish()
+}
+
+/// An [`std::io::Write`] framing bytes as HTTP/1.1 chunked
+/// transfer-encoding, buffering roughly `chunk_bytes` per socket write so
+/// row-at-a-time serializers don't pay a syscall per row. A slow reader
+/// makes `write_all` trip the socket's write timeout, which aborts the
+/// response (and the connection) instead of blocking the worker
+/// indefinitely. [`ChunkedWriter::finish`] emits the terminating chunk.
+struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    chunk_bytes: usize,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    fn new(stream: &'a mut TcpStream, chunk_bytes: usize) -> Self {
+        let chunk_bytes = chunk_bytes.clamp(512, 4 << 20);
+        ChunkedWriter { stream, buf: Vec::with_capacity(chunk_bytes + 64), chunk_bytes }
+    }
+
+    fn emit(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", self.buf.len())?;
+        self.stream.write_all(&self.buf)?;
+        self.stream.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        self.emit()?;
+        self.stream.write_all(b"0\r\n\r\n")
+    }
+}
+
+impl std::io::Write for ChunkedWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= self.chunk_bytes {
+            self.emit()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.emit()?;
+        self.stream.flush()
+    }
+}
+
 /// Evaluate a query against the current snapshot under the server's limits
 /// and serialize per `Accept`. The snapshot is pinned for the duration of
 /// evaluation: concurrent updates publish new generations without touching
-/// this one.
+/// this one. Evaluation runs under a [`CancelFlag`] wired to a
+/// [`DisconnectWatcher`], so a client that hangs up mid-query (or a server
+/// drain) stops the evaluation within one probe interval and releases its
+/// admission slot promptly.
 fn serve_query(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
     ctx: &Ctx,
     accept: &str,
     query: &str,
     extra: &[String],
 ) -> std::io::Result<()> {
     let snap = ctx.shared.snapshot();
-    match Engine::builder(&snap).limits(ctx.config.limits).build().run(query) {
+    let cancel = CancelFlag::new();
+    let limits = ctx.config.limits.clone().with_cancel(cancel.clone());
+    let watcher = DisconnectWatcher::spawn(wire.stream, cancel, Arc::clone(&ctx.draining));
+    let outcome = Engine::builder(&snap).limits(limits).build().run(query);
+    drop(watcher);
+    match outcome {
         Ok(QueryResults::Solutions(sols)) => {
             if accept.contains("text/csv") {
-                write_response_headed(stream, "200 OK", "text/csv", extra, &sols.to_csv())
+                stream_solutions(wire, "text/csv", extra, &sols, StreamFormat::Csv)
             } else if accept.contains("text/plain") {
-                write_response_headed(stream, "200 OK", "text/plain", extra, &sols.to_table())
+                // the aligned table needs every row for column widths:
+                // inherently a buffered format
+                write_response_headed(wire, "200 OK", "text/plain", extra, &sols.to_table())
             } else {
-                write_response_headed(
-                    stream,
-                    "200 OK",
+                stream_solutions(
+                    wire,
                     "application/sparql-results+json",
                     extra,
-                    &sols.to_json(),
+                    &sols,
+                    StreamFormat::Json,
                 )
             }
         }
         Ok(QueryResults::Graph(g)) => write_response_headed(
-            stream,
+            wire,
             "200 OK",
             "application/n-triples",
             extra,
             &rdfa_model::ntriples::serialize(&g),
         ),
         Ok(QueryResults::Boolean(b)) => write_response_headed(
-            stream,
+            wire,
             "200 OK",
             "application/sparql-results+json",
             extra,
             &format!("{{\"head\":{{}},\"boolean\":{b}}}"),
         ),
-        Err(e) => write_query_error_headed(stream, &e, extra),
+        Err(e) => write_query_error_headed(wire, &e, extra),
     }
 }
 
@@ -735,7 +1011,7 @@ fn serve_query(
 /// stale` and `X-Facet-Stale: <generation>`; only when no cached set
 /// exists either does the request fail `503`.
 fn serve_facets(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
     ctx: &Ctx,
     query_string: &str,
 ) -> std::io::Result<()> {
@@ -745,7 +1021,7 @@ fn serve_facets(
         Some(iri) => {
             if let Err(e) = notation::validate_iri(&iri) {
                 return write_response(
-                    stream,
+                    wire,
                     "400 Bad Request",
                     "application/json",
                     &json_error(400, &e.message),
@@ -755,7 +1031,7 @@ fn serve_facets(
                 Some(c) => snap.instances_set(c),
                 None => {
                     return write_response(
-                        stream,
+                        wire,
                         "404 Not Found",
                         "application/json",
                         &json_error(404, &format!("unknown class <{iri}>")),
@@ -767,7 +1043,7 @@ fn serve_facets(
     };
     if ext.is_empty() {
         return write_response(
-            stream,
+            wire,
             "404 Not Found",
             "application/json",
             &json_error(404, "the class has no instances"),
@@ -778,7 +1054,7 @@ fn serve_facets(
             Ok(ms) => Some(Duration::from_millis(ms)),
             Err(_) => {
                 return write_response(
-                    stream,
+                    wire,
                     "400 Bad Request",
                     "application/json",
                     &json_error(400, "invalid ?budget_ms= (expected milliseconds)"),
@@ -812,7 +1088,7 @@ fn serve_facets(
                     Some(stale_generation.map_or(generation, |g| g.min(generation)));
                 c
             }
-            None => return write_facet_unavailable(stream, last_err.as_ref()),
+            None => return write_facet_unavailable(wire, ctx, last_err.as_ref()),
         },
     };
     let fresh_facets = if cached_only {
@@ -834,7 +1110,7 @@ fn serve_facets(
                     Some(stale_generation.map_or(generation, |g| g.min(generation)));
                 f
             }
-            None => return write_facet_unavailable(stream, last_err.as_ref()),
+            None => return write_facet_unavailable(wire, ctx, last_err.as_ref()),
         },
     };
 
@@ -855,13 +1131,14 @@ fn serve_facets(
         classes.iter().map(|m| class_marker_json(&snap, m)).collect::<Vec<_>>().join(","),
         facets.iter().map(|f| facet_json(&snap, f)).collect::<Vec<_>>().join(","),
     );
-    write_response_headed(stream, "200 OK", "application/json", &headers, &payload)
+    write_response_headed(wire, "200 OK", "application/json", &headers, &payload)
 }
 
 /// Facet markers could not be computed within budget and no stale set was
 /// cached: shed the request rather than blocking the worker.
 fn write_facet_unavailable(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
+    ctx: &Ctx,
     err: Option<&FacetError>,
 ) -> std::io::Result<()> {
     let message = match err {
@@ -869,10 +1146,10 @@ fn write_facet_unavailable(
         None => "no cached facet markers within budget".to_owned(),
     };
     write_response_headed(
-        stream,
+        wire,
         "503 Service Unavailable",
         "application/json",
-        &["Retry-After: 1".to_owned()],
+        &[retry_after_header(ctx)],
         &json_error(503, &message),
     )
 }
@@ -918,7 +1195,7 @@ fn facet_json(store: &Store, f: &PropertyFacet) -> String {
 /// and visible, and a concurrent checkpoint can never compact away a
 /// record for a batch that is not in its store view.
 fn serve_update(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
     shared: &SharedStore,
     body: &str,
     extra: &[String],
@@ -929,14 +1206,14 @@ fn serve_update(
             Ok(stats) => {
                 txn.commit();
                 write_response_headed(
-                    stream,
+                    wire,
                     "200 OK",
                     "application/json",
                     extra,
                     &format!("{{\"inserted\":{},\"deleted\":{}}}", stats.inserted, stats.deleted),
                 )
             }
-            Err(e) => write_query_error_headed(stream, &e, extra), // txn rolls back on drop
+            Err(e) => write_query_error_headed(wire, &e, extra), // txn rolls back on drop
         },
         Some(journal) => {
             // apply to the working store, recording the concrete triple
@@ -946,7 +1223,7 @@ fn serve_update(
                 Ok((stats, changes)) => {
                     match journal.log_mutations_then(&changes, move || txn.commit()) {
                         Ok(()) => write_response_headed(
-                            stream,
+                            wire,
                             "200 OK",
                             "application/json",
                             extra,
@@ -959,7 +1236,7 @@ fn serve_update(
                         // rolled back in memory too, so the store and the
                         // log still agree
                         Err(e) => write_response_headed(
-                            stream,
+                            wire,
                             "500 Internal Server Error",
                             "application/json",
                             extra,
@@ -967,7 +1244,7 @@ fn serve_update(
                         ),
                     }
                 }
-                Err(e) => write_query_error_headed(stream, &e, extra),
+                Err(e) => write_query_error_headed(wire, &e, extra),
             }
         }
     }
@@ -977,13 +1254,13 @@ fn serve_update(
 /// the server declined to spend more on it); anything else is the client's
 /// `400`.
 fn write_query_error_headed(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
     e: &rdfa_sparql::SparqlError,
     extra: &[String],
 ) -> std::io::Result<()> {
     if e.is_resource_limit() {
         write_response_headed(
-            stream,
+            wire,
             "503 Service Unavailable",
             "application/json",
             extra,
@@ -991,7 +1268,7 @@ fn write_query_error_headed(
         )
     } else {
         write_response_headed(
-            stream,
+            wire,
             "400 Bad Request",
             "application/json",
             extra,
@@ -1001,15 +1278,45 @@ fn write_query_error_headed(
 }
 
 fn write_response(
-    stream: &mut TcpStream,
+    wire: &mut Wire<'_>,
     status: &str,
     ctype: &str,
     payload: &str,
 ) -> std::io::Result<()> {
-    write_response_headed(stream, status, ctype, &[], payload)
+    write_response_headed(wire, status, ctype, &[], payload)
 }
 
 fn write_response_headed(
+    wire: &mut Wire<'_>,
+    status: &str,
+    ctype: &str,
+    extra: &[String],
+    payload: &str,
+) -> std::io::Result<()> {
+    // non-200 responses terminate the connection: the request stream may
+    // be mid-parse or carry an unread body, so resynchronizing is not
+    // worth the risk of serving a desynchronized request
+    if !status.starts_with("200") {
+        wire.keep_alive = false;
+    }
+    let conn = if wire.keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
+        payload.len()
+    );
+    for h in extra {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    wire.stream.write_all(head.as_bytes())?;
+    wire.stream.write_all(payload.as_bytes())
+}
+
+/// Response writer for paths that have no [`Wire`]: the acceptor's
+/// queue-overflow rejection and the panic handler's best-effort `500`.
+/// Always closes the connection.
+fn write_response_raw(
     stream: &mut TcpStream,
     status: &str,
     ctype: &str,
@@ -1138,10 +1445,14 @@ mod tests {
         response
     }
 
+    // the helpers read until the server closes the socket, so they opt out
+    // of keep-alive explicitly
     fn get(addr: std::net::SocketAddr, path: &str, accept: &str) -> String {
         http(
             addr,
-            &format!("GET {path} HTTP/1.1\r\nHost: x\r\nAccept: {accept}\r\n\r\n"),
+            &format!(
+                "GET {path} HTTP/1.1\r\nHost: x\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
+            ),
         )
     }
 
@@ -1149,7 +1460,7 @@ mod tests {
         http(
             addr,
             &format!(
-                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             ),
         )
@@ -1182,7 +1493,7 @@ mod tests {
         stream
             .write_all(
                 format!(
-                    "POST /sparql HTTP/1.1\r\nHost: x\r\nAccept: text/csv\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST /sparql HTTP/1.1\r\nHost: x\r\nAccept: text/csv\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 )
                 .as_bytes(),
@@ -1229,7 +1540,7 @@ mod tests {
         let resp = http(
             server.addr(),
             &format!(
-                "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             ),
         );
@@ -1425,7 +1736,14 @@ mod tests {
         let _ = overflow.read_to_string(&mut resp);
         assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
         assert!(resp.contains("queue full"), "{resp}");
-        assert!(resp.contains("Retry-After: 1"), "{resp}");
+        assert!(retry_after_secs(&resp).is_some(), "{resp}");
+    }
+
+    /// Parse the `Retry-After` value out of a raw response, if present.
+    fn retry_after_secs(resp: &str) -> Option<u64> {
+        resp.lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .and_then(|v| v.trim().parse().ok())
     }
 
     #[test]
@@ -1444,7 +1762,8 @@ mod tests {
         let q = percent_encode("SELECT ?x WHERE { ?x ?p ?o . }");
         let shed = get(addr, &format!("/v1/query?query={q}"), "*/*");
         assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
-        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        let secs = retry_after_secs(&shed).expect("shed response carries Retry-After");
+        assert!((1..=3).contains(&secs), "jittered Retry-After out of range: {secs}");
         assert!(shed.contains("budget exhausted"), "{shed}");
         // health and healthz bypass the budget: the saturated server is
         // still probeable, and reports the held slot and the shed request
@@ -1576,7 +1895,7 @@ mod tests {
         let nothing =
             get(server.addr(), &format!("/v1/facets?class={class}&budget_ms=0"), "*/*");
         assert!(nothing.starts_with("HTTP/1.1 503"), "{nothing}");
-        assert!(nothing.contains("Retry-After: 1"), "{nothing}");
+        assert!(retry_after_secs(&nothing).is_some(), "{nothing}");
         // warm the cache at the current generation
         let fresh = get(server.addr(), &format!("/v1/facets?class={class}"), "*/*");
         assert!(fresh.contains("X-Facet-Cache: miss"), "{fresh}");
@@ -1635,5 +1954,167 @@ mod tests {
         );
         let resp = get(addr, &format!("/sparql?query={q}"), "*/*");
         assert!(resp.contains("\"value\":\"6\""), "{resp}");
+    }
+
+    /// Read exactly one HTTP response (headers + body) from a keep-alive
+    /// stream, decoding Content-Length or chunked framing.
+    fn read_one_response(stream: &mut TcpStream) -> (String, String) {
+        let mut reader = BufReader::new(stream);
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let body = if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+            let mut body = Vec::new();
+            loop {
+                let mut size_line = String::new();
+                reader.read_line(&mut size_line).unwrap();
+                let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+                if size == 0 {
+                    let mut crlf = String::new();
+                    reader.read_line(&mut crlf).unwrap();
+                    break;
+                }
+                let mut chunk = vec![0u8; size + 2]; // data + CRLF
+                reader.read_exact(&mut chunk).unwrap();
+                chunk.truncate(size);
+                body.extend_from_slice(&chunk);
+            }
+            String::from_utf8(body).unwrap()
+        } else {
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length: ").map(str::to_owned))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            String::from_utf8(body).unwrap()
+        };
+        (head, body)
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let q = percent_encode("SELECT ?x WHERE { ?x ?p ?o . }");
+        for i in 0..3 {
+            stream
+                .write_all(
+                    format!("GET /v1/query?query={q} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes(),
+                )
+                .unwrap();
+            let (head, body) = read_one_response(&mut stream);
+            assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+            assert!(head.contains("Connection: keep-alive"), "request {i}: {head}");
+            assert!(body.contains("\"bindings\""), "request {i}: {body}");
+        }
+        // an explicit close is honoured
+        stream
+            .write_all(b"GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_one_response(&mut stream);
+        assert!(head.contains("Connection: close"), "{head}");
+        assert_eq!(body, "ok");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server kept the connection open after close: {rest}");
+    }
+
+    #[test]
+    fn max_requests_per_conn_closes_after_cap() {
+        let config =
+            ServerConfig { max_requests_per_conn: 2, ..ServerConfig::default() };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (head, _) = read_one_response(&mut stream);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        // the capped request announces the close
+        stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (head, _) = read_one_response(&mut stream);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection survived the request cap: {rest}");
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_silently() {
+        let config = ServerConfig {
+            keep_alive_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (head, _) = read_one_response(&mut stream);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        // idle past the keep-alive budget: the server closes without a 408
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "expected silent close, got: {rest}");
+    }
+
+    #[test]
+    fn select_solutions_stream_chunked_with_crlf_csv() {
+        let server = Server::start(demo_store(), 0).unwrap();
+        let q = percent_encode(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Laptop . } ORDER BY ?x",
+        );
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "GET /v1/query?query={q} HTTP/1.1\r\nHost: x\r\nAccept: text/csv\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (head, body) = read_one_response(&mut stream);
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        assert!(!head.to_ascii_lowercase().contains("content-length"), "{head}");
+        assert_eq!(body, "x\r\nhttp://example.org/l1\r\nhttp://example.org/l2\r\n");
+        // HTTP/1.0 clients can't parse chunked: they get a buffered body
+        let resp = http(
+            server.addr(),
+            &format!("GET /v1/query?query={q} HTTP/1.0\r\nHost: x\r\nAccept: text/csv\r\n\r\n"),
+        );
+        assert!(resp.contains("Content-Length"), "{resp}");
+        assert!(!resp.contains("Transfer-Encoding"), "{resp}");
+    }
+
+    #[test]
+    fn retry_after_jitter_spreads_across_sheds() {
+        let config = ServerConfig {
+            max_in_flight: 1,
+            debug_routes: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(demo_store(), 0, config).unwrap();
+        let addr = server.addr();
+        let slow = std::thread::spawn(move || get(addr, "/slow?ms=1500", "*/*"));
+        std::thread::sleep(Duration::from_millis(300));
+        let q = percent_encode("SELECT ?x WHERE { ?x ?p ?o . }");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let shed = get(addr, &format!("/v1/query?query={q}"), "*/*");
+            assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
+            let secs = retry_after_secs(&shed).expect("Retry-After present");
+            assert!((1..=3).contains(&secs), "out of range: {secs}");
+            seen.insert(secs);
+        }
+        assert!(seen.len() > 1, "32 sheds all got the same Retry-After: {seen:?}");
+        slow.join().unwrap();
     }
 }

@@ -177,7 +177,7 @@ fn tripped_limits_agree_across_engines() {
         EvalLimits::unlimited().with_max_rows(5),
         EvalLimits::unlimited().with_deadline(std::time::Duration::ZERO),
     ] {
-        let a = trip(ExecMode::TermSpace, limits);
+        let a = trip(ExecMode::TermSpace, limits.clone());
         let b = trip(ExecMode::IdSpace, limits);
         assert!(a.is_resource_limit() && b.is_resource_limit(), "{a:?} vs {b:?}");
         assert_eq!(a, b, "engines surfaced different limit errors");
